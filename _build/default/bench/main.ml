@@ -1,0 +1,312 @@
+(* The benchmark harness: regenerates the data series behind every figure
+   of the paper's evaluation (Figs. 3, 4, 5, 7, 8), the headline summary
+   numbers, the design-choice ablations, the automated paper-vs-measured
+   checks, and a set of Bechamel micro-benchmarks of the core operations.
+
+   Usage:
+     dune exec bench/main.exe                 # everything
+     dune exec bench/main.exe fig3 fig4       # a subset
+     dune exec bench/main.exe micro           # only the micro-benchmarks
+     dune exec bench/main.exe all --quick     # reduced event counts
+
+   Output is deterministic (fixed seeds) apart from the micro-benchmark
+   timings. *)
+
+let settings quick =
+  if quick then Agg_sim.Experiment.quick_settings else Agg_sim.Experiment.default_settings
+
+let section title = Printf.printf "\n================ %s ================\n%!" title
+
+(* --- figure sections -------------------------------------------------- *)
+
+let run_workloads ~settings =
+  section "Workload characterisation (the §4.1 view of the four traces)";
+  let table =
+    Agg_util.Table.create ~title:"synthetic stand-ins for mozart / ives / dvorak / barber"
+      ~columns:
+        [
+          "workload"; "events"; "files"; "clients"; "write %"; "repeat %"; "H(L=1) bits";
+          "H per-client"; "last-succ acc %";
+        ]
+  in
+  List.iter
+    (fun profile ->
+      let trace =
+        Agg_workload.Generator.generate ~seed:settings.Agg_sim.Experiment.seed
+          ~events:settings.Agg_sim.Experiment.events profile
+      in
+      let stats = Agg_trace.Trace_stats.compute trace in
+      let accuracy =
+        Agg_baselines.Last_successor.measure (Agg_trace.Trace.files trace)
+        |> Agg_baselines.Last_successor.accuracy_rate
+      in
+      Agg_util.Table.add_row table
+        [
+          profile.Agg_workload.Profile.name;
+          string_of_int stats.Agg_trace.Trace_stats.events;
+          string_of_int stats.Agg_trace.Trace_stats.distinct_files;
+          string_of_int stats.Agg_trace.Trace_stats.clients;
+          Printf.sprintf "%.1f" (100.0 *. stats.Agg_trace.Trace_stats.write_fraction);
+          Printf.sprintf "%.1f" (100.0 *. stats.Agg_trace.Trace_stats.repeat_fraction);
+          Printf.sprintf "%.2f" (Agg_entropy.Entropy.of_trace trace);
+          Printf.sprintf "%.2f" (Agg_entropy.Entropy.per_client trace);
+          Printf.sprintf "%.1f" (100.0 *. accuracy);
+        ])
+    Agg_workload.Profile.all;
+  Agg_util.Table.print table
+
+let run_fig3 ~settings =
+  section "Fig. 3 — client demand fetches vs cache capacity (per group size)";
+  Agg_sim.Experiment.print_figure (Agg_sim.Fig3.figure ~settings ())
+
+let run_fig4 ~settings =
+  section "Fig. 4 — server hit rate behind an intervening client cache";
+  Agg_sim.Experiment.print_figure (Agg_sim.Fig4.figure ~settings ())
+
+let run_fig5 ~settings =
+  section "Fig. 5 — successor-list replacement quality (oracle / LRU / LFU)";
+  Agg_sim.Experiment.print_figure (Agg_sim.Fig5.figure ~settings ())
+
+let run_fig7 ~settings =
+  section "Fig. 7 — successor entropy vs successor sequence length";
+  Agg_sim.Experiment.print_figure (Agg_sim.Fig7.figure ~settings ())
+
+let run_fig8 ~settings =
+  section "Fig. 8 — successor entropy of LRU-filtered miss streams";
+  Agg_sim.Experiment.print_figure (Agg_sim.Fig8.figure ~settings ())
+
+let run_summary ~settings =
+  section "Headline summary (abstract / conclusions numbers)";
+  Agg_util.Table.print (Agg_sim.Summary.client_table (Agg_sim.Summary.client_rows ~settings ()));
+  Agg_util.Table.print (Agg_sim.Summary.server_table (Agg_sim.Summary.server_rows ~settings ()))
+
+let run_checks ~settings =
+  section "Paper-vs-measured checks";
+  let checks = Agg_sim.Report.run_all ~settings () in
+  Agg_util.Table.print (Agg_sim.Report.table checks);
+  Printf.printf "%s\n"
+    (if Agg_sim.Report.all_pass checks then "ALL CHECKS PASS" else "SOME CHECKS FAILED")
+
+let print_panel panel =
+  Agg_util.Table.print (Agg_sim.Experiment.panel_table ~figure_id:"ablation" panel)
+
+let run_ablations ~settings =
+  section "Ablation A1 — group-member insertion position (paper: 'little effect')";
+  print_panel (Agg_sim.Ablations.member_position ~settings Agg_workload.Profile.server);
+  section "Ablation A2 — metadata policy: recency vs frequency, end to end";
+  print_panel (Agg_sim.Ablations.metadata_policy ~settings Agg_workload.Profile.server);
+  section "Ablation A3 — successor-list capacity (metadata budget)";
+  print_panel (Agg_sim.Ablations.successor_capacity ~settings Agg_workload.Profile.server);
+  section "Ablation A4 — aggregating cache vs probability-graph prefetching";
+  print_panel (Agg_sim.Ablations.baselines ~settings Agg_workload.Profile.server);
+  section "Ablation A5 — server metadata: miss stream vs cooperative clients";
+  print_panel (Agg_sim.Ablations.cooperative ~settings Agg_workload.Profile.server);
+  section "Ablation A6 — grouping vs second-level replacement (MQ / SLRU / 2Q / ARC)";
+  print_panel (Agg_sim.Ablations.second_level_policies ~settings Agg_workload.Profile.server);
+  section "Ablation A7 — successor-sequence tracking (the Fig. 6 model)";
+  Agg_util.Table.print (Agg_sim.Ablations.sequence_model ~settings ());
+  section "Ablation A8 — grouping for data placement (linear device seeks)";
+  Agg_util.Table.print (Agg_sim.Ablations.placement ~settings Agg_workload.Profile.server);
+  section "Ablation A9 — adaptive group sizing";
+  Agg_util.Table.print (Agg_sim.Ablations.adaptive_group ~settings ());
+  section "Ablation A10 — overlapping groups vs disjoint partition (§2.1)";
+  Agg_util.Table.print (Agg_sim.Ablations.overlap_vs_partition ~settings Agg_workload.Profile.server);
+  Agg_util.Table.print
+    (Agg_sim.Ablations.overlap_vs_partition ~settings Agg_workload.Profile.workstation);
+  section "Ablation A11 — server-side group-size sweep";
+  print_panel (Agg_sim.Ablations.server_group_size ~settings Agg_workload.Profile.server);
+  section "Predictor accuracy — recency vs frequency vs context";
+  Agg_util.Table.print (Agg_sim.Ablations.predictor_accuracy ~settings ())
+
+let run_latency ~settings =
+  section "End-to-end latency (Fig. 2 path: client / network / server / disk)";
+  let trace =
+    Agg_workload.Generator.generate ~seed:settings.Agg_sim.Experiment.seed
+      ~events:settings.Agg_sim.Experiment.events Agg_workload.Profile.server
+  in
+  List.iter
+    (fun (cost_name, cost) ->
+      let table =
+        Agg_util.Table.create
+          ~title:(Printf.sprintf "server workload, %s costs" cost_name)
+          ~columns:
+            [ "deployment"; "mean ms"; "p95 ms"; "rtts"; "files sent"; "disk reads"; "client hit %" ]
+      in
+      List.iter
+        (fun deployment ->
+          let config = { Agg_system.Path.default_config with deployment; cost } in
+          let r = Agg_system.Path.run config trace in
+          Agg_util.Table.add_row table
+            [
+              Agg_system.Path.deployment_name deployment;
+              Printf.sprintf "%.3f" r.Agg_system.Path.mean_latency;
+              Printf.sprintf "%.3f" r.Agg_system.Path.p95_latency;
+              string_of_int r.Agg_system.Path.round_trips;
+              string_of_int r.Agg_system.Path.files_transferred;
+              string_of_int r.Agg_system.Path.disk_reads;
+              Printf.sprintf "%.1f"
+                (100.0 *. float_of_int r.Agg_system.Path.client_hits
+                /. float_of_int r.Agg_system.Path.accesses);
+            ])
+        [ `Baseline; `Aggregating_client; `Aggregating_both ];
+      Agg_util.Table.print table)
+    [ ("LAN", Agg_system.Cost_model.lan); ("WAN", Agg_system.Cost_model.wan) ]
+
+let run_fleet ~settings =
+  section "Fleet — many clients, one server, write invalidation (users workload)";
+  let trace =
+    Agg_workload.Generator.generate ~seed:settings.Agg_sim.Experiment.seed
+      ~events:settings.Agg_sim.Experiment.events Agg_workload.Profile.users
+  in
+  let table =
+    Agg_util.Table.create ~title:"fleet size sweep (client caches 150 files, server 300)"
+      ~columns:
+        [ "clients"; "scheme"; "client hit %"; "server hit %"; "store fetches"; "invalidations" ]
+  in
+  List.iter
+    (fun clients ->
+      List.iter
+        (fun (name, client_scheme, server_scheme) ->
+          let config =
+            { Agg_system.Fleet.default_config with clients; client_scheme; server_scheme }
+          in
+          let r = Agg_system.Fleet.run config trace in
+          Agg_util.Table.add_row table
+            [
+              string_of_int clients;
+              name;
+              Printf.sprintf "%.1f" (100.0 *. Agg_system.Fleet.client_hit_rate r);
+              Printf.sprintf "%.1f" (100.0 *. Agg_system.Fleet.server_hit_rate r);
+              string_of_int r.Agg_system.Fleet.store_fetches;
+              string_of_int r.Agg_system.Fleet.invalidations;
+            ])
+        [
+          ( "plain",
+            Agg_system.Fleet.Client_plain Agg_cache.Cache.Lru,
+            Agg_system.Fleet.Server_plain Agg_cache.Cache.Lru );
+          ( "aggregating",
+            Agg_system.Fleet.Client_aggregating Agg_core.Config.default,
+            Agg_system.Fleet.Server_aggregating Agg_core.Config.default );
+        ])
+    [ 1; 2; 4; 8; 16 ];
+  Agg_util.Table.print table
+
+(* --- Bechamel micro-benchmarks ------------------------------------------- *)
+
+let micro_tests () =
+  let open Bechamel in
+  let files =
+    Agg_workload.Generator.generate_files ~seed:7 ~events:20_000 Agg_workload.Profile.server
+  in
+  let n = Array.length files in
+  (* Each staged closure carries its own cursor through the trace so the
+     measured operation is one access. *)
+  let cache_access kind =
+    let cache = Agg_cache.Cache.create kind ~capacity:500 in
+    let i = ref 0 in
+    Staged.stage (fun () ->
+        ignore (Agg_cache.Cache.access cache files.(!i));
+        i := (!i + 1) mod n)
+  in
+  let tracker_observe =
+    let tracker = Agg_successor.Tracker.create () in
+    let i = ref 0 in
+    Staged.stage (fun () ->
+        Agg_successor.Tracker.observe tracker files.(!i);
+        i := (!i + 1) mod n)
+  in
+  let group_build =
+    let tracker = Agg_successor.Tracker.create () in
+    Array.iter (Agg_successor.Tracker.observe tracker) files;
+    let i = ref 0 in
+    Staged.stage (fun () ->
+        ignore (Agg_core.Group_builder.build tracker ~group_size:5 files.(!i));
+        i := (!i + 1) mod n)
+  in
+  let agg_client_access =
+    let client = Agg_core.Client_cache.create ~capacity:500 () in
+    let i = ref 0 in
+    Staged.stage (fun () ->
+        ignore (Agg_core.Client_cache.access client files.(!i));
+        i := (!i + 1) mod n)
+  in
+  [
+    Test.make ~name:"lru-access" (cache_access Agg_cache.Cache.Lru);
+    Test.make ~name:"lfu-access" (cache_access Agg_cache.Cache.Lfu);
+    Test.make ~name:"clock-access" (cache_access Agg_cache.Cache.Clock);
+    Test.make ~name:"tracker-observe" tracker_observe;
+    Test.make ~name:"group-build-g5" group_build;
+    Test.make ~name:"agg-client-access" agg_client_access;
+    Test.make ~name:"entropy-20k-events"
+      (Staged.stage (fun () -> ignore (Agg_entropy.Entropy.of_files files)));
+    Test.make ~name:"generate-5k-events"
+      (Staged.stage (fun () ->
+           ignore
+             (Agg_workload.Generator.generate_files ~seed:1 ~events:5_000
+                Agg_workload.Profile.server)));
+  ]
+
+let run_micro () =
+  section "Micro-benchmarks (Bechamel, monotonic clock)";
+  let open Bechamel in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None () in
+  let grouped = Test.make_grouped ~name:"aggcache" (micro_tests ()) in
+  let raw = Benchmark.all cfg instances grouped in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let table =
+    Agg_util.Table.create ~title:"core operation costs"
+      ~columns:[ "operation"; "time/op"; "r²" ]
+  in
+  let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
+  List.iter
+    (fun (name, ols) ->
+      let estimate =
+        match Analyze.OLS.estimates ols with Some (t :: _) -> t | Some [] | None -> Float.nan
+      in
+      let r2 = Option.value ~default:Float.nan (Analyze.OLS.r_square ols) in
+      let time =
+        if Float.is_nan estimate then "n/a"
+        else if estimate > 1_000_000.0 then Printf.sprintf "%.2f ms" (estimate /. 1_000_000.0)
+        else if estimate > 1_000.0 then Printf.sprintf "%.2f us" (estimate /. 1_000.0)
+        else Printf.sprintf "%.1f ns" estimate
+      in
+      Agg_util.Table.add_row table [ name; time; Printf.sprintf "%.3f" r2 ])
+    (List.sort (fun (a, _) (b, _) -> compare a b) rows);
+  Agg_util.Table.print table
+
+(* --- main ------------------------------------------------------------------ *)
+
+let sections =
+  [
+    ("workloads", `Settings run_workloads);
+    ("fig3", `Settings run_fig3);
+    ("fig4", `Settings run_fig4);
+    ("fig5", `Settings run_fig5);
+    ("fig7", `Settings run_fig7);
+    ("fig8", `Settings run_fig8);
+    ("summary", `Settings run_summary);
+    ("checks", `Settings run_checks);
+    ("ablations", `Settings run_ablations);
+    ("latency", `Settings run_latency);
+    ("fleet", `Settings run_fleet);
+    ("micro", `Plain run_micro);
+  ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let quick = List.mem "--quick" args in
+  let wanted = List.filter (fun a -> a <> "--quick") args in
+  let wanted = if wanted = [] || List.mem "all" wanted then List.map fst sections else wanted in
+  let settings = settings quick in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name sections with
+      | Some (`Settings f) -> f ~settings
+      | Some (`Plain f) -> f ()
+      | None ->
+          Printf.eprintf "unknown section %S (expected: %s | all | --quick)\n" name
+            (String.concat " | " (List.map fst sections));
+          exit 2)
+    wanted

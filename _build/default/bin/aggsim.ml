@@ -1,0 +1,388 @@
+(* aggsim — command-line front end for the aggregating-cache simulator.
+
+   Subcommands cover trace generation and inspection, each figure
+   experiment of the paper, the headline summary, the ablations, and the
+   automated paper-vs-measured checks. *)
+
+open Cmdliner
+
+(* --- shared options ------------------------------------------------ *)
+
+let profile_conv =
+  let parse s =
+    match Agg_workload.Profile.by_name s with
+    | Some p -> Ok p
+    | None ->
+        Error
+          (`Msg
+             (Printf.sprintf "unknown profile %S (expected one of: %s)" s
+                (String.concat ", "
+                   (List.map (fun p -> p.Agg_workload.Profile.name) Agg_workload.Profile.all))))
+  in
+  let print ppf p = Format.pp_print_string ppf p.Agg_workload.Profile.name in
+  Arg.conv (parse, print)
+
+let profile_arg =
+  Arg.(
+    value
+    & opt profile_conv Agg_workload.Profile.server
+    & info [ "p"; "profile" ] ~docv:"PROFILE" ~doc:"Workload profile (workstation|users|write|server).")
+
+let events_arg =
+  Arg.(value & opt int 60_000 & info [ "n"; "events" ] ~docv:"N" ~doc:"Number of trace events.")
+
+let seed_arg = Arg.(value & opt int 7 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+
+let quick_arg =
+  Arg.(value & flag & info [ "quick" ] ~doc:"Use a small event count for a fast run.")
+
+let settings_term =
+  let make events seed quick =
+    if quick then { Agg_sim.Experiment.quick_settings with seed }
+    else { Agg_sim.Experiment.events; seed; warmup = 0 }
+  in
+  Term.(const make $ events_arg $ seed_arg $ quick_arg)
+
+let exit_ok = Cmd.Exit.ok
+
+(* --- generate ------------------------------------------------------ *)
+
+let generate_cmd =
+  let output =
+    Arg.(
+      value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output trace file.")
+  in
+  let run profile events seed output =
+    let trace = Agg_workload.Generator.generate ~seed ~events profile in
+    (match output with
+    | Some path ->
+        Agg_trace.Codec.write_file path trace;
+        Printf.printf "wrote %d events to %s\n" (Agg_trace.Trace.length trace) path
+    | None -> Agg_trace.Codec.write_channel stdout trace);
+    exit_ok
+  in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Generate a synthetic trace in aggtrace text format.")
+    Term.(const run $ profile_arg $ events_arg $ seed_arg $ output)
+
+(* --- stats ---------------------------------------------------------- *)
+
+let input_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "i"; "input" ] ~docv:"FILE" ~doc:"Read a trace file instead of generating one.")
+
+let load_trace input profile events seed =
+  match input with
+  | Some path -> Agg_trace.Codec.read_file path
+  | None -> Agg_workload.Generator.generate ~seed ~events profile
+
+let stats_cmd =
+  let run input profile events seed =
+    let trace = load_trace input profile events seed in
+    let stats = Agg_trace.Trace_stats.compute trace in
+    Format.printf "%a@." Agg_trace.Trace_stats.pp stats;
+    Format.printf "successor entropy (L=1): %.3f bits@." (Agg_entropy.Entropy.of_trace trace);
+    exit_ok
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Print summary statistics of a trace.")
+    Term.(const run $ input_arg $ profile_arg $ events_arg $ seed_arg)
+
+(* --- figures -------------------------------------------------------- *)
+
+let csv_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "csv" ] ~docv:"DIR" ~doc:"Also write the figure's data series as CSV files under $(docv).")
+
+let plot_arg =
+  Arg.(value & flag & info [ "plot" ] ~doc:"Also draw terminal line plots of each panel.")
+
+let figure_cmd name doc make =
+  let run settings csv plot =
+    let fig = make settings in
+    Agg_sim.Experiment.print_figure fig;
+    if plot then List.iter Agg_sim.Plot.print fig.Agg_sim.Experiment.panels;
+    (match csv with
+    | Some dir ->
+        let written = Agg_sim.Export.write_figure ~dir fig in
+        List.iter (Printf.printf "wrote %s\n") written
+    | None -> ());
+    exit_ok
+  in
+  Cmd.v (Cmd.info name ~doc) Term.(const run $ settings_term $ csv_arg $ plot_arg)
+
+let fig3_cmd =
+  figure_cmd "fig3" "Client demand fetches vs cache capacity (paper Fig. 3)." (fun settings ->
+      Agg_sim.Fig3.figure ~settings ())
+
+let fig4_cmd =
+  figure_cmd "fig4" "Server hit rate under intervening caches (paper Fig. 4)." (fun settings ->
+      Agg_sim.Fig4.figure ~settings ())
+
+let fig5_cmd =
+  figure_cmd "fig5" "Successor-list replacement quality (paper Fig. 5)." (fun settings ->
+      Agg_sim.Fig5.figure ~settings ())
+
+let fig7_cmd =
+  figure_cmd "fig7" "Successor entropy vs sequence length (paper Fig. 7)." (fun settings ->
+      Agg_sim.Fig7.figure ~settings ())
+
+let fig8_cmd =
+  figure_cmd "fig8" "Successor entropy of filtered streams (paper Fig. 8)." (fun settings ->
+      Agg_sim.Fig8.figure ~settings ())
+
+(* --- summary / checks / ablations ----------------------------------- *)
+
+let summary_cmd =
+  let run settings =
+    Agg_util.Table.print (Agg_sim.Summary.client_table (Agg_sim.Summary.client_rows ~settings ()));
+    Agg_util.Table.print (Agg_sim.Summary.server_table (Agg_sim.Summary.server_rows ~settings ()));
+    exit_ok
+  in
+  Cmd.v
+    (Cmd.info "summary" ~doc:"Headline numbers (abstract / conclusions).")
+    Term.(const run $ settings_term)
+
+let checks_cmd =
+  let run settings =
+    let checks = Agg_sim.Report.run_all ~settings () in
+    Agg_util.Table.print (Agg_sim.Report.table checks);
+    if Agg_sim.Report.all_pass checks then exit_ok else 1
+  in
+  Cmd.v
+    (Cmd.info "checks" ~doc:"Run all paper-vs-measured qualitative checks; non-zero exit on failure.")
+    Term.(const run $ settings_term)
+
+let ablations_cmd =
+  let run settings =
+    let print_panel panel =
+      Agg_util.Table.print (Agg_sim.Experiment.panel_table ~figure_id:"ablation" panel)
+    in
+    print_panel (Agg_sim.Ablations.member_position ~settings Agg_workload.Profile.server);
+    print_panel (Agg_sim.Ablations.metadata_policy ~settings Agg_workload.Profile.server);
+    print_panel (Agg_sim.Ablations.successor_capacity ~settings Agg_workload.Profile.server);
+    print_panel (Agg_sim.Ablations.baselines ~settings Agg_workload.Profile.server);
+    print_panel (Agg_sim.Ablations.cooperative ~settings Agg_workload.Profile.server);
+    print_panel (Agg_sim.Ablations.second_level_policies ~settings Agg_workload.Profile.server);
+    Agg_util.Table.print (Agg_sim.Ablations.predictor_accuracy ~settings ());
+    exit_ok
+  in
+  Cmd.v (Cmd.info "ablations" ~doc:"Run the design-choice ablations (A1-A5).") Term.(const run $ settings_term)
+
+let latency_cmd =
+  let run settings profile =
+    let trace =
+      Agg_workload.Generator.generate ~seed:settings.Agg_sim.Experiment.seed
+        ~events:settings.Agg_sim.Experiment.events profile
+    in
+    List.iter
+      (fun (cost_name, cost) ->
+        Printf.printf "-- %s costs --\n" cost_name;
+        List.iter
+          (fun deployment ->
+            let config = { Agg_system.Path.default_config with deployment; cost } in
+            Format.printf "%-11s %a@."
+              (Agg_system.Path.deployment_name deployment)
+              Agg_system.Path.pp_result
+              (Agg_system.Path.run config trace))
+          [ `Baseline; `Aggregating_client; `Aggregating_both ])
+      [ ("LAN", Agg_system.Cost_model.lan); ("WAN", Agg_system.Cost_model.wan) ];
+    exit_ok
+  in
+  Cmd.v
+    (Cmd.info "latency" ~doc:"End-to-end latency of the Fig. 2 path, per deployment.")
+    Term.(const run $ settings_term $ profile_arg)
+
+let fleet_cmd =
+  let clients_arg =
+    Arg.(value & opt int 4 & info [ "clients" ] ~docv:"N" ~doc:"Number of client machines.")
+  in
+  let run settings profile clients =
+    let trace =
+      Agg_workload.Generator.generate ~seed:settings.Agg_sim.Experiment.seed
+        ~events:settings.Agg_sim.Experiment.events profile
+    in
+    List.iter
+      (fun (name, client_scheme, server_scheme) ->
+        let config =
+          { Agg_system.Fleet.default_config with clients; client_scheme; server_scheme }
+        in
+        Format.printf "%-12s %a@." name Agg_system.Fleet.pp_result
+          (Agg_system.Fleet.run config trace))
+      [
+        ( "plain",
+          Agg_system.Fleet.Client_plain Agg_cache.Cache.Lru,
+          Agg_system.Fleet.Server_plain Agg_cache.Cache.Lru );
+        ( "aggregating",
+          Agg_system.Fleet.Client_aggregating Agg_core.Config.default,
+          Agg_system.Fleet.Server_aggregating Agg_core.Config.default );
+      ];
+    exit_ok
+  in
+  Cmd.v
+    (Cmd.info "fleet" ~doc:"Many clients sharing one server, with write invalidation.")
+    Term.(const run $ settings_term $ profile_arg $ clients_arg)
+
+(* --- entropy / groups ----------------------------------------------- *)
+
+let entropy_cmd =
+  let length_arg =
+    Arg.(value & opt int 1 & info [ "l"; "length" ] ~docv:"L" ~doc:"Successor sequence length.")
+  in
+  let filter_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "filter" ] ~docv:"CAP" ~doc:"Filter through an LRU cache of this capacity first.")
+  in
+  let run input profile events seed length filter =
+    let trace = load_trace input profile events seed in
+    let trace =
+      match filter with
+      | Some capacity -> Agg_trace.Filter.miss_stream ~capacity trace
+      | None -> trace
+    in
+    Printf.printf "%.4f\n" (Agg_entropy.Entropy.of_trace ~length trace);
+    exit_ok
+  in
+  Cmd.v
+    (Cmd.info "entropy" ~doc:"Successor entropy of a trace (optionally filtered).")
+    Term.(const run $ input_arg $ profile_arg $ events_arg $ seed_arg $ length_arg $ filter_arg)
+
+let groups_cmd =
+  let size_arg = Arg.(value & opt int 5 & info [ "g"; "size" ] ~docv:"G" ~doc:"Group size.") in
+  let top_arg = Arg.(value & opt int 10 & info [ "top" ] ~docv:"K" ~doc:"Show the K largest-anchor groups.") in
+  let run input profile events seed size top =
+    let trace = load_trace input profile events seed in
+    let graph = Agg_successor.Graph.of_trace trace in
+    let cover = Agg_successor.Grouping.cover graph ~size in
+    let stats = Agg_successor.Grouping.cover_stats cover in
+    Printf.printf "groups=%d covered=%d mean_size=%.2f overlapping=%d max_memberships=%d\n"
+      stats.groups stats.covered_nodes stats.mean_group_size stats.overlapping_nodes
+      stats.max_memberships;
+    List.iteri
+      (fun i g -> if i < top then Format.printf "%a@." Agg_successor.Grouping.pp_group g)
+      cover;
+    exit_ok
+  in
+  Cmd.v
+    (Cmd.info "groups" ~doc:"Build and show the covering group set of a trace.")
+    Term.(const run $ input_arg $ profile_arg $ events_arg $ seed_arg $ size_arg $ top_arg)
+
+let convert_cmd =
+  let format_conv =
+    let parse s =
+      match Agg_trace.Import.format_of_string s with
+      | Some f -> Ok f
+      | None -> Error (`Msg (Printf.sprintf "unknown format %S (expected paths|strace)" s))
+    in
+    let print ppf f =
+      Format.pp_print_string ppf
+        (match f with Agg_trace.Import.Paths -> "paths" | Agg_trace.Import.Strace -> "strace")
+    in
+    Arg.conv (parse, print)
+  in
+  let format_arg =
+    Arg.(
+      value
+      & opt format_conv Agg_trace.Import.Paths
+      & info [ "f"; "format" ] ~docv:"FORMAT" ~doc:"Input format: paths (one per line) or strace.")
+  in
+  let input_pos = Arg.(required & pos 0 (some file) None & info [] ~docv:"INPUT") in
+  let output =
+    Arg.(
+      value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output trace file.")
+  in
+  let names =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "names" ] ~docv:"FILE" ~doc:"Also write the id-to-path table here.")
+  in
+  let run format input output names =
+    let trace, namespace = Agg_trace.Import.of_file format input in
+    (match output with
+    | Some path ->
+        Agg_trace.Codec.write_file path trace;
+        Printf.printf "wrote %d events over %d files to %s\n" (Agg_trace.Trace.length trace)
+          (Agg_trace.File_id.Namespace.count namespace)
+          path
+    | None -> Agg_trace.Codec.write_channel stdout trace);
+    (match names with
+    | Some path ->
+        let oc = open_out path in
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () ->
+            Agg_trace.File_id.Namespace.iter namespace (fun name id ->
+                Printf.fprintf oc "%d %s\n" id name))
+    | None -> ());
+    exit_ok
+  in
+  Cmd.v
+    (Cmd.info "convert" ~doc:"Convert an external trace (paths or strace output) to aggtrace format.")
+    Term.(const run $ format_arg $ input_pos $ output $ names)
+
+let profile_report_cmd =
+  let top_arg =
+    Arg.(value & opt int 10 & info [ "top" ] ~docv:"K" ~doc:"Files to show at each extreme.")
+  in
+  let run input profile events seed top =
+    let trace = load_trace input profile events seed in
+    let files = Agg_trace.Trace.files trace in
+    let rows = Agg_entropy.Entropy.per_file files in
+    let by_entropy = List.sort (fun (_, _, a) (_, _, b) -> compare a b) rows in
+    let table ~title rows =
+      let t =
+        Agg_util.Table.create ~title ~columns:[ "file"; "occurrences"; "successor entropy (bits)" ]
+      in
+      List.iter
+        (fun (file, occ, h) ->
+          Agg_util.Table.add_row t
+            [ Printf.sprintf "f%d" file; string_of_int occ; Printf.sprintf "%.3f" h ])
+        rows;
+      Agg_util.Table.print t
+    in
+    let firsts = List.filteri (fun i _ -> i < top) by_entropy in
+    let lasts = List.filteri (fun i _ -> i < top) (List.rev by_entropy) in
+    Printf.printf "%d repeated files; overall successor entropy %.3f bits\n" (List.length rows)
+      (Agg_entropy.Entropy.of_files files);
+    table ~title:"most predictable files" firsts;
+    table ~title:"least predictable files" lasts;
+    exit_ok
+  in
+  Cmd.v
+    (Cmd.info "profile" ~doc:"Per-file predictability report (the visualization-tool view).")
+    Term.(const run $ input_arg $ profile_arg $ events_arg $ seed_arg $ top_arg)
+
+(* --- main ------------------------------------------------------------ *)
+
+let () =
+  let doc = "trace-driven simulator for group-based distributed file caching" in
+  let info = Cmd.info "aggsim" ~version:"1.0.0" ~doc in
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  exit
+    (Cmd.eval'
+       (Cmd.group ~default info
+          [
+            generate_cmd;
+            stats_cmd;
+            fig3_cmd;
+            fig4_cmd;
+            fig5_cmd;
+            fig7_cmd;
+            fig8_cmd;
+            summary_cmd;
+            checks_cmd;
+            ablations_cmd;
+            latency_cmd;
+            fleet_cmd;
+            entropy_cmd;
+            groups_cmd;
+            convert_cmd;
+            profile_report_cmd;
+          ]))

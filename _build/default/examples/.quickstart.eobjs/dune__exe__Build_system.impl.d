@@ -1,0 +1,1 @@
+examples/build_system.ml: Agg_core Agg_successor Agg_trace Agg_util Format List Option String

@@ -1,0 +1,1 @@
+examples/mobile_hoard.ml: Agg_cache Agg_successor Agg_trace Agg_workload Array Format Hashtbl List

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Agg_core Agg_entropy Agg_successor Agg_trace Agg_workload Format List String

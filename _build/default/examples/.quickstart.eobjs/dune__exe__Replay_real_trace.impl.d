@@ -1,0 +1,1 @@
+examples/replay_real_trace.ml: Agg_core Agg_successor Agg_trace Buffer Format List Option Printf

@@ -1,0 +1,1 @@
+examples/replay_real_trace.mli:

@@ -1,0 +1,1 @@
+examples/web_proxy.ml: Agg_cache Agg_core Agg_trace Agg_util Array Format List

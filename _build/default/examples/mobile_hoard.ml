@@ -1,0 +1,99 @@
+(* Mobile file hoarding (the paper's future-work application, after
+   Seer/Coda): before disconnecting, a laptop picks a fixed set of files
+   to carry. We compare three hoards of equal size — covering groups from
+   the relationship graph, the most frequently used files, and an LRU
+   snapshot at disconnection — training on the first half of a
+   workstation trace and replaying the second half disconnected.
+
+   Besides raw hit rate we report the share of fully-hoarded 10-access
+   windows, a proxy for working uninterrupted.
+
+   Run with: dune exec examples/mobile_hoard.exe *)
+
+let hoard_of_groups graph ~budget =
+  let hoard = Hashtbl.create budget in
+  (* covering groups in cover order: most-accessed anchors first, each
+     bringing its whole working set *)
+  let groups = Agg_successor.Grouping.cover graph ~size:6 in
+  List.iter
+    (fun group ->
+      List.iter
+        (fun file -> if Hashtbl.length hoard < budget then Hashtbl.replace hoard file ())
+        group.Agg_successor.Grouping.members)
+    groups;
+  hoard
+
+let hoard_of_top_frequent train ~budget =
+  let hoard = Hashtbl.create budget in
+  List.iter
+    (fun (file, _) -> if Hashtbl.length hoard < budget then Hashtbl.replace hoard file ())
+    (Agg_trace.Trace_stats.top_files train ~k:budget);
+  hoard
+
+let hoard_of_most_recent train ~budget =
+  (* snapshot of an LRU stack at disconnection time *)
+  let cache = Agg_cache.Cache.create Agg_cache.Cache.Lru ~capacity:budget in
+  Agg_trace.Trace.iter
+    (fun (e : Agg_trace.Event.t) -> ignore (Agg_cache.Cache.access cache e.Agg_trace.Event.file))
+    train;
+  let hoard = Hashtbl.create budget in
+  List.iter (fun file -> Hashtbl.replace hoard file ()) (Agg_cache.Cache.contents cache);
+  hoard
+
+let disconnected_hit_rate hoard replay =
+  let hits = ref 0 in
+  Agg_trace.Trace.iter
+    (fun (e : Agg_trace.Event.t) ->
+      if Hashtbl.mem hoard e.Agg_trace.Event.file then incr hits)
+    replay;
+  100.0 *. float_of_int !hits /. float_of_int (Agg_trace.Trace.length replay)
+
+(* Raw hit rate undersells hoarding quality: disconnected work stalls on
+   the *first* missing file of a working set. This measures the fraction
+   of 10-access windows served entirely from the hoard — uninterrupted
+   stretches of work. *)
+let complete_window_rate hoard replay =
+  let files = Agg_trace.Trace.files replay in
+  let n = Array.length files in
+  let window = 10 in
+  let complete = ref 0 in
+  let total = ref 0 in
+  let run = ref 0 in
+  (* count positions where the last [window] accesses all hit *)
+  for i = 0 to n - 1 do
+    if Hashtbl.mem hoard files.(i) then incr run else run := 0;
+    if i >= window - 1 then begin
+      incr total;
+      if !run >= window then incr complete
+    end
+  done;
+  100.0 *. float_of_int !complete /. float_of_int !total
+
+let () =
+  let trace =
+    Agg_workload.Generator.generate ~seed:12 ~events:60_000 Agg_workload.Profile.workstation
+  in
+  let half = Agg_trace.Trace.length trace / 2 in
+  let train = Agg_trace.Trace.sub trace ~pos:0 ~len:half in
+  let replay = Agg_trace.Trace.sub trace ~pos:half ~len:half in
+  Format.printf "training on %d events, replaying %d events disconnected@." half half;
+  let graph = Agg_successor.Graph.of_trace train in
+  Format.printf "relationship graph: %d files, %d edges@." (Agg_successor.Graph.node_count graph)
+    (Agg_successor.Graph.edge_count graph);
+  Format.printf "@.hit rate %% / complete 10-access windows %% (both: higher is better)@.";
+  Format.printf "  %-8s %-16s %-16s %s@." "budget" "group hoard" "frequency hoard" "recency hoard";
+  List.iter
+    (fun budget ->
+      let show hoard = (disconnected_hit_rate hoard replay, complete_window_rate hoard replay) in
+      let g_hit, g_win = show (hoard_of_groups graph ~budget) in
+      let f_hit, f_win = show (hoard_of_top_frequent train ~budget) in
+      let r_hit, r_win = show (hoard_of_most_recent train ~budget) in
+      Format.printf "  %-8d %4.1f / %-9.1f %4.1f / %-9.1f %4.1f / %.1f@." budget g_hit g_win f_hit
+        f_win r_hit r_win)
+    [ 250; 500; 1000; 2000 ];
+  Format.printf
+    "@.Succession groups comfortably beat a raw recency snapshot, showing that@.the same \
+     metadata that drives the aggregating cache transfers to hoarding.@.Whole-history \
+     frequency profiling remains the strongest baseline on this@.workload — consistent with \
+     the paper leaving hoarding as future work:@.succession alone is not yet a complete \
+     hoarding relationship measure.@."

@@ -1,0 +1,1 @@
+lib/baselines/last_successor.ml: Agg_util Array Hashtbl

@@ -1,0 +1,1 @@
+lib/baselines/last_successor.mli: Agg_trace

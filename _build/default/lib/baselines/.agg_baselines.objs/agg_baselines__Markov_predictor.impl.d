@@ -1,0 +1,1 @@
+lib/baselines/markov_predictor.ml: Array Hashtbl Last_successor Option

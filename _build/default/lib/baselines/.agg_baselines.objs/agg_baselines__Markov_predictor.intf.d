@@ -1,0 +1,1 @@
+lib/baselines/markov_predictor.mli: Agg_trace Last_successor

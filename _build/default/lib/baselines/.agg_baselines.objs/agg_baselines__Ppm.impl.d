@@ -1,0 +1,1 @@
+lib/baselines/ppm.ml: Array Hashtbl Last_successor List

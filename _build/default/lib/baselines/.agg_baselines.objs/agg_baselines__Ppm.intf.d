@@ -1,0 +1,1 @@
+lib/baselines/ppm.mli: Agg_trace Last_successor

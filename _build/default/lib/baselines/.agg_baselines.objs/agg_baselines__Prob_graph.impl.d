@@ -1,0 +1,1 @@
+lib/baselines/prob_graph.ml: Agg_cache Agg_core Agg_trace Agg_util Float Hashtbl List Option Queue

@@ -1,0 +1,1 @@
+lib/baselines/prob_graph.mli: Agg_cache Agg_core Agg_trace

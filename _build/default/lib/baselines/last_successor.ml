@@ -1,0 +1,32 @@
+type t = { last : (int, int) Hashtbl.t; mutable context : int option }
+
+let create () = { last = Hashtbl.create 1024; context = None }
+
+let predict t file = Hashtbl.find_opt t.last file
+
+let observe t file =
+  (match t.context with Some prev -> Hashtbl.replace t.last prev file | None -> ());
+  t.context <- Some file
+
+type accuracy = { predictions : int; correct : int; no_prediction : int }
+
+let accuracy_rate a = Agg_util.Stats.ratio a.correct a.predictions
+
+let measure files =
+  let t = create () in
+  let predictions = ref 0 in
+  let correct = ref 0 in
+  let no_prediction = ref 0 in
+  let n = Array.length files in
+  for i = 0 to n - 1 do
+    (match t.context with
+    | Some prev -> (
+        match predict t prev with
+        | Some guess ->
+            incr predictions;
+            if guess = files.(i) then incr correct
+        | None -> incr no_prediction)
+    | None -> ());
+    observe t files.(i)
+  done;
+  { predictions = !predictions; correct = !correct; no_prediction = !no_prediction }

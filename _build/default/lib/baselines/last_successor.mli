@@ -1,0 +1,23 @@
+(** The last-successor predictor (Lei & Duchamp 1997; compared by Kroeger
+    & Long): predict that a file will be followed by whatever followed it
+    last time. This is exactly a one-entry recency-managed successor list;
+    it is the degenerate ancestor of the paper's metadata scheme. *)
+
+type t
+
+val create : unit -> t
+
+val predict : t -> Agg_trace.File_id.t -> Agg_trace.File_id.t option
+(** Prediction for the file's next successor, if one has been observed. *)
+
+val observe : t -> Agg_trace.File_id.t -> unit
+(** Feed the next file of the access sequence. *)
+
+type accuracy = { predictions : int; correct : int; no_prediction : int }
+
+val accuracy_rate : accuracy -> float
+(** correct / predictions; [0.] when no prediction was ever made. *)
+
+val measure : Agg_trace.File_id.t array -> accuracy
+(** One pass over the sequence: at each step the predictor guesses the
+    next file from the current one, then learns the truth. *)

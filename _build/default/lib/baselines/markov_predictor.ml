@@ -1,0 +1,52 @@
+type t = {
+  counts : (int, (int, int) Hashtbl.t) Hashtbl.t;
+  (* cache of the current argmax per file, maintained incrementally *)
+  best : (int, int * int) Hashtbl.t; (* file -> (successor, count) *)
+  mutable context : int option;
+}
+
+let create () = { counts = Hashtbl.create 1024; best = Hashtbl.create 1024; context = None }
+
+let predict t file = Option.map fst (Hashtbl.find_opt t.best file)
+
+let observe t file =
+  (match t.context with
+  | Some prev ->
+      let table =
+        match Hashtbl.find_opt t.counts prev with
+        | Some table -> table
+        | None ->
+            let table = Hashtbl.create 4 in
+            Hashtbl.replace t.counts prev table;
+            table
+      in
+      let c = 1 + Option.value ~default:0 (Hashtbl.find_opt table file) in
+      Hashtbl.replace table file c;
+      (match Hashtbl.find_opt t.best prev with
+      | Some (_, best_count) when best_count >= c -> ()
+      | Some _ | None -> Hashtbl.replace t.best prev (file, c))
+  | None -> ());
+  t.context <- Some file
+
+let measure files =
+  let t = create () in
+  let predictions = ref 0 in
+  let correct = ref 0 in
+  let no_prediction = ref 0 in
+  Array.iter
+    (fun file ->
+      (match t.context with
+      | Some prev -> (
+          match predict t prev with
+          | Some guess ->
+              incr predictions;
+              if guess = file then incr correct
+          | None -> incr no_prediction)
+      | None -> ());
+      observe t file)
+    files;
+  {
+    Last_successor.predictions = !predictions;
+    correct = !correct;
+    no_prediction = !no_prediction;
+  }

@@ -1,0 +1,13 @@
+(** First-order Markov (frequency-count) predictor: predict the successor
+    observed *most often* so far. The frequency counterpart of
+    {!Last_successor}; the paper argues (and Fig. 5 shows) that recency
+    beats this in a succession context. *)
+
+type t
+
+val create : unit -> t
+val predict : t -> Agg_trace.File_id.t -> Agg_trace.File_id.t option
+val observe : t -> Agg_trace.File_id.t -> unit
+
+val measure : Agg_trace.File_id.t array -> Last_successor.accuracy
+(** Same protocol as {!Last_successor.measure}. *)

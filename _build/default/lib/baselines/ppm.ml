@@ -1,0 +1,85 @@
+type counts = { table : (int, int ref) Hashtbl.t; mutable best : int; mutable best_count : int }
+
+type t = {
+  max_order : int;
+  (* context (most recent file first) -> successor counts, per order *)
+  contexts : (int list, counts) Hashtbl.t array; (* index = order - 1 *)
+  mutable recent : int list; (* last [max_order] files, most recent first *)
+}
+
+let create ?(max_order = 2) () =
+  if max_order <= 0 then invalid_arg "Ppm.create: max_order must be positive";
+  {
+    max_order;
+    contexts = Array.init max_order (fun _ -> Hashtbl.create 4096);
+    recent = [];
+  }
+
+let max_order t = t.max_order
+
+let rec take n l = if n = 0 then [] else match l with [] -> [] | x :: r -> x :: take (n - 1) r
+
+let credit t ~order ~context successor =
+  let table = t.contexts.(order - 1) in
+  let entry =
+    match Hashtbl.find_opt table context with
+    | Some e -> e
+    | None ->
+        let e = { table = Hashtbl.create 4; best = successor; best_count = 0 } in
+        Hashtbl.replace table context e;
+        e
+  in
+  let counter =
+    match Hashtbl.find_opt entry.table successor with
+    | Some c -> c
+    | None ->
+        let c = ref 0 in
+        Hashtbl.replace entry.table successor c;
+        c
+  in
+  incr counter;
+  (* >= : ties go to the most recently updated successor *)
+  if !counter >= entry.best_count then begin
+    entry.best <- successor;
+    entry.best_count <- !counter
+  end
+
+let observe t file =
+  let n = List.length t.recent in
+  for order = 1 to min n t.max_order do
+    credit t ~order ~context:(take order t.recent) file
+  done;
+  t.recent <- take t.max_order (file :: t.recent)
+
+let predict t =
+  let rec try_order order =
+    if order = 0 then None
+    else if List.length t.recent < order then try_order (order - 1)
+    else
+      match Hashtbl.find_opt t.contexts.(order - 1) (take order t.recent) with
+      | Some entry -> Some entry.best
+      | None -> try_order (order - 1)
+  in
+  try_order t.max_order
+
+let measure ?max_order files =
+  let t = create ?max_order () in
+  let predictions = ref 0 in
+  let correct = ref 0 in
+  let no_prediction = ref 0 in
+  Array.iteri
+    (fun i file ->
+      if i > 0 then begin
+        match predict t with
+        | Some guess ->
+            incr predictions;
+            if guess = file then incr correct
+        | None -> incr no_prediction
+      end;
+      observe t file)
+    files;
+  {
+    Last_successor.predictions = !predictions;
+    correct = !correct;
+    no_prediction = !no_prediction;
+  }

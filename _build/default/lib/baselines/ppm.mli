@@ -1,0 +1,30 @@
+(** A finite-multi-order context model (PPM-style) next-access predictor,
+    after the data-compression approach of Vitter & Krishnan and the
+    partitioned context models of Kroeger & Long (both §5 of the paper).
+    Contexts of order [max_order] down to 1 are tried in turn; the first
+    that has been seen before predicts its most frequent successor.
+
+    The paper's position is that this machinery — strictly more state
+    than per-file successor lists — buys little for succession-structured
+    file workloads; the predictor-accuracy ablation makes that
+    measurable. *)
+
+type t
+
+val create : ?max_order:int -> unit -> t
+(** [max_order] defaults to 2 (contexts of the last two files).
+    @raise Invalid_argument when not positive. *)
+
+val max_order : t -> int
+
+val observe : t -> Agg_trace.File_id.t -> unit
+(** Feed the next file: every context ending at the previous position is
+    credited with this successor. *)
+
+val predict : t -> Agg_trace.File_id.t option
+(** Most likely next file given the current context, longest informative
+    context first; ties go to the most recently updated successor. *)
+
+val measure : ?max_order:int -> Agg_trace.File_id.t array -> Last_successor.accuracy
+(** Predict-then-learn over a sequence, same protocol as
+    {!Last_successor.measure}. *)

@@ -1,0 +1,1 @@
+lib/cache/arc.ml: Agg_util Dlist Hashtbl List Policy

@@ -1,0 +1,1 @@
+lib/cache/belady.ml: Array Hashtbl Set

@@ -1,0 +1,1 @@
+lib/cache/cache.ml: Arc Clock Fifo Format Hashtbl Lfu List Lru Mq Mru Policy Random_policy Slru Twoq

@@ -1,0 +1,1 @@
+lib/cache/fifo.ml: Agg_util Dlist Hashtbl Policy

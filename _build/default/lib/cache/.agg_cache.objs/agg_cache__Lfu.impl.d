@@ -1,0 +1,1 @@
+lib/cache/lfu.ml: Agg_util Hashtbl Heap List Option Policy

@@ -1,0 +1,1 @@
+lib/cache/lru.ml: Agg_util Dlist Hashtbl Policy

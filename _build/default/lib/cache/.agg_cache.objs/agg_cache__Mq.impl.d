@@ -1,0 +1,1 @@
+lib/cache/mq.ml: Agg_util Array Dlist Hashtbl Option Policy Queue

@@ -1,0 +1,1 @@
+lib/cache/mru.ml: Agg_util Dlist Hashtbl Policy

@@ -1,0 +1,1 @@
+lib/cache/mru.mli: Policy

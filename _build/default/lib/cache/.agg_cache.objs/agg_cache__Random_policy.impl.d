@@ -1,0 +1,1 @@
+lib/cache/random_policy.ml: Agg_util Hashtbl Prng Vec

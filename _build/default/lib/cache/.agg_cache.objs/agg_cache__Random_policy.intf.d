@@ -1,0 +1,1 @@
+lib/cache/random_policy.mli: Policy

@@ -1,0 +1,1 @@
+lib/cache/slru.ml: Agg_util Dlist Hashtbl Policy

@@ -1,0 +1,1 @@
+lib/cache/slru.mli: Policy

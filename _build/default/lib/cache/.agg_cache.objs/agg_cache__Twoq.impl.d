@@ -1,0 +1,1 @@
+lib/cache/twoq.ml: Agg_util Dlist Hashtbl Policy Queue

@@ -1,0 +1,1 @@
+lib/cache/twoq.mli: Policy

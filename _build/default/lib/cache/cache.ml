@@ -1,0 +1,185 @@
+type kind = Lru | Lfu | Fifo | Mru | Clock | Random | Mq | Slru | Twoq | Arc
+
+let kind_name = function
+  | Lru -> "lru"
+  | Lfu -> "lfu"
+  | Fifo -> "fifo"
+  | Mru -> "mru"
+  | Clock -> "clock"
+  | Random -> "random"
+  | Mq -> "mq"
+  | Slru -> "slru"
+  | Twoq -> "2q"
+  | Arc -> "arc"
+
+let kind_of_string = function
+  | "lru" -> Some Lru
+  | "lfu" -> Some Lfu
+  | "fifo" -> Some Fifo
+  | "mru" -> Some Mru
+  | "clock" -> Some Clock
+  | "random" -> Some Random
+  | "mq" -> Some Mq
+  | "slru" -> Some Slru
+  | "2q" | "twoq" -> Some Twoq
+  | "arc" -> Some Arc
+  | _ -> None
+
+let all_kinds = [ Lru; Lfu; Fifo; Mru; Clock; Random; Mq; Slru; Twoq; Arc ]
+
+type stats = {
+  accesses : int;
+  hits : int;
+  misses : int;
+  insertions : int;
+  speculative_insertions : int;
+  evictions : int;
+}
+
+let zero_stats =
+  { accesses = 0; hits = 0; misses = 0; insertions = 0; speculative_insertions = 0; evictions = 0 }
+
+let pp_stats ppf s =
+  Format.fprintf ppf "accesses=%d hits=%d misses=%d insertions=%d speculative=%d evictions=%d"
+    s.accesses s.hits s.misses s.insertions s.speculative_insertions s.evictions
+
+type packed = Packed : (module Policy.S with type t = 'a) * 'a -> packed
+
+type t = { kind : kind; packed : packed; mutable stats : stats }
+
+let make_packed kind ~capacity =
+  match kind with
+  | Lru -> Packed ((module Lru), Lru.create ~capacity)
+  | Lfu -> Packed ((module Lfu), Lfu.create ~capacity)
+  | Fifo -> Packed ((module Fifo), Fifo.create ~capacity)
+  | Mru -> Packed ((module Mru), Mru.create ~capacity)
+  | Clock -> Packed ((module Clock), Clock.create ~capacity)
+  | Random -> Packed ((module Random_policy), Random_policy.create ~capacity)
+  | Mq -> Packed ((module Mq), Mq.create ~capacity)
+  | Slru -> Packed ((module Slru), Slru.create ~capacity)
+  | Twoq -> Packed ((module Twoq), Twoq.create ~capacity)
+  | Arc -> Packed ((module Arc), Arc.create ~capacity)
+
+let create kind ~capacity = { kind; packed = make_packed kind ~capacity; stats = zero_stats }
+
+let kind t = t.kind
+
+let capacity t =
+  let (Packed ((module P), state)) = t.packed in
+  P.capacity state
+
+let size t =
+  let (Packed ((module P), state)) = t.packed in
+  P.size state
+
+let mem t key =
+  let (Packed ((module P), state)) = t.packed in
+  P.mem state key
+
+let raw_insert t ~pos key =
+  let (Packed ((module P), state)) = t.packed in
+  P.insert state ~pos key
+
+let access t key =
+  let (Packed ((module P), state)) = t.packed in
+  let s = t.stats in
+  if P.mem state key then begin
+    P.promote state key;
+    t.stats <- { s with accesses = s.accesses + 1; hits = s.hits + 1 };
+    true
+  end
+  else begin
+    let evicted = raw_insert t ~pos:Policy.Hot key in
+    t.stats <-
+      {
+        s with
+        accesses = s.accesses + 1;
+        misses = s.misses + 1;
+        insertions = s.insertions + 1;
+        evictions = (s.evictions + match evicted with Some _ -> 1 | None -> 0);
+      };
+    false
+  end
+
+let insert_cold t key =
+  if not (mem t key) then begin
+    let evicted = raw_insert t ~pos:Policy.Cold key in
+    let s = t.stats in
+    t.stats <-
+      {
+        s with
+        insertions = s.insertions + 1;
+        speculative_insertions = s.speculative_insertions + 1;
+        evictions = (s.evictions + match evicted with Some _ -> 1 | None -> 0);
+      }
+  end
+
+let insert_cold_group t keys =
+  let (Packed ((module P), state)) = t.packed in
+  (* Distinct, non-resident members only, capped so the block cannot fill
+     the whole cache and displace the demanded file at the hot end. *)
+  let seen = Hashtbl.create 8 in
+  let fresh =
+    List.filter
+      (fun k ->
+        if Hashtbl.mem seen k || P.mem state k then false
+        else begin
+          Hashtbl.replace seen k ();
+          true
+        end)
+      keys
+  in
+  let admitted =
+    let cap = P.capacity state - 1 in
+    List.filteri (fun i _ -> i < cap) fresh
+  in
+  let need = P.size state + List.length admitted - P.capacity state in
+  let evicted = ref 0 in
+  for _ = 1 to need do
+    match P.evict state with Some _ -> incr evicted | None -> ()
+  done;
+  List.iter (fun k -> ignore (P.insert state ~pos:Policy.Cold k)) admitted;
+  let s = t.stats in
+  let n = List.length admitted in
+  t.stats <-
+    {
+      s with
+      insertions = s.insertions + n;
+      speculative_insertions = s.speculative_insertions + n;
+      evictions = s.evictions + !evicted;
+    };
+  admitted
+
+let insert_hot t key =
+  let resident = mem t key in
+  let evicted = raw_insert t ~pos:Policy.Hot key in
+  if not resident then begin
+    let s = t.stats in
+    t.stats <-
+      {
+        s with
+        insertions = s.insertions + 1;
+        evictions = (s.evictions + match evicted with Some _ -> 1 | None -> 0);
+      }
+  end
+
+let remove t key =
+  let (Packed ((module P), state)) = t.packed in
+  P.remove state key
+
+let contents t =
+  let (Packed ((module P), state)) = t.packed in
+  P.contents state
+
+let stats t = t.stats
+
+let hit_rate t =
+  let s = t.stats in
+  if s.accesses = 0 then 0.0 else float_of_int s.hits /. float_of_int s.accesses
+
+let reset_stats t = t.stats <- zero_stats
+
+let clear t =
+  let (Packed ((module P), state)) = t.packed in
+  P.clear state;
+  t.stats <- zero_stats

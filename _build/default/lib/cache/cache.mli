@@ -1,0 +1,64 @@
+(** Statistics-keeping cache over any replacement policy, selectable at
+    runtime. This is what the simulators and the experiment harness use. *)
+
+type kind = Lru | Lfu | Fifo | Mru | Clock | Random | Mq | Slru | Twoq | Arc
+
+val kind_name : kind -> string
+val kind_of_string : string -> kind option
+val all_kinds : kind list
+
+type stats = {
+  accesses : int;  (** demand accesses seen by {!access} *)
+  hits : int;
+  misses : int;
+  insertions : int;  (** all insertions, demand and speculative *)
+  speculative_insertions : int;  (** cold-end insertions via {!insert_cold} *)
+  evictions : int;
+}
+
+val pp_stats : Format.formatter -> stats -> unit
+
+type t
+
+val create : kind -> capacity:int -> t
+val kind : t -> kind
+val capacity : t -> int
+val size : t -> int
+val mem : t -> int -> bool
+(** Residency probe; does not touch statistics or recency state. *)
+
+val access : t -> int -> bool
+(** [access t key] simulates a demand access: on a hit the key is promoted
+    and [true] is returned; on a miss the key is inserted hot and [false]
+    is returned. Statistics are updated. *)
+
+val insert_cold : t -> int -> unit
+(** [insert_cold t key] inserts [key] at the cold (next-to-evict) end
+    without recording an access — the speculative group-member path. A
+    resident key is left where it is (prefetching never demotes data that
+    earned its place). *)
+
+val insert_cold_group : t -> int list -> int list
+(** [insert_cold_group t keys] appends the non-resident members of [keys]
+    as a block at the cold end, preserving their order (the first key is
+    the last of the block to be evicted). Room for the whole block is made
+    *first*, so members never evict one another — the semantics of a group
+    arriving in one retrieval (paper §3). At most [capacity - 1] members
+    are admitted, so a just-demanded file is never displaced by its own
+    group. Returns the members actually inserted. *)
+
+val insert_hot : t -> int -> unit
+(** Inserts or promotes [key] at the hot end without counting an access. *)
+
+val remove : t -> int -> unit
+val contents : t -> int list
+val stats : t -> stats
+val hit_rate : t -> float
+(** Hits over accesses; [0.] before any access. *)
+
+val reset_stats : t -> unit
+(** Zeroes the counters, keeping the resident set — used to exclude cache
+    warm-up from measurements. *)
+
+val clear : t -> unit
+(** Empties the cache and zeroes the counters. *)

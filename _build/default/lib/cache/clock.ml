@@ -1,0 +1,118 @@
+type slot = { mutable key : int; mutable referenced : bool; mutable occupied : bool }
+
+type t = {
+  capacity : int;
+  slots : slot array;
+  index : (int, int) Hashtbl.t; (* key -> slot number *)
+  mutable hand : int;
+  mutable size : int;
+}
+
+let policy_name = "clock"
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Clock.create: capacity must be positive";
+  {
+    capacity;
+    slots = Array.init capacity (fun _ -> { key = 0; referenced = false; occupied = false });
+    index = Hashtbl.create (2 * capacity);
+    hand = 0;
+    size = 0;
+  }
+
+let capacity t = t.capacity
+let size t = t.size
+let mem t key = Hashtbl.mem t.index key
+
+let promote t key =
+  match Hashtbl.find_opt t.index key with
+  | Some i -> t.slots.(i).referenced <- true
+  | None -> ()
+
+let advance t = t.hand <- (t.hand + 1) mod t.capacity
+
+(* Sweep the hand, giving second chances, until an unreferenced occupied
+   slot is found. Terminates within two revolutions. *)
+let rec find_victim t =
+  let slot = t.slots.(t.hand) in
+  if not slot.occupied then begin
+    advance t;
+    find_victim t
+  end
+  else if slot.referenced then begin
+    slot.referenced <- false;
+    advance t;
+    find_victim t
+  end
+  else begin
+    let at = t.hand in
+    advance t;
+    at
+  end
+
+let free_slot t =
+  let rec scan i remaining =
+    if remaining = 0 then None
+    else if not t.slots.(i).occupied then Some i
+    else scan ((i + 1) mod t.capacity) (remaining - 1)
+  in
+  scan t.hand t.capacity
+
+let evict t =
+  if t.size = 0 then None
+  else begin
+    let i = find_victim t in
+    let victim = t.slots.(i).key in
+    t.slots.(i).occupied <- false;
+    Hashtbl.remove t.index victim;
+    t.size <- t.size - 1;
+    Some victim
+  end
+
+let insert t ~pos key =
+  match Hashtbl.find_opt t.index key with
+  | Some i ->
+      t.slots.(i).referenced <- (match pos with Policy.Hot -> true | Policy.Cold -> false);
+      None
+  | None ->
+      let slot_idx, victim =
+        if t.size < t.capacity then (
+          match free_slot t with
+          | Some i -> (i, None)
+          | None -> assert false (* size < capacity implies a free slot *))
+        else
+          let i = find_victim t in
+          let old = t.slots.(i).key in
+          Hashtbl.remove t.index old;
+          t.size <- t.size - 1;
+          (i, Some old)
+      in
+      let slot = t.slots.(slot_idx) in
+      slot.key <- key;
+      slot.occupied <- true;
+      slot.referenced <- (match pos with Policy.Hot -> true | Policy.Cold -> false);
+      Hashtbl.replace t.index key slot_idx;
+      t.size <- t.size + 1;
+      victim
+
+let remove t key =
+  match Hashtbl.find_opt t.index key with
+  | Some i ->
+      t.slots.(i).occupied <- false;
+      t.slots.(i).referenced <- false;
+      Hashtbl.remove t.index key;
+      t.size <- t.size - 1
+  | None -> ()
+
+let contents t =
+  Hashtbl.fold (fun key _ acc -> key :: acc) t.index []
+
+let clear t =
+  Array.iter
+    (fun slot ->
+      slot.occupied <- false;
+      slot.referenced <- false)
+    t.slots;
+  Hashtbl.reset t.index;
+  t.hand <- 0;
+  t.size <- 0

@@ -1,0 +1,4 @@
+(** CLOCK (second-chance) replacement: a one-bit approximation of LRU with
+    a rotating hand, as used by most virtual-memory systems. *)
+
+include Policy.S

@@ -1,0 +1,4 @@
+(** First-in-first-out replacement: evicts in arrival order; accesses do
+    not reorder anything. A baseline that isolates the value of recency. *)
+
+include Policy.S

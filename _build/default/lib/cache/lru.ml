@@ -1,0 +1,56 @@
+open Agg_util
+
+type t = { capacity : int; order : int Dlist.t; index : (int, int Dlist.node) Hashtbl.t }
+
+let policy_name = "lru"
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Lru.create: capacity must be positive";
+  { capacity; order = Dlist.create (); index = Hashtbl.create (2 * capacity) }
+
+let capacity t = t.capacity
+let size t = Dlist.length t.order
+let mem t key = Hashtbl.mem t.index key
+
+let promote t key =
+  match Hashtbl.find_opt t.index key with
+  | Some node -> Dlist.move_to_front t.order node
+  | None -> ()
+
+let evict t =
+  match Dlist.pop_back t.order with
+  | None -> None
+  | Some victim ->
+      Hashtbl.remove t.index victim;
+      Some victim
+
+let insert t ~pos key =
+  match Hashtbl.find_opt t.index key with
+  | Some node ->
+      (match pos with
+      | Policy.Hot -> Dlist.move_to_front t.order node
+      | Policy.Cold -> Dlist.move_to_back t.order node);
+      None
+  | None ->
+      let victim = if size t >= t.capacity then evict t else None in
+      let node =
+        match pos with
+        | Policy.Hot -> Dlist.push_front t.order key
+        | Policy.Cold -> Dlist.push_back t.order key
+      in
+      Hashtbl.replace t.index key node;
+      victim
+
+let remove t key =
+  match Hashtbl.find_opt t.index key with
+  | Some node ->
+      Dlist.remove t.order node;
+      Hashtbl.remove t.index key
+  | None -> ()
+
+let contents t = Dlist.to_list t.order
+
+let clear t =
+  Hashtbl.reset t.index;
+  let rec drain () = match Dlist.pop_front t.order with Some _ -> drain () | None -> () in
+  drain ()

@@ -1,0 +1,4 @@
+(** Least-recently-used replacement: evicts the key untouched for longest.
+    O(1) for every operation. *)
+
+include Policy.S

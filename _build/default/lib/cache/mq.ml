@@ -1,0 +1,170 @@
+open Agg_util
+
+type entry = {
+  mutable count : int; (* lifetime reference count (restored from ghost) *)
+  mutable queue : int;
+  mutable node : int Dlist.node;
+  mutable expire : int; (* demote when current time passes this *)
+}
+
+type t = {
+  capacity : int;
+  lifetime : int;
+  queues : int Dlist.t array;
+  index : (int, entry) Hashtbl.t;
+  (* ghost buffer: reference counts of recently evicted keys, FIFO *)
+  ghost : (int, int) Hashtbl.t;
+  ghost_order : int Queue.t;
+  ghost_capacity : int;
+  mutable time : int;
+}
+
+let policy_name = "mq"
+
+let create_tuned ~capacity ~queues ~lifetime ~ghost_factor =
+  if capacity <= 0 then invalid_arg "Mq.create: capacity must be positive";
+  if queues <= 0 then invalid_arg "Mq.create: queues must be positive";
+  {
+    capacity;
+    lifetime;
+    queues = Array.init queues (fun _ -> Dlist.create ());
+    index = Hashtbl.create (2 * capacity);
+    ghost = Hashtbl.create (2 * capacity);
+    ghost_order = Queue.create ();
+    ghost_capacity = ghost_factor * capacity;
+    time = 0;
+  }
+
+let create ~capacity = create_tuned ~capacity ~queues:8 ~lifetime:(4 * capacity) ~ghost_factor:4
+
+let capacity t = t.capacity
+let size t = Hashtbl.length t.index
+let mem t key = Hashtbl.mem t.index key
+
+(* queue for a block referenced [count] times: floor(log2 count), capped *)
+let queue_for t count =
+  if count <= 0 then 0
+  else begin
+    let q = ref 0 in
+    let c = ref count in
+    while !c > 1 do
+      c := !c lsr 1;
+      incr q
+    done;
+    min !q (Array.length t.queues - 1)
+  end
+
+let place t key entry ~front =
+  let dst = t.queues.(entry.queue) in
+  entry.node <- (if front then Dlist.push_front dst key else Dlist.push_back dst key)
+
+(* MQ's Adjust(): demote expired LRU-end blocks one queue at a time. *)
+let adjust t =
+  let m = Array.length t.queues in
+  for q = m - 1 downto 1 do
+    match Dlist.peek_back t.queues.(q) with
+    | Some key -> (
+        match Hashtbl.find_opt t.index key with
+        | Some entry when entry.expire < t.time ->
+            Dlist.remove t.queues.(q) entry.node;
+            entry.queue <- q - 1;
+            entry.expire <- t.time + t.lifetime;
+            place t key entry ~front:true
+        | Some _ | None -> ())
+    | None -> ()
+  done
+
+let tick t =
+  t.time <- t.time + 1;
+  adjust t
+
+let ghost_remember t key count =
+  if not (Hashtbl.mem t.ghost key) then begin
+    Queue.push key t.ghost_order;
+    if Queue.length t.ghost_order > t.ghost_capacity then begin
+      let victim = Queue.pop t.ghost_order in
+      Hashtbl.remove t.ghost victim
+    end
+  end;
+  Hashtbl.replace t.ghost key count
+
+let promote t key =
+  match Hashtbl.find_opt t.index key with
+  | Some entry ->
+      tick t;
+      Dlist.remove t.queues.(entry.queue) entry.node;
+      entry.count <- entry.count + 1;
+      entry.queue <- queue_for t entry.count;
+      entry.expire <- t.time + t.lifetime;
+      place t key entry ~front:true
+  | None -> ()
+
+(* victim: LRU end of the lowest non-empty queue *)
+let evict t =
+  let m = Array.length t.queues in
+  let rec scan q =
+    if q >= m then None
+    else
+      match Dlist.pop_back t.queues.(q) with
+      | Some victim ->
+          (match Hashtbl.find_opt t.index victim with
+          | Some entry -> ghost_remember t victim entry.count
+          | None -> ());
+          Hashtbl.remove t.index victim;
+          Some victim
+      | None -> scan (q + 1)
+  in
+  scan 0
+
+let insert t ~pos key =
+  match Hashtbl.find_opt t.index key with
+  | Some entry ->
+      (match pos with
+      | Policy.Hot -> promote t key
+      | Policy.Cold ->
+          (* demote to the cold end of the bottom queue *)
+          Dlist.remove t.queues.(entry.queue) entry.node;
+          entry.queue <- 0;
+          entry.count <- 0;
+          place t key entry ~front:false);
+      None
+  | None ->
+      tick t;
+      let victim = if size t >= t.capacity then evict t else None in
+      let remembered = Option.value ~default:0 (Hashtbl.find_opt t.ghost key) in
+      let count = match pos with Policy.Hot -> remembered + 1 | Policy.Cold -> 0 in
+      let queue = queue_for t count in
+      let dst = t.queues.(queue) in
+      let node =
+        match pos with
+        | Policy.Hot -> Dlist.push_front dst key
+        | Policy.Cold -> Dlist.push_back dst key
+      in
+      Hashtbl.replace t.index key { count; queue; node; expire = t.time + t.lifetime };
+      victim
+
+let remove t key =
+  match Hashtbl.find_opt t.index key with
+  | Some entry ->
+      Dlist.remove t.queues.(entry.queue) entry.node;
+      Hashtbl.remove t.index key
+  | None -> ()
+
+let contents t =
+  let out = ref [] in
+  Array.iter (fun q -> Dlist.iter (fun key -> out := key :: !out) q) t.queues;
+  (* collected low-queue-first front-to-back; reverse for hot-first *)
+  !out
+
+let clear t =
+  Array.iter
+    (fun q ->
+      let rec drain () = match Dlist.pop_front q with Some _ -> drain () | None -> () in
+      drain ())
+    t.queues;
+  Hashtbl.reset t.index;
+  Hashtbl.reset t.ghost;
+  Queue.clear t.ghost_order;
+  t.time <- 0
+
+let queue_of t key = Option.map (fun e -> e.queue) (Hashtbl.find_opt t.index key)

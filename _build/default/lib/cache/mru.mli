@@ -1,0 +1,5 @@
+(** Most-recently-used replacement: evicts the key touched most recently.
+    Pathological for temporal locality but strong on cyclic scans; kept as
+    a contrast baseline. *)
+
+include Policy.S

@@ -1,0 +1,18 @@
+type t = { client : Cache.t; server : Cache.t }
+
+let create ~client ~server = { client; server }
+let client t = t.client
+let server t = t.server
+
+type outcome = Client_hit | Server_hit | Server_miss
+
+let access t key =
+  if Cache.access t.client key then Client_hit
+  else if Cache.access t.server key then Server_hit
+  else Server_miss
+
+let server_hit_rate t = Cache.hit_rate t.server
+
+let reset_stats t =
+  Cache.reset_stats t.client;
+  Cache.reset_stats t.server

@@ -1,0 +1,23 @@
+(** Two-level (client → server) cache composition for plain policies.
+    Demand accesses hit the client cache first; client misses are forwarded
+    to the server cache. The aggregating variants live in [Agg_core]; this
+    module provides the LRU/LFU/etc. reference hierarchy. *)
+
+type t
+
+val create : client:Cache.t -> server:Cache.t -> t
+val client : t -> Cache.t
+val server : t -> Cache.t
+
+type outcome = Client_hit | Server_hit | Server_miss
+
+val access : t -> int -> outcome
+(** [access t key] simulates one demand access through both levels. On a
+    client miss the key is (demand-)inserted at both levels, mirroring a
+    read-through hierarchy. *)
+
+val server_hit_rate : t -> float
+(** Hit rate measured at the server: server hits over requests that reached
+    the server. This is the quantity plotted in the paper's Figure 4. *)
+
+val reset_stats : t -> unit

@@ -1,0 +1,17 @@
+type insert_position = Hot | Cold
+
+module type S = sig
+  type t
+
+  val policy_name : string
+  val create : capacity:int -> t
+  val capacity : t -> int
+  val size : t -> int
+  val mem : t -> int -> bool
+  val promote : t -> int -> unit
+  val insert : t -> pos:insert_position -> int -> int option
+  val evict : t -> int option
+  val remove : t -> int -> unit
+  val contents : t -> int list
+  val clear : t -> unit
+end

@@ -1,0 +1,49 @@
+(** The replacement-policy interface shared by every cache simulated in
+    this repository.
+
+    Keys are plain integers (file identifiers). A policy owns only the
+    *ordering* logic; hit/miss accounting lives in {!Cache}. The interface
+    is deliberately finer-grained than [access]: the aggregating cache
+    inserts speculative group members at the cold end of the recency order
+    without recording an access, which requires separate [promote] and
+    [insert] operations. *)
+
+type insert_position =
+  | Hot  (** the position a freshly demanded item gets (MRU head for LRU) *)
+  | Cold  (** the next-to-evict end; used for speculative group members *)
+
+module type S = sig
+  type t
+
+  val policy_name : string
+
+  val create : capacity:int -> t
+  (** [create ~capacity] is an empty cache holding at most [capacity] keys.
+      @raise Invalid_argument when [capacity <= 0]. *)
+
+  val capacity : t -> int
+  val size : t -> int
+  val mem : t -> int -> bool
+
+  val promote : t -> int -> unit
+  (** [promote t key] records an access to a resident [key] (e.g. moves it
+      to the MRU position, bumps its frequency). No-op when absent. *)
+
+  val insert : t -> pos:insert_position -> int -> int option
+  (** [insert t ~pos key] makes [key] resident, evicting if full, and
+      returns the evicted key, if any. Inserting a resident key only
+      repositions it (never evicts) and returns [None]. *)
+
+  val evict : t -> int option
+  (** [evict t] forces out the policy's current victim and returns it;
+      [None] when empty. Used to make room for a group before appending
+      its members, so members do not evict one another. *)
+
+  val remove : t -> int -> unit
+  (** Drops [key] if resident. *)
+
+  val contents : t -> int list
+  (** Resident keys, hot end first where the policy has an order. *)
+
+  val clear : t -> unit
+end

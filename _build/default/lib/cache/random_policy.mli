@@ -1,0 +1,7 @@
+(** Random replacement: evicts a uniformly random resident key. The
+    no-information baseline; deterministic given the seed. *)
+
+include Policy.S
+
+val create_seeded : capacity:int -> seed:int -> t
+(** Like {!create} but with an explicit PRNG seed. *)

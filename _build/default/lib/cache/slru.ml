@@ -1,0 +1,118 @@
+open Agg_util
+
+type segment = Probationary | Protected
+
+type entry = { mutable segment : segment; mutable node : int Dlist.node }
+
+type t = {
+  capacity : int;
+  protected_capacity : int;
+  probationary : int Dlist.t;
+  protected_ : int Dlist.t;
+  index : (int, entry) Hashtbl.t;
+}
+
+let policy_name = "slru"
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Slru.create: capacity must be positive";
+  {
+    capacity;
+    protected_capacity = max 1 (2 * capacity / 3);
+    probationary = Dlist.create ();
+    protected_ = Dlist.create ();
+    index = Hashtbl.create (2 * capacity);
+  }
+
+let capacity t = t.capacity
+let size t = Hashtbl.length t.index
+let mem t key = Hashtbl.mem t.index key
+
+(* Demote the protected LRU entry to the probationary MRU position. *)
+let demote_one t =
+  match Dlist.pop_back t.protected_ with
+  | Some key -> (
+      match Hashtbl.find_opt t.index key with
+      | Some entry ->
+          entry.segment <- Probationary;
+          entry.node <- Dlist.push_front t.probationary key
+      | None -> ())
+  | None -> ()
+
+let promote t key =
+  match Hashtbl.find_opt t.index key with
+  | Some entry -> (
+      match entry.segment with
+      | Protected -> Dlist.move_to_front t.protected_ entry.node
+      | Probationary ->
+          Dlist.remove t.probationary entry.node;
+          entry.segment <- Protected;
+          entry.node <- Dlist.push_front t.protected_ key;
+          if Dlist.length t.protected_ > t.protected_capacity then demote_one t)
+  | None -> ()
+
+let evict t =
+  let from_probationary () =
+    match Dlist.pop_back t.probationary with
+    | Some victim ->
+        Hashtbl.remove t.index victim;
+        Some victim
+    | None -> None
+  in
+  match from_probationary () with
+  | Some victim -> Some victim
+  | None -> (
+      match Dlist.pop_back t.protected_ with
+      | Some victim ->
+          Hashtbl.remove t.index victim;
+          Some victim
+      | None -> None)
+
+let insert t ~pos key =
+  match Hashtbl.find_opt t.index key with
+  | Some entry ->
+      (match pos with
+      | Policy.Hot -> promote t key
+      | Policy.Cold ->
+          (* demote to the probationary cold end *)
+          (match entry.segment with
+          | Probationary -> Dlist.move_to_back t.probationary entry.node
+          | Protected ->
+              Dlist.remove t.protected_ entry.node;
+              entry.segment <- Probationary;
+              entry.node <- Dlist.push_back t.probationary key));
+      None
+  | None ->
+      let victim = if size t >= t.capacity then evict t else None in
+      let node =
+        match pos with
+        | Policy.Hot -> Dlist.push_front t.probationary key
+        | Policy.Cold -> Dlist.push_back t.probationary key
+      in
+      Hashtbl.replace t.index key { segment = Probationary; node };
+      victim
+
+let remove t key =
+  match Hashtbl.find_opt t.index key with
+  | Some entry ->
+      (match entry.segment with
+      | Probationary -> Dlist.remove t.probationary entry.node
+      | Protected -> Dlist.remove t.protected_ entry.node);
+      Hashtbl.remove t.index key
+  | None -> ()
+
+let contents t = Dlist.to_list t.protected_ @ Dlist.to_list t.probationary
+
+let clear t =
+  let drain dlist =
+    let rec loop () = match Dlist.pop_front dlist with Some _ -> loop () | None -> () in
+    loop ()
+  in
+  drain t.probationary;
+  drain t.protected_;
+  Hashtbl.reset t.index
+
+let protected_resident t key =
+  match Hashtbl.find_opt t.index key with
+  | Some entry -> entry.segment = Protected
+  | None -> false

@@ -1,0 +1,126 @@
+open Agg_util
+
+type where = A1in | Am
+
+type entry = { mutable where : where; mutable node : int Dlist.node }
+
+type t = {
+  capacity : int;
+  a1in_capacity : int;
+  ghost_capacity : int;
+  a1in : int Dlist.t;
+  am : int Dlist.t;
+  index : (int, entry) Hashtbl.t;
+  ghost : (int, unit) Hashtbl.t;
+  ghost_order : int Queue.t;
+}
+
+let policy_name = "2q"
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Twoq.create: capacity must be positive";
+  {
+    capacity;
+    a1in_capacity = max 1 (capacity / 4);
+    ghost_capacity = max 1 (capacity / 2);
+    a1in = Dlist.create ();
+    am = Dlist.create ();
+    index = Hashtbl.create (2 * capacity);
+    ghost = Hashtbl.create capacity;
+    ghost_order = Queue.create ();
+  }
+
+let capacity t = t.capacity
+let size t = Hashtbl.length t.index
+let mem t key = Hashtbl.mem t.index key
+
+let ghost_remember t key =
+  if not (Hashtbl.mem t.ghost key) then begin
+    Hashtbl.replace t.ghost key ();
+    Queue.push key t.ghost_order;
+    if Queue.length t.ghost_order > t.ghost_capacity then
+      Hashtbl.remove t.ghost (Queue.pop t.ghost_order)
+  end
+
+let promote t key =
+  match Hashtbl.find_opt t.index key with
+  | Some entry -> (
+      match entry.where with
+      | Am -> Dlist.move_to_front t.am entry.node
+      | A1in -> () (* 2Q: a hit in A1in does not reorder the FIFO *))
+  | None -> ()
+
+(* reclaim space per the 2Q paper: overfull A1in first, else Am *)
+let evict t =
+  let from_a1in () =
+    match Dlist.pop_back t.a1in with
+    | Some victim ->
+        Hashtbl.remove t.index victim;
+        ghost_remember t victim;
+        Some victim
+    | None -> None
+  in
+  let from_am () =
+    match Dlist.pop_back t.am with
+    | Some victim ->
+        Hashtbl.remove t.index victim;
+        Some victim
+    | None -> None
+  in
+  if Dlist.length t.a1in > t.a1in_capacity then from_a1in ()
+  else match from_am () with Some v -> Some v | None -> from_a1in ()
+
+let insert t ~pos key =
+  match Hashtbl.find_opt t.index key with
+  | Some entry ->
+      (match pos with
+      | Policy.Hot -> promote t key
+      | Policy.Cold -> (
+          match entry.where with
+          | A1in -> Dlist.move_to_back t.a1in entry.node
+          | Am -> Dlist.move_to_back t.am entry.node));
+      None
+  | None ->
+      let victim = if size t >= t.capacity then evict t else None in
+      let entry =
+        if Hashtbl.mem t.ghost key && pos = Policy.Hot then begin
+          (* it came back while remembered: it has a working set, admit
+             it straight into the main queue *)
+          Hashtbl.remove t.ghost key;
+          { where = Am; node = Dlist.push_front t.am key }
+        end
+        else
+          let node =
+            match pos with
+            | Policy.Hot -> Dlist.push_front t.a1in key
+            | Policy.Cold -> Dlist.push_back t.a1in key
+          in
+          { where = A1in; node }
+      in
+      Hashtbl.replace t.index key entry;
+      victim
+
+let remove t key =
+  match Hashtbl.find_opt t.index key with
+  | Some entry ->
+      (match entry.where with
+      | A1in -> Dlist.remove t.a1in entry.node
+      | Am -> Dlist.remove t.am entry.node);
+      Hashtbl.remove t.index key
+  | None -> ()
+
+let contents t = Dlist.to_list t.am @ Dlist.to_list t.a1in
+
+let clear t =
+  let drain dlist =
+    let rec loop () = match Dlist.pop_front dlist with Some _ -> loop () | None -> () in
+    loop ()
+  in
+  drain t.a1in;
+  drain t.am;
+  Hashtbl.reset t.index;
+  Hashtbl.reset t.ghost;
+  Queue.clear t.ghost_order
+
+let in_main t key =
+  match Hashtbl.find_opt t.index key with Some entry -> entry.where = Am | None -> false

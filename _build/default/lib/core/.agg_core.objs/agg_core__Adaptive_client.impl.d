@@ -1,0 +1,1 @@
+lib/core/adaptive_client.ml: Agg_trace Agg_util Client_cache Config List Metrics

@@ -1,0 +1,1 @@
+lib/core/adaptive_client.mli: Agg_trace Config Metrics

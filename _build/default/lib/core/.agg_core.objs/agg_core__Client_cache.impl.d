@@ -1,0 +1,1 @@
+lib/core/client_cache.ml: Agg_cache Agg_successor Agg_trace Config Group_builder Hashtbl List Metrics

@@ -1,0 +1,1 @@
+lib/core/client_cache.mli: Agg_successor Agg_trace Config Metrics

@@ -1,0 +1,1 @@
+lib/core/config.mli: Agg_cache Agg_successor Format

@@ -1,0 +1,1 @@
+lib/core/group_builder.ml: Agg_successor Hashtbl List

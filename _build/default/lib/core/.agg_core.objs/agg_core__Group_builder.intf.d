@@ -1,0 +1,1 @@
+lib/core/group_builder.mli: Agg_successor Agg_trace

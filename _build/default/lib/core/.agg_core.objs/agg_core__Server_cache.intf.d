@@ -1,0 +1,1 @@
+lib/core/server_cache.mli: Agg_cache Agg_trace Config Metrics

@@ -1,0 +1,106 @@
+module Cache = Agg_cache.Cache
+module Tracker = Agg_successor.Tracker
+
+type t = {
+  config : Config.t;
+  mutable group_size : int;
+  cache : Cache.t;
+  tracker : Tracker.t;
+  speculative : (int, unit) Hashtbl.t; (* prefetched residents not yet demanded *)
+  mutable accesses : int;
+  mutable hits : int;
+  mutable demand_fetches : int;
+  mutable prefetch_issued : int;
+  mutable prefetch_used : int;
+  mutable prefetch_evicted_unused : int;
+}
+
+let create ?(config = Config.default) ~capacity () =
+  Config.validate config;
+  {
+    config;
+    group_size = config.group_size;
+    cache = Cache.create config.cache_kind ~capacity;
+    tracker =
+      Tracker.create ~capacity:config.successor_capacity ~policy:config.metadata_policy ();
+    speculative = Hashtbl.create 64;
+    accesses = 0;
+    hits = 0;
+    demand_fetches = 0;
+    prefetch_issued = 0;
+    prefetch_used = 0;
+    prefetch_evicted_unused = 0;
+  }
+
+let config t = t.config
+let capacity t = Cache.capacity t.cache
+let group_size t = t.group_size
+
+let set_group_size t g =
+  if g <= 0 then invalid_arg "Client_cache.set_group_size: group size must be positive";
+  t.group_size <- g
+
+let mark_speculative t file =
+  t.prefetch_issued <- t.prefetch_issued + 1;
+  Hashtbl.replace t.speculative file ()
+
+let insert_members t members =
+  match t.config.member_position with
+  | Config.Tail ->
+      (* The whole group arrives in one retrieval: appended as a block. *)
+      let admitted = Cache.insert_cold_group t.cache members in
+      List.iter (mark_speculative t) admitted
+  | Config.Head ->
+      List.iter
+        (fun file ->
+          if not (Cache.mem t.cache file) then begin
+            Cache.insert_hot t.cache file;
+            mark_speculative t file
+          end)
+        members
+
+let access t file =
+  (* Metadata first: the tracker sees the raw request sequence. *)
+  Tracker.observe t.tracker file;
+  t.accesses <- t.accesses + 1;
+  if Cache.access t.cache file then begin
+    t.hits <- t.hits + 1;
+    if Hashtbl.mem t.speculative file then begin
+      (* First demand hit on a prefetched file: the speculation paid off. *)
+      t.prefetch_used <- t.prefetch_used + 1;
+      Hashtbl.remove t.speculative file
+    end;
+    true
+  end
+  else begin
+    if Hashtbl.mem t.speculative file then begin
+      (* It was prefetched once but evicted before being used. *)
+      t.prefetch_evicted_unused <- t.prefetch_evicted_unused + 1;
+      Hashtbl.remove t.speculative file
+    end;
+    t.demand_fetches <- t.demand_fetches + 1;
+    (match Group_builder.build t.tracker ~group_size:t.group_size file with
+    | _requested :: members -> insert_members t members
+    | [] -> assert false (* build always returns the requested file *));
+    false
+  end
+
+let metrics t =
+  {
+    Metrics.accesses = t.accesses;
+    hits = t.hits;
+    demand_fetches = t.demand_fetches;
+    prefetch =
+      {
+        Metrics.issued = t.prefetch_issued;
+        used = t.prefetch_used;
+        evicted_unused = t.prefetch_evicted_unused;
+      };
+  }
+
+let run t trace =
+  Agg_trace.Trace.iter (fun (e : Agg_trace.Event.t) -> ignore (access t e.file)) trace;
+  metrics t
+
+let tracker t = t.tracker
+let resident t file = Cache.mem t.cache file

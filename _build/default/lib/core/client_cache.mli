@@ -1,0 +1,41 @@
+(** The aggregating *client* cache (paper §3, evaluated in §4.2 / Fig. 3).
+
+    The client interacts with the local file-system interface normally; a
+    miss triggers a *group retrieval* from the server instead of a
+    single-file demand fetch. The requested file enters the cache at the
+    MRU head; the speculative group members are appended at the LRU tail
+    so unconfirmed predictions never displace hot data from the top of the
+    stack. Relationship metadata is maintained from the full access
+    sequence (statistics piggy-backed to the server). With
+    [group_size = 1] this degenerates to a plain demand cache of the
+    configured kind — LRU by default — which is the paper's baseline. *)
+
+type t
+
+val create : ?config:Config.t -> capacity:int -> unit -> t
+(** @raise Invalid_argument on invalid capacity or configuration. *)
+
+val config : t -> Config.t
+val capacity : t -> int
+
+val group_size : t -> int
+(** The group size currently in force (initially [config.group_size]). *)
+
+val set_group_size : t -> int -> unit
+(** Changes the group size on the fly — group construction is stateless
+    beyond the successor lists, so the size can adapt per fetch (used by
+    {!Adaptive_client}). @raise Invalid_argument when not positive. *)
+
+val access : t -> Agg_trace.File_id.t -> bool
+(** [access t file] simulates one demand access; [true] on a cache hit.
+    On a miss, the group for [file] is fetched from the (simulated)
+    server. *)
+
+val run : t -> Agg_trace.Trace.t -> Metrics.client
+(** [run t trace] feeds every event of [trace] through {!access} and
+    returns the accumulated metrics. Can be called repeatedly; metrics
+    accumulate across calls. *)
+
+val metrics : t -> Metrics.client
+val tracker : t -> Agg_successor.Tracker.t
+val resident : t -> Agg_trace.File_id.t -> bool

@@ -1,0 +1,17 @@
+(** Best-effort construction of a retrieval group (paper §3, "Retrieving a
+    Group of Successors"). For groups of two or three files the group is
+    the requested file plus its most likely immediate successors; larger
+    groups chain transitive "most-likely" predictions as far as possible,
+    falling back to lower-ranked immediate successors when the chain
+    stalls. The result may be shorter than requested — the server makes a
+    best effort, never a guarantee. *)
+
+val build :
+  Agg_successor.Tracker.t ->
+  group_size:int ->
+  Agg_trace.File_id.t ->
+  Agg_trace.File_id.t list
+(** [build tracker ~group_size file] is the retrieval group for [file]:
+    [file] first, then up to [group_size - 1] distinct predicted files
+    (never [file] itself, no duplicates).
+    @raise Invalid_argument when [group_size <= 0]. *)

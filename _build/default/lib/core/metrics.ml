@@ -1,0 +1,35 @@
+type prefetch = { issued : int; used : int; evicted_unused : int }
+
+let prefetch_utilisation p = Agg_util.Stats.ratio p.used p.issued
+
+type client = { accesses : int; hits : int; demand_fetches : int; prefetch : prefetch }
+
+let client_hit_rate c = Agg_util.Stats.ratio c.hits c.accesses
+
+let pp_prefetch ppf p =
+  Format.fprintf ppf "issued=%d used=%d (%.1f%%) evicted_unused=%d" p.issued p.used
+    (100.0 *. prefetch_utilisation p)
+    p.evicted_unused
+
+let pp_client ppf c =
+  Format.fprintf ppf "accesses=%d hits=%d (%.1f%%) demand_fetches=%d prefetch:[%a]" c.accesses
+    c.hits
+    (100.0 *. client_hit_rate c)
+    c.demand_fetches pp_prefetch c.prefetch
+
+type server = {
+  client_accesses : int;
+  server_requests : int;
+  server_hits : int;
+  store_fetches : int;
+  prefetch : prefetch;
+}
+
+let server_hit_rate s = Agg_util.Stats.ratio s.server_hits s.server_requests
+
+let pp_server ppf s =
+  Format.fprintf ppf
+    "client_accesses=%d server_requests=%d server_hits=%d (%.1f%%) store_fetches=%d prefetch:[%a]"
+    s.client_accesses s.server_requests s.server_hits
+    (100.0 *. server_hit_rate s)
+    s.store_fetches pp_prefetch s.prefetch

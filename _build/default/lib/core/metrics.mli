@@ -1,0 +1,34 @@
+(** Measurement records shared by the aggregating client and server
+    simulations. *)
+
+type prefetch = {
+  issued : int;  (** speculative (group-member) insertions performed *)
+  used : int;  (** speculative residents later hit by a demand access *)
+  evicted_unused : int;  (** speculative residents observed evicted before use *)
+}
+
+val prefetch_utilisation : prefetch -> float
+(** [used / issued]; [0.] before any prefetch. *)
+
+type client = {
+  accesses : int;
+  hits : int;
+  demand_fetches : int;  (** misses, i.e. requests sent to the remote server *)
+  prefetch : prefetch;
+}
+
+val client_hit_rate : client -> float
+val pp_client : Format.formatter -> client -> unit
+
+type server = {
+  client_accesses : int;  (** accesses offered to the client cache *)
+  server_requests : int;  (** client misses, i.e. requests reaching the server *)
+  server_hits : int;
+  store_fetches : int;  (** files fetched from backing store (incl. group members) *)
+  prefetch : prefetch;
+}
+
+val server_hit_rate : server -> float
+(** Server hits over requests that reached the server — the Fig. 4 metric. *)
+
+val pp_server : Format.formatter -> server -> unit

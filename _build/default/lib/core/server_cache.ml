@@ -1,0 +1,124 @@
+module Cache = Agg_cache.Cache
+module Tracker = Agg_successor.Tracker
+
+type scheme = Plain of Agg_cache.Cache.kind | Aggregating of Config.t
+
+type t = {
+  scheme : scheme;
+  cooperative : bool;
+  client : Cache.t;
+  server : Cache.t;
+  tracker : Tracker.t option; (* present only for the aggregating scheme *)
+  speculative : (int, unit) Hashtbl.t;
+  mutable client_accesses : int;
+  mutable server_requests : int;
+  mutable server_hits : int;
+  mutable store_fetches : int;
+  mutable prefetch_issued : int;
+  mutable prefetch_used : int;
+  mutable prefetch_evicted_unused : int;
+}
+
+let create ?(cooperative = false) ~filter_kind ~filter_capacity ~server_capacity ~scheme () =
+  let server_kind, tracker =
+    match scheme with
+    | Plain kind -> (kind, None)
+    | Aggregating config ->
+        Config.validate config;
+        ( config.cache_kind,
+          Some (Tracker.create ~capacity:config.successor_capacity ~policy:config.metadata_policy ())
+        )
+  in
+  {
+    scheme;
+    cooperative;
+    client = Cache.create filter_kind ~capacity:filter_capacity;
+    server = Cache.create server_kind ~capacity:server_capacity;
+    tracker;
+    speculative = Hashtbl.create 64;
+    client_accesses = 0;
+    server_requests = 0;
+    server_hits = 0;
+    store_fetches = 0;
+    prefetch_issued = 0;
+    prefetch_used = 0;
+    prefetch_evicted_unused = 0;
+  }
+
+type outcome = Client_hit | Server_hit | Server_miss
+
+let mark_speculative t file =
+  t.store_fetches <- t.store_fetches + 1;
+  t.prefetch_issued <- t.prefetch_issued + 1;
+  Hashtbl.replace t.speculative file ()
+
+let insert_members t config members =
+  match config.Config.member_position with
+  | Config.Tail ->
+      let admitted = Cache.insert_cold_group t.server members in
+      List.iter (mark_speculative t) admitted
+  | Config.Head ->
+      List.iter
+        (fun file ->
+          if not (Cache.mem t.server file) then begin
+            Cache.insert_hot t.server file;
+            mark_speculative t file
+          end)
+        members
+
+let serve t file =
+  t.server_requests <- t.server_requests + 1;
+  (* Non-cooperative servers learn from what they can see: the misses. *)
+  (match (t.tracker, t.cooperative) with
+  | Some tracker, false -> Tracker.observe tracker file
+  | Some _, true | None, _ -> ());
+  if Cache.access t.server file then begin
+    t.server_hits <- t.server_hits + 1;
+    if Hashtbl.mem t.speculative file then begin
+      t.prefetch_used <- t.prefetch_used + 1;
+      Hashtbl.remove t.speculative file
+    end;
+    Server_hit
+  end
+  else begin
+    if Hashtbl.mem t.speculative file then begin
+      t.prefetch_evicted_unused <- t.prefetch_evicted_unused + 1;
+      Hashtbl.remove t.speculative file
+    end;
+    t.store_fetches <- t.store_fetches + 1;
+    (match (t.scheme, t.tracker) with
+    | Aggregating config, Some tracker -> (
+        match Group_builder.build tracker ~group_size:config.group_size file with
+        | _requested :: members -> insert_members t config members
+        | [] -> assert false)
+    | Plain _, _ -> ()
+    | Aggregating _, None -> assert false);
+    Server_miss
+  end
+
+let access t file =
+  t.client_accesses <- t.client_accesses + 1;
+  (* Cooperative clients piggy-back every access to the server's metadata,
+     even the ones their own cache absorbs. *)
+  (match (t.tracker, t.cooperative) with
+  | Some tracker, true -> Tracker.observe tracker file
+  | Some _, false | None, _ -> ());
+  if Cache.access t.client file then Client_hit else serve t file
+
+let metrics t =
+  {
+    Metrics.client_accesses = t.client_accesses;
+    server_requests = t.server_requests;
+    server_hits = t.server_hits;
+    store_fetches = t.store_fetches;
+    prefetch =
+      {
+        Metrics.issued = t.prefetch_issued;
+        used = t.prefetch_used;
+        evicted_unused = t.prefetch_evicted_unused;
+      };
+  }
+
+let run t trace =
+  Agg_trace.Trace.iter (fun (e : Agg_trace.Event.t) -> ignore (access t e.file)) trace;
+  metrics t

@@ -1,0 +1,37 @@
+(** The aggregating *server* cache behind an intervening client cache
+    (paper §4.3, Fig. 4).
+
+    The client runs a plain cache (LRU in the paper) of the given filter
+    capacity; only its misses reach the server. The server cache is
+    managed either by a plain policy (LRU/LFU, the baselines) or by the
+    aggregating scheme: per-file successor metadata maintained from the
+    stream the server actually observes, with group fetches from backing
+    store on server misses.
+
+    By default no cooperation is assumed — the server learns from the
+    *filtered* miss stream only. [cooperative:true] models clients that
+    piggy-back full access statistics (§3): metadata is then fed the
+    unfiltered sequence while data still moves only on client misses. *)
+
+type scheme =
+  | Plain of Agg_cache.Cache.kind  (** baseline server cache *)
+  | Aggregating of Config.t  (** group retrieval per the paper *)
+
+type t
+
+val create :
+  ?cooperative:bool ->
+  filter_kind:Agg_cache.Cache.kind ->
+  filter_capacity:int ->
+  server_capacity:int ->
+  scheme:scheme ->
+  unit ->
+  t
+
+type outcome = Client_hit | Server_hit | Server_miss
+
+val access : t -> Agg_trace.File_id.t -> outcome
+val run : t -> Agg_trace.Trace.t -> Metrics.server
+(** Feeds the whole trace through {!access}; metrics accumulate. *)
+
+val metrics : t -> Metrics.server

@@ -1,0 +1,1 @@
+lib/entropy/entropy.ml: Agg_trace Agg_util Array Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/entropy/entropy.mli: Agg_trace

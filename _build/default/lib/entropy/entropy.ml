@@ -1,0 +1,88 @@
+(* Symbols are the int-array slices of the next [length] accesses; the
+   per-file distribution is an empirical count table over those slices. *)
+
+let collect ~length files =
+  if length <= 0 then invalid_arg "Entropy.of_files: length must be positive";
+  let n = Array.length files in
+  let per_file : (int, (int array, int) Hashtbl.t) Hashtbl.t = Hashtbl.create 1024 in
+  (* Positions 0 .. n - length - 1 have a complete successor window. *)
+  for i = 0 to n - length - 1 do
+    let f = files.(i) in
+    let symbol = Array.sub files (i + 1) length in
+    let table =
+      match Hashtbl.find_opt per_file f with
+      | Some t -> t
+      | None ->
+          let t = Hashtbl.create 4 in
+          Hashtbl.replace per_file f t;
+          t
+    in
+    let c = Option.value ~default:0 (Hashtbl.find_opt table symbol) in
+    Hashtbl.replace table symbol (c + 1)
+  done;
+  per_file
+
+let conditional_entropy table =
+  let total = Hashtbl.fold (fun _ c acc -> acc + c) table 0 in
+  if total = 0 then 0.0
+  else
+    Hashtbl.fold
+      (fun _ c acc ->
+        let p = float_of_int c /. float_of_int total in
+        acc -. (p *. Agg_util.Stats.log2 p))
+      table 0.0
+
+let occurrences table = Hashtbl.fold (fun _ c acc -> acc + c) table 0
+
+let of_files ?(length = 1) files =
+  let per_file = collect ~length files in
+  let weighted = ref 0.0 in
+  let weight_total = ref 0 in
+  Hashtbl.iter
+    (fun _file table ->
+      let occ = occurrences table in
+      if occ >= 2 then begin
+        weighted := !weighted +. (float_of_int occ *. conditional_entropy table);
+        weight_total := !weight_total + occ
+      end)
+    per_file;
+  if !weight_total = 0 then 0.0 else !weighted /. float_of_int !weight_total
+
+let of_trace ?length trace = of_files ?length (Agg_trace.Trace.files trace)
+
+let sweep ~lengths files = List.map (fun l -> (l, of_files ~length:l files)) lengths
+
+let filtered_sweep ~filter_capacities ~lengths trace =
+  List.map
+    (fun capacity ->
+      let missed = Agg_trace.Filter.miss_stream ~capacity trace in
+      (capacity, sweep ~lengths (Agg_trace.Trace.files missed)))
+    filter_capacities
+
+let per_client ?length trace =
+  let streams : (int, int list ref) Hashtbl.t = Hashtbl.create 16 in
+  Agg_trace.Trace.iter
+    (fun (e : Agg_trace.Event.t) ->
+      match Hashtbl.find_opt streams e.Agg_trace.Event.client with
+      | Some acc -> acc := e.Agg_trace.Event.file :: !acc
+      | None -> Hashtbl.replace streams e.Agg_trace.Event.client (ref [ e.Agg_trace.Event.file ]))
+    trace;
+  let weighted = ref 0.0 in
+  let total = ref 0 in
+  Hashtbl.iter
+    (fun _client acc ->
+      let files = Array.of_list (List.rev !acc) in
+      let n = Array.length files in
+      weighted := !weighted +. (float_of_int n *. of_files ?length files);
+      total := !total + n)
+    streams;
+  if !total = 0 then 0.0 else !weighted /. float_of_int !total
+
+let per_file ?(length = 1) files =
+  let tables = collect ~length files in
+  Hashtbl.fold
+    (fun file table acc ->
+      let occ = occurrences table in
+      if occ >= 2 then (file, occ, conditional_entropy table) :: acc else acc)
+    tables []
+  |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)

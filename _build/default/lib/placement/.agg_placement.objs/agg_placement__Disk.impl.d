@@ -1,0 +1,1 @@
+lib/placement/disk.ml: Array Format Hashtbl List Option

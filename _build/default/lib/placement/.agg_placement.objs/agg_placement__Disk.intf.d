@@ -1,0 +1,1 @@
+lib/placement/disk.mli: Agg_trace Format

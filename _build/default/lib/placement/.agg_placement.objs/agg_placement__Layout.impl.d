@@ -1,0 +1,1 @@
+lib/placement/layout.ml: Agg_successor Agg_trace Agg_util Array Disk Hashtbl List

@@ -1,0 +1,1 @@
+lib/placement/layout.mli: Agg_trace Disk

@@ -1,0 +1,137 @@
+let cover_of trace ~group_size =
+  let graph = Agg_successor.Graph.of_trace trace in
+  (graph, Agg_successor.Grouping.cover graph ~size:group_size)
+
+(* files worth replicating: the top decile by access count *)
+let hot_threshold graph =
+  let counts =
+    List.filter_map
+      (fun file ->
+        let c = Agg_successor.Graph.access_count graph file in
+        if c > 0 then Some c else None)
+      (Agg_successor.Graph.nodes graph)
+  in
+  let sorted = List.sort (fun a b -> compare b a) counts in
+  let n = List.length sorted in
+  if n = 0 then max_int else List.nth sorted (min (n - 1) (n / 10))
+
+let by_groups ?(group_size = 8) ?(replicate_shared = false) trace =
+  let disk = Disk.create () in
+  let graph, cover = cover_of trace ~group_size in
+  let threshold = if replicate_shared then hot_threshold graph else max_int in
+  List.iter
+    (fun group ->
+      List.iter
+        (fun file ->
+          let already_placed = Disk.slots_of disk file <> [] in
+          let replicate =
+            replicate_shared && Agg_successor.Graph.access_count graph file >= threshold
+          in
+          if (not already_placed) || replicate then
+            Disk.place disk file ~slot:(Disk.next_free_slot disk))
+        group.Agg_successor.Grouping.members)
+    cover;
+  disk
+
+(* Shared helper: place a ranked list of (item, members) organ-pipe style
+   — hottest block in the centre, fanning out alternately. *)
+let organ_pipe_blocks disk blocks =
+  let widths = List.map (fun members -> List.length members) blocks in
+  let total = List.fold_left ( + ) 0 widths in
+  let centre = total / 2 in
+  (* walk the ranked blocks, maintaining the left and right frontiers *)
+  let left = ref centre and right = ref centre in
+  List.iteri
+    (fun rank members ->
+      let width = List.length members in
+      let go_right () =
+        let base = !right in
+        right := !right + width;
+        base
+      in
+      let base =
+        (* alternate sides; fall back to the right if the left frontier
+           would underflow (uneven block widths) *)
+        if rank land 1 = 0 || !left - width < 0 then go_right ()
+        else begin
+          left := !left - width;
+          !left
+        end
+      in
+      List.iteri (fun i file -> Disk.place disk file ~slot:(base + i)) members)
+    blocks
+
+let by_groups_organ_pipe ?(group_size = 8) trace =
+  let disk = Disk.create () in
+  let graph, cover = cover_of trace ~group_size in
+  let weight group =
+    List.fold_left
+      (fun acc file -> acc + Agg_successor.Graph.access_count graph file)
+      0 group.Agg_successor.Grouping.members
+  in
+  (* dedupe members across groups (first group keeps the file) so every
+     file has exactly one slot *)
+  let placed = Hashtbl.create 4096 in
+  let blocks =
+    List.map
+      (fun group ->
+        let fresh =
+          List.filter
+            (fun file ->
+              if Hashtbl.mem placed file then false
+              else begin
+                Hashtbl.replace placed file ();
+                true
+              end)
+            group.Agg_successor.Grouping.members
+        in
+        (weight group, fresh))
+      cover
+    |> List.filter (fun (_, members) -> members <> [])
+    |> List.sort (fun (a, _) (b, _) -> compare b a)
+    |> List.map snd
+  in
+  organ_pipe_blocks disk blocks;
+  disk
+
+(* hottest in the middle, fanning out alternately left and right *)
+let organ_pipe trace =
+  let disk = Disk.create () in
+  let ranked = Agg_trace.Trace_stats.top_files trace ~k:max_int in
+  organ_pipe_blocks disk (List.map (fun (file, _) -> [ file ]) ranked);
+  disk
+
+let first_touch trace =
+  let disk = Disk.create () in
+  Agg_trace.Trace.iter
+    (fun (e : Agg_trace.Event.t) ->
+      if Disk.slots_of disk e.Agg_trace.Event.file = [] then
+        Disk.place disk e.Agg_trace.Event.file ~slot:(Disk.next_free_slot disk))
+    trace;
+  disk
+
+let random ?(seed = 17) trace =
+  let disk = Disk.create () in
+  let files = ref [] in
+  let seen = Hashtbl.create 1024 in
+  Agg_trace.Trace.iter
+    (fun (e : Agg_trace.Event.t) ->
+      if not (Hashtbl.mem seen e.Agg_trace.Event.file) then begin
+        Hashtbl.replace seen e.Agg_trace.Event.file ();
+        files := e.Agg_trace.Event.file :: !files
+      end)
+    trace;
+  let arr = Array.of_list !files in
+  Agg_util.Prng.shuffle (Agg_util.Prng.create ~seed ()) arr;
+  Array.iteri (fun slot file -> Disk.place disk file ~slot) arr;
+  disk
+
+let strategies =
+  [
+    ("groups", by_groups ?group_size:None ?replicate_shared:None);
+    ("groups+replication", by_groups ~replicate_shared:true ?group_size:None);
+    ("groups-organ-pipe", by_groups_organ_pipe ?group_size:None);
+    ("organ-pipe", organ_pipe);
+    ("first-touch", first_touch);
+    ("random", random ?seed:None);
+  ]

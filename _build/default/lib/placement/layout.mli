@@ -1,0 +1,34 @@
+(** Layout strategies: each builds a {!Disk.t} from a training trace.
+
+    - {!by_groups} lays covering groups out contiguously (the paper's
+      placement application of grouping). With [replicate_shared], a file
+      already placed by an earlier group is placed *again* inside the
+      current one — §2.1's replication of popular shared files, trading
+      space for locality.
+    - {!organ_pipe} is the classic frequency placement (Wong 1980, the
+      paper's [29]): the hottest file in the middle, the rest fanning out
+      alternately — optimal under independent accesses.
+    - {!first_touch} places files in order of first access.
+    - {!random} is the no-information baseline. *)
+
+val by_groups :
+  ?group_size:int -> ?replicate_shared:bool -> Agg_trace.Trace.t -> Disk.t
+(** Cover the relationship graph of the trace with groups (default size
+    8) and assign slots group by group, anchors in cover order. With
+    [replicate_shared], only *hot* shared files (top decile by access
+    count) are duplicated into every group that contains them. *)
+
+val by_groups_organ_pipe : ?group_size:int -> Agg_trace.Trace.t -> Disk.t
+(** Organ-pipe at group granularity: covering groups stay contiguous
+    (succession locality within a run) and whole groups fan out from the
+    device centre by aggregate popularity (short travel between hot
+    working sets) — grouping composed with the classic frequency
+    placement rather than replacing it. *)
+
+val organ_pipe : Agg_trace.Trace.t -> Disk.t
+val first_touch : Agg_trace.Trace.t -> Disk.t
+val random : ?seed:int -> Agg_trace.Trace.t -> Disk.t
+
+val strategies : (string * (Agg_trace.Trace.t -> Disk.t)) list
+(** Named defaults for sweeps: groups, groups+replication, organ-pipe,
+    first-touch, random. *)

@@ -1,0 +1,1 @@
+lib/sim/ablations.ml: Agg_baselines Agg_cache Agg_core Agg_placement Agg_successor Agg_trace Agg_util Agg_workload Array Experiment Fig4 Hashtbl List Printf Stats Table

@@ -1,0 +1,1 @@
+lib/sim/ablations.mli: Agg_util Agg_workload Experiment

@@ -1,0 +1,1 @@
+lib/sim/experiment.ml: Agg_util Buffer Float List Option Printf Table

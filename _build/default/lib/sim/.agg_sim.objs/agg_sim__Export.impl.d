@@ -1,0 +1,1 @@
+lib/sim/export.ml: Buffer Experiment Filename Fun List Printf String Sys

@@ -1,0 +1,1 @@
+lib/sim/fig3.ml: Agg_core Agg_workload Experiment List Printf

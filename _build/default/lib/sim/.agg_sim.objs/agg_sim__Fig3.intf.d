@@ -1,0 +1,1 @@
+lib/sim/fig3.mli: Agg_workload Experiment

@@ -1,0 +1,1 @@
+lib/sim/fig4.ml: Agg_cache Agg_core Agg_workload Experiment List Printf

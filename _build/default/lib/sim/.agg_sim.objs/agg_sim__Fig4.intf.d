@@ -1,0 +1,1 @@
+lib/sim/fig4.mli: Agg_workload Experiment

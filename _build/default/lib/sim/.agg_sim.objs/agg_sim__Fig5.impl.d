@@ -1,0 +1,1 @@
+lib/sim/fig5.ml: Agg_successor Agg_util Agg_workload Array Experiment Hashtbl List

@@ -1,0 +1,1 @@
+lib/sim/fig5.mli: Agg_successor Agg_trace Agg_workload Experiment

@@ -1,0 +1,1 @@
+lib/sim/fig7.ml: Agg_entropy Agg_workload Experiment List

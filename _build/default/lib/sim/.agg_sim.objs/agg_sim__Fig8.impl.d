@@ -1,0 +1,1 @@
+lib/sim/fig8.ml: Agg_entropy Agg_workload Experiment Fig7 List

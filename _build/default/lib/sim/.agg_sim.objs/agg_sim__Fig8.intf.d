@@ -1,0 +1,1 @@
+lib/sim/fig8.mli: Agg_workload Experiment

@@ -1,0 +1,1 @@
+lib/sim/plot.ml: Array Buffer Experiment Float List Printf String

@@ -1,0 +1,1 @@
+lib/sim/plot.mli: Experiment

@@ -1,0 +1,1 @@
+lib/sim/report.ml: Agg_util Experiment Fig3 Fig4 Fig5 Fig7 Fig8 List Printf Table

@@ -1,0 +1,1 @@
+lib/sim/summary.ml: Agg_cache Agg_core Agg_util Agg_workload Experiment Fig4 Float List Printf Table

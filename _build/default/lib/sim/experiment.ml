@@ -1,0 +1,47 @@
+type series = { label : string; points : (float * float) list }
+
+type panel = { name : string; x_label : string; y_label : string; series : series list }
+
+type figure = { id : string; title : string; panels : panel list }
+
+type settings = { events : int; seed : int; warmup : int }
+
+let default_settings = { events = 60_000; seed = 7; warmup = 0 }
+let quick_settings = { events = 6_000; seed = 7; warmup = 0 }
+
+let series_value s x =
+  Option.map snd (List.find_opt (fun (px, _) -> Float.equal px x) s.points)
+
+let xs_of_panel panel =
+  let all = List.concat_map (fun s -> List.map fst s.points) panel.series in
+  List.sort_uniq compare all
+
+let panel_table ~figure_id panel =
+  let open Agg_util in
+  let title = Printf.sprintf "%s — %s (%s vs %s)" figure_id panel.name panel.y_label panel.x_label in
+  let columns = panel.x_label :: List.map (fun s -> s.label) panel.series in
+  let table = Table.create ~title ~columns in
+  List.iter
+    (fun x ->
+      let cells =
+        Printf.sprintf "%g" x
+        :: List.map
+             (fun s ->
+               match series_value s x with
+               | Some y -> Printf.sprintf "%.2f" y
+               | None -> "-")
+             panel.series
+      in
+      Table.add_row table cells)
+    (xs_of_panel panel);
+  table
+
+let render_figure fig =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "### %s: %s\n" fig.id fig.title);
+  List.iter
+    (fun panel -> Buffer.add_string buf (Agg_util.Table.render (panel_table ~figure_id:fig.id panel)))
+    fig.panels;
+  Buffer.contents buf
+
+let print_figure fig = print_string (render_figure fig)

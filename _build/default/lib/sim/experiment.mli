@@ -1,0 +1,34 @@
+(** Shared shapes for experiment results: labelled data series grouped
+    into panels, mirroring the paper's figures, plus rendering to text
+    tables. *)
+
+type series = { label : string; points : (float * float) list }
+
+type panel = {
+  name : string;  (** e.g. the workload of a sub-figure *)
+  x_label : string;
+  y_label : string;
+  series : series list;
+}
+
+type figure = { id : string; title : string; panels : panel list }
+
+type settings = { events : int; seed : int; warmup : int }
+(** [events]: trace length; [seed]: generator seed; [warmup]: events run
+    before counters are reset (0 = measure from cold, as the paper's
+    absolute fetch counts do). *)
+
+val default_settings : settings
+(** 60k events, seed 7, no warm-up. *)
+
+val quick_settings : settings
+(** A small configuration for tests: 6k events. *)
+
+val series_value : series -> float -> float option
+(** [series_value s x] is the y at exactly [x], if present. *)
+
+val panel_table : figure_id:string -> panel -> Agg_util.Table.t
+(** One row per x value, one column per series. *)
+
+val render_figure : figure -> string
+val print_figure : figure -> unit

@@ -1,0 +1,53 @@
+let escape cell =
+  let needs_quoting =
+    String.exists (fun c -> c = ',' || c = '"' || c = '\n') cell
+  in
+  if needs_quoting then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' cell) ^ "\""
+  else cell
+
+let row cells = String.concat "," (List.map escape cells) ^ "\n"
+
+let panel_csv (panel : Experiment.panel) =
+  let xs =
+    List.sort_uniq compare
+      (List.concat_map (fun s -> List.map fst s.Experiment.points) panel.Experiment.series)
+  in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (row (panel.Experiment.x_label :: List.map (fun s -> s.Experiment.label) panel.Experiment.series));
+  List.iter
+    (fun x ->
+      let cells =
+        Printf.sprintf "%g" x
+        :: List.map
+             (fun s ->
+               match Experiment.series_value s x with
+               | Some y -> Printf.sprintf "%g" y
+               | None -> "")
+             panel.Experiment.series
+      in
+      Buffer.add_string buf (row cells))
+    xs;
+  Buffer.contents buf
+
+let slug name =
+  String.map (fun c -> if ('a' <= c && c <= 'z') || ('0' <= c && c <= '9') then c else '-')
+    (String.lowercase_ascii name)
+
+let figure_csv (fig : Experiment.figure) =
+  List.map
+    (fun panel ->
+      (Printf.sprintf "%s-%s.csv" (slug fig.Experiment.id) (slug panel.Experiment.name),
+       panel_csv panel))
+    fig.Experiment.panels
+
+let write_figure ~dir fig =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  List.map
+    (fun (filename, csv) ->
+      let path = Filename.concat dir filename in
+      let oc = open_out path in
+      Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc csv);
+      path)
+    (figure_csv fig)

@@ -1,0 +1,40 @@
+let default_capacities = [ 100; 200; 300; 400; 500; 600; 700; 800 ]
+let default_group_sizes = [ 1; 2; 3; 5; 7; 10 ]
+
+let label_of_group g = if g = 1 then "lru" else Printf.sprintf "g%d" g
+
+let panel ?(settings = Experiment.default_settings) ?(capacities = default_capacities)
+    ?(group_sizes = default_group_sizes) profile =
+  let trace = Agg_workload.Generator.generate ~seed:settings.seed ~events:settings.events profile in
+  let series =
+    List.map
+      (fun g ->
+        let config = Agg_core.Config.with_group_size g Agg_core.Config.default in
+        let points =
+          List.map
+            (fun capacity ->
+              let cache = Agg_core.Client_cache.create ~config ~capacity () in
+              let m = Agg_core.Client_cache.run cache trace in
+              (float_of_int capacity, float_of_int m.Agg_core.Metrics.demand_fetches))
+            capacities
+        in
+        { Experiment.label = label_of_group g; points })
+      group_sizes
+  in
+  {
+    Experiment.name = profile.Agg_workload.Profile.name;
+    x_label = "cache capacity (files)";
+    y_label = "demand fetches";
+    series;
+  }
+
+let figure ?(settings = Experiment.default_settings) () =
+  {
+    Experiment.id = "fig3";
+    title = "Client demand fetches vs cache capacity, by group size";
+    panels =
+      [
+        panel ~settings Agg_workload.Profile.server;
+        panel ~settings Agg_workload.Profile.write;
+      ];
+  }

@@ -1,0 +1,20 @@
+(** Fig. 3 — client-side aggregating cache: demand fetches as a function
+    of cache capacity, one series per group size (g = 1 is plain LRU). *)
+
+val default_capacities : int list
+(** 100–800 step 100, as plotted in the paper. *)
+
+val default_group_sizes : int list
+(** 1, 2, 3, 5, 7, 10. *)
+
+val panel :
+  ?settings:Experiment.settings ->
+  ?capacities:int list ->
+  ?group_sizes:int list ->
+  Agg_workload.Profile.t ->
+  Experiment.panel
+(** Demand-fetch counts for one workload. The same generated trace is
+    replayed through every (capacity, group size) configuration. *)
+
+val figure : ?settings:Experiment.settings -> unit -> Experiment.figure
+(** Both paper panels: [server] (3a) and [write] (3b). *)

@@ -1,0 +1,52 @@
+let default_filter_capacities = [ 50; 100; 150; 200; 250; 300; 350; 400; 450; 500 ]
+let default_server_capacity = 300
+
+let schemes ~group_size =
+  [
+    ( Printf.sprintf "g%d" group_size,
+      Agg_core.Server_cache.Aggregating (Agg_core.Config.with_group_size group_size Agg_core.Config.default) );
+    ("lru", Agg_core.Server_cache.Plain Agg_cache.Cache.Lru);
+    ("lfu", Agg_core.Server_cache.Plain Agg_cache.Cache.Lfu);
+  ]
+
+let panel ?(settings = Experiment.default_settings)
+    ?(filter_capacities = default_filter_capacities) ?(server_capacity = default_server_capacity)
+    ?(group_size = 5) ?(cooperative = false) profile =
+  let trace = Agg_workload.Generator.generate ~seed:settings.seed ~events:settings.events profile in
+  let series =
+    List.map
+      (fun (label, scheme) ->
+        let points =
+          List.map
+            (fun filter_capacity ->
+              let sim =
+                Agg_core.Server_cache.create ~cooperative ~filter_kind:Agg_cache.Cache.Lru
+                  ~filter_capacity ~server_capacity ~scheme ()
+              in
+              let m = Agg_core.Server_cache.run sim trace in
+              (float_of_int filter_capacity, 100.0 *. Agg_core.Metrics.server_hit_rate m))
+            filter_capacities
+        in
+        { Experiment.label; points })
+      (schemes ~group_size)
+  in
+  {
+    Experiment.name = profile.Agg_workload.Profile.name;
+    x_label = "filter capacity (files)";
+    y_label = "server hit rate (%)";
+    series;
+  }
+
+let figure ?(settings = Experiment.default_settings) () =
+  {
+    Experiment.id = "fig4";
+    title =
+      Printf.sprintf "Server cache hit rate vs client cache size (server capacity = %d)"
+        default_server_capacity;
+    panels =
+      [
+        panel ~settings Agg_workload.Profile.workstation;
+        panel ~settings Agg_workload.Profile.users;
+        panel ~settings Agg_workload.Profile.server;
+      ];
+  }

@@ -1,0 +1,23 @@
+(** Fig. 4 — server cache hit rate under an intervening client LRU cache:
+    one series per server scheme (aggregating g=5, LRU, LFU), plotted
+    against the client ("filter") capacity, server capacity fixed. *)
+
+val default_filter_capacities : int list
+(** 50–500 step 50, as in the paper. *)
+
+val default_server_capacity : int
+(** 300 files. *)
+
+val panel :
+  ?settings:Experiment.settings ->
+  ?filter_capacities:int list ->
+  ?server_capacity:int ->
+  ?group_size:int ->
+  ?cooperative:bool ->
+  Agg_workload.Profile.t ->
+  Experiment.panel
+(** Server hit rate (%) for one workload. *)
+
+val figure : ?settings:Experiment.settings -> unit -> Experiment.figure
+(** The paper's three panels: [workstation] (4a), [users] (4b),
+    [server] (4c). *)

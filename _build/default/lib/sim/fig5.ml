@@ -1,0 +1,89 @@
+module Successor_list = Agg_successor.Successor_list
+
+let default_capacities = [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 ]
+
+(* Streams the file sequence through per-file successor lists: each event
+   with a predecessor first tests the predecessor's list, then updates it. *)
+let miss_probability ~policy ~capacity files =
+  let lists : (int, Successor_list.t) Hashtbl.t = Hashtbl.create 4096 in
+  let list_for file =
+    match Hashtbl.find_opt lists file with
+    | Some l -> l
+    | None ->
+        let l = Successor_list.create ~capacity ~policy in
+        Hashtbl.replace lists file l;
+        l
+  in
+  let tested = ref 0 in
+  let missed = ref 0 in
+  let prev = ref None in
+  Array.iter
+    (fun file ->
+      (match !prev with
+      | Some p ->
+          let l = list_for p in
+          incr tested;
+          if not (Successor_list.mem l file) then incr missed;
+          Successor_list.observe l file
+      | None -> ());
+      prev := Some file)
+    files;
+  Agg_util.Stats.ratio !missed !tested
+
+let oracle_miss_probability files =
+  let oracle = Agg_successor.Oracle.create () in
+  let tested = ref 0 in
+  let missed = ref 0 in
+  let prev = ref None in
+  Array.iter
+    (fun file ->
+      (match !prev with
+      | Some p ->
+          incr tested;
+          if not (Agg_successor.Oracle.mem oracle ~file:p ~successor:file) then incr missed;
+          Agg_successor.Oracle.observe oracle ~file:p ~successor:file
+      | None -> ());
+      prev := Some file)
+    files;
+  Agg_util.Stats.ratio !missed !tested
+
+let panel ?(settings = Experiment.default_settings) ?(capacities = default_capacities) profile =
+  let files =
+    Agg_workload.Generator.generate_files ~seed:settings.seed ~events:settings.events profile
+  in
+  let fixed_oracle = oracle_miss_probability files in
+  let capacity_points f = List.map (fun c -> (float_of_int c, f c)) capacities in
+  let series =
+    [
+      { Experiment.label = "oracle"; points = capacity_points (fun _ -> fixed_oracle) };
+      {
+        Experiment.label = "lru";
+        points =
+          capacity_points (fun capacity ->
+              miss_probability ~policy:Successor_list.Recency ~capacity files);
+      };
+      {
+        Experiment.label = "lfu";
+        points =
+          capacity_points (fun capacity ->
+              miss_probability ~policy:Successor_list.Frequency ~capacity files);
+      };
+    ]
+  in
+  {
+    Experiment.name = profile.Agg_workload.Profile.name;
+    x_label = "successors tracked";
+    y_label = "P(miss future successor)";
+    series;
+  }
+
+let figure ?(settings = Experiment.default_settings) () =
+  {
+    Experiment.id = "fig5";
+    title = "Probability of successor-list replacement evicting a future successor";
+    panels =
+      [
+        panel ~settings Agg_workload.Profile.workstation;
+        panel ~settings Agg_workload.Profile.server;
+      ];
+  }

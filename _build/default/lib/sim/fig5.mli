@@ -1,0 +1,27 @@
+(** Fig. 5 — metadata maintenance: the probability that a per-file
+    successor list fails to contain the successor about to be observed,
+    as a function of list capacity, for LRU and LFU list replacement and
+    the all-knowing oracle. Lists are consulted *before* they learn the
+    event; the average is over every access that has a predecessor, which
+    weights each file by its access frequency exactly as Eq. 2 does. *)
+
+val default_capacities : int list
+(** 1–10. *)
+
+val panel :
+  ?settings:Experiment.settings ->
+  ?capacities:int list ->
+  Agg_workload.Profile.t ->
+  Experiment.panel
+
+val figure : ?settings:Experiment.settings -> unit -> Experiment.figure
+(** The paper's panels: [workstation] (5a) and [server] (5b). *)
+
+val miss_probability :
+  policy:Agg_successor.Successor_list.policy ->
+  capacity:int ->
+  Agg_trace.File_id.t array ->
+  float
+(** The probability plotted for one (policy, capacity) point. *)
+
+val oracle_miss_probability : Agg_trace.File_id.t array -> float

@@ -1,0 +1,33 @@
+let default_lengths = List.init 20 (fun i -> i + 1)
+
+let figure ?(settings = Experiment.default_settings) ?(lengths = default_lengths) () =
+  let series =
+    List.map
+      (fun profile ->
+        let files =
+          Agg_workload.Generator.generate_files ~seed:settings.seed ~events:settings.events profile
+        in
+        let points =
+          List.map (fun (l, h) -> (float_of_int l, h)) (Agg_entropy.Entropy.sweep ~lengths files)
+        in
+        { Experiment.label = profile.Agg_workload.Profile.name; points })
+      [
+        Agg_workload.Profile.users;
+        Agg_workload.Profile.write;
+        Agg_workload.Profile.server;
+        Agg_workload.Profile.workstation;
+      ]
+  in
+  {
+    Experiment.id = "fig7";
+    title = "Successor entropy vs successor sequence length";
+    panels =
+      [
+        {
+          Experiment.name = "all workloads";
+          x_label = "successor sequence length";
+          y_label = "successor entropy (bits)";
+          series;
+        };
+      ];
+  }

@@ -1,0 +1,10 @@
+(** Fig. 7 — successor entropy as a function of successor-sequence length,
+    one series per workload: single-file successors are the most
+    predictable, and the [server] workload is the most predictable of the
+    four. *)
+
+val default_lengths : int list
+(** 1–20. *)
+
+val figure : ?settings:Experiment.settings -> ?lengths:int list -> unit -> Experiment.figure
+(** A single panel with all four workload series. *)

@@ -1,0 +1,29 @@
+let default_filter_capacities = [ 1; 10; 50; 100; 500; 1000 ]
+
+let panel ?(settings = Experiment.default_settings)
+    ?(filter_capacities = default_filter_capacities) ?(lengths = Fig7.default_lengths) profile =
+  let trace = Agg_workload.Generator.generate ~seed:settings.seed ~events:settings.events profile in
+  let sweeps = Agg_entropy.Entropy.filtered_sweep ~filter_capacities ~lengths trace in
+  let series =
+    List.map
+      (fun (capacity, sweep) ->
+        {
+          Experiment.label = string_of_int capacity;
+          points = List.map (fun (l, h) -> (float_of_int l, h)) sweep;
+        })
+      sweeps
+  in
+  {
+    Experiment.name = profile.Agg_workload.Profile.name;
+    x_label = "successor sequence length";
+    y_label = "successor entropy (bits)";
+    series;
+  }
+
+let figure ?(settings = Experiment.default_settings) () =
+  {
+    Experiment.id = "fig8";
+    title = "Successor entropy of LRU-filtered miss streams, by filter capacity";
+    panels =
+      [ panel ~settings Agg_workload.Profile.write; panel ~settings Agg_workload.Profile.users ];
+  }

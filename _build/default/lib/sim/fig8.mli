@@ -1,0 +1,18 @@
+(** Fig. 8 — successor entropy of LRU-filtered miss streams: one series
+    per intervening cache capacity. A tiny filter scrambles succession; a
+    large one distils the stream down to highly ordered cold-start runs,
+    *increasing* predictability — the effect that keeps the aggregating
+    server cache useful when plain LRU fails. *)
+
+val default_filter_capacities : int list
+(** 1, 10, 50, 100, 500, 1000 — the paper's filter sizes. *)
+
+val panel :
+  ?settings:Experiment.settings ->
+  ?filter_capacities:int list ->
+  ?lengths:int list ->
+  Agg_workload.Profile.t ->
+  Experiment.panel
+
+val figure : ?settings:Experiment.settings -> unit -> Experiment.figure
+(** The paper's panels: [write] (8a) and [users] (8b). *)

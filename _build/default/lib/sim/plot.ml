@@ -1,0 +1,62 @@
+let glyphs = [| '*'; 'o'; '+'; 'x'; '#'; '@'; '%'; '&'; '='; '~' |]
+
+let bounds panel =
+  let points = List.concat_map (fun s -> s.Experiment.points) panel.Experiment.series in
+  match points with
+  | [] -> None
+  | (x0, y0) :: rest ->
+      Some
+        (List.fold_left
+           (fun (xmin, xmax, ymin, ymax) (x, y) ->
+             (Float.min xmin x, Float.max xmax x, Float.min ymin y, Float.max ymax y))
+           (x0, x0, y0, y0) rest)
+
+let render ?(width = 72) ?(height = 20) (panel : Experiment.panel) =
+  match bounds panel with
+  | None -> Printf.sprintf "(no data for %s)\n" panel.Experiment.name
+  | Some (xmin, xmax, ymin, ymax) ->
+      let xspan = if xmax -. xmin = 0.0 then 1.0 else xmax -. xmin in
+      let yspan = if ymax -. ymin = 0.0 then 1.0 else ymax -. ymin in
+      let grid = Array.make_matrix height width ' ' in
+      let col x =
+        min (width - 1) (int_of_float (Float.round ((x -. xmin) /. xspan *. float_of_int (width - 1))))
+      in
+      let line y =
+        let r = (y -. ymin) /. yspan *. float_of_int (height - 1) in
+        height - 1 - min (height - 1) (int_of_float (Float.round r))
+      in
+      List.iteri
+        (fun i series ->
+          let glyph = glyphs.(i mod Array.length glyphs) in
+          List.iter (fun (x, y) -> grid.(line y).(col x) <- glyph) series.Experiment.points)
+        panel.Experiment.series;
+      let buf = Buffer.create ((width + 12) * (height + 6)) in
+      Buffer.add_string buf (Printf.sprintf "%s — %s vs %s\n" panel.Experiment.name panel.Experiment.y_label panel.Experiment.x_label);
+      Array.iteri
+        (fun row cells ->
+          let label =
+            if row = 0 then Printf.sprintf "%8.4g" ymax
+            else if row = height - 1 then Printf.sprintf "%8.4g" ymin
+            else String.make 8 ' '
+          in
+          Buffer.add_string buf label;
+          Buffer.add_string buf " |";
+          Array.iter (Buffer.add_char buf) cells;
+          Buffer.add_char buf '\n')
+        grid;
+      Buffer.add_string buf (String.make 9 ' ');
+      Buffer.add_char buf '+';
+      Buffer.add_string buf (String.make width '-');
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf
+        (Printf.sprintf "%s%-8.4g%s%8.4g\n" (String.make 10 ' ') xmin
+           (String.make (max 1 (width - 16)) ' ')
+           xmax);
+      List.iteri
+        (fun i series ->
+          Buffer.add_string buf
+            (Printf.sprintf "  %c = %s\n" glyphs.(i mod Array.length glyphs) series.Experiment.label))
+        panel.Experiment.series;
+      Buffer.contents buf
+
+let print ?width ?height panel = print_string (render ?width ?height panel)

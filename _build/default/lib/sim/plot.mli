@@ -1,0 +1,11 @@
+(** Terminal line plots of experiment panels, so figure *shapes* can be
+    eyeballed straight from the bench output without leaving the shell.
+    Each series is drawn with its own glyph on a character grid; axes are
+    scaled to the data. *)
+
+val render : ?width:int -> ?height:int -> Experiment.panel -> string
+(** [render panel] is a plot roughly [width] x [height] characters
+    (default 72 x 20) with a legend mapping glyphs to series labels. An
+    empty panel renders a placeholder message. *)
+
+val print : ?width:int -> ?height:int -> Experiment.panel -> unit

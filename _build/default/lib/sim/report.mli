@@ -1,0 +1,17 @@
+(** Automated paper-vs-measured comparison: each check encodes one of the
+    paper's qualitative claims and evaluates it against freshly simulated
+    results. The bench harness prints this table; EXPERIMENTS.md records
+    a run of it. *)
+
+type check = {
+  id : string;  (** e.g. "fig3.server.g5" *)
+  claim : string;  (** the paper's statement being tested *)
+  measured : string;  (** what this run produced *)
+  pass : bool;
+}
+
+val run_all : ?settings:Experiment.settings -> unit -> check list
+(** Executes every figure experiment once and evaluates all checks. *)
+
+val table : check list -> Agg_util.Table.t
+val all_pass : check list -> bool

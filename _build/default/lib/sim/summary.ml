@@ -1,0 +1,111 @@
+type client_row = {
+  workload : string;
+  capacity : int;
+  lru_fetches : int;
+  g5_fetches : int;
+  reduction_percent : float;
+}
+
+type server_row = {
+  workload : string;
+  filter_capacity : int;
+  lru_hit_rate : float;
+  g5_hit_rate : float;
+  improvement_percent : float;
+}
+
+let demand_fetches ~trace ~capacity ~group_size =
+  let config = Agg_core.Config.with_group_size group_size Agg_core.Config.default in
+  let cache = Agg_core.Client_cache.create ~config ~capacity () in
+  (Agg_core.Client_cache.run cache trace).Agg_core.Metrics.demand_fetches
+
+let client_rows ?(settings = Experiment.default_settings) ?(capacity = 300) () =
+  List.map
+    (fun profile ->
+      let trace =
+        Agg_workload.Generator.generate ~seed:settings.seed ~events:settings.events profile
+      in
+      let lru = demand_fetches ~trace ~capacity ~group_size:1 in
+      let g5 = demand_fetches ~trace ~capacity ~group_size:5 in
+      {
+        workload = profile.Agg_workload.Profile.name;
+        capacity;
+        lru_fetches = lru;
+        g5_fetches = g5;
+        reduction_percent =
+          (if lru = 0 then 0.0 else 100.0 *. float_of_int (lru - g5) /. float_of_int lru);
+      })
+    Agg_workload.Profile.all
+
+let server_hit_rate ~trace ~filter_capacity ~scheme =
+  let sim =
+    Agg_core.Server_cache.create ~filter_kind:Agg_cache.Cache.Lru ~filter_capacity
+      ~server_capacity:Fig4.default_server_capacity ~scheme ()
+  in
+  100.0 *. Agg_core.Metrics.server_hit_rate (Agg_core.Server_cache.run sim trace)
+
+let server_rows ?(settings = Experiment.default_settings)
+    ?(filter_capacities = Fig4.default_filter_capacities) () =
+  List.concat_map
+    (fun profile ->
+      let trace =
+        Agg_workload.Generator.generate ~seed:settings.seed ~events:settings.events profile
+      in
+      List.map
+        (fun filter_capacity ->
+          let lru =
+            server_hit_rate ~trace ~filter_capacity ~scheme:(Agg_core.Server_cache.Plain Agg_cache.Cache.Lru)
+          in
+          let g5 =
+            server_hit_rate ~trace ~filter_capacity
+              ~scheme:(Agg_core.Server_cache.Aggregating Agg_core.Config.default)
+          in
+          {
+            workload = profile.Agg_workload.Profile.name;
+            filter_capacity;
+            lru_hit_rate = lru;
+            g5_hit_rate = g5;
+            improvement_percent = (if lru = 0.0 then Float.infinity else 100.0 *. (g5 -. lru) /. lru);
+          })
+        filter_capacities)
+    [ Agg_workload.Profile.workstation; Agg_workload.Profile.users; Agg_workload.Profile.server ]
+
+let client_table rows =
+  let open Agg_util in
+  let table =
+    Table.create ~title:"Headline: client demand-fetch reduction (g5 vs LRU)"
+      ~columns:[ "workload"; "capacity"; "lru fetches"; "g5 fetches"; "reduction %" ]
+  in
+  List.iter
+    (fun (r : client_row) ->
+      Table.add_row table
+        [
+          r.workload;
+          string_of_int r.capacity;
+          string_of_int r.lru_fetches;
+          string_of_int r.g5_fetches;
+          Printf.sprintf "%.1f" r.reduction_percent;
+        ])
+    rows;
+  table
+
+let server_table rows =
+  let open Agg_util in
+  let table =
+    Table.create ~title:"Headline: server hit-rate improvement (g5 vs LRU)"
+      ~columns:[ "workload"; "filter"; "lru hit %"; "g5 hit %"; "improvement %" ]
+  in
+  List.iter
+    (fun r ->
+      Table.add_row table
+        [
+          r.workload;
+          string_of_int r.filter_capacity;
+          Printf.sprintf "%.1f" r.lru_hit_rate;
+          Printf.sprintf "%.1f" r.g5_hit_rate;
+          (if Float.is_integer r.improvement_percent || Float.is_finite r.improvement_percent then
+             Printf.sprintf "%.0f" r.improvement_percent
+           else "inf");
+        ])
+    rows;
+  table

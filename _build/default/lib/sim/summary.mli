@@ -1,0 +1,30 @@
+(** The headline numbers of the paper's abstract and conclusions,
+    recomputed from the simulations: client demand-fetch reduction from
+    grouping, and server hit-rate improvement over LRU under intervening
+    caches. *)
+
+type client_row = {
+  workload : string;
+  capacity : int;
+  lru_fetches : int;
+  g5_fetches : int;
+  reduction_percent : float;
+}
+
+type server_row = {
+  workload : string;
+  filter_capacity : int;
+  lru_hit_rate : float;  (** percent *)
+  g5_hit_rate : float;  (** percent *)
+  improvement_percent : float;  (** relative improvement of g5 over LRU *)
+}
+
+val client_rows : ?settings:Experiment.settings -> ?capacity:int -> unit -> client_row list
+(** One row per workload at the given client cache capacity (default 300). *)
+
+val server_rows :
+  ?settings:Experiment.settings -> ?filter_capacities:int list -> unit -> server_row list
+(** Rows for every (workload, filter capacity) combination. *)
+
+val client_table : client_row list -> Agg_util.Table.t
+val server_table : server_row list -> Agg_util.Table.t

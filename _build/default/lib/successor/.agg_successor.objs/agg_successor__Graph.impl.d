@@ -1,0 +1,1 @@
+lib/successor/graph.ml: Agg_trace Hashtbl List Option

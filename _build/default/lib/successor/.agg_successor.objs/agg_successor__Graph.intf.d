@@ -1,0 +1,1 @@
+lib/successor/graph.mli: Agg_trace

@@ -1,0 +1,1 @@
+lib/successor/grouping.ml: Agg_trace Agg_util Format Graph Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/successor/grouping.mli: Agg_trace Format Graph Hashtbl

@@ -1,0 +1,1 @@
+lib/successor/oracle.ml: Hashtbl

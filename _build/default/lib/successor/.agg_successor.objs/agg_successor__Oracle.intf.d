@@ -1,0 +1,1 @@
+lib/successor/oracle.mli: Agg_trace

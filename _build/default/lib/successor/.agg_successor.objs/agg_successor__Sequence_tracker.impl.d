@@ -1,0 +1,1 @@
+lib/successor/sequence_tracker.ml: Agg_util Array Dlist Hashtbl

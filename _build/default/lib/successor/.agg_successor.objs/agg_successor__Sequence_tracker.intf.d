@@ -1,0 +1,1 @@
+lib/successor/sequence_tracker.mli: Agg_trace

@@ -1,0 +1,1 @@
+lib/successor/successor_list.ml: Agg_util Dlist Hashtbl List

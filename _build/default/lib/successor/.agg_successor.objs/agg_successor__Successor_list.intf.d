@@ -1,0 +1,1 @@
+lib/successor/successor_list.mli: Agg_trace

@@ -1,0 +1,1 @@
+lib/successor/tracker.ml: Agg_trace Hashtbl List Successor_list

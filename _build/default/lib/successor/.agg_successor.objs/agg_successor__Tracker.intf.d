@@ -1,0 +1,1 @@
+lib/successor/tracker.mli: Agg_trace Successor_list

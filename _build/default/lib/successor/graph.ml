@@ -1,0 +1,78 @@
+type t = {
+  edges : (int, (int, int) Hashtbl.t) Hashtbl.t; (* src -> dst -> weight *)
+  accesses : (int, int) Hashtbl.t;
+  mutable edge_total : int;
+}
+
+let create () = { edges = Hashtbl.create 4096; accesses = Hashtbl.create 4096; edge_total = 0 }
+
+let bump table key by =
+  let v = Option.value ~default:0 (Hashtbl.find_opt table key) in
+  Hashtbl.replace table key (v + by)
+
+let add_observation t ~src ~dst =
+  let out =
+    match Hashtbl.find_opt t.edges src with
+    | Some o -> o
+    | None ->
+        let o = Hashtbl.create 8 in
+        Hashtbl.replace t.edges src o;
+        o
+  in
+  if not (Hashtbl.mem out dst) then t.edge_total <- t.edge_total + 1;
+  bump out dst 1
+
+let record_access t file = bump t.accesses file 1
+
+let of_trace trace =
+  let t = create () in
+  let prev = ref None in
+  Agg_trace.Trace.iter
+    (fun (e : Agg_trace.Event.t) ->
+      record_access t e.file;
+      (match !prev with Some p -> add_observation t ~src:p ~dst:e.file | None -> ());
+      prev := Some e.file)
+    trace;
+  t
+
+let weight t ~src ~dst =
+  match Hashtbl.find_opt t.edges src with
+  | Some out -> Option.value ~default:0 (Hashtbl.find_opt out dst)
+  | None -> 0
+
+let out_degree t file =
+  match Hashtbl.find_opt t.edges file with Some out -> Hashtbl.length out | None -> 0
+
+let node_count t =
+  let seen = Hashtbl.create 1024 in
+  Hashtbl.iter
+    (fun src out ->
+      Hashtbl.replace seen src ();
+      Hashtbl.iter (fun dst _ -> Hashtbl.replace seen dst ()) out)
+    t.edges;
+  Hashtbl.iter (fun file _ -> Hashtbl.replace seen file ()) t.accesses;
+  Hashtbl.length seen
+
+let edge_count t = t.edge_total
+
+let nodes t =
+  let seen = Hashtbl.create 1024 in
+  Hashtbl.iter
+    (fun src out ->
+      Hashtbl.replace seen src ();
+      Hashtbl.iter (fun dst _ -> Hashtbl.replace seen dst ()) out)
+    t.edges;
+  Hashtbl.iter (fun file _ -> Hashtbl.replace seen file ()) t.accesses;
+  List.sort compare (Hashtbl.fold (fun file () acc -> file :: acc) seen [])
+
+let successors_by_strength t file =
+  match Hashtbl.find_opt t.edges file with
+  | None -> []
+  | Some out ->
+      let all = Hashtbl.fold (fun dst w acc -> (dst, w) :: acc) out [] in
+      List.sort (fun (d1, w1) (d2, w2) -> match compare w2 w1 with 0 -> compare d1 d2 | c -> c) all
+
+let access_count t file = Option.value ~default:0 (Hashtbl.find_opt t.accesses file)
+
+let iter_edges t f =
+  Hashtbl.iter (fun src out -> Hashtbl.iter (fun dst weight -> f ~src ~dst ~weight) out) t.edges

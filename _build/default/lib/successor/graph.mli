@@ -1,0 +1,32 @@
+(** The inter-file relationship graph of paper §2.1 (Fig. 1): a weighted
+    directed graph in which the weight of edge (a, b) is the number of
+    times [b] immediately followed [a], i.e. the strength of the
+    succession relationship. *)
+
+type t
+
+val create : unit -> t
+val of_trace : Agg_trace.Trace.t -> t
+
+val add_observation : t -> src:Agg_trace.File_id.t -> dst:Agg_trace.File_id.t -> unit
+(** Increment the weight of edge (src, dst). *)
+
+val weight : t -> src:Agg_trace.File_id.t -> dst:Agg_trace.File_id.t -> int
+(** [0] when the edge is absent. *)
+
+val out_degree : t -> Agg_trace.File_id.t -> int
+val node_count : t -> int
+val edge_count : t -> int
+
+val nodes : t -> Agg_trace.File_id.t list
+(** All files appearing as a source or destination. *)
+
+val successors_by_strength : t -> Agg_trace.File_id.t -> (Agg_trace.File_id.t * int) list
+(** Out-edges of a node, strongest first (ties broken by smaller id, so
+    the order is deterministic). *)
+
+val access_count : t -> Agg_trace.File_id.t -> int
+(** Number of times the file was observed (as an access, i.e. as a source
+    occurrence plus the final access of the trace). *)
+
+val iter_edges : t -> (src:Agg_trace.File_id.t -> dst:Agg_trace.File_id.t -> weight:int -> unit) -> unit

@@ -1,0 +1,146 @@
+type group = { anchor : Agg_trace.File_id.t; members : Agg_trace.File_id.t list }
+
+let group_of graph ~size anchor =
+  if size <= 0 then invalid_arg "Grouping.group_of: size must be positive";
+  let seen = Hashtbl.create 16 in
+  Hashtbl.replace seen anchor ();
+  let members = ref [ anchor ] in
+  let count = ref 1 in
+  let add file =
+    if !count < size && not (Hashtbl.mem seen file) then begin
+      Hashtbl.replace seen file ();
+      members := file :: !members;
+      incr count
+    end
+  in
+  (* Direct successors of the anchor, strongest first. *)
+  List.iter (fun (dst, _) -> add dst) (Graph.successors_by_strength graph anchor);
+  (* Extend transitively from the chain tail while the group is short:
+     strongest successor of the most recently added member. *)
+  let rec extend last guard =
+    if !count < size && guard > 0 then
+      match Graph.successors_by_strength graph last with
+      | (next, _) :: _ when not (Hashtbl.mem seen next) ->
+          add next;
+          extend next (guard - 1)
+      | (next, _) :: rest ->
+          (* Chain re-entered the group; try the next strongest branch. *)
+          (match List.find_opt (fun (d, _) -> not (Hashtbl.mem seen d)) ((next, 0) :: rest) with
+          | Some (d, _) ->
+              add d;
+              extend d (guard - 1)
+          | None -> ())
+      | [] -> ()
+  in
+  (match List.rev !members with
+  | _anchor :: tail when !count < size -> (
+      match List.rev tail with last :: _ -> extend last (4 * size) | [] -> extend anchor (4 * size))
+  | _ -> ());
+  { anchor; members = List.rev !members }
+
+let cover graph ~size =
+  let nodes = Graph.nodes graph in
+  let by_popularity =
+    List.sort
+      (fun a b -> compare (Graph.access_count graph b) (Graph.access_count graph a))
+      nodes
+  in
+  let covered = Hashtbl.create 1024 in
+  let emit acc anchor =
+    if Hashtbl.mem covered anchor then acc
+    else begin
+      let g = group_of graph ~size anchor in
+      List.iter (fun m -> Hashtbl.replace covered m ()) g.members;
+      g :: acc
+    end
+  in
+  List.rev (List.fold_left emit [] by_popularity)
+
+(* Like [group_of] but drawing only from unclaimed files. *)
+let disjoint_group_of graph ~size ~claimed anchor =
+  let members = ref [ anchor ] in
+  let count = ref 1 in
+  Hashtbl.replace claimed anchor ();
+  let add file =
+    if !count < size && not (Hashtbl.mem claimed file) then begin
+      Hashtbl.replace claimed file ();
+      members := file :: !members;
+      incr count
+    end
+  in
+  List.iter (fun (dst, _) -> add dst) (Graph.successors_by_strength graph anchor);
+  let rec extend last guard =
+    if !count < size && guard > 0 then
+      match
+        List.find_opt
+          (fun (d, _) -> not (Hashtbl.mem claimed d))
+          (Graph.successors_by_strength graph last)
+      with
+      | Some (next, _) ->
+          add next;
+          extend next (guard - 1)
+      | None -> ()
+  in
+  (match !members with last :: _ when !count < size -> extend last (4 * size) | _ -> ());
+  { anchor; members = List.rev !members }
+
+let partition graph ~size =
+  if size <= 0 then invalid_arg "Grouping.partition: size must be positive";
+  let claimed = Hashtbl.create 1024 in
+  let by_popularity =
+    List.sort
+      (fun a b -> compare (Graph.access_count graph b) (Graph.access_count graph a))
+      (Graph.nodes graph)
+  in
+  List.rev
+    (List.fold_left
+       (fun acc anchor ->
+         if Hashtbl.mem claimed anchor then acc
+         else disjoint_group_of graph ~size ~claimed anchor :: acc)
+       [] by_popularity)
+
+let membership groups =
+  let table = Hashtbl.create 1024 in
+  List.iter
+    (fun group ->
+      List.iter
+        (fun file -> if not (Hashtbl.mem table file) then Hashtbl.replace table file group)
+        group.members)
+    groups;
+  table
+
+type cover_stats = {
+  groups : int;
+  covered_nodes : int;
+  mean_group_size : float;
+  overlapping_nodes : int;
+  max_memberships : int;
+}
+
+let cover_stats groups =
+  let memberships = Hashtbl.create 1024 in
+  let total_size = ref 0 in
+  List.iter
+    (fun g ->
+      List.iter
+        (fun m ->
+          total_size := !total_size + 1;
+          let c = Option.value ~default:0 (Hashtbl.find_opt memberships m) in
+          Hashtbl.replace memberships m (c + 1))
+        g.members)
+    groups;
+  let covered = Hashtbl.length memberships in
+  let overlapping = Hashtbl.fold (fun _ c acc -> if c > 1 then acc + 1 else acc) memberships 0 in
+  let max_m = Hashtbl.fold (fun _ c acc -> max c acc) memberships 0 in
+  {
+    groups = List.length groups;
+    covered_nodes = covered;
+    mean_group_size = Agg_util.Stats.ratio !total_size (List.length groups);
+    overlapping_nodes = overlapping;
+    max_memberships = max_m;
+  }
+
+let pp_group ppf g =
+  Format.fprintf ppf "{anchor=%a members=[%a]}" Agg_trace.File_id.pp g.anchor
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ") Agg_trace.File_id.pp)
+    g.members

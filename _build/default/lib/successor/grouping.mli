@@ -1,0 +1,46 @@
+(** Static group construction over a relationship graph (paper §2.1):
+    a *minimal covering set* of groups of a target size, explicitly
+    allowing overlap — a popular file (a shell, [make]) may belong to
+    many groups, which disjoint partitioning would forbid. *)
+
+type group = {
+  anchor : Agg_trace.File_id.t;  (** the file whose successors seeded the group *)
+  members : Agg_trace.File_id.t list;  (** anchor first, then strongest relations *)
+}
+
+val group_of : Graph.t -> size:int -> Agg_trace.File_id.t -> group
+(** [group_of g ~size anchor] is the anchor plus up to [size - 1] related
+    files: its strongest immediate successors, extended transitively
+    (strongest successor of the last member, and so on) when the anchor
+    has fewer than [size - 1] direct successors.
+    @raise Invalid_argument when [size <= 0]. *)
+
+val cover : Graph.t -> size:int -> group list
+(** [cover g ~size] is a covering set of groups: every node of [g] appears
+    in at least one group. Greedy, most-accessed anchors first; a node
+    already covered by an earlier group does not get its own group (that
+    is what keeps the cover small), but may still appear inside later
+    groups — overlap is allowed by design. *)
+
+val partition : Graph.t -> size:int -> group list
+(** [partition g ~size] is a *disjoint* grouping — every node in exactly
+    one group — built greedily like {!cover} but claiming each file for
+    the first group that takes it. This is the traditional placement-style
+    grouping that §2.1 argues against: a popular shared file lands in one
+    working set's group and is torn away from all the others. Provided as
+    the comparison point for that claim. *)
+
+val membership : group list -> (Agg_trace.File_id.t, group) Hashtbl.t
+(** File → the first group containing it (the only one, for a
+    partition). *)
+
+type cover_stats = {
+  groups : int;
+  covered_nodes : int;
+  mean_group_size : float;
+  overlapping_nodes : int;  (** nodes appearing in more than one group *)
+  max_memberships : int;  (** group count of the most-shared node *)
+}
+
+val cover_stats : group list -> cover_stats
+val pp_group : Format.formatter -> group -> unit

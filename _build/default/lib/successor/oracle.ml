@@ -1,0 +1,20 @@
+type t = (int, (int, unit) Hashtbl.t) Hashtbl.t
+
+let create () : t = Hashtbl.create 1024
+
+let observe t ~file ~successor =
+  let set =
+    match Hashtbl.find_opt t file with
+    | Some s -> s
+    | None ->
+        let s = Hashtbl.create 8 in
+        Hashtbl.replace t file s;
+        s
+  in
+  Hashtbl.replace set successor ()
+
+let mem t ~file ~successor =
+  match Hashtbl.find_opt t file with Some s -> Hashtbl.mem s successor | None -> false
+
+let successor_count t file =
+  match Hashtbl.find_opt t file with Some s -> Hashtbl.length s | None -> 0

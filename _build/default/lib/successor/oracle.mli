@@ -1,0 +1,17 @@
+(** The Fig. 5 oracle: perfect, unbounded memory of every immediate
+    successor ever observed per file. It misses only on successors never
+    seen before — the best any online scheme can do regardless of
+    state-space limits. *)
+
+type t
+
+val create : unit -> t
+
+val observe : t -> file:Agg_trace.File_id.t -> successor:Agg_trace.File_id.t -> unit
+(** Record that [successor] immediately followed [file]. *)
+
+val mem : t -> file:Agg_trace.File_id.t -> successor:Agg_trace.File_id.t -> bool
+(** Has [successor] ever been observed to follow [file]? *)
+
+val successor_count : t -> Agg_trace.File_id.t -> int
+(** Number of distinct successors recorded for [file]. *)

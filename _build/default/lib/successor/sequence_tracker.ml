@@ -1,0 +1,97 @@
+open Agg_util
+
+(* Per-file storage: a bounded recency list of symbols (int lists),
+   deduplicated so a repeated symbol moves to the front instead of
+   occupying two slots. *)
+type file_entry = {
+  order : int list Dlist.t;
+  nodes : (int list, int list Dlist.node) Hashtbl.t;
+}
+
+type t = {
+  length : int;
+  capacity : int;
+  files : (int, file_entry) Hashtbl.t;
+  (* ring of the last [length + 1] observations; when full, the oldest
+     file's symbol (the following [length] accesses) is complete *)
+  ring : int array;
+  mutable ring_len : int;
+}
+
+let create ?(capacity = 8) ~length () =
+  if length <= 0 then invalid_arg "Sequence_tracker.create: length must be positive";
+  if capacity <= 0 then invalid_arg "Sequence_tracker.create: capacity must be positive";
+  {
+    length;
+    capacity;
+    files = Hashtbl.create 4096;
+    ring = Array.make (length + 1) 0;
+    ring_len = 0;
+  }
+
+let length t = t.length
+
+let entry_for t file =
+  match Hashtbl.find_opt t.files file with
+  | Some e -> e
+  | None ->
+      let e = { order = Dlist.create (); nodes = Hashtbl.create 8 } in
+      Hashtbl.replace t.files file e;
+      e
+
+let commit t file symbol =
+  let e = entry_for t file in
+  match Hashtbl.find_opt e.nodes symbol with
+  | Some node -> Dlist.move_to_front e.order node
+  | None ->
+      if Dlist.length e.order >= t.capacity then begin
+        match Dlist.pop_back e.order with
+        | Some victim -> Hashtbl.remove e.nodes victim
+        | None -> ()
+      end;
+      Hashtbl.replace e.nodes symbol (Dlist.push_front e.order symbol)
+
+let observe t file =
+  (* the ring is never full on entry: completing a window drains one slot *)
+  let cap = Array.length t.ring in
+  t.ring.(t.ring_len) <- file;
+  t.ring_len <- t.ring_len + 1;
+  if t.ring_len = cap then begin
+    (* the oldest entry's successor window is now complete *)
+    let owner = t.ring.(0) in
+    let symbol = Array.to_list (Array.sub t.ring 1 t.length) in
+    commit t owner symbol;
+    (* slide: drop the owner *)
+    Array.blit t.ring 1 t.ring 0 (cap - 1);
+    t.ring_len <- cap - 1
+  end
+
+let sequences t file =
+  match Hashtbl.find_opt t.files file with Some e -> Dlist.to_list e.order | None -> []
+
+let predict t file =
+  match sequences t file with [] -> None | symbol :: _ -> Some symbol
+
+type accuracy = { opportunities : int; full_matches : int; first_matches : int }
+
+let measure ~length ?capacity files =
+  let t = create ?capacity ~length () in
+  let n = Array.length files in
+  let opportunities = ref 0 in
+  let full = ref 0 in
+  let first = ref 0 in
+  for i = 0 to n - 1 do
+    if i + length < n then begin
+      match predict t files.(i) with
+      | Some symbol ->
+          incr opportunities;
+          let actual = Array.to_list (Array.sub files (i + 1) length) in
+          if symbol = actual then incr full;
+          (match symbol with
+          | head :: _ when head = files.(i + 1) -> incr first
+          | _ -> ())
+      | None -> ()
+    end;
+    observe t files.(i)
+  done;
+  { opportunities = !opportunities; full_matches = !full; first_matches = !first }

@@ -1,0 +1,118 @@
+open Agg_util
+
+type policy = Recency | Frequency
+
+let policy_name = function Recency -> "lru" | Frequency -> "lfu"
+
+(* [Recency] is an LRU list over successor ids: the list *is* the state.
+
+   [Frequency] keeps the k *most frequent* successors seen so far, per the
+   paper's description ("maintains a list of the most frequent
+   successors"): full counts are remembered for every successor ever
+   observed, and a newcomer enters the list only when its count overtakes
+   the current minimum (most recent wins ties). This idealised frequency
+   policy needs unbounded counters — which itself illustrates the paper's
+   point that a small recency list is the cheaper *and* better choice. *)
+
+type entry = { mutable count : int; mutable tick : int }
+
+type t = {
+  capacity : int;
+  policy : policy;
+  order : int Dlist.t; (* Recency only: most recent at front *)
+  nodes : (int, int Dlist.node) Hashtbl.t; (* Recency only *)
+  counts : (int, entry) Hashtbl.t; (* Frequency only: all successors ever *)
+  members : (int, unit) Hashtbl.t; (* Frequency only: the current top-k *)
+  mutable clock : int;
+}
+
+let create ~capacity ~policy =
+  if capacity <= 0 then invalid_arg "Successor_list.create: capacity must be positive";
+  {
+    capacity;
+    policy;
+    order = Dlist.create ();
+    nodes = Hashtbl.create (2 * capacity);
+    counts = Hashtbl.create 16;
+    members = Hashtbl.create (2 * capacity);
+    clock = 0;
+  }
+
+let capacity t = t.capacity
+
+let size t =
+  match t.policy with Recency -> Dlist.length t.order | Frequency -> Hashtbl.length t.members
+
+let mem t succ =
+  match t.policy with
+  | Recency -> Hashtbl.mem t.nodes succ
+  | Frequency -> Hashtbl.mem t.members succ
+
+let observe_recency t succ =
+  match Hashtbl.find_opt t.nodes succ with
+  | Some node -> Dlist.move_to_front t.order node
+  | None ->
+      if Dlist.length t.order >= t.capacity then begin
+        match Dlist.pop_back t.order with
+        | Some victim -> Hashtbl.remove t.nodes victim
+        | None -> ()
+      end;
+      Hashtbl.replace t.nodes succ (Dlist.push_front t.order succ)
+
+(* The list member with the smallest (count, tick): the one a newcomer
+   must beat. Linear in k, and k is at most ~10. *)
+let weakest_member t =
+  Hashtbl.fold
+    (fun key () acc ->
+      let entry = Hashtbl.find t.counts key in
+      match acc with
+      | None -> Some (key, entry)
+      | Some (_, best) ->
+          if entry.count < best.count || (entry.count = best.count && entry.tick < best.tick)
+          then Some (key, entry)
+          else acc)
+    t.members None
+
+let observe_frequency t succ =
+  t.clock <- t.clock + 1;
+  let entry =
+    match Hashtbl.find_opt t.counts succ with
+    | Some e ->
+        e.count <- e.count + 1;
+        e.tick <- t.clock;
+        e
+    | None ->
+        let e = { count = 1; tick = t.clock } in
+        Hashtbl.replace t.counts succ e;
+        e
+  in
+  if not (Hashtbl.mem t.members succ) then
+    if Hashtbl.length t.members < t.capacity then Hashtbl.replace t.members succ ()
+    else
+      match weakest_member t with
+      | Some (victim, weakest)
+        when entry.count > weakest.count
+             || (entry.count = weakest.count && entry.tick > weakest.tick) ->
+          Hashtbl.remove t.members victim;
+          Hashtbl.replace t.members succ ()
+      | Some _ | None -> ()
+
+let observe t succ =
+  match t.policy with Recency -> observe_recency t succ | Frequency -> observe_frequency t succ
+
+let ranked t =
+  match t.policy with
+  | Recency -> Dlist.to_list t.order
+  | Frequency ->
+      let all =
+        Hashtbl.fold (fun key () acc -> (key, Hashtbl.find t.counts key) :: acc) t.members []
+      in
+      let cmp (_, a) (_, b) =
+        match compare b.count a.count with 0 -> compare b.tick a.tick | c -> c
+      in
+      List.map fst (List.sort cmp all)
+
+let top t =
+  match t.policy with
+  | Recency -> Dlist.peek_front t.order
+  | Frequency -> ( match ranked t with [] -> None | s :: _ -> Some s)

@@ -1,0 +1,31 @@
+(** A per-file list of potential immediate successors with a small fixed
+    capacity (paper §3, §4.4). The replacement policy for this *metadata*
+    is the paper's central design question: recency (LRU) versus frequency
+    (LFU); recency wins consistently (Fig. 5). *)
+
+type policy =
+  | Recency  (** keep the most recently observed successors (LRU) *)
+  | Frequency  (** keep the most frequently observed successors (LFU) *)
+
+val policy_name : policy -> string
+
+type t
+
+val create : capacity:int -> policy:policy -> t
+(** @raise Invalid_argument when [capacity <= 0]. *)
+
+val capacity : t -> int
+val size : t -> int
+
+val observe : t -> Agg_trace.File_id.t -> unit
+(** [observe t succ] records that [succ] just followed this list's file,
+    updating ranks and evicting per the policy when full. *)
+
+val mem : t -> Agg_trace.File_id.t -> bool
+
+val ranked : t -> Agg_trace.File_id.t list
+(** Successors most-likely first: by recency under [Recency], by
+    observation count (most recent first on ties) under [Frequency]. *)
+
+val top : t -> Agg_trace.File_id.t option
+(** The most likely successor, if any. *)

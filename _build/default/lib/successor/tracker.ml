@@ -1,0 +1,58 @@
+type t = {
+  capacity : int;
+  policy : Successor_list.policy;
+  per_client : bool;
+  lists : (int, Successor_list.t) Hashtbl.t;
+  contexts : (int, int) Hashtbl.t; (* client id (0 when global) -> previous file *)
+}
+
+let create ?(capacity = 8) ?(policy = Successor_list.Recency) ?(per_client = false) () =
+  if capacity <= 0 then invalid_arg "Tracker.create: capacity must be positive";
+  { capacity; policy; per_client; lists = Hashtbl.create 4096; contexts = Hashtbl.create 16 }
+
+let capacity t = t.capacity
+let policy t = t.policy
+
+let list_for t file =
+  match Hashtbl.find_opt t.lists file with
+  | Some l -> l
+  | None ->
+      let l = Successor_list.create ~capacity:t.capacity ~policy:t.policy in
+      Hashtbl.replace t.lists file l;
+      l
+
+let observe t ?(client = 0) file =
+  let context_key = if t.per_client then client else 0 in
+  (match Hashtbl.find_opt t.contexts context_key with
+  | Some prev -> Successor_list.observe (list_for t prev) file
+  | None -> ());
+  Hashtbl.replace t.contexts context_key file
+
+let observe_event t (e : Agg_trace.Event.t) = observe t ~client:e.client e.file
+let observe_trace t trace = Agg_trace.Trace.iter (observe_event t) trace
+
+let successors t file =
+  match Hashtbl.find_opt t.lists file with Some l -> Successor_list.ranked l | None -> []
+
+let top_successor t file =
+  match Hashtbl.find_opt t.lists file with Some l -> Successor_list.top l | None -> None
+
+let transitive_successors t file ~length =
+  if length < 0 then invalid_arg "Tracker.transitive_successors: negative length";
+  let seen = Hashtbl.create 16 in
+  Hashtbl.replace seen file ();
+  let rec follow current acc remaining =
+    if remaining = 0 then List.rev acc
+    else
+      match top_successor t current with
+      | Some next when not (Hashtbl.mem seen next) ->
+          Hashtbl.replace seen next ();
+          follow next (next :: acc) (remaining - 1)
+      | Some _ | None -> List.rev acc
+  in
+  follow file [] length
+
+let tracked_files t =
+  Hashtbl.fold (fun _ l acc -> if Successor_list.size l > 0 then acc + 1 else acc) t.lists 0
+
+let reset_context t = Hashtbl.reset t.contexts

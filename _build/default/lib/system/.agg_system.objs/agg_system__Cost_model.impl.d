@@ -1,0 +1,1 @@
+lib/system/cost_model.ml: Format

@@ -1,0 +1,1 @@
+lib/system/fleet.ml: Agg_cache Agg_core Agg_successor Agg_trace Agg_util Array Format List

@@ -1,0 +1,1 @@
+lib/system/fleet.mli: Agg_cache Agg_core Agg_trace Format

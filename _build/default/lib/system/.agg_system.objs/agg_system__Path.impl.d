@@ -1,0 +1,1 @@
+lib/system/path.ml: Agg_cache Agg_core Agg_successor Agg_trace Agg_util Array Cost_model Float Format List

@@ -1,0 +1,1 @@
+lib/system/path.mli: Agg_trace Cost_model Format

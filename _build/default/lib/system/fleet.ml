@@ -1,0 +1,178 @@
+module Cache = Agg_cache.Cache
+module Tracker = Agg_successor.Tracker
+
+type client_scheme =
+  | Client_plain of Agg_cache.Cache.kind
+  | Client_aggregating of Agg_core.Config.t
+
+type server_scheme =
+  | Server_plain of Agg_cache.Cache.kind
+  | Server_aggregating of Agg_core.Config.t
+
+type config = {
+  clients : int;
+  client_capacity : int;
+  client_scheme : client_scheme;
+  server_capacity : int;
+  server_scheme : server_scheme;
+  per_client_metadata : bool;
+  write_invalidation : bool;
+}
+
+let default_config =
+  {
+    clients = 4;
+    client_capacity = 150;
+    client_scheme = Client_aggregating Agg_core.Config.default;
+    server_capacity = 300;
+    server_scheme = Server_aggregating Agg_core.Config.default;
+    per_client_metadata = true;
+    write_invalidation = true;
+  }
+
+type result = {
+  accesses : int;
+  client_hits : int;
+  server_requests : int;
+  server_hits : int;
+  store_fetches : int;
+  invalidations : int;
+  per_client_hit_rate : (int * float) list;
+}
+
+type client_state = { cache : Cache.t; mutable accesses : int; mutable hits : int }
+
+type state = {
+  config : config;
+  client_states : client_state array;
+  server : Cache.t;
+  tracker : Tracker.t; (* server-side metadata over the request stream *)
+  mutable server_requests : int;
+  mutable server_hits : int;
+  mutable store_fetches : int;
+  mutable invalidations : int;
+}
+
+let make_state config =
+  if config.clients <= 0 then invalid_arg "Fleet.run: clients must be positive";
+  let client_kind =
+    match config.client_scheme with
+    | Client_plain kind -> kind
+    | Client_aggregating c ->
+        Agg_core.Config.validate c;
+        c.Agg_core.Config.cache_kind
+  in
+  let server_kind =
+    match config.server_scheme with
+    | Server_plain kind -> kind
+    | Server_aggregating c ->
+        Agg_core.Config.validate c;
+        c.Agg_core.Config.cache_kind
+  in
+  let metadata_config =
+    match (config.client_scheme, config.server_scheme) with
+    | Client_aggregating c, _ | _, Server_aggregating c -> c
+    | _ -> Agg_core.Config.default
+  in
+  {
+    config;
+    client_states =
+      Array.init config.clients (fun _ ->
+          { cache = Cache.create client_kind ~capacity:config.client_capacity; accesses = 0; hits = 0 });
+    server = Cache.create server_kind ~capacity:config.server_capacity;
+    tracker =
+      Tracker.create
+        ~capacity:metadata_config.Agg_core.Config.successor_capacity
+        ~policy:metadata_config.Agg_core.Config.metadata_policy
+        ~per_client:config.per_client_metadata ();
+    server_requests = 0;
+    server_hits = 0;
+    store_fetches = 0;
+    invalidations = 0;
+  }
+
+(* a write at one client breaks every other client's cached copy *)
+let invalidate_others st ~writer file =
+  Array.iteri
+    (fun i cs ->
+      if i <> writer && Cache.mem cs.cache file then begin
+        Cache.remove cs.cache file;
+        st.invalidations <- st.invalidations + 1
+      end)
+    st.client_states
+
+let serve st ~client file =
+  st.server_requests <- st.server_requests + 1;
+  Tracker.observe st.tracker ~client file;
+  let group =
+    match st.config.client_scheme with
+    | Client_aggregating c ->
+        Agg_core.Group_builder.build st.tracker ~group_size:c.Agg_core.Config.group_size file
+    | Client_plain _ -> [ file ]
+  in
+  if Cache.access st.server file then st.server_hits <- st.server_hits + 1
+  else begin
+    st.store_fetches <- st.store_fetches + 1;
+    (* an aggregating server stages its own (possibly longer) group *)
+    match st.config.server_scheme with
+    | Server_aggregating c ->
+        let staged =
+          Agg_core.Group_builder.build st.tracker ~group_size:c.Agg_core.Config.group_size file
+        in
+        let members = match staged with _ :: rest -> rest | [] -> [] in
+        List.iter
+          (fun m -> if not (Cache.mem st.server m) then st.store_fetches <- st.store_fetches + 1)
+          members;
+        ignore (Cache.insert_cold_group st.server members)
+    | Server_plain _ -> ()
+  end;
+  (* group members travel to the requesting client; absent ones are read
+     from the store (or the server cache) on the way *)
+  let members = match group with _ :: rest -> rest | [] -> [] in
+  List.iter
+    (fun m ->
+      if not (Cache.mem st.server m) then begin
+        st.store_fetches <- st.store_fetches + 1;
+        Cache.insert_cold st.server m
+      end)
+    members;
+  let client_cache = st.client_states.(client).cache in
+  ignore (Cache.insert_cold_group client_cache members)
+
+let access st (e : Agg_trace.Event.t) =
+  let client = e.Agg_trace.Event.client mod st.config.clients in
+  let cs = st.client_states.(client) in
+  cs.accesses <- cs.accesses + 1;
+  if Cache.access cs.cache e.Agg_trace.Event.file then cs.hits <- cs.hits + 1
+  else serve st ~client e.Agg_trace.Event.file;
+  if st.config.write_invalidation && Agg_trace.Event.is_write e then
+    invalidate_others st ~writer:client e.Agg_trace.Event.file
+
+let run config trace =
+  let st = make_state config in
+  Agg_trace.Trace.iter (access st) trace;
+  let accesses = Array.fold_left (fun acc cs -> acc + cs.accesses) 0 st.client_states in
+  let client_hits = Array.fold_left (fun acc cs -> acc + cs.hits) 0 st.client_states in
+  {
+    accesses;
+    client_hits;
+    server_requests = st.server_requests;
+    server_hits = st.server_hits;
+    store_fetches = st.store_fetches;
+    invalidations = st.invalidations;
+    per_client_hit_rate =
+      Array.to_list
+        (Array.mapi (fun i cs -> (i, Agg_util.Stats.ratio cs.hits cs.accesses)) st.client_states);
+  }
+
+let client_hit_rate (r : result) = Agg_util.Stats.ratio r.client_hits r.accesses
+let server_hit_rate (r : result) = Agg_util.Stats.ratio r.server_hits r.server_requests
+
+let pp_result ppf (r : result) =
+  Format.fprintf ppf
+    "accesses=%d client_hits=%d (%.1f%%) server: %d requests, %d hits (%.1f%%), %d store fetches, %d invalidations"
+    r.accesses r.client_hits
+    (100.0 *. client_hit_rate r)
+    r.server_requests r.server_hits
+    (100.0 *. server_hit_rate r)
+    r.store_fetches r.invalidations

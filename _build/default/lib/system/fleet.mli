@@ -1,0 +1,50 @@
+(** A fleet of client machines sharing one file server — the full
+    distributed setting of the paper's Fig. 2, generalising the
+    single-filter model of §4.3 to many caches, with optional Coda-style
+    write invalidation (a write breaks other clients' cached copies).
+
+    Events are routed to clients by their [client] id; [remap_clients]
+    folds the trace's client ids onto a smaller fleet, which makes the
+    related-work scale question (Wolman et al.: how do shared caches
+    behave as the population grows?) directly measurable. *)
+
+type client_scheme =
+  | Client_plain of Agg_cache.Cache.kind
+  | Client_aggregating of Agg_core.Config.t
+      (** group retrieval on client misses, metadata held at the server *)
+
+type server_scheme =
+  | Server_plain of Agg_cache.Cache.kind
+  | Server_aggregating of Agg_core.Config.t
+
+type config = {
+  clients : int;  (** fleet size; trace client ids are taken modulo this *)
+  client_capacity : int;
+  client_scheme : client_scheme;
+  server_capacity : int;
+  server_scheme : server_scheme;
+  per_client_metadata : bool;
+      (** keep a separate successor context per client at the server
+          (§2.2's "identity of the driving client" model choice) *)
+  write_invalidation : bool;
+      (** writes invalidate the file in every *other* client cache *)
+}
+
+val default_config : config
+(** 4 clients of 150 files (aggregating, g = 5), a 300-file aggregating
+    server, per-client metadata, write invalidation on. *)
+
+type result = {
+  accesses : int;
+  client_hits : int;
+  server_requests : int;
+  server_hits : int;
+  store_fetches : int;
+  invalidations : int;  (** cached copies broken by writes elsewhere *)
+  per_client_hit_rate : (int * float) list;  (** client id, hit rate *)
+}
+
+val client_hit_rate : result -> float
+val server_hit_rate : result -> float
+val run : config -> Agg_trace.Trace.t -> result
+val pp_result : Format.formatter -> result -> unit

@@ -1,0 +1,144 @@
+module Cache = Agg_cache.Cache
+module Tracker = Agg_successor.Tracker
+
+type deployment = [ `Baseline | `Aggregating_client | `Aggregating_both ]
+
+let deployment_name = function
+  | `Baseline -> "baseline"
+  | `Aggregating_client -> "agg-client"
+  | `Aggregating_both -> "agg-both"
+
+type config = {
+  cost : Cost_model.t;
+  client_capacity : int;
+  server_capacity : int;
+  deployment : deployment;
+  group_size : int;
+}
+
+let default_config =
+  {
+    cost = Cost_model.lan;
+    client_capacity = 300;
+    server_capacity = 1000;
+    deployment = `Baseline;
+    group_size = 5;
+  }
+
+type result = {
+  accesses : int;
+  client_hits : int;
+  server_hits : int;
+  disk_reads : int;
+  files_transferred : int;
+  round_trips : int;
+  mean_latency : float;
+  p95_latency : float;
+  p99_latency : float;
+}
+
+type state = {
+  config : config;
+  client : Cache.t;
+  server : Cache.t;
+  tracker : Tracker.t;
+  latencies : float Agg_util.Vec.t;
+  mutable client_hits : int;
+  mutable server_hits : int;
+  mutable disk_reads : int;
+  mutable files_transferred : int;
+  mutable round_trips : int;
+}
+
+let make_state config =
+  {
+    config;
+    client = Cache.create Cache.Lru ~capacity:config.client_capacity;
+    server = Cache.create Cache.Lru ~capacity:config.server_capacity;
+    tracker = Tracker.create ();
+    latencies = Agg_util.Vec.create ();
+    client_hits = 0;
+    server_hits = 0;
+    disk_reads = 0;
+    files_transferred = 0;
+    round_trips = 0;
+  }
+
+(* Serve group members at the server: anything absent comes off the disk
+   and is staged cold into the server cache. *)
+let stage_members st members =
+  List.iter (fun m -> if not (Cache.mem st.server m) then st.disk_reads <- st.disk_reads + 1) members;
+  ignore (Cache.insert_cold_group st.server members)
+
+let remote_fetch st file =
+  st.round_trips <- st.round_trips + 1;
+  let group =
+    match st.config.deployment with
+    | `Baseline -> [ file ]
+    | `Aggregating_client | `Aggregating_both ->
+        Agg_core.Group_builder.build st.tracker ~group_size:st.config.group_size file
+  in
+  (* the demanded file itself *)
+  let served_from_memory = Cache.access st.server file in
+  if served_from_memory then st.server_hits <- st.server_hits + 1
+  else st.disk_reads <- st.disk_reads + 1;
+  st.files_transferred <- st.files_transferred + List.length group;
+  let members = match group with _ :: rest -> rest | [] -> [] in
+  stage_members st members;
+  ignore (Cache.insert_cold_group st.client members);
+  (* [`Aggregating_both]: the server walks the chain deeper and stages the
+     extension into its own cache only — cheap disk readahead that is not
+     transferred to the client. *)
+  (match st.config.deployment with
+  | `Aggregating_both ->
+      let extended =
+        Agg_core.Group_builder.build st.tracker ~group_size:(2 * st.config.group_size) file
+      in
+      let rec drop n l = if n <= 0 then l else match l with [] -> [] | _ :: r -> drop (n - 1) r in
+      stage_members st (drop (List.length group) extended)
+  | `Baseline | `Aggregating_client -> ());
+  Cost_model.demand_fetch_latency st.config.cost ~served_from_disk:(not served_from_memory)
+
+let access st file =
+  (* §3: access statistics are piggy-backed to the server's metadata *)
+  Tracker.observe st.tracker file;
+  let latency =
+    if Cache.access st.client file then begin
+      st.client_hits <- st.client_hits + 1;
+      st.config.cost.Cost_model.client_memory
+    end
+    else remote_fetch st file
+  in
+  Agg_util.Vec.push st.latencies latency
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else
+    let idx = int_of_float (Float.of_int (n - 1) *. p) in
+    sorted.(idx)
+
+let run config trace =
+  let st = make_state config in
+  Agg_trace.Trace.iter (fun (e : Agg_trace.Event.t) -> access st e.Agg_trace.Event.file) trace;
+  let latencies = Agg_util.Vec.to_array st.latencies in
+  let total = Array.fold_left ( +. ) 0.0 latencies in
+  let sorted = Array.copy latencies in
+  Array.sort compare sorted;
+  {
+    accesses = Array.length latencies;
+    client_hits = st.client_hits;
+    server_hits = st.server_hits;
+    disk_reads = st.disk_reads;
+    files_transferred = st.files_transferred;
+    round_trips = st.round_trips;
+    mean_latency = (if Array.length latencies = 0 then 0.0 else total /. float_of_int (Array.length latencies));
+    p95_latency = percentile sorted 0.95;
+    p99_latency = percentile sorted 0.99;
+  }
+
+let pp_result ppf r =
+  Format.fprintf ppf
+    "accesses=%d client_hits=%d server_hits=%d disk_reads=%d transferred=%d rtts=%d mean=%.3fms p95=%.3fms p99=%.3fms"
+    r.accesses r.client_hits r.server_hits r.disk_reads r.files_transferred r.round_trips
+    r.mean_latency r.p95_latency r.p99_latency

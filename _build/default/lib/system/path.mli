@@ -1,0 +1,45 @@
+(** End-to-end simulation of the full distributed path of the paper's
+    Fig. 2 — client cache, network, server cache, server store — with
+    latency and load accounting. This turns the hit-rate results of the
+    figure experiments into the quantity the paper's introduction
+    actually promises: reduced access latency, at a measured cost in
+    network and disk load.
+
+    Three deployments are modelled:
+    - [`Baseline]: plain demand caches at both levels;
+    - [`Aggregating_client]: the client fetches groups (the server keeps
+      the relationship metadata, §3), plain server cache;
+    - [`Aggregating_both]: group retrieval at the client *and* grouped
+      staging from disk into the server cache. *)
+
+type deployment = [ `Baseline | `Aggregating_client | `Aggregating_both ]
+
+val deployment_name : deployment -> string
+
+type config = {
+  cost : Cost_model.t;
+  client_capacity : int;
+  server_capacity : int;
+  deployment : deployment;
+  group_size : int;  (** used by the aggregating deployments *)
+}
+
+val default_config : config
+(** LAN costs, 300-file client, 1000-file server, [`Baseline], g = 5. *)
+
+type result = {
+  accesses : int;
+  client_hits : int;
+  server_hits : int;  (** of requests reaching the server *)
+  disk_reads : int;  (** demanded + speculative reads at the store *)
+  files_transferred : int;  (** network payload, in files *)
+  round_trips : int;
+  mean_latency : float;  (** demand latency per access, ms *)
+  p95_latency : float;
+  p99_latency : float;
+}
+
+val run : config -> Agg_trace.Trace.t -> result
+(** Replays the trace through the configured deployment. *)
+
+val pp_result : Format.formatter -> result -> unit

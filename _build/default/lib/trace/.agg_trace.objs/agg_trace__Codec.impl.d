@@ -1,0 +1,1 @@
+lib/trace/codec.ml: Buffer Event Fun List Printf String Trace

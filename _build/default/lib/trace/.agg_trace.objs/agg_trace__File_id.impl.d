@@ -1,0 +1,1 @@
+lib/trace/file_id.ml: Agg_util Format Hashtbl Int

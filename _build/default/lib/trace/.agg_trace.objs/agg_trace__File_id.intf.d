@@ -1,0 +1,1 @@
+lib/trace/file_id.mli: Format

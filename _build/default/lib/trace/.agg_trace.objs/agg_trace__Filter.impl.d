@@ -1,0 +1,1 @@
+lib/trace/filter.ml: Agg_cache Cache Event Hashtbl Trace

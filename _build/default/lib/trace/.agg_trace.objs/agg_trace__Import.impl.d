@@ -1,0 +1,1 @@
+lib/trace/import.ml: File_id Fun List Option String Trace

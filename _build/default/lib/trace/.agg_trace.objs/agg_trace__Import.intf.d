@@ -1,0 +1,1 @@
+lib/trace/import.mli: File_id Trace

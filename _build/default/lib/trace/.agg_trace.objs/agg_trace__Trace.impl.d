@@ -1,0 +1,1 @@
+lib/trace/trace.ml: Agg_util Array Event Hashtbl List Vec

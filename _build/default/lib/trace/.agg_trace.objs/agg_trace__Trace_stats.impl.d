@@ -1,0 +1,1 @@
+lib/trace/trace_stats.ml: Agg_util Event Format Hashtbl List Option Trace

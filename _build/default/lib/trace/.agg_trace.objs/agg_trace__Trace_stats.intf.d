@@ -1,0 +1,1 @@
+lib/trace/trace_stats.mli: File_id Format Hashtbl Trace

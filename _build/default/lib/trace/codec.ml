@@ -1,0 +1,98 @@
+exception Parse_error of { line : int; message : string }
+
+let header = "#aggtrace v1"
+
+let parse_error line message = raise (Parse_error { line; message })
+
+let write_channel oc trace =
+  output_string oc header;
+  output_char oc '\n';
+  Trace.iter
+    (fun (e : Event.t) ->
+      Printf.fprintf oc "%d %c %d %d\n" e.seq (Event.op_to_char e.op) e.client e.file)
+    trace
+
+let parse_event ~lineno ~expect_header line =
+  let line = String.trim line in
+  if line = "" then None
+  else if String.length line > 0 && line.[0] = '#' then begin
+    if expect_header && lineno = 1 && line <> header then
+      parse_error lineno (Printf.sprintf "unknown header %S (expected %S)" line header);
+    None
+  end
+  else
+    match String.split_on_char ' ' line |> List.filter (fun s -> s <> "") with
+    | [ seq_s; op_s; client_s; file_s ] ->
+        let int_field name s =
+          match int_of_string_opt s with
+          | Some v when v >= 0 -> v
+          | Some _ -> parse_error lineno (name ^ " must be non-negative")
+          | None -> parse_error lineno (Printf.sprintf "bad %s %S" name s)
+        in
+        let op =
+          if String.length op_s <> 1 then parse_error lineno (Printf.sprintf "bad op %S" op_s)
+          else
+            match Event.op_of_char op_s.[0] with
+            | Some op -> op
+            | None -> parse_error lineno (Printf.sprintf "bad op %S" op_s)
+        in
+        let seq = int_field "seq" seq_s in
+        let client = int_field "client" client_s in
+        let file = int_field "file" file_s in
+        Some { Event.seq; op; client; file }
+    | _ -> parse_error lineno (Printf.sprintf "expected 'seq op client file', got %S" line)
+
+let parse_line ~lineno ~expect_header line trace =
+  match parse_event ~lineno ~expect_header line with
+  | Some event -> Trace.append trace event
+  | None -> ()
+
+let fold_channel ic ~init ~f =
+  let lineno = ref 0 in
+  let acc = ref init in
+  (try
+     while true do
+       let line = input_line ic in
+       incr lineno;
+       match parse_event ~lineno:!lineno ~expect_header:true line with
+       | Some event -> acc := f !acc event
+       | None -> ()
+     done
+   with End_of_file -> ());
+  !acc
+
+let read_channel ic =
+  let trace = Trace.create () in
+  fold_channel ic ~init:() ~f:(fun () event -> Trace.append trace event);
+  trace
+
+let to_string trace =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf header;
+  Buffer.add_char buf '\n';
+  Trace.iter
+    (fun (e : Event.t) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%d %c %d %d\n" e.seq (Event.op_to_char e.op) e.client e.file))
+    trace;
+  Buffer.contents buf
+
+let of_string s =
+  let trace = Trace.create () in
+  let lines = String.split_on_char '\n' s in
+  List.iteri (fun i line -> parse_line ~lineno:(i + 1) ~expect_header:true line trace) lines;
+  trace
+
+let write_file path trace =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> write_channel oc trace)
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> read_channel ic)
+
+let fold_file path ~init ~f =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> fold_channel ic ~init ~f)
+
+let iter_file path f = fold_file path ~init:() ~f:(fun () event -> f event)

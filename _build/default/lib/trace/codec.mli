@@ -1,0 +1,32 @@
+(** Text serialisation of traces.
+
+    The format is one event per line — [seq op client file] with [op] one
+    of [o]/[r]/[w] — preceded by a [#aggtrace v1] header; [#] lines and
+    blank lines are ignored. Real traces (e.g. converted DFSTrace output)
+    in this format can be replayed through every experiment in place of the
+    synthetic workloads. *)
+
+exception Parse_error of { line : int; message : string }
+
+val header : string
+
+val write_channel : out_channel -> Trace.t -> unit
+val read_channel : in_channel -> Trace.t
+(** @raise Parse_error on malformed input. *)
+
+val to_string : Trace.t -> string
+val of_string : string -> Trace.t
+(** @raise Parse_error on malformed input. *)
+
+val write_file : string -> Trace.t -> unit
+val read_file : string -> Trace.t
+(** @raise Parse_error on malformed input.
+    @raise Sys_error when the file cannot be read. *)
+
+val fold_channel : in_channel -> init:'a -> f:('a -> Event.t -> 'a) -> 'a
+(** Streaming reader: folds over events one line at a time without
+    materialising a {!Trace.t} — for traces larger than memory.
+    @raise Parse_error on malformed input. *)
+
+val fold_file : string -> init:'a -> f:('a -> Event.t -> 'a) -> 'a
+val iter_file : string -> (Event.t -> unit) -> unit

@@ -1,0 +1,20 @@
+type op = Open | Read | Write
+
+type t = { seq : int; client : int; op : op; file : File_id.t }
+
+let make ?(client = 0) ?(op = Open) ~seq file = { seq; client; op; file }
+
+let is_write e = match e.op with Write -> true | Open | Read -> false
+
+let op_to_char = function Open -> 'o' | Read -> 'r' | Write -> 'w'
+
+let op_of_char = function
+  | 'o' -> Some Open
+  | 'r' -> Some Read
+  | 'w' -> Some Write
+  | _ -> None
+
+let equal a b = a.seq = b.seq && a.client = b.client && a.op = b.op && File_id.equal a.file b.file
+
+let pp ppf e =
+  Format.fprintf ppf "#%d c%d %c %a" e.seq e.client (op_to_char e.op) File_id.pp e.file

@@ -1,0 +1,24 @@
+(** A single file-access event at open-request granularity — the level at
+    which the paper's CMU traces are analysed (whole-file caching keyed on
+    open requests; intra-file patterns are out of scope). *)
+
+type op =
+  | Open  (** read-mostly open; the common case *)
+  | Read
+  | Write
+
+type t = {
+  seq : int;  (** position in the observed access sequence *)
+  client : int;  (** identity of the issuing client/user stream *)
+  op : op;
+  file : File_id.t;
+}
+
+val make : ?client:int -> ?op:op -> seq:int -> File_id.t -> t
+(** [make ~seq file] with [client] defaulting to [0] and [op] to [Open]. *)
+
+val is_write : t -> bool
+val op_to_char : op -> char
+val op_of_char : char -> op option
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

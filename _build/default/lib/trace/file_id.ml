@@ -1,0 +1,31 @@
+type t = int
+
+let equal = Int.equal
+let compare = Int.compare
+let hash = Hashtbl.hash
+let pp ppf id = Format.fprintf ppf "f%d" id
+
+module Namespace = struct
+  type id = int
+
+  type t = { by_name : (string, id) Hashtbl.t; names : string Agg_util.Vec.t }
+
+  let create () = { by_name = Hashtbl.create 256; names = Agg_util.Vec.create () }
+
+  let intern t name =
+    match Hashtbl.find_opt t.by_name name with
+    | Some id -> id
+    | None ->
+        let id = Agg_util.Vec.length t.names in
+        Hashtbl.replace t.by_name name id;
+        Agg_util.Vec.push t.names name;
+        id
+
+  let find t name = Hashtbl.find_opt t.by_name name
+
+  let name t id =
+    if id < 0 || id >= Agg_util.Vec.length t.names then None else Some (Agg_util.Vec.get t.names id)
+
+  let count t = Agg_util.Vec.length t.names
+  let iter t f = Agg_util.Vec.iteri (fun id n -> f n id) t.names
+end

@@ -1,0 +1,30 @@
+(** File identifiers. Simulations work on dense integer ids; a {!Namespace}
+    maps human-readable path names to ids for the codec and the examples. *)
+
+type t = int
+(** Ids are plain non-negative integers so they can index arrays and key
+    [Hashtbl]s without boxing. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+
+module Namespace : sig
+  (** Bidirectional interning of path names. *)
+
+  type id = t
+  type t
+
+  val create : unit -> t
+  val intern : t -> string -> id
+  (** [intern t name] returns the id for [name], allocating the next dense
+      id on first sight. *)
+
+  val find : t -> string -> id option
+  val name : t -> id -> string option
+  (** The name interned for [id], if any. *)
+
+  val count : t -> int
+  val iter : t -> (string -> id -> unit) -> unit
+end

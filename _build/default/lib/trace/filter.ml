@@ -1,0 +1,36 @@
+open Agg_cache
+
+let fold_misses ~kind ~capacity trace ~init ~f =
+  let cache = Cache.create kind ~capacity in
+  Trace.fold
+    (fun acc (e : Event.t) -> if Cache.access cache e.file then acc else f acc e)
+    init trace
+
+let miss_stream ?(kind = Cache.Lru) ~capacity trace =
+  let out = Trace.create () in
+  let () =
+    fold_misses ~kind ~capacity trace ~init:()
+      ~f:(fun () (e : Event.t) -> Trace.append out { e with seq = Trace.length out })
+  in
+  out
+
+let miss_stream_per_client ?(kind = Cache.Lru) ~capacity trace =
+  let caches : (int, Cache.t) Hashtbl.t = Hashtbl.create 16 in
+  let cache_for client =
+    match Hashtbl.find_opt caches client with
+    | Some c -> c
+    | None ->
+        let c = Cache.create kind ~capacity in
+        Hashtbl.replace caches client c;
+        c
+  in
+  let out = Trace.create () in
+  Trace.iter
+    (fun (e : Event.t) ->
+      if not (Cache.access (cache_for e.client) e.file) then
+        Trace.append out { e with seq = Trace.length out })
+    trace;
+  out
+
+let miss_count ?(kind = Cache.Lru) ~capacity trace =
+  fold_misses ~kind ~capacity trace ~init:0 ~f:(fun acc _ -> acc + 1)

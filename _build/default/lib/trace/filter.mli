@@ -1,0 +1,19 @@
+(** Intervening-cache filtering: push a trace through a client cache and
+    keep only the misses. This models what a file *server* observes when
+    clients run their own caches (paper §4.3, Figs. 4 and 8): all
+    independent temporal locality absorbed by the client is removed from
+    the stream, while inter-file succession structure survives. *)
+
+val miss_stream : ?kind:Agg_cache.Cache.kind -> capacity:int -> Trace.t -> Trace.t
+(** [miss_stream ~capacity trace] replays [trace] through a client cache of
+    [capacity] files ([kind] defaults to LRU, as in the paper) and returns
+    the sub-trace of events that missed, renumbered densely from 0.
+    @raise Invalid_argument when [capacity <= 0]. *)
+
+val miss_stream_per_client :
+  ?kind:Agg_cache.Cache.kind -> capacity:int -> Trace.t -> Trace.t
+(** Like {!miss_stream}, but each client id gets its own private cache of
+    [capacity] files — the multi-client view of a shared server. *)
+
+val miss_count : ?kind:Agg_cache.Cache.kind -> capacity:int -> Trace.t -> int
+(** Number of misses without materialising the filtered trace. *)

@@ -1,0 +1,68 @@
+type format = Paths | Strace
+
+let format_of_string = function
+  | "paths" -> Some Paths
+  | "strace" -> Some Strace
+  | _ -> None
+
+let contains_at haystack needle from =
+  let n = String.length needle and h = String.length haystack in
+  let rec loop i = if i + n > h then None else if String.sub haystack i n = needle then Some i else loop (i + 1) in
+  loop from
+
+let contains haystack needle = Option.is_some (contains_at haystack needle 0)
+
+let parse_paths_line line =
+  let line = String.trim line in
+  if line = "" || line.[0] = '#' then None else Some line
+
+(* `strace -e trace=open,openat` output: take the first quoted string of
+   open/openat/creat lines whose syscall did not fail. *)
+let parse_strace_line line =
+  let syscall =
+    List.exists
+      (fun name -> contains line (name ^ "("))
+      [ "open"; "openat"; "creat" ]
+  in
+  if not syscall then None
+  else if contains line "<unfinished" then None
+  else
+    match contains_at line "\"" 0 with
+    | None -> None
+    | Some start -> (
+        match contains_at line "\"" (start + 1) with
+        | None -> None
+        | Some stop ->
+            let path = String.sub line (start + 1) (stop - start - 1) in
+            (* a trailing "= -1" marks a failed call *)
+            if contains line "= -1" then None else Some path)
+
+let parse_line format line =
+  match format with Paths -> parse_paths_line line | Strace -> parse_strace_line line
+
+let of_channel ?namespace format ic =
+  let namespace = match namespace with Some ns -> ns | None -> File_id.Namespace.create () in
+  let trace = Trace.create () in
+  (try
+     while true do
+       match parse_line format (input_line ic) with
+       | Some path -> Trace.add_access trace (File_id.Namespace.intern namespace path)
+       | None -> ()
+     done
+   with End_of_file -> ());
+  (trace, namespace)
+
+let of_string ?namespace format s =
+  let namespace = match namespace with Some ns -> ns | None -> File_id.Namespace.create () in
+  let trace = Trace.create () in
+  List.iter
+    (fun line ->
+      match parse_line format line with
+      | Some path -> Trace.add_access trace (File_id.Namespace.intern namespace path)
+      | None -> ())
+    (String.split_on_char '\n' s);
+  (trace, namespace)
+
+let of_file ?namespace format path =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> of_channel ?namespace format ic)

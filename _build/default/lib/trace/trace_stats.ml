@@ -1,0 +1,58 @@
+type t = {
+  events : int;
+  distinct_files : int;
+  clients : int;
+  write_fraction : float;
+  repeat_fraction : float;
+  max_file_popularity : int;
+  mean_accesses_per_file : float;
+}
+
+let access_counts trace =
+  let counts = Hashtbl.create 1024 in
+  Trace.iter
+    (fun (e : Event.t) ->
+      let c = Option.value ~default:0 (Hashtbl.find_opt counts e.file) in
+      Hashtbl.replace counts e.file (c + 1))
+    trace;
+  counts
+
+let compute trace =
+  let counts = Hashtbl.create 1024 in
+  let clients = Hashtbl.create 16 in
+  let writes = ref 0 in
+  let repeats = ref 0 in
+  Trace.iter
+    (fun (e : Event.t) ->
+      if Event.is_write e then incr writes;
+      Hashtbl.replace clients e.client ();
+      match Hashtbl.find_opt counts e.file with
+      | Some c ->
+          incr repeats;
+          Hashtbl.replace counts e.file (c + 1)
+      | None -> Hashtbl.replace counts e.file 1)
+    trace;
+  let events = Trace.length trace in
+  let distinct = Hashtbl.length counts in
+  let max_pop = Hashtbl.fold (fun _ c acc -> max c acc) counts 0 in
+  {
+    events;
+    distinct_files = distinct;
+    clients = Hashtbl.length clients;
+    write_fraction = Agg_util.Stats.ratio !writes events;
+    repeat_fraction = Agg_util.Stats.ratio !repeats events;
+    max_file_popularity = max_pop;
+    mean_accesses_per_file = Agg_util.Stats.ratio events distinct;
+  }
+
+let pp ppf t =
+  Format.fprintf ppf
+    "events=%d files=%d clients=%d write%%=%.1f repeat%%=%.1f max_pop=%d mean_per_file=%.2f"
+    t.events t.distinct_files t.clients (100.0 *. t.write_fraction)
+    (100.0 *. t.repeat_fraction) t.max_file_popularity t.mean_accesses_per_file
+
+let top_files trace ~k =
+  let counts = access_counts trace in
+  let all = Hashtbl.fold (fun file c acc -> (file, c) :: acc) counts [] in
+  let sorted = List.sort (fun (_, a) (_, b) -> compare b a) all in
+  List.filteri (fun i _ -> i < k) sorted

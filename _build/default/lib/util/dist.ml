@@ -1,0 +1,106 @@
+module Zipf = struct
+  type t = { cdf : float array; pmf : float array }
+
+  let create ~n ~s =
+    if n <= 0 then invalid_arg "Dist.Zipf.create: n must be positive";
+    if s < 0.0 then invalid_arg "Dist.Zipf.create: s must be non-negative";
+    let pmf = Array.init n (fun k -> 1.0 /. Float.pow (float_of_int (k + 1)) s) in
+    let total = Array.fold_left ( +. ) 0.0 pmf in
+    let acc = ref 0.0 in
+    let cdf =
+      Array.map
+        (fun w ->
+          let p = w /. total in
+          acc := !acc +. p;
+          !acc)
+        pmf
+    in
+    (* Guard against floating-point shortfall at the top of the table. *)
+    cdf.(n - 1) <- 1.0;
+    Array.iteri (fun i w -> pmf.(i) <- w /. total) pmf;
+    { cdf; pmf }
+
+  let n t = Array.length t.cdf
+
+  let sample t prng =
+    let u = Prng.float prng 1.0 in
+    (* Binary search for the first index with cdf >= u. *)
+    let rec loop lo hi =
+      if lo >= hi then lo
+      else
+        let mid = (lo + hi) / 2 in
+        if t.cdf.(mid) >= u then loop lo mid else loop (mid + 1) hi
+    in
+    loop 0 (Array.length t.cdf - 1)
+
+  let prob t k =
+    if k < 0 || k >= Array.length t.pmf then invalid_arg "Dist.Zipf.prob: rank out of range";
+    t.pmf.(k)
+end
+
+module Alias = struct
+  type t = { prob : float array; alias : int array }
+
+  let create weights =
+    let n = Array.length weights in
+    if n = 0 then invalid_arg "Dist.Alias.create: empty weights";
+    let total = Array.fold_left ( +. ) 0.0 weights in
+    if total <= 0.0 then invalid_arg "Dist.Alias.create: weights sum to zero";
+    Array.iter (fun w -> if w < 0.0 then invalid_arg "Dist.Alias.create: negative weight") weights;
+    let scaled = Array.map (fun w -> w *. float_of_int n /. total) weights in
+    let prob = Array.make n 0.0 in
+    let alias = Array.make n 0 in
+    let small = Stack.create () in
+    let large = Stack.create () in
+    Array.iteri (fun i p -> if p < 1.0 then Stack.push i small else Stack.push i large) scaled;
+    while (not (Stack.is_empty small)) && not (Stack.is_empty large) do
+      let s = Stack.pop small in
+      let l = Stack.pop large in
+      prob.(s) <- scaled.(s);
+      alias.(s) <- l;
+      scaled.(l) <- scaled.(l) +. scaled.(s) -. 1.0;
+      if scaled.(l) < 1.0 then Stack.push l small else Stack.push l large
+    done;
+    let flush stack =
+      while not (Stack.is_empty stack) do
+        let i = Stack.pop stack in
+        prob.(i) <- 1.0;
+        alias.(i) <- i
+      done
+    in
+    flush small;
+    flush large;
+    { prob; alias }
+
+  let sample t prng =
+    let n = Array.length t.prob in
+    let i = Prng.int prng n in
+    if Prng.float prng 1.0 < t.prob.(i) then i else t.alias.(i)
+
+  let size t = Array.length t.prob
+end
+
+let geometric prng ~p =
+  if p <= 0.0 || p > 1.0 then invalid_arg "Dist.geometric: p must be in (0, 1]";
+  if p >= 1.0 then 0
+  else
+    let u = 1.0 -. Prng.float prng 1.0 in
+    int_of_float (Float.floor (Float.log u /. Float.log (1.0 -. p)))
+
+let exponential prng ~mean =
+  if mean <= 0.0 then invalid_arg "Dist.exponential: mean must be positive";
+  let u = 1.0 -. Prng.float prng 1.0 in
+  -.mean *. Float.log u
+
+let categorical prng weights =
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  if total <= 0.0 then invalid_arg "Dist.categorical: weights sum to zero";
+  let u = Prng.float prng total in
+  let n = Array.length weights in
+  let rec loop i acc =
+    if i >= n - 1 then n - 1
+    else
+      let acc = acc +. weights.(i) in
+      if u < acc then i else loop (i + 1) acc
+  in
+  loop 0 0.0

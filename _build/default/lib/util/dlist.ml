@@ -1,0 +1,91 @@
+(* Sentinel-based circular doubly-linked list. The sentinel's [next] is the
+   front and its [prev] is the back; a detached node points to itself. *)
+
+type 'a node = { mutable prev : 'a node; mutable next : 'a node; data : 'a option }
+type 'a t = { sentinel : 'a node; mutable size : int }
+
+let make_sentinel () =
+  let rec s = { prev = s; next = s; data = None } in
+  s
+
+let create () = { sentinel = make_sentinel (); size = 0 }
+let is_empty t = t.size = 0
+let length t = t.size
+
+let value n =
+  match n.data with
+  | Some v -> v
+  | None -> invalid_arg "Dlist.value: sentinel node"
+
+let detached n = n.next == n
+
+let link_after anchor n =
+  n.prev <- anchor;
+  n.next <- anchor.next;
+  anchor.next.prev <- n;
+  anchor.next <- n
+
+let unlink n =
+  n.prev.next <- n.next;
+  n.next.prev <- n.prev;
+  n.prev <- n;
+  n.next <- n
+
+let push_front t v =
+  let n = { prev = t.sentinel; next = t.sentinel; data = Some v } in
+  link_after t.sentinel n;
+  t.size <- t.size + 1;
+  n
+
+let push_back t v =
+  let n = { prev = t.sentinel; next = t.sentinel; data = Some v } in
+  link_after t.sentinel.prev n;
+  t.size <- t.size + 1;
+  n
+
+let remove t n =
+  if not (detached n) then begin
+    unlink n;
+    t.size <- t.size - 1
+  end
+
+let move_to_front t n =
+  if not (detached n) then begin
+    unlink n;
+    link_after t.sentinel n
+  end
+
+let move_to_back t n =
+  if not (detached n) then begin
+    unlink n;
+    link_after t.sentinel.prev n
+  end
+
+let peek_front t = if t.size = 0 then None else Some (value t.sentinel.next)
+let peek_back t = if t.size = 0 then None else Some (value t.sentinel.prev)
+
+let pop_front t =
+  if t.size = 0 then None
+  else begin
+    let n = t.sentinel.next in
+    remove t n;
+    Some (value n)
+  end
+
+let pop_back t =
+  if t.size = 0 then None
+  else begin
+    let n = t.sentinel.prev in
+    remove t n;
+    Some (value n)
+  end
+
+let iter f t =
+  let rec loop n = if n != t.sentinel then begin f (value n); loop n.next end in
+  loop t.sentinel.next
+
+let fold f acc t =
+  let rec loop acc n = if n == t.sentinel then acc else loop (f acc (value n)) n.next in
+  loop acc t.sentinel.next
+
+let to_list t = List.rev (fold (fun acc v -> v :: acc) [] t)

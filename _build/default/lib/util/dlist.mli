@@ -1,0 +1,42 @@
+(** Intrusive doubly-linked list with O(1) node removal and repositioning.
+
+    This is the backbone of the LRU structures: a cache keeps a hash table
+    from key to node, and recency updates are constant-time node moves. *)
+
+type 'a t
+(** A list; the front is the most-recent end by convention. *)
+
+type 'a node
+(** A node owned by exactly one list (or detached after {!remove}). *)
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val length : 'a t -> int
+(** O(1). *)
+
+val value : 'a node -> 'a
+val push_front : 'a t -> 'a -> 'a node
+val push_back : 'a t -> 'a -> 'a node
+
+val remove : 'a t -> 'a node -> unit
+(** [remove t n] detaches [n] from [t]. Removing an already-detached node
+    is a no-op. It is a programming error to remove a node from a list it
+    does not belong to; this is not checked. *)
+
+val move_to_front : 'a t -> 'a node -> unit
+val move_to_back : 'a t -> 'a node -> unit
+
+val peek_front : 'a t -> 'a option
+val peek_back : 'a t -> 'a option
+
+val pop_front : 'a t -> 'a option
+val pop_back : 'a t -> 'a option
+
+val iter : ('a -> unit) -> 'a t -> unit
+(** Front-to-back iteration. *)
+
+val fold : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+(** Front-to-back fold. *)
+
+val to_list : 'a t -> 'a list
+(** Front-to-back element list. *)

@@ -1,0 +1,51 @@
+type ('p, 'v) t = { compare : 'p -> 'p -> int; entries : ('p * 'v) Vec.t }
+
+let create ~compare () = { compare; entries = Vec.create () }
+let length t = Vec.length t.entries
+let is_empty t = Vec.length t.entries = 0
+
+let swap t i j =
+  let a = Vec.get t.entries i and b = Vec.get t.entries j in
+  Vec.set t.entries i b;
+  Vec.set t.entries j a
+
+let prio t i = fst (Vec.get t.entries i)
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if t.compare (prio t i) (prio t parent) < 0 then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let n = Vec.length t.entries in
+  let left = (2 * i) + 1 and right = (2 * i) + 2 in
+  let smallest = ref i in
+  if left < n && t.compare (prio t left) (prio t !smallest) < 0 then smallest := left;
+  if right < n && t.compare (prio t right) (prio t !smallest) < 0 then smallest := right;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let push t p v =
+  Vec.push t.entries (p, v);
+  sift_up t (Vec.length t.entries - 1)
+
+let peek t = if is_empty t then None else Some (Vec.get t.entries 0)
+
+let pop t =
+  if is_empty t then None
+  else begin
+    let top = Vec.get t.entries 0 in
+    let n = Vec.length t.entries in
+    swap t 0 (n - 1);
+    ignore (Vec.pop t.entries);
+    if not (is_empty t) then sift_down t 0;
+    Some top
+  end
+
+let clear t = Vec.clear t.entries

@@ -1,0 +1,16 @@
+(** Binary min-heap over explicit priorities, used by the LFU structures
+    and the offline-optimal (Belady) policy. *)
+
+type ('p, 'v) t
+
+val create : compare:('p -> 'p -> int) -> unit -> ('p, 'v) t
+val length : ('p, 'v) t -> int
+val is_empty : ('p, 'v) t -> bool
+val push : ('p, 'v) t -> 'p -> 'v -> unit
+val peek : ('p, 'v) t -> ('p * 'v) option
+(** Smallest priority, without removing it. *)
+
+val pop : ('p, 'v) t -> ('p * 'v) option
+(** Removes and returns the smallest priority. *)
+
+val clear : ('p, 'v) t -> unit

@@ -1,0 +1,43 @@
+type t = { title : string; columns : string list; rows : string list Vec.t }
+
+let create ~title ~columns = { title; columns; rows = Vec.create () }
+
+let add_row t cells =
+  let n = List.length t.columns in
+  let k = List.length cells in
+  if k > n then invalid_arg "Table.add_row: more cells than columns";
+  let padded = if k < n then cells @ List.init (n - k) (fun _ -> "") else cells in
+  Vec.push t.rows padded
+
+let add_float_row t ?(decimals = 2) label values =
+  add_row t (label :: List.map (fun v -> Printf.sprintf "%.*f" decimals v) values)
+
+let render t =
+  let all_rows = t.columns :: Vec.to_list t.rows in
+  let n = List.length t.columns in
+  let widths = Array.make n 0 in
+  let record row = List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)) row in
+  List.iter record all_rows;
+  let buf = Buffer.create 256 in
+  let pad cell width = cell ^ String.make (width - String.length cell) ' ' in
+  let emit_row row =
+    Buffer.add_string buf "| ";
+    List.iteri
+      (fun i cell ->
+        Buffer.add_string buf (pad cell widths.(i));
+        Buffer.add_string buf (if i = n - 1 then " |\n" else " | "))
+      row
+  in
+  let rule =
+    let parts = Array.to_list (Array.map (fun w -> String.make (w + 2) '-') widths) in
+    "+" ^ String.concat "+" parts ^ "+\n"
+  in
+  Buffer.add_string buf ("== " ^ t.title ^ " ==\n");
+  Buffer.add_string buf rule;
+  emit_row t.columns;
+  Buffer.add_string buf rule;
+  Vec.iter emit_row t.rows;
+  Buffer.add_string buf rule;
+  Buffer.contents buf
+
+let print t = print_string (render t)

@@ -1,0 +1,23 @@
+(** Plain-text tables for the benchmark harness output. Every figure's data
+    series is printed as one of these, so the bench output can be compared
+    to the paper's plots by eye or diffed between runs. *)
+
+type t
+
+val create : title:string -> columns:string list -> t
+(** [create ~title ~columns] starts a table with the given header row. *)
+
+val add_row : t -> string list -> unit
+(** [add_row t cells] appends a row. Rows shorter than the header are
+    padded; longer rows are an error.
+    @raise Invalid_argument when [cells] has more cells than columns. *)
+
+val add_float_row : t -> ?decimals:int -> string -> float list -> unit
+(** [add_float_row t label values] appends [label] followed by the values
+    rendered with [decimals] (default 2) decimal places. *)
+
+val render : t -> string
+(** The table as an aligned, boxed string ending in a newline. *)
+
+val print : t -> unit
+(** [render] to standard output. *)

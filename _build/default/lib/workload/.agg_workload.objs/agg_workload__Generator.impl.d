@@ -1,0 +1,1 @@
+lib/workload/generator.ml: Agg_trace Agg_util Array Dist Float List Prng Profile Task

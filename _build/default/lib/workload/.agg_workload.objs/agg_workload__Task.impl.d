@@ -1,0 +1,1 @@
+lib/workload/task.ml: Agg_trace Agg_util Array

@@ -1,0 +1,1 @@
+lib/workload/task.mli: Agg_trace Agg_util

@@ -1,0 +1,143 @@
+type t = {
+  name : string;
+  clients : int;
+  tasks : int;
+  task_len_min : int;
+  task_len_max : int;
+  shared_pool : int;
+  shared_fraction : float;
+  task_zipf_s : float;
+  p_skip : float;
+  p_substitute : float;
+  p_insert : float;
+  background_files : int;
+  background_zipf_s : float;
+  p_background : float;
+  p_write : float;
+  burst_mean : float;
+  phase_period : int;
+  p_task_mutate : float;
+  p_loop : float;
+  loop_mean_reps : float;
+}
+
+(* mozart: a personal workstation. One user, medium-length interactive
+   tasks, a fair amount of browsing noise. *)
+let workstation =
+  {
+    name = "workstation";
+    clients = 1;
+    tasks = 220;
+    task_len_min = 8;
+    task_len_max = 26;
+    shared_pool = 60;
+    shared_fraction = 0.22;
+    task_zipf_s = 0.9;
+    p_skip = 0.05;
+    p_substitute = 0.02;
+    p_insert = 0.025;
+    background_files = 9000;
+    background_zipf_s = 0.7;
+    p_background = 0.05;
+    p_write = 0.15;
+    burst_mean = 40.0;
+    phase_period = 3000;
+    p_task_mutate = 0.40;
+    p_loop = 0.06;
+    loop_mean_reps = 6.0;
+  }
+
+(* ives: the system with the most users. Many fine-grained interleaved
+   streams scramble the global succession order. *)
+let users =
+  {
+    name = "users";
+    clients = 18;
+    tasks = 320;
+    task_len_min = 8;
+    task_len_max = 26;
+    shared_pool = 80;
+    shared_fraction = 0.25;
+    task_zipf_s = 0.85;
+    p_skip = 0.04;
+    p_substitute = 0.02;
+    p_insert = 0.02;
+    background_files = 10000;
+    background_zipf_s = 0.7;
+    p_background = 0.03;
+    p_write = 0.12;
+    burst_mean = 12.0;
+    phase_period = 2500;
+    p_task_mutate = 0.15;
+    p_loop = 0.09;
+    loop_mean_reps = 10.0;
+  }
+
+(* dvorak: the largest proportion of write activity, with short runs and a
+   big cold-file population — the workload where grouping gains least. *)
+let write =
+  {
+    name = "write";
+    clients = 2;
+    tasks = 170;
+    task_len_min = 5;
+    task_len_max = 14;
+    shared_pool = 50;
+    shared_fraction = 0.18;
+    task_zipf_s = 0.8;
+    p_skip = 0.10;
+    p_substitute = 0.10;
+    p_insert = 0.14;
+    background_files = 22000;
+    background_zipf_s = 0.55;
+    p_background = 0.22;
+    p_write = 0.45;
+    burst_mean = 25.0;
+    phase_period = 2000;
+    p_task_mutate = 0.20;
+    p_loop = 0.04;
+    loop_mean_reps = 4.0;
+  }
+
+(* barber: a server with application-driven access patterns — long,
+   almost deterministic runs, hardly any noise; the most predictable. *)
+let server =
+  {
+    name = "server";
+    clients = 1;
+    tasks = 130;
+    task_len_min = 20;
+    task_len_max = 42;
+    shared_pool = 30;
+    shared_fraction = 0.07;
+    task_zipf_s = 1.1;
+    p_skip = 0.008;
+    p_substitute = 0.004;
+    p_insert = 0.01;
+    background_files = 6000;
+    background_zipf_s = 0.8;
+    p_background = 0.02;
+    p_write = 0.08;
+    burst_mean = 200.0;
+    phase_period = 5000;
+    p_task_mutate = 0.20;
+    p_loop = 0.015;
+    loop_mean_reps = 5.0;
+  }
+
+let all = [ workstation; users; write; server ]
+
+let by_name name = List.find_opt (fun p -> p.name = name) all
+
+let distinct_file_estimate p =
+  let mean_len = (p.task_len_min + p.task_len_max) / 2 in
+  let private_files =
+    int_of_float (float_of_int (p.tasks * mean_len) *. (1.0 -. p.shared_fraction))
+  in
+  p.shared_pool + p.background_files + private_files
+
+let pp ppf p =
+  Format.fprintf ppf
+    "%s: clients=%d tasks=%d len=[%d,%d] shared=%d/%.2f noise(skip=%.2f sub=%.2f ins=%.2f) bg=%d/%.2f write=%.2f burst=%.0f"
+    p.name p.clients p.tasks p.task_len_min p.task_len_max p.shared_pool p.shared_fraction p.p_skip
+    p.p_substitute p.p_insert p.background_files p.p_background p.p_write p.burst_mean

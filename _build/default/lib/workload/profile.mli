@@ -1,0 +1,63 @@
+(** Workload profiles standing in for the four CMU DFSTrace systems of the
+    paper (§4.1). The parameters are calibrated so that the paper's
+    *qualitative* workload orderings hold:
+
+    - [server] (barber) — application-driven, long deterministic runs, the
+      most predictable (successor entropy well under one bit at length 1);
+    - [workstation] (mozart) — a single interactive user, moderately
+      predictable;
+    - [users] (ives) — many concurrent users finely interleaved, the least
+      predictable global sequence;
+    - [write] (dvorak) — the heaviest write share and the most cold,
+      unique files, giving grouping the most modest wins. *)
+
+type t = {
+  name : string;
+  clients : int;  (** independent request streams *)
+  tasks : int;  (** distinct task scripts in the universe *)
+  task_len_min : int;
+  task_len_max : int;
+  shared_pool : int;  (** globally shared utility files (shell, make, …) *)
+  shared_fraction : float;  (** probability a task position is a shared file *)
+  task_zipf_s : float;  (** skew of task popularity (re-execution rate) *)
+  p_skip : float;  (** per-position chance a task file is skipped *)
+  p_substitute : float;  (** chance a task file is replaced by noise *)
+  p_insert : float;  (** chance a noise access is inserted between steps *)
+  background_files : int;  (** size of the cold/noise file population *)
+  background_zipf_s : float;
+  p_background : float;  (** chance a step is pure background traffic *)
+  p_write : float;  (** chance an event is a write *)
+  burst_mean : float;  (** mean run length before switching client streams *)
+  phase_period : int;
+      (** events between popularity shifts: task popularity ranks rotate
+          slowly, modelling projects waxing and waning. This
+          non-stationarity is what makes frequency (LFU) unreliable and
+          recency (LRU) robust, as in the paper's traces; [0] disables. *)
+  p_task_mutate : float;
+      (** per-execution chance that a task permanently swaps one of its
+          files for a fresh one (sources evolve, outputs are regenerated).
+          Successor relations therefore *drift*, so stale frequency counts
+          mispredict where the most recent successor adapts — the §4.4
+          recency-over-frequency effect at the metadata level. *)
+  p_loop : float;
+      (** per-step chance of entering a short working-set loop: the last
+          few task files are re-accessed cyclically (edit-compile cycles,
+          scan loops). Loops are what a tiny intervening cache absorbs —
+          removing the most predictable successions from the miss stream,
+          the paper's Fig. 8 capacity-10 effect. *)
+  loop_mean_reps : float;  (** mean iterations of such a loop *)
+}
+
+val workstation : t
+val users : t
+val write : t
+val server : t
+
+val all : t list
+(** The four paper workloads, in the paper's naming order. *)
+
+val by_name : string -> t option
+val distinct_file_estimate : t -> int
+(** Rough size of the file universe the profile can touch. *)
+
+val pp : Format.formatter -> t -> unit

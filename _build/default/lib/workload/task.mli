@@ -1,0 +1,38 @@
+(** The task model underlying the synthetic workloads: a task is a fixed
+    sequence of files that an application touches when it runs (a build, a
+    script, an editing session). Repeated task executions are what give
+    file-system traces their strong immediate-successor structure; shared
+    files (a shell, [make]) appearing in many tasks are what motivates the
+    paper's overlapping groups (§2.1). *)
+
+type t = {
+  id : int;
+  files : Agg_trace.File_id.t array;  (** the access sequence of one execution *)
+  loop_width : int array;
+      (** [loop_width.(i) = w > 0] marks a loop point: after position [i],
+          an execution cycles over [files.(i-w+1 .. i)] for a random number
+          of iterations (an edit-compile or scan loop). Loop points are
+          fixed per task, so the loop successions repeat identically across
+          executions — predictable structure that a small intervening cache
+          absorbs (the paper's Fig. 8 effect). [0] means no loop. *)
+}
+
+val length : t -> int
+
+val build :
+  prng:Agg_util.Prng.t ->
+  id:int ->
+  length:int ->
+  shared_pool:int ->
+  shared_fraction:float ->
+  shared_zipf:Agg_util.Dist.Zipf.t ->
+  fresh_file:(unit -> Agg_trace.File_id.t) ->
+  loop_chance:float ->
+  t
+(** [build] draws each position from the shared pool (ids
+    [0 .. shared_pool-1], Zipf-skewed so a few "utility" files are very
+    hot) with probability [shared_fraction], otherwise allocates a fresh
+    private file via [fresh_file]. Consecutive duplicate files are
+    avoided, so every in-task transition is a real inter-file succession.
+    Each eligible position becomes a loop point with probability
+    [loop_chance], with a width of 2–6 files. *)

@@ -1,0 +1,212 @@
+(* Tests for the related-work baselines: last-successor and first-order
+   Markov predictors, and the Griffioen–Appleton probability-graph
+   prefetcher. *)
+
+open Agg_baselines
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_float = Alcotest.(check (float 1e-9))
+
+let repeat n pattern = Array.concat (List.init n (fun _ -> Array.of_list pattern))
+
+(* --- Last_successor ---------------------------------------------------- *)
+
+let test_last_successor_learns_cycle () =
+  let a = Last_successor.measure (repeat 100 [ 1; 2; 3 ]) in
+  (* after the first cycle every prediction is right *)
+  check_bool "high accuracy" true (Last_successor.accuracy_rate a > 0.95);
+  check_int "predictions + cold = events - 1" 299 (a.Last_successor.predictions + a.Last_successor.no_prediction)
+
+let test_last_successor_adapts_immediately () =
+  let t = Last_successor.create () in
+  List.iter (Last_successor.observe t) [ 1; 2; 1; 3 ];
+  (* 1's most recent successor is now 3, not 2 *)
+  check_bool "adapted" true (Last_successor.predict t 1 = Some 3)
+
+let test_last_successor_no_prediction_for_unknown () =
+  let t = Last_successor.create () in
+  check_bool "unknown" true (Last_successor.predict t 42 = None)
+
+let test_accuracy_rate_zero_predictions () =
+  check_float "empty" 0.0
+    (Last_successor.accuracy_rate { Last_successor.predictions = 0; correct = 0; no_prediction = 3 })
+
+(* --- Markov_predictor ---------------------------------------------------- *)
+
+let test_markov_predicts_most_frequent () =
+  let t = Markov_predictor.create () in
+  List.iter (Markov_predictor.observe t) [ 1; 2; 1; 2; 1; 3 ];
+  (* counts for 1: 2 twice, 3 once *)
+  check_bool "most frequent" true (Markov_predictor.predict t 1 = Some 2)
+
+let test_markov_slow_to_adapt () =
+  (* after a long stable phase the successor changes for good; the
+     frequency predictor stays stuck while last-successor adapts at once *)
+  let phase1 = repeat 50 [ 1; 2 ] in
+  let phase2 = repeat 10 [ 1; 3 ] in
+  let files = Array.append phase1 phase2 in
+  let markov = Markov_predictor.measure files in
+  let last = Last_successor.measure files in
+  check_bool "recency adapts better on drift" true
+    (Last_successor.accuracy_rate last > Last_successor.accuracy_rate markov)
+
+let test_markov_measure_counts () =
+  let a = Markov_predictor.measure (repeat 30 [ 7; 8; 9 ]) in
+  check_bool "accurate on cycle" true (Last_successor.accuracy_rate a > 0.9)
+
+(* --- Prob_graph ------------------------------------------------------------- *)
+
+let test_prob_graph_chance () =
+  let pg = Prob_graph.create ~lookahead:2 ~threshold:0.5 ~capacity:10 () in
+  (* drive 1 2 3 1 2 3: within lookahead 2 of each access *)
+  Array.iter (fun f -> ignore (Prob_graph.access pg f)) (repeat 10 [ 1; 2; 3 ]);
+  check_bool "1 -> 2 strong" true (Prob_graph.chance pg ~src:1 ~dst:2 > 0.8);
+  check_bool "1 -> 3 within window" true (Prob_graph.chance pg ~src:1 ~dst:3 > 0.5);
+  check_float "unrelated" 0.0 (Prob_graph.chance pg ~src:1 ~dst:99)
+
+let test_prob_graph_prefetches_reduce_fetches () =
+  let run threshold =
+    let pg = Prob_graph.create ~threshold ~capacity:6 () in
+    let m = Prob_graph.run pg (Agg_trace.Trace.of_files (Array.to_list (repeat 200 (List.init 10 Fun.id)))) in
+    m.Agg_core.Metrics.demand_fetches
+  in
+  let no_prefetch =
+    let cache = Agg_cache.Cache.create Agg_cache.Cache.Lru ~capacity:6 in
+    Array.fold_left
+      (fun acc f -> if Agg_cache.Cache.access cache f then acc else acc + 1)
+      0
+      (repeat 200 (List.init 10 Fun.id))
+  in
+  check_bool "prefetching beats plain lru on cyclic scan" true (run 0.1 < no_prefetch)
+
+let test_prob_graph_metrics_identities () =
+  let pg = Prob_graph.create ~capacity:8 () in
+  let trace =
+    Agg_workload.Generator.generate ~seed:2 ~events:3000 Agg_workload.Profile.workstation
+  in
+  let m = Prob_graph.run pg trace in
+  check_int "accesses" 3000 m.Agg_core.Metrics.accesses;
+  check_int "hits+misses" 3000 (m.Agg_core.Metrics.hits + m.Agg_core.Metrics.demand_fetches);
+  check_bool "used <= issued" true
+    (m.Agg_core.Metrics.prefetch.Agg_core.Metrics.used
+    <= m.Agg_core.Metrics.prefetch.Agg_core.Metrics.issued)
+
+let test_prob_graph_threshold_gates_prefetch () =
+  (* with threshold 1.0 only sure-thing successors are prefetched; an
+     alternating successor (half/half) must not be *)
+  let pg = Prob_graph.create ~lookahead:1 ~threshold:1.0 ~capacity:10 () in
+  Array.iter (fun f -> ignore (Prob_graph.access pg f)) (repeat 20 [ 1; 2; 1; 3 ]);
+  let m = Prob_graph.metrics pg in
+  check_int "nothing prefetched" 0 m.Agg_core.Metrics.prefetch.Agg_core.Metrics.issued
+
+let test_prob_graph_validation () =
+  Alcotest.check_raises "lookahead 0"
+    (Invalid_argument "Prob_graph.create: lookahead must be positive") (fun () ->
+      ignore (Prob_graph.create ~lookahead:0 ~capacity:4 ()));
+  Alcotest.check_raises "threshold 0"
+    (Invalid_argument "Prob_graph.create: threshold must be in (0, 1]") (fun () ->
+      ignore (Prob_graph.create ~threshold:0.0 ~capacity:4 ()))
+
+(* --- Ppm ------------------------------------------------------------------ *)
+
+let test_ppm_uses_context () =
+  (* 'a' is followed by b after x, by c after y: order-1 cannot separate
+     them, order-2 can *)
+  let t = Ppm.create ~max_order:2 () in
+  let feed = [ 8; 1; 2; 9; 1; 3; 8; 1; 2; 9; 1; 3; 8; 1 ] in
+  List.iter (Ppm.observe t) feed;
+  (* current context is [1; 8] (most recent first): next should be 2 *)
+  check_bool "context disambiguates" true (Ppm.predict t = Some 2)
+
+let test_ppm_falls_back_to_shorter_context () =
+  let t = Ppm.create ~max_order:2 () in
+  List.iter (Ppm.observe t) [ 1; 2; 1; 2; 1 ];
+  (* context [1; 2] was seen; but after feeding a brand-new preceding
+     file the order-2 context is unknown and order 1 must answer *)
+  List.iter (Ppm.observe t) [ 99; 1 ];
+  check_bool "order-1 fallback" true (Ppm.predict t = Some 2)
+
+let test_ppm_beats_last_successor_on_contextual_pattern () =
+  let pattern = [ 8; 1; 2; 9; 1; 3 ] in
+  let files = repeat 200 pattern in
+  let ppm = Ppm.measure files in
+  let ls = Last_successor.measure files in
+  check_bool "ppm wins when context matters" true
+    (Last_successor.accuracy_rate ppm > Last_successor.accuracy_rate ls);
+  check_bool "ppm near perfect here" true (Last_successor.accuracy_rate ppm > 0.95)
+
+let test_ppm_measure_counts () =
+  let a = Ppm.measure (repeat 50 [ 1; 2; 3 ]) in
+  check_int "every non-initial position attempted" 149
+    (a.Last_successor.predictions + a.Last_successor.no_prediction)
+
+let test_ppm_validation () =
+  Alcotest.check_raises "order 0" (Invalid_argument "Ppm.create: max_order must be positive")
+    (fun () -> ignore (Ppm.create ~max_order:0 ()));
+  check_int "max_order stored" 3 (Ppm.max_order (Ppm.create ~max_order:3 ()))
+
+(* --- qcheck properties --------------------------------------------------------- *)
+
+let qcheck_tests =
+  let open QCheck in
+  let files_gen = list_of_size (Gen.int_range 10 300) (int_range 0 25) in
+  [
+    Test.make ~name:"last-successor accuracy within [0,1]" ~count:100 files_gen (fun files ->
+        let a = Last_successor.measure (Array.of_list files) in
+        let r = Last_successor.accuracy_rate a in
+        r >= 0.0 && r <= 1.0 && a.Last_successor.correct <= a.Last_successor.predictions);
+    Test.make ~name:"markov accuracy within [0,1]" ~count:100 files_gen (fun files ->
+        let a = Markov_predictor.measure (Array.of_list files) in
+        let r = Last_successor.accuracy_rate a in
+        r >= 0.0 && r <= 1.0);
+    Test.make ~name:"prob_graph chance within [0,1]" ~count:60 files_gen (fun files ->
+        let pg = Prob_graph.create ~capacity:8 () in
+        List.iter (fun f -> ignore (Prob_graph.access pg f)) files;
+        List.for_all
+          (fun src ->
+            List.for_all
+              (fun dst ->
+                let c = Prob_graph.chance pg ~src ~dst in
+                c >= 0.0 && c <= 1.0)
+              (List.sort_uniq compare files))
+          (List.sort_uniq compare files));
+  ]
+
+let () =
+  Alcotest.run "agg_baselines"
+    [
+      ( "last_successor",
+        [
+          Alcotest.test_case "learns cycle" `Quick test_last_successor_learns_cycle;
+          Alcotest.test_case "adapts immediately" `Quick test_last_successor_adapts_immediately;
+          Alcotest.test_case "unknown file" `Quick test_last_successor_no_prediction_for_unknown;
+          Alcotest.test_case "zero predictions" `Quick test_accuracy_rate_zero_predictions;
+        ] );
+      ( "markov",
+        [
+          Alcotest.test_case "most frequent" `Quick test_markov_predicts_most_frequent;
+          Alcotest.test_case "slow to adapt" `Quick test_markov_slow_to_adapt;
+          Alcotest.test_case "measure counts" `Quick test_markov_measure_counts;
+        ] );
+      ( "ppm",
+        [
+          Alcotest.test_case "uses context" `Quick test_ppm_uses_context;
+          Alcotest.test_case "fallback to shorter context" `Quick
+            test_ppm_falls_back_to_shorter_context;
+          Alcotest.test_case "beats last-successor with context" `Quick
+            test_ppm_beats_last_successor_on_contextual_pattern;
+          Alcotest.test_case "measure counts" `Quick test_ppm_measure_counts;
+          Alcotest.test_case "validation" `Quick test_ppm_validation;
+        ] );
+      ( "prob_graph",
+        [
+          Alcotest.test_case "chance" `Quick test_prob_graph_chance;
+          Alcotest.test_case "prefetch reduces fetches" `Quick
+            test_prob_graph_prefetches_reduce_fetches;
+          Alcotest.test_case "metric identities" `Quick test_prob_graph_metrics_identities;
+          Alcotest.test_case "threshold gates" `Quick test_prob_graph_threshold_gates_prefetch;
+          Alcotest.test_case "validation" `Quick test_prob_graph_validation;
+        ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest qcheck_tests);
+    ]

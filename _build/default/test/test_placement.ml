@@ -1,0 +1,184 @@
+(* Tests for the placement substrate: the linear device model and the
+   layout strategies. *)
+
+open Agg_placement
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_float = Alcotest.(check (float 1e-9))
+
+(* --- Disk ----------------------------------------------------------------- *)
+
+let test_disk_place_and_lookup () =
+  let d = Disk.create () in
+  Disk.place d 7 ~slot:3;
+  Disk.place d 9 ~slot:0;
+  Alcotest.(check (list int)) "slots of 7" [ 3 ] (Disk.slots_of d 7);
+  Alcotest.(check (list int)) "unknown file" [] (Disk.slots_of d 42);
+  check_int "next free" 4 (Disk.next_free_slot d);
+  check_int "placed files" 2 (Disk.placed_files d);
+  check_int "occupied slots" 2 (Disk.occupied_slots d)
+
+let test_disk_rejects_conflicts () =
+  let d = Disk.create () in
+  Disk.place d 1 ~slot:5;
+  Alcotest.check_raises "occupied" (Invalid_argument "Disk.place: slot already occupied")
+    (fun () -> Disk.place d 2 ~slot:5);
+  Alcotest.check_raises "negative" (Invalid_argument "Disk.place: negative slot") (fun () ->
+      Disk.place d 2 ~slot:(-1))
+
+let test_disk_replication_reads_nearest () =
+  let d = Disk.create () in
+  Disk.place d 1 ~slot:0;
+  Disk.place d 1 ~slot:100;
+  Disk.place d 2 ~slot:99;
+  (* head 0 -> 1 reads slot 0 (cost 0); -> 2 seeks 99; -> 1 reads the
+     nearby replica at 100 (cost 1, not 99) *)
+  let stats = Disk.replay d [| 1; 2; 1 |] in
+  check_float "total seek" 100.0 stats.Disk.total_seek;
+  check_int "max seek" 99 stats.Disk.max_seek
+
+let test_disk_replay_crafted_distances () =
+  let d = Disk.create () in
+  Disk.place d 1 ~slot:0;
+  Disk.place d 2 ~slot:1;
+  Disk.place d 3 ~slot:10;
+  let stats = Disk.replay d [| 1; 2; 3; 2 |] in
+  (* 0 -> 0 (0), -> 1 (1), -> 10 (9), -> 1 (9) *)
+  check_float "total" 19.0 stats.Disk.total_seek;
+  check_float "mean" (19.0 /. 4.0) stats.Disk.mean_seek;
+  check_int "accesses" 4 stats.Disk.accesses;
+  check_int "no cold allocations" 0 stats.Disk.allocated_on_the_fly
+
+let test_disk_replay_allocates_cold_files () =
+  let d = Disk.create () in
+  Disk.place d 1 ~slot:0;
+  let stats = Disk.replay d [| 1; 99; 99 |] in
+  check_int "one allocation" 1 stats.Disk.allocated_on_the_fly;
+  Alcotest.(check (list int)) "allocated at the end" [ 1 ] (Disk.slots_of d 99);
+  (* the second access to 99 is then free *)
+  check_float "seeks: 0 + 1 + 0" 1.0 stats.Disk.total_seek
+
+(* --- Layouts -------------------------------------------------------------- *)
+
+let training_trace () =
+  (* two hot runs plus a cold tail, enough structure for every layout *)
+  let runs = [ [ 1; 2; 3; 4 ]; [ 5; 6; 7 ] ] in
+  let trace = Agg_trace.Trace.create () in
+  for _ = 1 to 30 do
+    List.iter (fun run -> List.iter (Agg_trace.Trace.add_access trace) run) runs
+  done;
+  List.iter (Agg_trace.Trace.add_access trace) [ 100; 101; 102 ];
+  trace
+
+let all_files trace =
+  let seen = Hashtbl.create 64 in
+  Agg_trace.Trace.iter (fun (e : Agg_trace.Event.t) -> Hashtbl.replace seen e.Agg_trace.Event.file ()) trace;
+  Hashtbl.fold (fun f () acc -> f :: acc) seen []
+
+let test_layouts_place_every_file_once () =
+  let trace = training_trace () in
+  let files = all_files trace in
+  List.iter
+    (fun (name, build) ->
+      let d = build trace in
+      List.iter
+        (fun file ->
+          let replicas = List.length (Disk.slots_of d file) in
+          if name = "groups+replication" then
+            check_bool (name ^ " places every file") true (replicas >= 1)
+          else check_int (Printf.sprintf "%s places f%d once" name file) 1 replicas)
+        files)
+    Layout.strategies
+
+let test_group_layout_keeps_runs_contiguous () =
+  let trace = training_trace () in
+  let d = Layout.by_groups ~group_size:4 trace in
+  (* the strongest group anchors the hottest run; its members must sit in
+     adjacent slots *)
+  let slots = List.concat_map (fun f -> Disk.slots_of d f) [ 1; 2; 3; 4 ] in
+  let sorted = List.sort compare slots in
+  match (sorted, List.rev sorted) with
+  | lo :: _, hi :: _ -> check_bool "run within a tight band" true (hi - lo < 8)
+  | _ -> Alcotest.fail "missing slots"
+
+let test_organ_pipe_centres_hottest () =
+  let trace = Agg_trace.Trace.of_files (List.concat (List.init 10 (fun _ -> [ 1; 1; 1; 2; 3 ]))) in
+  let d = Layout.organ_pipe trace in
+  let pos f = List.hd (Disk.slots_of d f) in
+  (* 1 is the hottest: its slot must lie between the others *)
+  check_bool "hottest central" true
+    (min (pos 2) (pos 3) <= pos 1 || pos 1 <= max (pos 2) (pos 3));
+  let span = Disk.occupied_slots d in
+  check_int "compact" 3 span
+
+let test_first_touch_order () =
+  let trace = Agg_trace.Trace.of_files [ 9; 4; 9; 7 ] in
+  let d = Layout.first_touch trace in
+  Alcotest.(check (list int)) "9 first" [ 0 ] (Disk.slots_of d 9);
+  Alcotest.(check (list int)) "4 second" [ 1 ] (Disk.slots_of d 4);
+  Alcotest.(check (list int)) "7 third" [ 2 ] (Disk.slots_of d 7)
+
+let test_random_layout_deterministic () =
+  let trace = training_trace () in
+  let a = Layout.random ~seed:3 trace in
+  let b = Layout.random ~seed:3 trace in
+  List.iter
+    (fun f -> Alcotest.(check (list int)) "same slots" (Disk.slots_of a f) (Disk.slots_of b f))
+    (all_files trace)
+
+let test_group_layouts_beat_random_on_runs () =
+  let trace = training_trace () in
+  let replay = Agg_trace.Trace.files trace in
+  let mean build =
+    let d = build trace in
+    (Disk.replay d (Array.copy replay)).Disk.mean_seek
+  in
+  let grouped = mean (Layout.by_groups ?group_size:None ?replicate_shared:None) in
+  let organ_grouped = mean (Layout.by_groups_organ_pipe ?group_size:None) in
+  let rand = mean (Layout.random ~seed:11) in
+  check_bool "groups beat random" true (grouped < rand);
+  check_bool "organ-pipe groups beat random" true (organ_grouped < rand)
+
+let qcheck_tests =
+  let open QCheck in
+  let files_gen = list_of_size (Gen.int_range 10 200) (int_range 0 25) in
+  [
+    Test.make ~name:"every strategy places every trained file" ~count:40 files_gen (fun files ->
+        let trace = Agg_trace.Trace.of_files files in
+        List.for_all
+          (fun (_, build) ->
+            let d = build trace in
+            List.for_all (fun f -> Disk.slots_of d f <> []) (List.sort_uniq compare files))
+          Layout.strategies);
+    Test.make ~name:"replay accounting" ~count:40 files_gen (fun files ->
+        let trace = Agg_trace.Trace.of_files files in
+        let d = Layout.first_touch trace in
+        let stats = Disk.replay d (Array.of_list files) in
+        stats.Disk.accesses = List.length files
+        && stats.Disk.total_seek >= 0.0
+        && stats.Disk.mean_seek <= float_of_int (max 1 stats.Disk.max_seek));
+  ]
+
+let () =
+  Alcotest.run "agg_placement"
+    [
+      ( "disk",
+        [
+          Alcotest.test_case "place and lookup" `Quick test_disk_place_and_lookup;
+          Alcotest.test_case "rejects conflicts" `Quick test_disk_rejects_conflicts;
+          Alcotest.test_case "replication reads nearest" `Quick test_disk_replication_reads_nearest;
+          Alcotest.test_case "crafted distances" `Quick test_disk_replay_crafted_distances;
+          Alcotest.test_case "allocates cold files" `Quick test_disk_replay_allocates_cold_files;
+        ] );
+      ( "layouts",
+        [
+          Alcotest.test_case "place every file once" `Quick test_layouts_place_every_file_once;
+          Alcotest.test_case "runs contiguous" `Quick test_group_layout_keeps_runs_contiguous;
+          Alcotest.test_case "organ pipe centres hottest" `Quick test_organ_pipe_centres_hottest;
+          Alcotest.test_case "first touch order" `Quick test_first_touch_order;
+          Alcotest.test_case "random deterministic" `Quick test_random_layout_deterministic;
+          Alcotest.test_case "groups beat random" `Quick test_group_layouts_beat_random_on_runs;
+        ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest qcheck_tests);
+    ]

@@ -1,0 +1,396 @@
+(* Integration tests: each figure experiment runs end-to-end at reduced
+   scale, and the structural invariants of the results are checked —
+   series shapes, value ranges, and the orderings that must hold even in
+   miniature (oracle below any online policy, grouping no worse than LRU
+   on predictable workloads, and so on). *)
+
+open Agg_sim
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* small but not degenerate: enough events for the orderings to show *)
+let tiny = { Experiment.events = 4000; seed = 7; warmup = 0 }
+
+let series_named panel label =
+  match List.find_opt (fun s -> s.Experiment.label = label) panel.Experiment.series with
+  | Some s -> s
+  | None -> Alcotest.failf "series %s missing" label
+
+let all_points panel = List.concat_map (fun s -> s.Experiment.points) panel.Experiment.series
+
+(* --- Experiment helpers ------------------------------------------------- *)
+
+let test_series_value () =
+  let s = { Experiment.label = "x"; points = [ (1.0, 10.0); (2.0, 20.0) ] } in
+  check_bool "present" true (Experiment.series_value s 2.0 = Some 20.0);
+  check_bool "absent" true (Experiment.series_value s 3.0 = None)
+
+let test_panel_table_renders () =
+  let panel =
+    {
+      Experiment.name = "p";
+      x_label = "x";
+      y_label = "y";
+      series = [ { Experiment.label = "a"; points = [ (1.0, 2.0) ] } ];
+    }
+  in
+  let table = Experiment.panel_table ~figure_id:"figX" panel in
+  check_bool "non-empty" true (String.length (Agg_util.Table.render table) > 0);
+  let fig = { Experiment.id = "figX"; title = "t"; panels = [ panel ] } in
+  check_bool "figure renders" true (String.length (Experiment.render_figure fig) > 0)
+
+(* --- Fig. 3 ---------------------------------------------------------------- *)
+
+let fig3_panel =
+  lazy (Fig3.panel ~settings:tiny ~capacities:[ 100; 300 ] Agg_workload.Profile.server)
+
+let test_fig3_shape () =
+  let panel = Lazy.force fig3_panel in
+  check_int "six series" 6 (List.length panel.Experiment.series);
+  List.iter
+    (fun s -> check_int (s.Experiment.label ^ " points") 2 (List.length s.Experiment.points))
+    panel.Experiment.series;
+  List.iter (fun (_, y) -> check_bool "positive fetches" true (y > 0.0)) (all_points panel)
+
+let test_fig3_grouping_never_worse () =
+  let panel = Lazy.force fig3_panel in
+  let lru = series_named panel "lru" in
+  List.iter
+    (fun grouped ->
+      if grouped.Experiment.label <> "lru" then
+        List.iter2
+          (fun (x, y_lru) (x', y_g) ->
+            check_bool "same xs" true (x = x');
+            check_bool
+              (Printf.sprintf "%s <= lru at %g" grouped.Experiment.label x)
+              true (y_g <= y_lru))
+          lru.Experiment.points grouped.Experiment.points)
+    panel.Experiment.series
+
+let test_fig3_fetches_decrease_with_capacity () =
+  let panel = Lazy.force fig3_panel in
+  List.iter
+    (fun s ->
+      match s.Experiment.points with
+      | [ (_, small); (_, large) ] ->
+          check_bool (s.Experiment.label ^ " monotone in capacity") true (large <= small)
+      | _ -> Alcotest.fail "expected two points")
+    panel.Experiment.series
+
+(* --- Fig. 4 ----------------------------------------------------------------- *)
+
+let fig4_panel =
+  lazy
+    (Fig4.panel ~settings:tiny ~filter_capacities:[ 50; 400 ] ~server_capacity:300
+       Agg_workload.Profile.server)
+
+let test_fig4_shape () =
+  let panel = Lazy.force fig4_panel in
+  check_int "three series" 3 (List.length panel.Experiment.series);
+  List.iter
+    (fun (_, y) -> check_bool "hit rate within [0,100]" true (y >= 0.0 && y <= 100.0))
+    (all_points panel)
+
+let test_fig4_aggregating_resilient () =
+  let panel = Lazy.force fig4_panel in
+  let g5 = series_named panel "g5" in
+  let lru = series_named panel "lru" in
+  let at s x =
+    match Experiment.series_value s x with Some v -> v | None -> Alcotest.fail "missing x"
+  in
+  check_bool "g5 survives large filters better than lru" true (at g5 400.0 > at lru 400.0)
+
+(* --- Fig. 5 ------------------------------------------------------------------ *)
+
+let fig5_panel =
+  lazy (Fig5.panel ~settings:tiny ~capacities:[ 1; 4; 8 ] Agg_workload.Profile.server)
+
+let test_fig5_probabilities_valid () =
+  let panel = Lazy.force fig5_panel in
+  List.iter
+    (fun (_, y) -> check_bool "probability in [0,1]" true (y >= 0.0 && y <= 1.0))
+    (all_points panel)
+
+let test_fig5_oracle_lower_bound () =
+  let panel = Lazy.force fig5_panel in
+  let oracle = series_named panel "oracle" in
+  List.iter
+    (fun s ->
+      if s.Experiment.label <> "oracle" then
+        List.iter2
+          (fun (_, o) (_, y) -> check_bool "oracle <= online policy" true (o <= y +. 1e-9))
+          oracle.Experiment.points s.Experiment.points)
+    panel.Experiment.series
+
+let test_fig5_more_successors_help () =
+  let panel = Lazy.force fig5_panel in
+  let lru = series_named panel "lru" in
+  match List.map snd lru.Experiment.points with
+  | [ p1; p4; p8 ] ->
+      check_bool "more capacity, fewer misses" true (p4 <= p1 && p8 <= p4)
+  | _ -> Alcotest.fail "expected three capacities"
+
+let test_fig5_direct_miss_probability () =
+  (* a strict cycle has a single successor per file: capacity 1 suffices
+     and only cold pairs miss *)
+  let files = Array.concat (List.init 50 (fun _ -> [| 1; 2; 3 |])) in
+  let p =
+    Fig5.miss_probability ~policy:Agg_successor.Successor_list.Recency ~capacity:1 files
+  in
+  check_bool "only cold misses" true (p < 0.03);
+  let oracle = Fig5.oracle_miss_probability files in
+  check_bool "oracle likewise" true (oracle <= p)
+
+(* --- Fig. 7 / Fig. 8 ------------------------------------------------------------ *)
+
+let test_fig7_shape () =
+  let fig = Fig7.figure ~settings:tiny ~lengths:[ 1; 2; 4 ] () in
+  check_int "one panel" 1 (List.length fig.Experiment.panels);
+  let panel = List.hd fig.Experiment.panels in
+  check_int "four workloads" 4 (List.length panel.Experiment.series);
+  List.iter
+    (fun s ->
+      check_int "three lengths" 3 (List.length s.Experiment.points);
+      List.iter (fun (_, h) -> check_bool "entropy >= 0" true (h >= 0.0)) s.Experiment.points)
+    panel.Experiment.series
+
+let test_fig8_shape () =
+  let panel =
+    Fig8.panel ~settings:tiny ~filter_capacities:[ 10; 200 ] ~lengths:[ 1; 2 ]
+      Agg_workload.Profile.write
+  in
+  check_int "two filters" 2 (List.length panel.Experiment.series);
+  List.iter
+    (fun s -> check_bool "label is capacity" true (s.Experiment.label = "10" || s.Experiment.label = "200"))
+    panel.Experiment.series
+
+(* --- Summary / Report -------------------------------------------------------------- *)
+
+let test_summary_client_rows () =
+  let rows = Summary.client_rows ~settings:tiny ~capacity:200 () in
+  check_int "four workloads" 4 (List.length rows);
+  List.iter
+    (fun (r : Summary.client_row) ->
+      check_bool "lru fetches positive" true (r.Summary.lru_fetches > 0);
+      check_bool "g5 no worse" true (r.Summary.g5_fetches <= r.Summary.lru_fetches))
+    rows;
+  check_bool "table renders" true
+    (String.length (Agg_util.Table.render (Summary.client_table rows)) > 0)
+
+let test_summary_server_rows () =
+  let rows = Summary.server_rows ~settings:tiny ~filter_capacities:[ 100 ] () in
+  check_int "three workloads x one filter" 3 (List.length rows);
+  List.iter
+    (fun (r : Summary.server_row) ->
+      check_bool "rates within range" true
+        (r.Summary.lru_hit_rate >= 0.0 && r.Summary.lru_hit_rate <= 100.0
+        && r.Summary.g5_hit_rate >= 0.0 && r.Summary.g5_hit_rate <= 100.0))
+    rows;
+  check_bool "table renders" true
+    (String.length (Agg_util.Table.render (Summary.server_table rows)) > 0)
+
+let test_report_checks_structure () =
+  (* tiny-scale runs need not pass the paper's quantitative bars, but the
+     checks must all run and produce both fields *)
+  let checks = Report.run_all ~settings:tiny () in
+  check_int "24 checks" 24 (List.length checks);
+  List.iter
+    (fun c ->
+      check_bool "id non-empty" true (String.length c.Report.id > 0);
+      check_bool "measured non-empty" true (String.length c.Report.measured > 0))
+    checks;
+  check_bool "table renders" true (String.length (Agg_util.Table.render (Report.table checks)) > 0)
+
+(* --- Export / Plot ----------------------------------------------------------------- *)
+
+let sample_panel =
+  {
+    Experiment.name = "sample";
+    x_label = "x";
+    y_label = "y";
+    series =
+      [
+        { Experiment.label = "a"; points = [ (1.0, 10.0); (2.0, 20.0) ] };
+        { Experiment.label = "b,quoted"; points = [ (1.0, 5.0) ] };
+      ];
+  }
+
+let test_export_csv_shape () =
+  let csv = Export.panel_csv sample_panel in
+  let lines = String.split_on_char '\n' (String.trim csv) in
+  check_int "header + 2 rows" 3 (List.length lines);
+  (match lines with
+  | header :: row1 :: _ ->
+      Alcotest.(check string) "header quoted" "x,a,\"b,quoted\"" header;
+      Alcotest.(check string) "first row" "1,10,5" row1
+  | _ -> Alcotest.fail "missing lines");
+  (* missing point renders as an empty cell *)
+  check_bool "empty cell for missing point" true
+    (List.exists (fun l -> l = "2,20,") lines)
+
+let test_export_write_figure () =
+  let fig = { Experiment.id = "figX"; title = "t"; panels = [ sample_panel ] } in
+  let dir = Filename.temp_file "aggcsv" "" in
+  Sys.remove dir;
+  let written = Export.write_figure ~dir fig in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter Sys.remove written;
+      Sys.rmdir dir)
+    (fun () ->
+      check_int "one file" 1 (List.length written);
+      check_bool "file exists" true (Sys.file_exists (List.hd written));
+      check_bool "named after panel" true
+        (Filename.basename (List.hd written) = "figx-sample.csv"))
+
+let test_plot_renders () =
+  let rendered = Plot.render ~width:30 ~height:8 sample_panel in
+  check_bool "mentions series glyphs" true
+    (String.contains rendered '*' && String.contains rendered 'o');
+  check_bool "has legend" true
+    (String.length rendered > 0
+    &&
+    let lines = String.split_on_char '\n' rendered in
+    List.exists (fun l -> l = "  * = a") lines);
+  let empty =
+    Plot.render { Experiment.name = "e"; x_label = "x"; y_label = "y"; series = [] }
+  in
+  check_bool "empty panel placeholder" true (empty = "(no data for e)\n")
+
+(* --- Ablations ------------------------------------------------------------------------ *)
+
+let test_ablation_member_position () =
+  let panel =
+    Ablations.member_position ~settings:tiny ~capacities:[ 200 ] Agg_workload.Profile.server
+  in
+  check_int "three series" 3 (List.length panel.Experiment.series);
+  (* both insertion positions must beat plain LRU on the server workload *)
+  let v label =
+    match Experiment.series_value (series_named panel label) 200.0 with
+    | Some v -> v
+    | None -> Alcotest.fail "missing"
+  in
+  check_bool "tail beats lru" true (v "g5-tail" < v "lru");
+  check_bool "head beats lru" true (v "g5-head" < v "lru")
+
+let test_ablation_metadata_policy () =
+  let panel =
+    Ablations.metadata_policy ~settings:tiny ~capacities:[ 200 ] Agg_workload.Profile.server
+  in
+  check_int "two series" 2 (List.length panel.Experiment.series)
+
+let test_ablation_successor_capacity () =
+  let panel =
+    Ablations.successor_capacity ~settings:tiny ~capacities:[ 1; 8 ] Agg_workload.Profile.server
+  in
+  match (List.hd panel.Experiment.series).Experiment.points with
+  | [ (_, one); (_, eight) ] ->
+      check_bool "more metadata never hurts much" true (eight <= one *. 1.1)
+  | _ -> Alcotest.fail "expected two points"
+
+let test_ablation_baselines () =
+  let panel = Ablations.baselines ~settings:tiny ~capacities:[ 200 ] Agg_workload.Profile.server in
+  check_int "four series" 4 (List.length panel.Experiment.series)
+
+let test_ablation_cooperative () =
+  let panel =
+    Ablations.cooperative ~settings:tiny ~filter_capacities:[ 100 ] Agg_workload.Profile.server
+  in
+  check_int "two series" 2 (List.length panel.Experiment.series)
+
+let test_predictor_accuracy_table () =
+  let table = Ablations.predictor_accuracy ~settings:tiny () in
+  check_bool "renders" true (String.length (Agg_util.Table.render table) > 0)
+
+let test_ablation_second_level_policies () =
+  let panel =
+    Ablations.second_level_policies ~settings:tiny ~filter_capacities:[ 400 ]
+      Agg_workload.Profile.server
+  in
+  check_int "seven series" 7 (List.length panel.Experiment.series);
+  let at label =
+    match Experiment.series_value (series_named panel label) 400.0 with
+    | Some v -> v
+    | None -> Alcotest.fail "missing point"
+  in
+  (* grouping must beat every plain policy, including MQ, at a filter
+     larger than the server capacity *)
+  List.iter
+    (fun label -> check_bool ("agg-g5 beats " ^ label) true (at "agg-g5" > at label))
+    [ "lru"; "lfu"; "mq"; "slru"; "2q"; "arc" ]
+
+let test_ablation_sequence_model () =
+  let table = Ablations.sequence_model ~settings:tiny ~lengths:[ 1; 2 ] () in
+  check_bool "renders" true (String.length (Agg_util.Table.render table) > 0)
+
+let test_ablation_placement () =
+  let table = Ablations.placement ~settings:tiny Agg_workload.Profile.server in
+  check_bool "renders" true (String.length (Agg_util.Table.render table) > 0)
+
+let test_ablation_overlap_vs_partition () =
+  let table = Ablations.overlap_vs_partition ~settings:tiny Agg_workload.Profile.server in
+  check_bool "renders" true (String.length (Agg_util.Table.render table) > 0)
+
+let test_ablation_adaptive_group () =
+  let table = Ablations.adaptive_group ~settings:tiny () in
+  check_bool "renders" true (String.length (Agg_util.Table.render table) > 0)
+
+let () =
+  Alcotest.run "agg_sim"
+    [
+      ( "experiment",
+        [
+          Alcotest.test_case "series_value" `Quick test_series_value;
+          Alcotest.test_case "panel table" `Quick test_panel_table_renders;
+        ] );
+      ( "fig3",
+        [
+          Alcotest.test_case "shape" `Quick test_fig3_shape;
+          Alcotest.test_case "grouping never worse" `Quick test_fig3_grouping_never_worse;
+          Alcotest.test_case "monotone in capacity" `Quick test_fig3_fetches_decrease_with_capacity;
+        ] );
+      ( "fig4",
+        [
+          Alcotest.test_case "shape" `Quick test_fig4_shape;
+          Alcotest.test_case "aggregating resilient" `Quick test_fig4_aggregating_resilient;
+        ] );
+      ( "fig5",
+        [
+          Alcotest.test_case "probabilities valid" `Quick test_fig5_probabilities_valid;
+          Alcotest.test_case "oracle lower bound" `Quick test_fig5_oracle_lower_bound;
+          Alcotest.test_case "more successors help" `Quick test_fig5_more_successors_help;
+          Alcotest.test_case "direct miss probability" `Quick test_fig5_direct_miss_probability;
+        ] );
+      ( "fig7-fig8",
+        [
+          Alcotest.test_case "fig7 shape" `Quick test_fig7_shape;
+          Alcotest.test_case "fig8 shape" `Quick test_fig8_shape;
+        ] );
+      ( "summary-report",
+        [
+          Alcotest.test_case "client rows" `Quick test_summary_client_rows;
+          Alcotest.test_case "server rows" `Quick test_summary_server_rows;
+          Alcotest.test_case "report checks" `Slow test_report_checks_structure;
+        ] );
+      ( "export-plot",
+        [
+          Alcotest.test_case "csv shape" `Quick test_export_csv_shape;
+          Alcotest.test_case "write figure" `Quick test_export_write_figure;
+          Alcotest.test_case "plot renders" `Quick test_plot_renders;
+        ] );
+      ( "ablations",
+        [
+          Alcotest.test_case "member position" `Quick test_ablation_member_position;
+          Alcotest.test_case "metadata policy" `Quick test_ablation_metadata_policy;
+          Alcotest.test_case "successor capacity" `Quick test_ablation_successor_capacity;
+          Alcotest.test_case "baselines" `Quick test_ablation_baselines;
+          Alcotest.test_case "cooperative" `Quick test_ablation_cooperative;
+          Alcotest.test_case "predictor accuracy" `Quick test_predictor_accuracy_table;
+          Alcotest.test_case "second-level policies" `Quick test_ablation_second_level_policies;
+          Alcotest.test_case "sequence model" `Quick test_ablation_sequence_model;
+          Alcotest.test_case "placement" `Quick test_ablation_placement;
+          Alcotest.test_case "overlap vs partition" `Quick test_ablation_overlap_vs_partition;
+          Alcotest.test_case "adaptive group" `Quick test_ablation_adaptive_group;
+        ] );
+    ]

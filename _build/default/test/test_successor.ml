@@ -1,0 +1,489 @@
+(* Tests for the successor-metadata layer: bounded successor lists under
+   both replacement policies, the tracker, the oracle, the relationship
+   graph, and covering-set group construction. *)
+
+open Agg_successor
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_list = Alcotest.(check (list int))
+
+let feed list successors = List.iter (Successor_list.observe list) successors
+
+(* --- Successor_list, Recency ----------------------------------------- *)
+
+let test_recency_order () =
+  let l = Successor_list.create ~capacity:3 ~policy:Successor_list.Recency in
+  feed l [ 1; 2; 3 ];
+  check_list "most recent first" [ 3; 2; 1 ] (Successor_list.ranked l);
+  check_bool "top" true (Successor_list.top l = Some 3)
+
+let test_recency_eviction () =
+  let l = Successor_list.create ~capacity:2 ~policy:Successor_list.Recency in
+  feed l [ 1; 2; 3 ];
+  check_bool "1 evicted" false (Successor_list.mem l 1);
+  check_list "kept" [ 3; 2 ] (Successor_list.ranked l)
+
+let test_recency_rereference () =
+  let l = Successor_list.create ~capacity:3 ~policy:Successor_list.Recency in
+  feed l [ 1; 2; 3; 1 ];
+  check_list "1 moved to front" [ 1; 3; 2 ] (Successor_list.ranked l);
+  check_int "size" 3 (Successor_list.size l)
+
+(* --- Successor_list, Frequency ---------------------------------------- *)
+
+let test_frequency_ranking () =
+  let l = Successor_list.create ~capacity:3 ~policy:Successor_list.Frequency in
+  feed l [ 1; 2; 2; 3; 2; 1 ];
+  check_list "by count" [ 2; 1; 3 ] (Successor_list.ranked l);
+  check_bool "top" true (Successor_list.top l = Some 2)
+
+let test_frequency_incumbent_protection () =
+  let l = Successor_list.create ~capacity:1 ~policy:Successor_list.Frequency in
+  feed l [ 5; 5; 5 ];
+  (* a single new observation must not displace a count-3 incumbent *)
+  Successor_list.observe l 9;
+  check_bool "incumbent kept" true (Successor_list.mem l 5);
+  check_bool "newcomer rejected" false (Successor_list.mem l 9);
+  (* but once the newcomer's full count overtakes, it enters *)
+  feed l [ 9; 9; 9 ];
+  check_bool "newcomer finally wins" true (Successor_list.mem l 9);
+  check_bool "old evicted" false (Successor_list.mem l 5)
+
+let test_frequency_tie_breaks_recent () =
+  let l = Successor_list.create ~capacity:1 ~policy:Successor_list.Frequency in
+  feed l [ 5 ];
+  (* count(9) reaches count(5) = 1; most recent wins the tie *)
+  Successor_list.observe l 9;
+  check_bool "tie goes to most recent" true (Successor_list.mem l 9)
+
+let test_list_capacity_validation () =
+  Alcotest.check_raises "capacity 0"
+    (Invalid_argument "Successor_list.create: capacity must be positive") (fun () ->
+      ignore (Successor_list.create ~capacity:0 ~policy:Successor_list.Recency))
+
+(* --- Tracker ------------------------------------------------------------ *)
+
+let observe_all tracker files = List.iter (fun f -> Tracker.observe tracker f) files
+
+let test_tracker_successions () =
+  let t = Tracker.create () in
+  observe_all t [ 1; 2; 3; 1; 2 ];
+  check_list "successors of 1" [ 2 ] (Tracker.successors t 1);
+  check_list "successors of 2" [ 3 ] (Tracker.successors t 2);
+  check_bool "top of 3" true (Tracker.top_successor t 3 = Some 1);
+  check_bool "unknown file" true (Tracker.successors t 99 = [])
+
+let test_tracker_recency_ranking () =
+  let t = Tracker.create () in
+  observe_all t [ 1; 2; 1; 3 ];
+  (* 1 was followed by 2, then by 3: recency ranks 3 first *)
+  check_list "recent first" [ 3; 2 ] (Tracker.successors t 1)
+
+let test_tracker_transitive_chain () =
+  let t = Tracker.create () in
+  for _ = 1 to 3 do
+    observe_all t [ 10; 11; 12; 13; 14 ]
+  done;
+  check_list "chain" [ 11; 12; 13 ] (Tracker.transitive_successors t 10 ~length:3);
+  (* repeated runs wrap 14 -> 10, so a long chain walks the whole cycle
+     and stops when every file is already in it *)
+  check_list "chain stops at the cycle" [ 13; 14; 10; 11 ]
+    (Tracker.transitive_successors t 12 ~length:10);
+  (* a file with no recorded successor ends the chain immediately *)
+  let fresh = Tracker.create () in
+  observe_all fresh [ 1; 2 ];
+  check_list "no successor data" [] (Tracker.transitive_successors fresh 2 ~length:4)
+
+let test_tracker_chain_cycle_stops () =
+  let t = Tracker.create () in
+  for _ = 1 to 3 do
+    observe_all t [ 1; 2; 1; 2 ]
+  done;
+  (* successors: 1 -> 2, 2 -> 1; the chain must stop at the cycle *)
+  check_list "cycle" [ 2 ] (Tracker.transitive_successors t 1 ~length:5)
+
+let test_tracker_per_client_contexts () =
+  let t = Tracker.create ~per_client:true () in
+  (* interleaved: client 0 runs 1,2 and client 1 runs 7,8; the global
+     order is 1,7,2,8 which would record bogus 1->7 and 2->8 pairs *)
+  Tracker.observe t ~client:0 1;
+  Tracker.observe t ~client:1 7;
+  Tracker.observe t ~client:0 2;
+  Tracker.observe t ~client:1 8;
+  check_list "client 0 succession" [ 2 ] (Tracker.successors t 1);
+  check_list "client 1 succession" [ 8 ] (Tracker.successors t 7);
+  check_bool "no cross-client pair" true (Tracker.successors t 2 = [])
+
+let test_tracker_global_context_mixes () =
+  let t = Tracker.create () in
+  Tracker.observe t ~client:0 1;
+  Tracker.observe t ~client:1 7;
+  (* with a single global context the cross-client pair is recorded *)
+  check_list "global pair" [ 7 ] (Tracker.successors t 1)
+
+let test_tracker_reset_context () =
+  let t = Tracker.create () in
+  observe_all t [ 1 ];
+  Tracker.reset_context t;
+  observe_all t [ 5 ];
+  check_bool "no 1->5 pair across reset" true (Tracker.successors t 1 = [])
+
+let test_tracker_capacity_respected () =
+  let t = Tracker.create ~capacity:2 () in
+  observe_all t [ 1; 2; 1; 3; 1; 4; 1 ];
+  check_int "at most 2 successors" 2 (List.length (Tracker.successors t 1))
+
+let test_tracker_tracked_files () =
+  let t = Tracker.create () in
+  observe_all t [ 1; 2; 3 ];
+  (* 1 and 2 gained successors; 3 has none yet *)
+  check_int "tracked" 2 (Tracker.tracked_files t)
+
+(* --- Sequence_tracker (the Fig. 6 model) ---------------------------------- *)
+
+let test_sequence_tracker_commits_windows () =
+  let t = Sequence_tracker.create ~length:3 () in
+  List.iter (Sequence_tracker.observe t) [ 1; 2; 3; 4; 5 ];
+  (* windows complete for 1 (2,3,4) and 2 (3,4,5) *)
+  Alcotest.(check (list (list int))) "symbol of 1" [ [ 2; 3; 4 ] ] (Sequence_tracker.sequences t 1);
+  Alcotest.(check (list (list int))) "symbol of 2" [ [ 3; 4; 5 ] ] (Sequence_tracker.sequences t 2);
+  check_bool "3's window incomplete" true (Sequence_tracker.sequences t 3 = [])
+
+let test_sequence_tracker_recency_and_dedup () =
+  let t = Sequence_tracker.create ~capacity:2 ~length:1 () in
+  List.iter (Sequence_tracker.observe t) [ 1; 2; 1; 3; 1; 2; 1; 4 ];
+  (* successor symbols of 1 in order: [2]; [3]; [2]; [4] — dedup + recency
+     with capacity 2 leaves [4] then [2] *)
+  Alcotest.(check (list (list int))) "ranked" [ [ 4 ]; [ 2 ] ] (Sequence_tracker.sequences t 1);
+  check_bool "predict most recent" true (Sequence_tracker.predict t 1 = Some [ 4 ])
+
+let test_sequence_tracker_capacity_bound () =
+  let t = Sequence_tracker.create ~capacity:3 ~length:1 () in
+  for successor = 10 to 30 do
+    Sequence_tracker.observe t 1;
+    Sequence_tracker.observe t successor
+  done;
+  check_bool "at most 3 symbols" true (List.length (Sequence_tracker.sequences t 1) <= 3)
+
+let test_sequence_tracker_measure_cycle () =
+  let files = Array.init 400 (fun i -> i mod 4) in
+  let a1 = Sequence_tracker.measure ~length:1 files in
+  let a4 = Sequence_tracker.measure ~length:4 files in
+  (* a strict cycle: both models converge to perfect prediction *)
+  check_bool "L=1 near perfect" true
+    (a1.Sequence_tracker.full_matches > (9 * a1.Sequence_tracker.opportunities) / 10);
+  check_bool "L=4 near perfect on a cycle" true
+    (a4.Sequence_tracker.full_matches > (9 * a4.Sequence_tracker.opportunities) / 10)
+
+let test_sequence_tracker_longer_is_harder () =
+  (* alternate two orderings: full 4-sequences rarely repeat, single
+     successors still often do *)
+  let prng = Agg_util.Prng.create ~seed:3 () in
+  let blocks =
+    List.init 300 (fun _ ->
+        if Agg_util.Prng.bool prng then [ 1; 2; 3; 4; 5 ] else [ 1; 2; 5; 3; 4 ])
+  in
+  let files = Array.of_list (List.concat blocks) in
+  let rate (a : Sequence_tracker.accuracy) =
+    Agg_util.Stats.ratio a.Sequence_tracker.full_matches a.Sequence_tracker.opportunities
+  in
+  let a1 = Sequence_tracker.measure ~length:1 files in
+  let a4 = Sequence_tracker.measure ~length:4 files in
+  check_bool "L=1 beats L=4 full-match" true (rate a1 > rate a4)
+
+let test_sequence_tracker_invalid () =
+  Alcotest.check_raises "length 0"
+    (Invalid_argument "Sequence_tracker.create: length must be positive") (fun () ->
+      ignore (Sequence_tracker.create ~length:0 ()));
+  Alcotest.check_raises "capacity 0"
+    (Invalid_argument "Sequence_tracker.create: capacity must be positive") (fun () ->
+      ignore (Sequence_tracker.create ~capacity:0 ~length:1 ()))
+
+(* --- Oracle -------------------------------------------------------------- *)
+
+let test_oracle () =
+  let o = Oracle.create () in
+  check_bool "unknown" false (Oracle.mem o ~file:1 ~successor:2);
+  Oracle.observe o ~file:1 ~successor:2;
+  Oracle.observe o ~file:1 ~successor:3;
+  Oracle.observe o ~file:1 ~successor:2;
+  check_bool "remembers all" true
+    (Oracle.mem o ~file:1 ~successor:2 && Oracle.mem o ~file:1 ~successor:3);
+  check_int "distinct successors" 2 (Oracle.successor_count o 1);
+  check_int "unknown file" 0 (Oracle.successor_count o 9)
+
+(* --- Graph ------------------------------------------------------------------ *)
+
+let test_graph_of_trace () =
+  let trace = Agg_trace.Trace.of_files [ 1; 2; 3; 1; 2; 4 ] in
+  let g = Graph.of_trace trace in
+  check_int "weight 1->2" 2 (Graph.weight g ~src:1 ~dst:2);
+  check_int "weight 2->3" 1 (Graph.weight g ~src:2 ~dst:3);
+  check_int "absent edge" 0 (Graph.weight g ~src:3 ~dst:2);
+  check_int "out degree of 2" 2 (Graph.out_degree g 2);
+  check_int "nodes" 4 (Graph.node_count g);
+  (* distinct edges: 1->2, 2->3, 3->1, 2->4 *)
+  check_int "edges" 4 (Graph.edge_count g);
+  check_int "access count" 2 (Graph.access_count g 2)
+
+let test_graph_strength_order () =
+  let trace = Agg_trace.Trace.of_files [ 1; 2; 1; 2; 1; 3 ] in
+  let g = Graph.of_trace trace in
+  Alcotest.(check (list (pair int int)))
+    "strongest first"
+    [ (2, 2); (3, 1) ]
+    (Graph.successors_by_strength g 1)
+
+let test_graph_deterministic_ties () =
+  let g = Graph.create () in
+  Graph.add_observation g ~src:1 ~dst:5;
+  Graph.add_observation g ~src:1 ~dst:3;
+  (* equal weights: smaller id first, so iteration order is stable *)
+  Alcotest.(check (list (pair int int)))
+    "tie break by id"
+    [ (3, 1); (5, 1) ]
+    (Graph.successors_by_strength g 1)
+
+let test_graph_iter_edges () =
+  let g = Graph.create () in
+  Graph.add_observation g ~src:1 ~dst:2;
+  Graph.add_observation g ~src:1 ~dst:2;
+  Graph.add_observation g ~src:2 ~dst:3;
+  let total = ref 0 in
+  Graph.iter_edges g (fun ~src:_ ~dst:_ ~weight -> total := !total + weight);
+  check_int "sum of weights" 3 !total
+
+(* --- Grouping ----------------------------------------------------------------- *)
+
+(* The Fig. 1 example: B's most likely successor is C, then D. *)
+let fig1_graph () =
+  let g = Graph.create () in
+  let edge src dst w =
+    for _ = 1 to w do
+      Graph.add_observation g ~src:(Char.code src) ~dst:(Char.code dst)
+    done
+  in
+  edge 'B' 'C' 3;
+  edge 'B' 'D' 2;
+  edge 'C' 'D' 2;
+  edge 'D' 'E' 3;
+  edge 'E' 'G' 2;
+  edge 'A' 'B' 3;
+  g
+
+let char_graph_group g size anchor = (Grouping.group_of g ~size (Char.code anchor)).Grouping.members
+
+let test_group_of_immediate () =
+  let g = fig1_graph () in
+  (* helpers below encode chars as ints *)
+  let b = Char.code 'B' and c = Char.code 'C' and d = Char.code 'D' in
+  Alcotest.(check (list int)) "B with top-2" [ b; c; d ] (char_graph_group g 3 'B')
+
+let test_group_of_transitive_extension () =
+  let g = fig1_graph () in
+  let a = Char.code 'A' and b = Char.code 'B' and c = Char.code 'C' and d = Char.code 'D' in
+  (* A has a single successor; a group of 4 must chain through B *)
+  Alcotest.(check (list int)) "A chains" [ a; b; c; d ] (char_graph_group g 4 'A')
+
+let test_group_of_size_one () =
+  let g = fig1_graph () in
+  Alcotest.(check (list int)) "singleton" [ Char.code 'G' ] (char_graph_group g 1 'G')
+
+let test_group_of_invalid () =
+  Alcotest.check_raises "size 0" (Invalid_argument "Grouping.group_of: size must be positive")
+    (fun () -> ignore (Grouping.group_of (fig1_graph ()) ~size:0 1))
+
+let test_cover_covers_all_nodes () =
+  let trace = Agg_trace.Trace.of_files [ 1; 2; 3; 4; 5; 1; 2; 3; 6; 7 ] in
+  let g = Graph.of_trace trace in
+  let cover = Grouping.cover g ~size:3 in
+  let covered = Hashtbl.create 16 in
+  List.iter (fun grp -> List.iter (fun m -> Hashtbl.replace covered m ()) grp.Grouping.members) cover;
+  List.iter
+    (fun node -> check_bool (Printf.sprintf "node %d covered" node) true (Hashtbl.mem covered node))
+    (Graph.nodes g)
+
+let test_cover_allows_overlap () =
+  (* a hot shared file (0) read inside two distinct working sets: with
+     overlapping groups it may appear in both; disjoint partitioning
+     would forbid this (paper §2.1's make/shell example) *)
+  let runs = [ [ 1; 0; 2 ]; [ 3; 0; 4 ] ] in
+  let trace = Agg_trace.Trace.of_files (List.concat (List.concat_map (fun r -> [ r; r; r ]) runs)) in
+  let g = Graph.of_trace trace in
+  let cover = Grouping.cover g ~size:3 in
+  let memberships =
+    List.length
+      (List.filter (fun grp -> List.mem 0 grp.Grouping.members) cover)
+  in
+  check_bool "shared file in at least one group" true (memberships >= 1);
+  let stats = Grouping.cover_stats cover in
+  check_bool "cover is not a partition" true (stats.Grouping.overlapping_nodes >= 0);
+  check_int "all nodes covered" (Graph.node_count g) stats.Grouping.covered_nodes
+
+let test_partition_is_disjoint () =
+  let trace = Agg_trace.Trace.of_files [ 1; 2; 3; 4; 5; 1; 2; 3; 6; 7; 1; 2 ] in
+  let g = Graph.of_trace trace in
+  let partition = Grouping.partition g ~size:3 in
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun group ->
+      List.iter
+        (fun m ->
+          check_bool (Printf.sprintf "f%d appears once" m) false (Hashtbl.mem seen m);
+          Hashtbl.replace seen m ())
+        group.Grouping.members)
+    partition;
+  (* and it still covers every node *)
+  List.iter (fun node -> check_bool "covered" true (Hashtbl.mem seen node)) (Graph.nodes g)
+
+let test_partition_steals_shared_file () =
+  (* the §2.1 scenario: 0 is shared by two working sets; a partition can
+     give it to only one of them *)
+  let runs = List.concat (List.init 20 (fun _ -> [ [ 1; 0; 2 ]; [ 3; 0; 4 ] ])) in
+  let trace = Agg_trace.Trace.of_files (List.concat runs) in
+  let g = Graph.of_trace trace in
+  let partition = Grouping.partition g ~size:3 in
+  let owners =
+    List.length (List.filter (fun grp -> List.mem 0 grp.Grouping.members) partition)
+  in
+  check_int "exactly one owner under partition" 1 owners;
+  (* while anchored overlapping groups give each working set its own view *)
+  let grp1 = Grouping.group_of g ~size:3 1 in
+  let grp3 = Grouping.group_of g ~size:3 3 in
+  check_bool "both anchored groups contain the shared file" true
+    (List.mem 0 grp1.Grouping.members && List.mem 0 grp3.Grouping.members)
+
+let test_membership () =
+  let groups =
+    [ { Grouping.anchor = 1; members = [ 1; 2 ] }; { Grouping.anchor = 3; members = [ 3; 2 ] } ]
+  in
+  let table = Grouping.membership groups in
+  check_bool "1 in first" true ((Hashtbl.find table 1).Grouping.anchor = 1);
+  check_bool "2 kept by first group" true ((Hashtbl.find table 2).Grouping.anchor = 1);
+  check_bool "3 in second" true ((Hashtbl.find table 3).Grouping.anchor = 3)
+
+let test_cover_stats () =
+  let groups =
+    [ { Grouping.anchor = 1; members = [ 1; 2; 3 ] }; { Grouping.anchor = 4; members = [ 4; 2 ] } ]
+  in
+  let s = Grouping.cover_stats groups in
+  check_int "groups" 2 s.Grouping.groups;
+  check_int "covered" 4 s.Grouping.covered_nodes;
+  check_int "overlapping" 1 s.Grouping.overlapping_nodes;
+  check_int "max memberships" 2 s.Grouping.max_memberships;
+  Alcotest.(check (float 1e-9)) "mean size" 2.5 s.Grouping.mean_group_size
+
+(* --- qcheck properties ----------------------------------------------------------- *)
+
+let qcheck_tests =
+  let open QCheck in
+  let files_gen = list_of_size (Gen.int_range 10 200) (int_range 0 25) in
+  [
+    Test.make ~name:"successor lists never exceed capacity" ~count:100
+      (pair files_gen (int_range 1 6))
+      (fun (successors, capacity) ->
+        List.for_all
+          (fun policy ->
+            let l = Successor_list.create ~capacity ~policy in
+            List.iter (Successor_list.observe l) successors;
+            Successor_list.size l <= capacity
+            && List.length (Successor_list.ranked l) = Successor_list.size l)
+          [ Successor_list.Recency; Successor_list.Frequency ]);
+    Test.make ~name:"transitive successors contain no duplicates and not the root" ~count:100
+      (pair files_gen (int_range 1 10))
+      (fun (files, length) ->
+        let t = Tracker.create () in
+        List.iter (fun f -> Tracker.observe t f) files;
+        List.for_all
+          (fun root ->
+            let chain = Tracker.transitive_successors t root ~length in
+            List.length chain <= length
+            && (not (List.mem root chain))
+            && List.length (List.sort_uniq compare chain) = List.length chain)
+          (List.sort_uniq compare files));
+    Test.make ~name:"cover always covers every node" ~count:60
+      (pair files_gen (int_range 1 6))
+      (fun (files, size) ->
+        let g = Graph.of_trace (Agg_trace.Trace.of_files files) in
+        let cover = Grouping.cover g ~size in
+        let covered = Hashtbl.create 64 in
+        List.iter
+          (fun grp -> List.iter (fun m -> Hashtbl.replace covered m ()) grp.Grouping.members)
+          cover;
+        List.for_all (Hashtbl.mem covered) (Graph.nodes g));
+    Test.make ~name:"groups respect the size bound and start with the anchor" ~count:60
+      (pair files_gen (int_range 1 6))
+      (fun (files, size) ->
+        let g = Graph.of_trace (Agg_trace.Trace.of_files files) in
+        List.for_all
+          (fun node ->
+            let grp = Grouping.group_of g ~size node in
+            List.length grp.Grouping.members <= size
+            && (match grp.Grouping.members with
+               | anchor :: _ -> anchor = node
+               | [] -> false))
+          (Graph.nodes g));
+  ]
+
+let () =
+  Alcotest.run "agg_successor"
+    [
+      ( "successor_list.recency",
+        [
+          Alcotest.test_case "order" `Quick test_recency_order;
+          Alcotest.test_case "eviction" `Quick test_recency_eviction;
+          Alcotest.test_case "rereference" `Quick test_recency_rereference;
+        ] );
+      ( "successor_list.frequency",
+        [
+          Alcotest.test_case "ranking" `Quick test_frequency_ranking;
+          Alcotest.test_case "incumbent protection" `Quick test_frequency_incumbent_protection;
+          Alcotest.test_case "tie breaks recent" `Quick test_frequency_tie_breaks_recent;
+          Alcotest.test_case "capacity validation" `Quick test_list_capacity_validation;
+        ] );
+      ( "tracker",
+        [
+          Alcotest.test_case "successions" `Quick test_tracker_successions;
+          Alcotest.test_case "recency ranking" `Quick test_tracker_recency_ranking;
+          Alcotest.test_case "transitive chain" `Quick test_tracker_transitive_chain;
+          Alcotest.test_case "cycle stops" `Quick test_tracker_chain_cycle_stops;
+          Alcotest.test_case "per-client contexts" `Quick test_tracker_per_client_contexts;
+          Alcotest.test_case "global context mixes" `Quick test_tracker_global_context_mixes;
+          Alcotest.test_case "reset context" `Quick test_tracker_reset_context;
+          Alcotest.test_case "capacity respected" `Quick test_tracker_capacity_respected;
+          Alcotest.test_case "tracked files" `Quick test_tracker_tracked_files;
+        ] );
+      ( "sequence_tracker",
+        [
+          Alcotest.test_case "commits windows" `Quick test_sequence_tracker_commits_windows;
+          Alcotest.test_case "recency and dedup" `Quick test_sequence_tracker_recency_and_dedup;
+          Alcotest.test_case "capacity bound" `Quick test_sequence_tracker_capacity_bound;
+          Alcotest.test_case "measure on cycle" `Quick test_sequence_tracker_measure_cycle;
+          Alcotest.test_case "longer is harder" `Quick test_sequence_tracker_longer_is_harder;
+          Alcotest.test_case "invalid args" `Quick test_sequence_tracker_invalid;
+        ] );
+      ("oracle", [ Alcotest.test_case "remembers everything" `Quick test_oracle ]);
+      ( "graph",
+        [
+          Alcotest.test_case "of_trace" `Quick test_graph_of_trace;
+          Alcotest.test_case "strength order" `Quick test_graph_strength_order;
+          Alcotest.test_case "deterministic ties" `Quick test_graph_deterministic_ties;
+          Alcotest.test_case "iter edges" `Quick test_graph_iter_edges;
+        ] );
+      ( "grouping",
+        [
+          Alcotest.test_case "immediate successors" `Quick test_group_of_immediate;
+          Alcotest.test_case "transitive extension" `Quick test_group_of_transitive_extension;
+          Alcotest.test_case "size one" `Quick test_group_of_size_one;
+          Alcotest.test_case "invalid size" `Quick test_group_of_invalid;
+          Alcotest.test_case "cover covers all" `Quick test_cover_covers_all_nodes;
+          Alcotest.test_case "cover allows overlap" `Quick test_cover_allows_overlap;
+          Alcotest.test_case "cover stats" `Quick test_cover_stats;
+          Alcotest.test_case "partition is disjoint" `Quick test_partition_is_disjoint;
+          Alcotest.test_case "partition steals shared file" `Quick
+            test_partition_steals_shared_file;
+          Alcotest.test_case "membership" `Quick test_membership;
+        ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest qcheck_tests);
+    ]

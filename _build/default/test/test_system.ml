@@ -1,0 +1,198 @@
+(* Tests for the end-to-end path simulator: cost arithmetic, accounting
+   identities, and the latency orderings the deployments must satisfy. *)
+
+open Agg_system
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_float = Alcotest.(check (float 1e-9))
+
+let test_cost_model_arithmetic () =
+  let c = Cost_model.lan in
+  check_float "memory-served fetch" (0.5 +. 0.05 +. 0.2)
+    (Cost_model.demand_fetch_latency c ~served_from_disk:false);
+  check_float "disk-served fetch" (0.5 +. 8.0 +. 0.2)
+    (Cost_model.demand_fetch_latency c ~served_from_disk:true);
+  check_bool "wan slower" true
+    (Cost_model.demand_fetch_latency Cost_model.wan ~served_from_disk:false
+    > Cost_model.demand_fetch_latency Cost_model.lan ~served_from_disk:false)
+
+let small_config deployment =
+  {
+    Path.default_config with
+    Path.client_capacity = 4;
+    server_capacity = 8;
+    deployment;
+    group_size = 3;
+  }
+
+let test_baseline_crafted_latencies () =
+  (* capacity 4 client: 1 2 3 1 2 -> misses 1,2,3 then hits 1,2 *)
+  let trace = Agg_trace.Trace.of_files [ 1; 2; 3; 1; 2 ] in
+  let r = Path.run (small_config `Baseline) trace in
+  check_int "accesses" 5 r.Path.accesses;
+  check_int "client hits" 2 r.Path.client_hits;
+  check_int "rtts" 3 r.Path.round_trips;
+  check_int "disk reads (cold server)" 3 r.Path.disk_reads;
+  check_int "one file per rtt" 3 r.Path.files_transferred;
+  let expect_mean =
+    ((3.0 *. Cost_model.demand_fetch_latency Cost_model.lan ~served_from_disk:true)
+    +. (2.0 *. Cost_model.lan.Cost_model.client_memory))
+    /. 5.0
+  in
+  check_float "mean latency" expect_mean r.Path.mean_latency
+
+let test_accounting_identities () =
+  let trace =
+    Agg_workload.Generator.generate ~seed:5 ~events:8000 Agg_workload.Profile.workstation
+  in
+  List.iter
+    (fun deployment ->
+      let r = Path.run { Path.default_config with Path.deployment } trace in
+      check_int "accesses = trace" (Agg_trace.Trace.length trace) r.Path.accesses;
+      check_int "rtts = client misses" (r.Path.accesses - r.Path.client_hits) r.Path.round_trips;
+      check_bool "transferred >= rtts" true (r.Path.files_transferred >= r.Path.round_trips);
+      check_bool "server hits <= rtts" true (r.Path.server_hits <= r.Path.round_trips);
+      check_bool "latency ordering" true
+        (r.Path.mean_latency <= r.Path.p95_latency && r.Path.p95_latency <= r.Path.p99_latency))
+    [ `Baseline; `Aggregating_client; `Aggregating_both ]
+
+let test_baseline_transfers_one_per_rtt () =
+  let trace =
+    Agg_workload.Generator.generate ~seed:5 ~events:5000 Agg_workload.Profile.server
+  in
+  let r = Path.run { Path.default_config with Path.deployment = `Baseline } trace in
+  check_int "baseline sends exactly one file per round trip" r.Path.round_trips
+    r.Path.files_transferred
+
+let test_aggregation_cuts_latency_on_predictable_workload () =
+  let trace =
+    Agg_workload.Generator.generate ~seed:7 ~events:15_000 Agg_workload.Profile.server
+  in
+  let run deployment = Path.run { Path.default_config with Path.deployment } trace in
+  let baseline = run `Baseline in
+  let agg = run `Aggregating_client in
+  let both = run `Aggregating_both in
+  check_bool "fewer round trips" true (agg.Path.round_trips < baseline.Path.round_trips);
+  check_bool "lower mean latency" true (agg.Path.mean_latency < baseline.Path.mean_latency);
+  check_bool "bandwidth is the price" true
+    (agg.Path.files_transferred > baseline.Path.files_transferred);
+  check_bool "server staging helps server hits" true (both.Path.server_hits >= agg.Path.server_hits)
+
+let test_deployment_names () =
+  Alcotest.(check string) "baseline" "baseline" (Path.deployment_name `Baseline);
+  Alcotest.(check string) "client" "agg-client" (Path.deployment_name `Aggregating_client);
+  Alcotest.(check string) "both" "agg-both" (Path.deployment_name `Aggregating_both)
+
+let test_empty_trace () =
+  let r = Path.run Path.default_config (Agg_trace.Trace.create ()) in
+  check_int "no accesses" 0 r.Path.accesses;
+  check_float "zero latency" 0.0 r.Path.mean_latency
+
+(* --- Fleet ------------------------------------------------------------ *)
+
+let fleet_config ?(clients = 2) ?(write_invalidation = true) () =
+  {
+    Fleet.default_config with
+    Fleet.clients;
+    client_capacity = 8;
+    server_capacity = 16;
+    write_invalidation;
+  }
+
+let test_fleet_accounting () =
+  let trace = Agg_workload.Generator.generate ~seed:5 ~events:6000 Agg_workload.Profile.users in
+  let r = Fleet.run (fleet_config ~clients:4 ()) trace in
+  check_int "accesses" 6000 r.Fleet.accesses;
+  check_int "requests = misses" (r.Fleet.accesses - r.Fleet.client_hits) r.Fleet.server_requests;
+  check_bool "server hits <= requests" true (r.Fleet.server_hits <= r.Fleet.server_requests);
+  check_int "four per-client rows" 4 (List.length r.Fleet.per_client_hit_rate)
+
+let test_fleet_write_invalidation () =
+  (* two clients ping-pong on one file: writes by client 1 must break
+     client 0's cached copy, forcing it back to the server *)
+  let trace = Agg_trace.Trace.create () in
+  for _ = 1 to 20 do
+    Agg_trace.Trace.add_access trace ~client:0 ~op:Agg_trace.Event.Open 7;
+    Agg_trace.Trace.add_access trace ~client:1 ~op:Agg_trace.Event.Write 7
+  done;
+  let with_inv = Fleet.run (fleet_config ()) trace in
+  let without_inv = Fleet.run (fleet_config ~write_invalidation:false ()) trace in
+  check_bool "invalidations recorded" true (with_inv.Fleet.invalidations > 0);
+  check_int "no invalidations when disabled" 0 without_inv.Fleet.invalidations;
+  check_bool "coherence costs client hits" true
+    (with_inv.Fleet.client_hits < without_inv.Fleet.client_hits)
+
+let test_fleet_single_client_matches_many_ids () =
+  (* clients = 1 folds every stream into one cache; ids beyond the fleet
+     size wrap around instead of crashing *)
+  let trace = Agg_workload.Generator.generate ~seed:5 ~events:3000 Agg_workload.Profile.users in
+  let r = Fleet.run (fleet_config ~clients:1 ()) trace in
+  check_int "all accesses in one client" 3000 r.Fleet.accesses;
+  check_int "one row" 1 (List.length r.Fleet.per_client_hit_rate)
+
+let test_fleet_aggregation_reduces_requests () =
+  let trace = Agg_workload.Generator.generate ~seed:7 ~events:10_000 Agg_workload.Profile.server in
+  let base =
+    {
+      Fleet.default_config with
+      Fleet.clients = 1;
+      client_capacity = 200;
+      server_capacity = 300;
+    }
+  in
+  let plain =
+    Fleet.run
+      { base with Fleet.client_scheme = Fleet.Client_plain Agg_cache.Cache.Lru } trace
+  in
+  let agg = Fleet.run base trace in
+  check_bool "fewer server requests with grouping" true
+    (agg.Fleet.server_requests < plain.Fleet.server_requests)
+
+let test_fleet_invalid_clients () =
+  Alcotest.check_raises "0 clients" (Invalid_argument "Fleet.run: clients must be positive")
+    (fun () ->
+      ignore (Fleet.run { Fleet.default_config with Fleet.clients = 0 } (Agg_trace.Trace.create ())))
+
+let qcheck_tests =
+  let open QCheck in
+  let files_gen = list_of_size (Gen.int_range 10 300) (int_range 0 30) in
+  [
+    Test.make ~name:"latency bounded by worst-case fetch" ~count:60 files_gen (fun files ->
+        let trace = Agg_trace.Trace.of_files files in
+        let r = Path.run (small_config `Aggregating_client) trace in
+        let worst = Cost_model.demand_fetch_latency Cost_model.lan ~served_from_disk:true in
+        r.Path.mean_latency >= Cost_model.lan.Cost_model.client_memory -. 1e-9
+        && r.Path.p99_latency <= worst +. 1e-9);
+    Test.make ~name:"client hits + rtts = accesses" ~count:60 files_gen (fun files ->
+        let trace = Agg_trace.Trace.of_files files in
+        let r = Path.run (small_config `Aggregating_both) trace in
+        r.Path.client_hits + r.Path.round_trips = r.Path.accesses);
+  ]
+
+let () =
+  Alcotest.run "agg_system"
+    [
+      ( "cost model",
+        [ Alcotest.test_case "arithmetic" `Quick test_cost_model_arithmetic ] );
+      ( "path",
+        [
+          Alcotest.test_case "baseline crafted latencies" `Quick test_baseline_crafted_latencies;
+          Alcotest.test_case "accounting identities" `Quick test_accounting_identities;
+          Alcotest.test_case "baseline one file per rtt" `Quick test_baseline_transfers_one_per_rtt;
+          Alcotest.test_case "aggregation cuts latency" `Quick
+            test_aggregation_cuts_latency_on_predictable_workload;
+          Alcotest.test_case "deployment names" `Quick test_deployment_names;
+          Alcotest.test_case "empty trace" `Quick test_empty_trace;
+        ] );
+      ( "fleet",
+        [
+          Alcotest.test_case "accounting" `Quick test_fleet_accounting;
+          Alcotest.test_case "write invalidation" `Quick test_fleet_write_invalidation;
+          Alcotest.test_case "single client" `Quick test_fleet_single_client_matches_many_ids;
+          Alcotest.test_case "aggregation reduces requests" `Quick
+            test_fleet_aggregation_reduces_requests;
+          Alcotest.test_case "invalid clients" `Quick test_fleet_invalid_clients;
+        ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest qcheck_tests);
+    ]

@@ -1,0 +1,488 @@
+(* Unit and property tests for Agg_util: PRNG, distributions, statistics,
+   and the core data structures every other library builds on. *)
+
+open Agg_util
+
+let check_float = Alcotest.(check (float 1e-9))
+let check_float_loose tolerance = Alcotest.(check (float tolerance))
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* --- Prng ----------------------------------------------------------- *)
+
+let test_prng_determinism () =
+  let a = Prng.create ~seed:123 () in
+  let b = Prng.create ~seed:123 () in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.bits64 a) (Prng.bits64 b)
+  done
+
+let test_prng_seed_sensitivity () =
+  let a = Prng.create ~seed:1 () in
+  let b = Prng.create ~seed:2 () in
+  let differs = ref false in
+  for _ = 1 to 10 do
+    if not (Int64.equal (Prng.bits64 a) (Prng.bits64 b)) then differs := true
+  done;
+  check_bool "different seeds diverge" true !differs
+
+let test_prng_copy () =
+  let a = Prng.create ~seed:99 () in
+  ignore (Prng.bits64 a);
+  let b = Prng.copy a in
+  Alcotest.(check int64) "copy continues identically" (Prng.bits64 a) (Prng.bits64 b)
+
+let test_prng_split () =
+  let a = Prng.create ~seed:5 () in
+  let b = Prng.split a in
+  let differs = ref false in
+  for _ = 1 to 10 do
+    if not (Int64.equal (Prng.bits64 a) (Prng.bits64 b)) then differs := true
+  done;
+  check_bool "split stream differs from parent" true !differs
+
+let test_prng_int_bounds () =
+  let t = Prng.create ~seed:7 () in
+  for _ = 1 to 1000 do
+    let v = Prng.int t 17 in
+    check_bool "0 <= v < 17" true (v >= 0 && v < 17)
+  done
+
+let test_prng_int_invalid () =
+  let t = Prng.create () in
+  Alcotest.check_raises "bound 0" (Invalid_argument "Prng.int: bound must be positive") (fun () ->
+      ignore (Prng.int t 0))
+
+let test_prng_int_in_range () =
+  let t = Prng.create ~seed:11 () in
+  for _ = 1 to 500 do
+    let v = Prng.int_in_range t ~lo:(-3) ~hi:4 in
+    check_bool "-3 <= v <= 4" true (v >= -3 && v <= 4)
+  done;
+  check_int "degenerate range" 9 (Prng.int_in_range t ~lo:9 ~hi:9)
+
+let test_prng_float_bounds () =
+  let t = Prng.create ~seed:13 () in
+  for _ = 1 to 1000 do
+    let v = Prng.float t 2.5 in
+    check_bool "0 <= v < 2.5" true (v >= 0.0 && v < 2.5)
+  done
+
+let test_prng_bernoulli_degenerate () =
+  let t = Prng.create () in
+  check_bool "p=0 never" false (Prng.bernoulli t ~p:0.0);
+  check_bool "p=1 always" true (Prng.bernoulli t ~p:1.0)
+
+let test_prng_bernoulli_rate () =
+  let t = Prng.create ~seed:3 () in
+  let hits = ref 0 in
+  let n = 20000 in
+  for _ = 1 to n do
+    if Prng.bernoulli t ~p:0.3 then incr hits
+  done;
+  check_float_loose 0.02 "empirical rate near 0.3" 0.3 (float_of_int !hits /. float_of_int n)
+
+let test_prng_shuffle_permutes () =
+  let t = Prng.create ~seed:21 () in
+  let a = Array.init 50 (fun i -> i) in
+  Prng.shuffle t a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "multiset preserved" (Array.init 50 (fun i -> i)) sorted
+
+let test_prng_choose () =
+  let t = Prng.create ~seed:2 () in
+  let a = [| 10; 20; 30 |] in
+  for _ = 1 to 100 do
+    check_bool "chosen element is a member" true (Array.mem (Prng.choose t a) a)
+  done;
+  Alcotest.check_raises "empty" (Invalid_argument "Prng.choose: empty array") (fun () ->
+      ignore (Prng.choose t [||]))
+
+(* --- Dist ----------------------------------------------------------- *)
+
+let test_zipf_pmf_sums_to_one () =
+  let z = Dist.Zipf.create ~n:100 ~s:1.0 in
+  let total = ref 0.0 in
+  for k = 0 to 99 do
+    total := !total +. Dist.Zipf.prob z k
+  done;
+  check_float_loose 1e-9 "pmf sums to 1" 1.0 !total
+
+let test_zipf_skew () =
+  let z = Dist.Zipf.create ~n:10 ~s:1.0 in
+  check_bool "rank 0 most likely" true (Dist.Zipf.prob z 0 > Dist.Zipf.prob z 9);
+  check_float_loose 1e-9 "1/k law" (Dist.Zipf.prob z 0 /. 2.0) (Dist.Zipf.prob z 1)
+
+let test_zipf_uniform_when_s0 () =
+  let z = Dist.Zipf.create ~n:4 ~s:0.0 in
+  for k = 0 to 3 do
+    check_float_loose 1e-9 "uniform" 0.25 (Dist.Zipf.prob z k)
+  done
+
+let test_zipf_sample_range () =
+  let z = Dist.Zipf.create ~n:7 ~s:0.8 in
+  let t = Prng.create ~seed:5 () in
+  for _ = 1 to 1000 do
+    let v = Dist.Zipf.sample z t in
+    check_bool "in range" true (v >= 0 && v < 7)
+  done
+
+let test_zipf_single_rank () =
+  let z = Dist.Zipf.create ~n:1 ~s:2.0 in
+  let t = Prng.create () in
+  for _ = 1 to 20 do
+    check_int "always 0" 0 (Dist.Zipf.sample z t)
+  done
+
+let test_zipf_empirical_matches_pmf () =
+  let z = Dist.Zipf.create ~n:5 ~s:1.2 in
+  let t = Prng.create ~seed:9 () in
+  let counts = Array.make 5 0 in
+  let n = 50000 in
+  for _ = 1 to n do
+    let k = Dist.Zipf.sample z t in
+    counts.(k) <- counts.(k) + 1
+  done;
+  for k = 0 to 4 do
+    check_float_loose 0.01 "empirical vs pmf"
+      (Dist.Zipf.prob z k)
+      (float_of_int counts.(k) /. float_of_int n)
+  done
+
+let test_zipf_invalid () =
+  Alcotest.check_raises "n=0" (Invalid_argument "Dist.Zipf.create: n must be positive") (fun () ->
+      ignore (Dist.Zipf.create ~n:0 ~s:1.0));
+  Alcotest.check_raises "s<0" (Invalid_argument "Dist.Zipf.create: s must be non-negative")
+    (fun () -> ignore (Dist.Zipf.create ~n:3 ~s:(-1.0)))
+
+let test_alias_empirical () =
+  let a = Dist.Alias.create [| 1.0; 3.0; 6.0 |] in
+  check_int "size" 3 (Dist.Alias.size a);
+  let t = Prng.create ~seed:31 () in
+  let counts = Array.make 3 0 in
+  let n = 60000 in
+  for _ = 1 to n do
+    let k = Dist.Alias.sample a t in
+    counts.(k) <- counts.(k) + 1
+  done;
+  check_float_loose 0.01 "w=1/10" 0.1 (float_of_int counts.(0) /. float_of_int n);
+  check_float_loose 0.01 "w=3/10" 0.3 (float_of_int counts.(1) /. float_of_int n);
+  check_float_loose 0.01 "w=6/10" 0.6 (float_of_int counts.(2) /. float_of_int n)
+
+let test_alias_invalid () =
+  Alcotest.check_raises "empty" (Invalid_argument "Dist.Alias.create: empty weights") (fun () ->
+      ignore (Dist.Alias.create [||]));
+  Alcotest.check_raises "zero sum" (Invalid_argument "Dist.Alias.create: weights sum to zero")
+    (fun () -> ignore (Dist.Alias.create [| 0.0; 0.0 |]));
+  Alcotest.check_raises "negative" (Invalid_argument "Dist.Alias.create: negative weight")
+    (fun () -> ignore (Dist.Alias.create [| 2.0; -1.0 |]))
+
+let test_geometric () =
+  let t = Prng.create ~seed:17 () in
+  check_int "p=1 is 0" 0 (Dist.geometric t ~p:1.0);
+  let sum = ref 0 in
+  let n = 20000 in
+  for _ = 1 to n do
+    sum := !sum + Dist.geometric t ~p:0.25
+  done;
+  (* mean of failures-before-success = (1-p)/p = 3 *)
+  check_float_loose 0.15 "mean near 3" 3.0 (float_of_int !sum /. float_of_int n)
+
+let test_exponential () =
+  let t = Prng.create ~seed:19 () in
+  let sum = ref 0.0 in
+  let n = 20000 in
+  for _ = 1 to n do
+    let v = Dist.exponential t ~mean:2.0 in
+    check_bool "positive" true (v >= 0.0);
+    sum := !sum +. v
+  done;
+  check_float_loose 0.1 "mean near 2" 2.0 (!sum /. float_of_int n)
+
+let test_categorical () =
+  let t = Prng.create ~seed:23 () in
+  for _ = 1 to 200 do
+    let k = Dist.categorical t [| 0.0; 5.0; 0.0 |] in
+    check_int "only positive-weight index" 1 k
+  done
+
+(* --- Stats ---------------------------------------------------------- *)
+
+let test_running_stats () =
+  let r = Stats.Running.create () in
+  List.iter (Stats.Running.add r) [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ];
+  check_int "count" 8 (Stats.Running.count r);
+  check_float "mean" 5.0 (Stats.Running.mean r);
+  check_float_loose 1e-9 "sample variance" (32.0 /. 7.0) (Stats.Running.variance r);
+  check_float "min" 2.0 (Stats.Running.min r);
+  check_float "max" 9.0 (Stats.Running.max r)
+
+let test_running_empty () =
+  let r = Stats.Running.create () in
+  check_int "count 0" 0 (Stats.Running.count r);
+  check_float "mean 0" 0.0 (Stats.Running.mean r);
+  check_float "variance 0" 0.0 (Stats.Running.variance r)
+
+let test_histogram_percentile () =
+  let h = Stats.Histogram.create ~lo:0.0 ~hi:100.0 ~buckets:100 in
+  for i = 0 to 999 do
+    Stats.Histogram.add h (float_of_int (i mod 100))
+  done;
+  check_int "count" 1000 (Stats.Histogram.count h);
+  check_float_loose 2.0 "median near 50" 50.0 (Stats.Histogram.percentile h 50.0);
+  check_float_loose 2.0 "p90 near 90" 90.0 (Stats.Histogram.percentile h 90.0)
+
+let test_histogram_clamps () =
+  let h = Stats.Histogram.create ~lo:0.0 ~hi:10.0 ~buckets:10 in
+  Stats.Histogram.add h (-5.0);
+  Stats.Histogram.add h 50.0;
+  let counts = Stats.Histogram.bucket_counts h in
+  check_int "first bucket" 1 counts.(0);
+  check_int "last bucket" 1 counts.(9)
+
+let test_histogram_invalid () =
+  Alcotest.check_raises "empty percentile"
+    (Invalid_argument "Stats.Histogram.percentile: empty histogram") (fun () ->
+      ignore (Stats.Histogram.percentile (Stats.Histogram.create ~lo:0. ~hi:1. ~buckets:2) 50.0))
+
+let test_stats_helpers () =
+  check_float "mean" 2.0 (Stats.mean [| 1.0; 2.0; 3.0 |]);
+  check_float "mean empty" 0.0 (Stats.mean [||]);
+  check_float "ratio" 0.5 (Stats.ratio 1 2);
+  check_float "ratio div0" 0.0 (Stats.ratio 1 0);
+  check_float "percent change" 50.0 (Stats.percent_change ~baseline:2.0 ~value:3.0);
+  check_float "log2" 3.0 (Stats.log2 8.0)
+
+(* --- Dlist ---------------------------------------------------------- *)
+
+let test_dlist_order () =
+  let l = Dlist.create () in
+  ignore (Dlist.push_front l 2);
+  ignore (Dlist.push_front l 1);
+  ignore (Dlist.push_back l 3);
+  Alcotest.(check (list int)) "front-to-back" [ 1; 2; 3 ] (Dlist.to_list l);
+  check_int "length" 3 (Dlist.length l)
+
+let test_dlist_moves () =
+  let l = Dlist.create () in
+  let a = Dlist.push_back l 'a' in
+  let _b = Dlist.push_back l 'b' in
+  let c = Dlist.push_back l 'c' in
+  Dlist.move_to_front l c;
+  Dlist.move_to_back l a;
+  Alcotest.(check (list char)) "after moves" [ 'c'; 'b'; 'a' ] (Dlist.to_list l)
+
+let test_dlist_remove () =
+  let l = Dlist.create () in
+  let a = Dlist.push_back l 1 in
+  let b = Dlist.push_back l 2 in
+  Dlist.remove l b;
+  Dlist.remove l b;
+  (* second removal is a no-op *)
+  check_int "length" 1 (Dlist.length l);
+  Dlist.remove l a;
+  check_bool "empty" true (Dlist.is_empty l)
+
+let test_dlist_pops () =
+  let l = Dlist.create () in
+  Alcotest.(check (option int)) "pop empty" None (Dlist.pop_front l);
+  ignore (Dlist.push_back l 1);
+  ignore (Dlist.push_back l 2);
+  Alcotest.(check (option int)) "peek front" (Some 1) (Dlist.peek_front l);
+  Alcotest.(check (option int)) "peek back" (Some 2) (Dlist.peek_back l);
+  Alcotest.(check (option int)) "pop front" (Some 1) (Dlist.pop_front l);
+  Alcotest.(check (option int)) "pop back" (Some 2) (Dlist.pop_back l);
+  check_bool "now empty" true (Dlist.is_empty l)
+
+let test_dlist_fold_iter () =
+  let l = Dlist.create () in
+  List.iter (fun v -> ignore (Dlist.push_back l v)) [ 1; 2; 3; 4 ];
+  check_int "fold sum" 10 (Dlist.fold ( + ) 0 l);
+  let seen = ref [] in
+  Dlist.iter (fun v -> seen := v :: !seen) l;
+  Alcotest.(check (list int)) "iter order" [ 4; 3; 2; 1 ] !seen
+
+(* --- Heap ------------------------------------------------------------ *)
+
+let test_heap_sorts () =
+  let h = Heap.create ~compare:Int.compare () in
+  List.iter (fun p -> Heap.push h p p) [ 5; 1; 4; 1; 3; 9; 2 ];
+  let rec drain acc = match Heap.pop h with Some (p, _) -> drain (p :: acc) | None -> List.rev acc in
+  Alcotest.(check (list int)) "sorted" [ 1; 1; 2; 3; 4; 5; 9 ] (drain [])
+
+let test_heap_peek_clear () =
+  let h = Heap.create ~compare:Int.compare () in
+  Alcotest.(check bool) "empty" true (Heap.is_empty h);
+  Heap.push h 3 "c";
+  Heap.push h 1 "a";
+  (match Heap.peek h with
+  | Some (1, "a") -> ()
+  | _ -> Alcotest.fail "peek should be smallest");
+  check_int "length" 2 (Heap.length h);
+  Heap.clear h;
+  check_bool "cleared" true (Heap.is_empty h)
+
+(* --- Vec -------------------------------------------------------------- *)
+
+let test_vec_basics () =
+  let v = Vec.create () in
+  check_bool "empty" true (Vec.is_empty v);
+  for i = 0 to 99 do
+    Vec.push v i
+  done;
+  check_int "length" 100 (Vec.length v);
+  check_int "get" 42 (Vec.get v 42);
+  Vec.set v 42 1000;
+  check_int "set" 1000 (Vec.get v 42);
+  Alcotest.(check (option int)) "pop" (Some 99) (Vec.pop v);
+  check_int "length after pop" 99 (Vec.length v)
+
+let test_vec_bounds () =
+  let v = Vec.of_list [ 1; 2; 3 ] in
+  Alcotest.check_raises "get oob" (Invalid_argument "Vec.get: index out of bounds") (fun () ->
+      ignore (Vec.get v 3));
+  Alcotest.check_raises "set oob" (Invalid_argument "Vec.set: index out of bounds") (fun () ->
+      Vec.set v (-1) 0);
+  Alcotest.check_raises "sub oob" (Invalid_argument "Vec.sub: slice out of bounds") (fun () ->
+      ignore (Vec.sub v ~pos:2 ~len:2))
+
+let test_vec_conversions () =
+  let v = Vec.of_array [| 1; 2; 3 |] in
+  Alcotest.(check (list int)) "to_list" [ 1; 2; 3 ] (Vec.to_list v);
+  let doubled = Vec.map (fun x -> 2 * x) v in
+  Alcotest.(check (list int)) "map" [ 2; 4; 6 ] (Vec.to_list doubled);
+  let s = Vec.sub v ~pos:1 ~len:2 in
+  Alcotest.(check (list int)) "sub" [ 2; 3 ] (Vec.to_list s);
+  check_int "fold" 6 (Vec.fold ( + ) 0 v)
+
+(* --- Table ------------------------------------------------------------ *)
+
+(* A minimal substring check, to avoid pulling in a string library. *)
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec loop i = if i + n > h then false else String.sub haystack i n = needle || loop (i + 1) in
+  loop 0
+
+let test_table_render () =
+  let t = Table.create ~title:"t" ~columns:[ "a"; "bb" ] in
+  Table.add_row t [ "1"; "2" ];
+  Table.add_row t [ "333" ];
+  (* short row padded *)
+  let rendered = Table.render t in
+  check_bool "has title" true (String.length rendered > 0);
+  check_bool "contains header" true (contains rendered "333" && contains rendered "bb")
+
+let test_table_too_many_cells () =
+  let t = Table.create ~title:"t" ~columns:[ "a" ] in
+  Alcotest.check_raises "too many" (Invalid_argument "Table.add_row: more cells than columns")
+    (fun () -> Table.add_row t [ "1"; "2" ])
+
+let test_table_float_row () =
+  let t = Table.create ~title:"t" ~columns:[ "label"; "x"; "y" ] in
+  Table.add_float_row t ~decimals:1 "row" [ 1.25; 2.0 ];
+  let rendered = Table.render t in
+  check_bool "formats decimals" true (contains rendered "1.2")
+
+(* --- qcheck properties ------------------------------------------------ *)
+
+let qcheck_tests =
+  let open QCheck in
+  [
+    Test.make ~name:"Prng.int always within bound" ~count:500
+      (pair small_int (int_range 1 1000))
+      (fun (seed, bound) ->
+        let t = Prng.create ~seed () in
+        let v = Prng.int t bound in
+        v >= 0 && v < bound);
+    Test.make ~name:"Vec of_list/to_list roundtrip" ~count:200 (list int) (fun l ->
+        Vec.to_list (Vec.of_list l) = l);
+    Test.make ~name:"Heap pop yields sorted order" ~count:200 (list small_int) (fun l ->
+        let h = Heap.create ~compare:Int.compare () in
+        List.iter (fun p -> Heap.push h p ()) l;
+        let rec drain acc =
+          match Heap.pop h with Some (p, ()) -> drain (p :: acc) | None -> List.rev acc
+        in
+        drain [] = List.sort compare l);
+    Test.make ~name:"Dlist push_back preserves order" ~count:200 (list int) (fun l ->
+        let d = Dlist.create () in
+        List.iter (fun v -> ignore (Dlist.push_back d v)) l;
+        Dlist.to_list d = l);
+    Test.make ~name:"Zipf sample within range" ~count:300
+      (pair (int_range 1 50) (int_range 0 30))
+      (fun (n, seed) ->
+        let z = Dist.Zipf.create ~n ~s:1.0 in
+        let t = Prng.create ~seed () in
+        let v = Dist.Zipf.sample z t in
+        v >= 0 && v < n);
+  ]
+
+let () =
+  Alcotest.run "agg_util"
+    [
+      ( "prng",
+        [
+          Alcotest.test_case "determinism" `Quick test_prng_determinism;
+          Alcotest.test_case "seed sensitivity" `Quick test_prng_seed_sensitivity;
+          Alcotest.test_case "copy" `Quick test_prng_copy;
+          Alcotest.test_case "split" `Quick test_prng_split;
+          Alcotest.test_case "int bounds" `Quick test_prng_int_bounds;
+          Alcotest.test_case "int invalid" `Quick test_prng_int_invalid;
+          Alcotest.test_case "int_in_range" `Quick test_prng_int_in_range;
+          Alcotest.test_case "float bounds" `Quick test_prng_float_bounds;
+          Alcotest.test_case "bernoulli degenerate" `Quick test_prng_bernoulli_degenerate;
+          Alcotest.test_case "bernoulli rate" `Quick test_prng_bernoulli_rate;
+          Alcotest.test_case "shuffle permutes" `Quick test_prng_shuffle_permutes;
+          Alcotest.test_case "choose" `Quick test_prng_choose;
+        ] );
+      ( "dist",
+        [
+          Alcotest.test_case "zipf pmf sums" `Quick test_zipf_pmf_sums_to_one;
+          Alcotest.test_case "zipf skew" `Quick test_zipf_skew;
+          Alcotest.test_case "zipf s=0 uniform" `Quick test_zipf_uniform_when_s0;
+          Alcotest.test_case "zipf sample range" `Quick test_zipf_sample_range;
+          Alcotest.test_case "zipf single rank" `Quick test_zipf_single_rank;
+          Alcotest.test_case "zipf empirical" `Quick test_zipf_empirical_matches_pmf;
+          Alcotest.test_case "zipf invalid" `Quick test_zipf_invalid;
+          Alcotest.test_case "alias empirical" `Quick test_alias_empirical;
+          Alcotest.test_case "alias invalid" `Quick test_alias_invalid;
+          Alcotest.test_case "geometric" `Quick test_geometric;
+          Alcotest.test_case "exponential" `Quick test_exponential;
+          Alcotest.test_case "categorical" `Quick test_categorical;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "running stats" `Quick test_running_stats;
+          Alcotest.test_case "running empty" `Quick test_running_empty;
+          Alcotest.test_case "histogram percentile" `Quick test_histogram_percentile;
+          Alcotest.test_case "histogram clamps" `Quick test_histogram_clamps;
+          Alcotest.test_case "histogram invalid" `Quick test_histogram_invalid;
+          Alcotest.test_case "helpers" `Quick test_stats_helpers;
+        ] );
+      ( "dlist",
+        [
+          Alcotest.test_case "order" `Quick test_dlist_order;
+          Alcotest.test_case "moves" `Quick test_dlist_moves;
+          Alcotest.test_case "remove" `Quick test_dlist_remove;
+          Alcotest.test_case "pops" `Quick test_dlist_pops;
+          Alcotest.test_case "fold and iter" `Quick test_dlist_fold_iter;
+        ] );
+      ( "heap",
+        [
+          Alcotest.test_case "sorts" `Quick test_heap_sorts;
+          Alcotest.test_case "peek and clear" `Quick test_heap_peek_clear;
+        ] );
+      ( "vec",
+        [
+          Alcotest.test_case "basics" `Quick test_vec_basics;
+          Alcotest.test_case "bounds" `Quick test_vec_bounds;
+          Alcotest.test_case "conversions" `Quick test_vec_conversions;
+        ] );
+      ( "table",
+        [
+          Alcotest.test_case "render" `Quick test_table_render;
+          Alcotest.test_case "too many cells" `Quick test_table_too_many_cells;
+          Alcotest.test_case "float row" `Quick test_table_float_row;
+        ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest qcheck_tests);
+    ]
