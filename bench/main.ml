@@ -8,12 +8,19 @@
      dune exec bench/main.exe fig3 fig4       # a subset
      dune exec bench/main.exe micro           # only the micro-benchmarks
      dune exec bench/main.exe all --quick     # reduced event counts
+     dune exec bench/main.exe -- --jobs 4     # evaluate sweeps on 4 domains
+     dune exec bench/main.exe -- --sweep      # time --jobs 1 vs --jobs N
 
-   Output is deterministic (fixed seeds) apart from the micro-benchmark
-   timings. *)
+   Output on stdout is deterministic (fixed seeds) apart from the
+   micro-benchmark timings, and identical for every --jobs value. Every
+   run also records wall-clock per section in BENCH_sweep.json; --sweep
+   additionally measures the speedup of --jobs N over --jobs 1. *)
 
-let settings quick =
-  if quick then Agg_sim.Experiment.quick_settings else Agg_sim.Experiment.default_settings
+let settings ~quick ~jobs =
+  let base =
+    if quick then Agg_sim.Experiment.quick_settings else Agg_sim.Experiment.default_settings
+  in
+  { base with Agg_sim.Experiment.jobs }
 
 let section title = Printf.printf "\n================ %s ================\n%!" title
 
@@ -29,30 +36,27 @@ let run_workloads ~settings =
           "H per-client"; "last-succ acc %";
         ]
   in
-  List.iter
+  Agg_util.Pool.map ~jobs:settings.Agg_sim.Experiment.jobs
     (fun profile ->
-      let trace =
-        Agg_workload.Generator.generate ~seed:settings.Agg_sim.Experiment.seed
-          ~events:settings.Agg_sim.Experiment.events profile
-      in
+      let trace = Agg_sim.Trace_store.get ~settings profile in
       let stats = Agg_trace.Trace_stats.compute trace in
       let accuracy =
-        Agg_baselines.Last_successor.measure (Agg_trace.Trace.files trace)
+        Agg_baselines.Last_successor.measure (Agg_sim.Trace_store.files ~settings profile)
         |> Agg_baselines.Last_successor.accuracy_rate
       in
-      Agg_util.Table.add_row table
-        [
-          profile.Agg_workload.Profile.name;
-          string_of_int stats.Agg_trace.Trace_stats.events;
-          string_of_int stats.Agg_trace.Trace_stats.distinct_files;
-          string_of_int stats.Agg_trace.Trace_stats.clients;
-          Printf.sprintf "%.1f" (100.0 *. stats.Agg_trace.Trace_stats.write_fraction);
-          Printf.sprintf "%.1f" (100.0 *. stats.Agg_trace.Trace_stats.repeat_fraction);
-          Printf.sprintf "%.2f" (Agg_entropy.Entropy.of_trace trace);
-          Printf.sprintf "%.2f" (Agg_entropy.Entropy.per_client trace);
-          Printf.sprintf "%.1f" (100.0 *. accuracy);
-        ])
-    Agg_workload.Profile.all;
+      [
+        profile.Agg_workload.Profile.name;
+        string_of_int stats.Agg_trace.Trace_stats.events;
+        string_of_int stats.Agg_trace.Trace_stats.distinct_files;
+        string_of_int stats.Agg_trace.Trace_stats.clients;
+        Printf.sprintf "%.1f" (100.0 *. stats.Agg_trace.Trace_stats.write_fraction);
+        Printf.sprintf "%.1f" (100.0 *. stats.Agg_trace.Trace_stats.repeat_fraction);
+        Printf.sprintf "%.2f" (Agg_entropy.Entropy.of_trace trace);
+        Printf.sprintf "%.2f" (Agg_entropy.Entropy.per_client trace);
+        Printf.sprintf "%.1f" (100.0 *. accuracy);
+      ])
+    Agg_workload.Profile.all
+  |> List.iter (Agg_util.Table.add_row table);
   Agg_util.Table.print table
 
 let run_fig3 ~settings =
@@ -120,75 +124,68 @@ let run_ablations ~settings =
 
 let run_latency ~settings =
   section "End-to-end latency (Fig. 2 path: client / network / server / disk)";
-  let trace =
-    Agg_workload.Generator.generate ~seed:settings.Agg_sim.Experiment.seed
-      ~events:settings.Agg_sim.Experiment.events Agg_workload.Profile.server
-  in
-  List.iter
-    (fun (cost_name, cost) ->
-      let table =
-        Agg_util.Table.create
-          ~title:(Printf.sprintf "server workload, %s costs" cost_name)
-          ~columns:
-            [ "deployment"; "mean ms"; "p95 ms"; "rtts"; "files sent"; "disk reads"; "client hit %" ]
-      in
-      List.iter
-        (fun deployment ->
-          let config = { Agg_system.Path.default_config with deployment; cost } in
-          let r = Agg_system.Path.run config trace in
-          Agg_util.Table.add_row table
-            [
-              Agg_system.Path.deployment_name deployment;
-              Printf.sprintf "%.3f" r.Agg_system.Path.mean_latency;
-              Printf.sprintf "%.3f" r.Agg_system.Path.p95_latency;
-              string_of_int r.Agg_system.Path.round_trips;
-              string_of_int r.Agg_system.Path.files_transferred;
-              string_of_int r.Agg_system.Path.disk_reads;
-              Printf.sprintf "%.1f"
-                (100.0 *. float_of_int r.Agg_system.Path.client_hits
-                /. float_of_int r.Agg_system.Path.accesses);
-            ])
-        [ `Baseline; `Aggregating_client; `Aggregating_both ];
-      Agg_util.Table.print table)
-    [ ("LAN", Agg_system.Cost_model.lan); ("WAN", Agg_system.Cost_model.wan) ]
+  let trace = Agg_sim.Trace_store.get ~settings Agg_workload.Profile.server in
+  let costs = [ ("LAN", Agg_system.Cost_model.lan); ("WAN", Agg_system.Cost_model.wan) ] in
+  let deployments = [ `Baseline; `Aggregating_client; `Aggregating_both ] in
+  Agg_sim.Experiment.grid ~settings ~rows:costs ~cols:deployments
+    (fun (_, cost) deployment ->
+      let config = { Agg_system.Path.default_config with deployment; cost } in
+      let r = Agg_system.Path.run config trace in
+      [
+        Agg_system.Path.deployment_name deployment;
+        Printf.sprintf "%.3f" r.Agg_system.Path.mean_latency;
+        Printf.sprintf "%.3f" r.Agg_system.Path.p95_latency;
+        string_of_int r.Agg_system.Path.round_trips;
+        string_of_int r.Agg_system.Path.files_transferred;
+        string_of_int r.Agg_system.Path.disk_reads;
+        Printf.sprintf "%.1f"
+          (100.0 *. float_of_int r.Agg_system.Path.client_hits
+          /. float_of_int r.Agg_system.Path.accesses);
+      ])
+  |> List.iter (fun ((cost_name, _), rows) ->
+         let table =
+           Agg_util.Table.create
+             ~title:(Printf.sprintf "server workload, %s costs" cost_name)
+             ~columns:
+               [ "deployment"; "mean ms"; "p95 ms"; "rtts"; "files sent"; "disk reads"; "client hit %" ]
+         in
+         List.iter (fun (_, row) -> Agg_util.Table.add_row table row) rows;
+         Agg_util.Table.print table)
 
 let run_fleet ~settings =
   section "Fleet — many clients, one server, write invalidation (users workload)";
-  let trace =
-    Agg_workload.Generator.generate ~seed:settings.Agg_sim.Experiment.seed
-      ~events:settings.Agg_sim.Experiment.events Agg_workload.Profile.users
-  in
+  let trace = Agg_sim.Trace_store.get ~settings Agg_workload.Profile.users in
   let table =
     Agg_util.Table.create ~title:"fleet size sweep (client caches 150 files, server 300)"
       ~columns:
         [ "clients"; "scheme"; "client hit %"; "server hit %"; "store fetches"; "invalidations" ]
   in
-  List.iter
-    (fun clients ->
-      List.iter
-        (fun (name, client_scheme, server_scheme) ->
-          let config =
-            { Agg_system.Fleet.default_config with clients; client_scheme; server_scheme }
-          in
-          let r = Agg_system.Fleet.run config trace in
-          Agg_util.Table.add_row table
-            [
-              string_of_int clients;
-              name;
-              Printf.sprintf "%.1f" (100.0 *. Agg_system.Fleet.client_hit_rate r);
-              Printf.sprintf "%.1f" (100.0 *. Agg_system.Fleet.server_hit_rate r);
-              string_of_int r.Agg_system.Fleet.store_fetches;
-              string_of_int r.Agg_system.Fleet.invalidations;
-            ])
-        [
-          ( "plain",
-            Agg_system.Fleet.Client_plain Agg_cache.Cache.Lru,
-            Agg_system.Fleet.Server_plain Agg_cache.Cache.Lru );
-          ( "aggregating",
-            Agg_system.Fleet.Client_aggregating Agg_core.Config.default,
-            Agg_system.Fleet.Server_aggregating Agg_core.Config.default );
-        ])
-    [ 1; 2; 4; 8; 16 ];
+  let schemes =
+    [
+      ( "plain",
+        Agg_system.Fleet.Client_plain Agg_cache.Cache.Lru,
+        Agg_system.Fleet.Server_plain Agg_cache.Cache.Lru );
+      ( "aggregating",
+        Agg_system.Fleet.Client_aggregating Agg_core.Config.default,
+        Agg_system.Fleet.Server_aggregating Agg_core.Config.default );
+    ]
+  in
+  Agg_sim.Experiment.grid ~settings ~rows:[ 1; 2; 4; 8; 16 ] ~cols:schemes
+    (fun clients (name, client_scheme, server_scheme) ->
+      let config =
+        { Agg_system.Fleet.default_config with clients; client_scheme; server_scheme }
+      in
+      let r = Agg_system.Fleet.run config trace in
+      [
+        string_of_int clients;
+        name;
+        Printf.sprintf "%.1f" (100.0 *. Agg_system.Fleet.client_hit_rate r);
+        Printf.sprintf "%.1f" (100.0 *. Agg_system.Fleet.server_hit_rate r);
+        string_of_int r.Agg_system.Fleet.store_fetches;
+        string_of_int r.Agg_system.Fleet.invalidations;
+      ])
+  |> List.iter (fun (_, rows) ->
+         List.iter (fun (_, row) -> Agg_util.Table.add_row table row) rows);
   Agg_util.Table.print table
 
 (* --- Bechamel micro-benchmarks ------------------------------------------- *)
@@ -276,6 +273,84 @@ let run_micro () =
     (List.sort (fun (a, _) (b, _) -> compare a b) rows);
   Agg_util.Table.print table
 
+(* --- BENCH_sweep.json ------------------------------------------------------ *)
+
+let bench_json_path = "BENCH_sweep.json"
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* one timing record per executed section: (name, seconds at --jobs N,
+   seconds at --jobs 1 when --sweep measured it) *)
+type timing = { name : string; seconds : float; baseline_seconds : float option }
+
+let write_bench_json ~jobs ~quick ~(settings : Agg_sim.Experiment.settings) timings =
+  let oc = open_out bench_json_path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      let total sel = List.fold_left (fun acc t -> acc +. sel t) 0.0 timings in
+      let total_n = total (fun t -> t.seconds) in
+      let total_1 = total (fun t -> Option.value ~default:0.0 t.baseline_seconds) in
+      let swept = List.exists (fun t -> t.baseline_seconds <> None) timings in
+      Printf.fprintf oc "{\n";
+      Printf.fprintf oc "  \"jobs\": %d,\n" jobs;
+      Printf.fprintf oc "  \"events\": %d,\n" settings.Agg_sim.Experiment.events;
+      Printf.fprintf oc "  \"seed\": %d,\n" settings.Agg_sim.Experiment.seed;
+      Printf.fprintf oc "  \"quick\": %b,\n" quick;
+      Printf.fprintf oc "  \"recommended_domains\": %d,\n" (Agg_util.Pool.default_jobs ());
+      Printf.fprintf oc "  \"sections\": [\n";
+      List.iteri
+        (fun i t ->
+          let speedup =
+            match t.baseline_seconds with
+            | Some b when t.seconds > 0.0 ->
+                Printf.sprintf ", \"jobs1_seconds\": %.3f, \"speedup_vs_jobs1\": %.2f" b
+                  (b /. t.seconds)
+            | _ -> ""
+          in
+          Printf.fprintf oc "    {\"name\": \"%s\", \"seconds\": %.3f%s}%s\n" (json_escape t.name)
+            t.seconds speedup
+            (if i = List.length timings - 1 then "" else ","))
+        timings;
+      Printf.fprintf oc "  ],\n";
+      if swept then begin
+        Printf.fprintf oc "  \"total_jobs1_seconds\": %.3f,\n" total_1;
+        if total_n > 0.0 then
+          Printf.fprintf oc "  \"total_speedup_vs_jobs1\": %.2f,\n" (total_1 /. total_n)
+      end;
+      Printf.fprintf oc "  \"total_seconds\": %.3f\n" total_n;
+      Printf.fprintf oc "}\n")
+
+(* Run [f] with stdout redirected to /dev/null — the --sweep timing runs
+   would otherwise print every section twice. *)
+let silently f =
+  flush stdout;
+  let saved = Unix.dup Unix.stdout in
+  let devnull = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+  Unix.dup2 devnull Unix.stdout;
+  Unix.close devnull;
+  Fun.protect
+    ~finally:(fun () ->
+      flush stdout;
+      Unix.dup2 saved Unix.stdout;
+      Unix.close saved)
+    f
+
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  f ();
+  Unix.gettimeofday () -. t0
+
 (* --- main ------------------------------------------------------------------ *)
 
 let sections =
@@ -294,19 +369,63 @@ let sections =
     ("micro", `Plain run_micro);
   ]
 
+let usage () =
+  Printf.eprintf "usage: main.exe [SECTION...] [--quick] [--jobs N] [--sweep]\nsections: %s | all\n"
+    (String.concat " | " (List.map fst sections));
+  exit 2
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let quick = List.mem "--quick" args in
-  let wanted = List.filter (fun a -> a <> "--quick") args in
+  let sweep = List.mem "--sweep" args in
+  let rec parse_jobs = function
+    | "--jobs" :: n :: _ -> (
+        match int_of_string_opt n with Some n when n > 0 -> n | _ -> usage ())
+    | _ :: rest -> parse_jobs rest
+    | [] -> Agg_util.Pool.default_jobs ()
+  in
+  let jobs = parse_jobs args in
+  let rec strip = function
+    | "--jobs" :: _ :: rest -> strip rest
+    | flag :: rest when flag = "--quick" || flag = "--sweep" -> strip rest
+    | arg :: rest -> arg :: strip rest
+    | [] -> []
+  in
+  let wanted = strip args in
   let wanted = if wanted = [] || List.mem "all" wanted then List.map fst sections else wanted in
-  let settings = settings quick in
-  List.iter
-    (fun name ->
-      match List.assoc_opt name sections with
-      | Some (`Settings f) -> f ~settings
-      | Some (`Plain f) -> f ()
-      | None ->
-          Printf.eprintf "unknown section %S (expected: %s | all | --quick)\n" name
-            (String.concat " | " (List.map fst sections));
-          exit 2)
-    wanted
+  let settings = settings ~quick ~jobs in
+  let run_section ~settings = function
+    | `Settings f -> f ~settings
+    | `Plain f -> f ()
+  in
+  let timings =
+    List.map
+      (fun name ->
+        match List.assoc_opt name sections with
+        | None -> usage ()
+        | Some body ->
+            if sweep then begin
+              (* measure the sequential path first, from a cold trace
+                 store, then the parallel path, also from cold *)
+              Agg_sim.Trace_store.reset ();
+              let baseline =
+                timed (fun () ->
+                    silently (fun () ->
+                        run_section ~settings:{ settings with Agg_sim.Experiment.jobs = 1 } body))
+              in
+              Agg_sim.Trace_store.reset ();
+              let seconds =
+                timed (fun () -> silently (fun () -> run_section ~settings body))
+              in
+              Printf.printf "%-10s  jobs=1  %7.2fs   jobs=%-3d %7.2fs   speedup %.2fx\n%!" name
+                baseline jobs seconds
+                (if seconds > 0.0 then baseline /. seconds else 0.0);
+              { name; seconds; baseline_seconds = Some baseline }
+            end
+            else begin
+              let seconds = timed (fun () -> run_section ~settings body) in
+              { name; seconds; baseline_seconds = None }
+            end)
+      wanted
+  in
+  write_bench_json ~jobs ~quick ~settings timings

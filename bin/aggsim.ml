@@ -36,12 +36,22 @@ let seed_arg = Arg.(value & opt int 7 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG 
 let quick_arg =
   Arg.(value & flag & info [ "quick" ] ~doc:"Use a small event count for a fast run.")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt int 0
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains for sweep evaluation (results are identical for any N; 1 = \
+           sequential). Defaults to the number of cores.")
+
 let settings_term =
-  let make events seed quick =
-    if quick then { Agg_sim.Experiment.quick_settings with seed }
-    else { Agg_sim.Experiment.events; seed; warmup = 0 }
+  let make events seed quick jobs =
+    let jobs = if jobs <= 0 then Agg_util.Pool.default_jobs () else jobs in
+    if quick then { Agg_sim.Experiment.quick_settings with seed; jobs }
+    else { Agg_sim.Experiment.events; seed; warmup = 0; jobs }
   in
-  Term.(const make $ events_arg $ seed_arg $ quick_arg)
+  Term.(const make $ events_arg $ seed_arg $ quick_arg $ jobs_arg)
 
 let exit_ok = Cmd.Exit.ok
 

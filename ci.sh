@@ -1,0 +1,24 @@
+#!/bin/sh
+# CI entry point: full build, full test suite, and a quick smoke run of
+# the paper-vs-measured checks from the reproduction harness.
+#
+# The check thresholds are calibrated for full-size runs (60k events), so
+# the --quick pass only asserts the harness runs end to end; the full-size
+# verdicts are covered by the `report checks` alcotest case in `dune runtest`.
+#
+# Usage:
+#   ./ci.sh          # build + all tests + quick checks
+#   ./ci.sh --fast   # build + quick tests only (skips `Slow alcotest cases)
+set -eu
+
+cd "$(dirname "$0")"
+
+if [ "${1:-}" = "--fast" ]; then
+  dune build @all
+  dune build @runtest-fast
+else
+  dune build @all
+  dune runtest
+fi
+
+dune exec bench/main.exe -- checks --quick

@@ -50,5 +50,4 @@ let contents t = Dlist.to_list t.order
 
 let clear t =
   Hashtbl.reset t.index;
-  let rec drain () = match Dlist.pop_front t.order with Some _ -> drain () | None -> () in
-  drain ()
+  Dlist.clear t.order

@@ -157,11 +157,7 @@ let contents t =
   !out
 
 let clear t =
-  Array.iter
-    (fun q ->
-      let rec drain () = match Dlist.pop_front q with Some _ -> drain () | None -> () in
-      drain ())
-    t.queues;
+  Array.iter Dlist.clear t.queues;
   Hashtbl.reset t.index;
   Hashtbl.reset t.ghost;
   Queue.clear t.ghost_order;

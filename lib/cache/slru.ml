@@ -104,12 +104,8 @@ let remove t key =
 let contents t = Dlist.to_list t.protected_ @ Dlist.to_list t.probationary
 
 let clear t =
-  let drain dlist =
-    let rec loop () = match Dlist.pop_front dlist with Some _ -> loop () | None -> () in
-    loop ()
-  in
-  drain t.probationary;
-  drain t.protected_;
+  Dlist.clear t.probationary;
+  Dlist.clear t.protected_;
   Hashtbl.reset t.index
 
 let protected_resident t key =

@@ -112,12 +112,8 @@ let remove t key =
 let contents t = Dlist.to_list t.am @ Dlist.to_list t.a1in
 
 let clear t =
-  let drain dlist =
-    let rec loop () = match Dlist.pop_front dlist with Some _ -> loop () | None -> () in
-    loop ()
-  in
-  drain t.a1in;
-  drain t.am;
+  Dlist.clear t.a1in;
+  Dlist.clear t.am;
   Hashtbl.reset t.index;
   Hashtbl.reset t.ghost;
   Queue.clear t.ghost_order

@@ -1,38 +1,31 @@
 let default_capacities = [ 100; 200; 300; 400; 600; 800 ]
 
-let generate settings profile =
-  Agg_workload.Generator.generate ~seed:settings.Experiment.seed ~events:settings.Experiment.events
-    profile
-
 let client_fetches ~trace ~config ~capacity =
   let cache = Agg_core.Client_cache.create ~config ~capacity () in
   float_of_int (Agg_core.Client_cache.run cache trace).Agg_core.Metrics.demand_fetches
 
-let sweep_series ~trace ~capacities configs =
-  List.map
-    (fun (label, config) ->
-      {
-        Experiment.label;
-        points =
-          List.map
-            (fun capacity -> (float_of_int capacity, client_fetches ~trace ~config ~capacity))
-            capacities;
-      })
-    configs
+let sweep_series ~settings ~trace ~capacities configs =
+  Experiment.grid ~settings ~rows:configs ~cols:capacities (fun (_, config) capacity ->
+      client_fetches ~trace ~config ~capacity)
+  |> List.map (fun ((label, _), points) ->
+         {
+           Experiment.label;
+           points = List.map (fun (capacity, y) -> (float_of_int capacity, y)) points;
+         })
 
-let client_panel ~name ~trace ~capacities configs =
+let client_panel ~settings ~name ~trace ~capacities configs =
   {
     Experiment.name;
     x_label = "cache capacity (files)";
     y_label = "demand fetches";
-    series = sweep_series ~trace ~capacities configs;
+    series = sweep_series ~settings ~trace ~capacities configs;
   }
 
 let member_position ?(settings = Experiment.default_settings) ?(capacities = default_capacities)
     profile =
-  let trace = generate settings profile in
+  let trace = Trace_store.get ~settings profile in
   let base = Agg_core.Config.default in
-  client_panel
+  client_panel ~settings
     ~name:(profile.Agg_workload.Profile.name ^ " (A1 member position)")
     ~trace ~capacities
     [
@@ -43,9 +36,9 @@ let member_position ?(settings = Experiment.default_settings) ?(capacities = def
 
 let metadata_policy ?(settings = Experiment.default_settings) ?(capacities = default_capacities)
     profile =
-  let trace = generate settings profile in
+  let trace = Trace_store.get ~settings profile in
   let base = Agg_core.Config.default in
-  client_panel
+  client_panel ~settings
     ~name:(profile.Agg_workload.Profile.name ^ " (A2 metadata policy)")
     ~trace ~capacities
     [
@@ -55,10 +48,10 @@ let metadata_policy ?(settings = Experiment.default_settings) ?(capacities = def
 
 let successor_capacity ?(settings = Experiment.default_settings)
     ?(capacities = [ 1; 2; 4; 8; 16 ]) profile =
-  let trace = generate settings profile in
+  let trace = Trace_store.get ~settings profile in
   let cache_capacity = 300 in
   let points =
-    List.map
+    Agg_util.Pool.map ~jobs:settings.Experiment.jobs
       (fun successor_capacity ->
         let config = { Agg_core.Config.default with successor_capacity } in
         (float_of_int successor_capacity, client_fetches ~trace ~config ~capacity:cache_capacity))
@@ -72,98 +65,83 @@ let successor_capacity ?(settings = Experiment.default_settings)
   }
 
 let baselines ?(settings = Experiment.default_settings) ?(capacities = default_capacities) profile =
-  let trace = generate settings profile in
+  let trace = Trace_store.get ~settings profile in
   let agg =
-    sweep_series ~trace ~capacities
+    sweep_series ~settings ~trace ~capacities
       [
         ("lru", Agg_core.Config.with_group_size 1 Agg_core.Config.default);
         ("agg-g5", Agg_core.Config.default);
       ]
   in
-  let prob_graph_series ~label ~threshold =
-    {
-      Experiment.label;
-      points =
-        List.map
-          (fun capacity ->
-            let pg = Agg_baselines.Prob_graph.create ~threshold ~capacity () in
-            let m = Agg_baselines.Prob_graph.run pg trace in
-            (float_of_int capacity, float_of_int m.Agg_core.Metrics.demand_fetches))
-          capacities;
-    }
+  let prob_graph =
+    Experiment.grid ~settings
+      ~rows:[ ("probgraph-0.1", 0.1); ("probgraph-0.25", 0.25) ]
+      ~cols:capacities
+      (fun (_, threshold) capacity ->
+        let pg = Agg_baselines.Prob_graph.create ~threshold ~capacity () in
+        let m = Agg_baselines.Prob_graph.run pg trace in
+        float_of_int m.Agg_core.Metrics.demand_fetches)
+    |> List.map (fun ((label, _), points) ->
+           {
+             Experiment.label;
+             points = List.map (fun (capacity, y) -> (float_of_int capacity, y)) points;
+           })
   in
   {
     Experiment.name = profile.Agg_workload.Profile.name ^ " (A4 baselines)";
     x_label = "cache capacity (files)";
     y_label = "demand fetches";
-    series =
-      agg
-      @ [
-          prob_graph_series ~label:"probgraph-0.1" ~threshold:0.1;
-          prob_graph_series ~label:"probgraph-0.25" ~threshold:0.25;
-        ];
+    series = agg @ prob_graph;
   }
+
+let server_hit_rate ~trace ~scheme ~cooperative filter_capacity =
+  let sim =
+    Agg_core.Server_cache.create ~cooperative ~filter_kind:Agg_cache.Cache.Lru ~filter_capacity
+      ~server_capacity:Fig4.default_server_capacity ~scheme ()
+  in
+  100.0 *. Agg_core.Metrics.server_hit_rate (Agg_core.Server_cache.run sim trace)
+
+let hit_rate_panel ~settings ~name ~trace ~filter_capacities rows =
+  let series =
+    Experiment.grid ~settings ~rows ~cols:filter_capacities
+      (fun (_, scheme, cooperative) filter_capacity ->
+        server_hit_rate ~trace ~scheme ~cooperative filter_capacity)
+    |> List.map (fun ((label, _, _), points) ->
+           {
+             Experiment.label;
+             points = List.map (fun (capacity, y) -> (float_of_int capacity, y)) points;
+           })
+  in
+  { Experiment.name; x_label = "filter capacity (files)"; y_label = "server hit rate (%)"; series }
 
 let cooperative ?(settings = Experiment.default_settings)
     ?(filter_capacities = Fig4.default_filter_capacities) profile =
-  let trace = generate settings profile in
-  let hit_rate ~cooperative filter_capacity =
-    let sim =
-      Agg_core.Server_cache.create ~cooperative ~filter_kind:Agg_cache.Cache.Lru ~filter_capacity
-        ~server_capacity:Fig4.default_server_capacity
-        ~scheme:(Agg_core.Server_cache.Aggregating Agg_core.Config.default) ()
-    in
-    100.0 *. Agg_core.Metrics.server_hit_rate (Agg_core.Server_cache.run sim trace)
-  in
-  let series_of label cooperative =
-    {
-      Experiment.label;
-      points =
-        List.map (fun c -> (float_of_int c, hit_rate ~cooperative c)) filter_capacities;
-    }
-  in
-  {
-    Experiment.name = profile.Agg_workload.Profile.name ^ " (A5 cooperation)";
-    x_label = "filter capacity (files)";
-    y_label = "server hit rate (%)";
-    series = [ series_of "g5-miss-stream" false; series_of "g5-cooperative" true ];
-  }
+  let trace = Trace_store.get ~settings profile in
+  let scheme = Agg_core.Server_cache.Aggregating Agg_core.Config.default in
+  hit_rate_panel ~settings
+    ~name:(profile.Agg_workload.Profile.name ^ " (A5 cooperation)")
+    ~trace ~filter_capacities
+    [ ("g5-miss-stream", scheme, false); ("g5-cooperative", scheme, true) ]
 
 let second_level_policies ?(settings = Experiment.default_settings)
     ?(filter_capacities = Fig4.default_filter_capacities) profile =
-  let trace = generate settings profile in
-  let hit_rate ~scheme filter_capacity =
-    let sim =
-      Agg_core.Server_cache.create ~filter_kind:Agg_cache.Cache.Lru ~filter_capacity
-        ~server_capacity:Fig4.default_server_capacity ~scheme ()
-    in
-    100.0 *. Agg_core.Metrics.server_hit_rate (Agg_core.Server_cache.run sim trace)
-  in
-  let series_of label scheme =
-    {
-      Experiment.label;
-      points = List.map (fun c -> (float_of_int c, hit_rate ~scheme c)) filter_capacities;
-    }
-  in
-  {
-    Experiment.name = profile.Agg_workload.Profile.name ^ " (A6 second-level policies)";
-    x_label = "filter capacity (files)";
-    y_label = "server hit rate (%)";
-    series =
-      [
-        series_of "agg-g5" (Agg_core.Server_cache.Aggregating Agg_core.Config.default);
-        series_of "lru" (Agg_core.Server_cache.Plain Agg_cache.Cache.Lru);
-        series_of "lfu" (Agg_core.Server_cache.Plain Agg_cache.Cache.Lfu);
-        series_of "mq" (Agg_core.Server_cache.Plain Agg_cache.Cache.Mq);
-        series_of "slru" (Agg_core.Server_cache.Plain Agg_cache.Cache.Slru);
-        series_of "2q" (Agg_core.Server_cache.Plain Agg_cache.Cache.Twoq);
-        series_of "arc" (Agg_core.Server_cache.Plain Agg_cache.Cache.Arc);
-      ];
-  }
+  let trace = Trace_store.get ~settings profile in
+  hit_rate_panel ~settings
+    ~name:(profile.Agg_workload.Profile.name ^ " (A6 second-level policies)")
+    ~trace ~filter_capacities
+    [
+      ("agg-g5", Agg_core.Server_cache.Aggregating Agg_core.Config.default, false);
+      ("lru", Agg_core.Server_cache.Plain Agg_cache.Cache.Lru, false);
+      ("lfu", Agg_core.Server_cache.Plain Agg_cache.Cache.Lfu, false);
+      ("mq", Agg_core.Server_cache.Plain Agg_cache.Cache.Mq, false);
+      ("slru", Agg_core.Server_cache.Plain Agg_cache.Cache.Slru, false);
+      ("2q", Agg_core.Server_cache.Plain Agg_cache.Cache.Twoq, false);
+      ("arc", Agg_core.Server_cache.Plain Agg_cache.Cache.Arc, false);
+    ]
 
 let placement ?(settings = Experiment.default_settings) profile =
   let open Agg_util in
-  let trace = generate settings profile in
+  let trace = Trace_store.get ~settings profile in
   let half = Agg_trace.Trace.length trace / 2 in
   let train = Agg_trace.Trace.sub trace ~pos:0 ~len:half in
   let replay = Agg_trace.Trace.files (Agg_trace.Trace.sub trace ~pos:half ~len:half) in
@@ -172,19 +150,25 @@ let placement ?(settings = Experiment.default_settings) profile =
       ~title:(Printf.sprintf "A8 — placement on a linear device (%s)" profile.Agg_workload.Profile.name)
       ~columns:[ "layout"; "slots used"; "mean seek"; "max seek"; "cold allocations" ]
   in
-  List.iter
+  Pool.map ~jobs:settings.Experiment.jobs
     (fun (name, build) ->
       let disk = build train in
       let stats = Agg_placement.Disk.replay disk replay in
-      Table.add_row table
-        [
-          name;
-          string_of_int (Agg_placement.Disk.occupied_slots disk);
-          Printf.sprintf "%.1f" stats.Agg_placement.Disk.mean_seek;
-          string_of_int stats.Agg_placement.Disk.max_seek;
-          string_of_int stats.Agg_placement.Disk.allocated_on_the_fly;
-        ])
-    Agg_placement.Layout.strategies;
+      ( name,
+        Agg_placement.Disk.occupied_slots disk,
+        stats.Agg_placement.Disk.mean_seek,
+        stats.Agg_placement.Disk.max_seek,
+        stats.Agg_placement.Disk.allocated_on_the_fly ))
+    Agg_placement.Layout.strategies
+  |> List.iter (fun (name, slots, mean_seek, max_seek, cold) ->
+         Table.add_row table
+           [
+             name;
+             string_of_int slots;
+             Printf.sprintf "%.1f" mean_seek;
+             string_of_int max_seek;
+             string_of_int cold;
+           ]);
   table
 
 let sequence_model ?(settings = Experiment.default_settings) ?(lengths = [ 1; 2; 4; 8 ]) () =
@@ -197,23 +181,19 @@ let sequence_model ?(settings = Experiment.default_settings) ?(lengths = [ 1; 2;
              (fun l -> [ Printf.sprintf "L=%d full %%" l; Printf.sprintf "L=%d first %%" l ])
              lengths)
   in
-  List.iter
-    (fun profile ->
-      let files =
-        Agg_workload.Generator.generate_files ~seed:settings.Experiment.seed
-          ~events:settings.Experiment.events profile
+  Experiment.grid ~settings ~rows:Agg_workload.Profile.all ~cols:lengths (fun profile length ->
+      let files = Trace_store.files ~settings profile in
+      let a = Agg_successor.Sequence_tracker.measure ~length files in
+      let pct v =
+        Printf.sprintf "%.1f" (100.0 *. Stats.ratio v a.Agg_successor.Sequence_tracker.opportunities)
       in
-      let cells =
-        List.concat_map
-          (fun length ->
-            let a = Agg_successor.Sequence_tracker.measure ~length files in
-            let pct v = Printf.sprintf "%.1f" (100.0 *. Stats.ratio v a.Agg_successor.Sequence_tracker.opportunities) in
-            [ pct a.Agg_successor.Sequence_tracker.full_matches;
-              pct a.Agg_successor.Sequence_tracker.first_matches ])
-          lengths
-      in
-      Table.add_row table (profile.Agg_workload.Profile.name :: cells))
-    Agg_workload.Profile.all;
+      [
+        pct a.Agg_successor.Sequence_tracker.full_matches;
+        pct a.Agg_successor.Sequence_tracker.first_matches;
+      ])
+  |> List.iter (fun (profile, cells) ->
+         Table.add_row table
+           (profile.Agg_workload.Profile.name :: List.concat_map snd cells));
   table
 
 (* replay a file sequence through an LRU cache that, on each miss,
@@ -231,7 +211,7 @@ let static_group_fetches ~capacity ~group_for files =
 
 let overlap_vs_partition ?(settings = Experiment.default_settings) ?(group_size = 5) profile =
   let open Agg_util in
-  let trace = generate settings profile in
+  let trace = Trace_store.get ~settings profile in
   let half = Agg_trace.Trace.length trace / 2 in
   let train = Agg_trace.Trace.sub trace ~pos:0 ~len:half in
   let replay_trace = Agg_trace.Trace.sub trace ~pos:half ~len:half in
@@ -239,26 +219,39 @@ let overlap_vs_partition ?(settings = Experiment.default_settings) ?(group_size 
   let graph = Agg_successor.Graph.of_trace train in
   let capacity = 300 in
   (* overlapping: each file anchors its own group *)
-  let overlap_fetches =
+  let overlap_fetches () =
     static_group_fetches ~capacity replay ~group_for:(fun file ->
         match (Agg_successor.Grouping.group_of graph ~size:group_size file).Agg_successor.Grouping.members with
         | _anchor :: members -> members
         | [] -> [])
   in
   (* partition: a file belongs to exactly one group *)
-  let part = Agg_successor.Grouping.membership (Agg_successor.Grouping.partition graph ~size:group_size) in
-  let partition_fetches =
+  let partition_fetches () =
+    let part =
+      Agg_successor.Grouping.membership (Agg_successor.Grouping.partition graph ~size:group_size)
+    in
     static_group_fetches ~capacity replay ~group_for:(fun file ->
         match Hashtbl.find_opt part file with
         | Some group -> List.filter (fun m -> m <> file) group.Agg_successor.Grouping.members
         | None -> [])
   in
-  let lru_fetches = static_group_fetches ~capacity replay ~group_for:(fun _ -> []) in
-  let dynamic_fetches =
+  let lru_fetches () = static_group_fetches ~capacity replay ~group_for:(fun _ -> []) in
+  let dynamic_fetches () =
     let config = Agg_core.Config.with_group_size group_size Agg_core.Config.default in
     let cache = Agg_core.Client_cache.create ~config ~capacity () in
     (Agg_core.Client_cache.run cache replay_trace).Agg_core.Metrics.demand_fetches
   in
+  let fetched =
+    Pool.map ~jobs:settings.Experiment.jobs
+      (fun (name, run) -> (name, run ()))
+      [
+        ("lru (no groups)", lru_fetches);
+        ("static partition (disjoint)", partition_fetches);
+        ("static overlapping groups", overlap_fetches);
+        ("dynamic aggregating cache", dynamic_fetches);
+      ]
+  in
+  let lru = match fetched with (_, lru) :: _ -> lru | [] -> 0 in
   let table =
     Table.create
       ~title:
@@ -266,56 +259,34 @@ let overlap_vs_partition ?(settings = Experiment.default_settings) ?(group_size 
            profile.Agg_workload.Profile.name group_size capacity)
       ~columns:[ "scheme"; "demand fetches"; "vs LRU %" ]
   in
-  let row name fetches =
-    Table.add_row table
-      [
-        name;
-        string_of_int fetches;
-        Printf.sprintf "%.1f" (100.0 *. float_of_int (lru_fetches - fetches) /. float_of_int lru_fetches);
-      ]
-  in
-  row "lru (no groups)" lru_fetches;
-  row "static partition (disjoint)" partition_fetches;
-  row "static overlapping groups" overlap_fetches;
-  row "dynamic aggregating cache" dynamic_fetches;
+  List.iter
+    (fun (name, fetches) ->
+      Table.add_row table
+        [
+          name;
+          string_of_int fetches;
+          Printf.sprintf "%.1f" (100.0 *. float_of_int (lru - fetches) /. float_of_int lru);
+        ])
+    fetched;
   table
 
 let server_group_size ?(settings = Experiment.default_settings)
     ?(group_sizes = [ 2; 3; 5; 7; 10 ]) profile =
-  let trace = generate settings profile in
-  let hit_rate ~scheme filter_capacity =
-    let sim =
-      Agg_core.Server_cache.create ~filter_kind:Agg_cache.Cache.Lru ~filter_capacity
-        ~server_capacity:Fig4.default_server_capacity ~scheme ()
-    in
-    100.0 *. Agg_core.Metrics.server_hit_rate (Agg_core.Server_cache.run sim trace)
-  in
+  let trace = Trace_store.get ~settings profile in
   let filter_capacities = [ 100; 200; 300; 400; 500 ] in
-  let series_for g =
-    let scheme =
-      Agg_core.Server_cache.Aggregating (Agg_core.Config.with_group_size g Agg_core.Config.default)
-    in
-    {
-      Experiment.label = Printf.sprintf "g%d" g;
-      points = List.map (fun c -> (float_of_int c, hit_rate ~scheme c)) filter_capacities;
-    }
+  let rows =
+    ("lru", Agg_core.Server_cache.Plain Agg_cache.Cache.Lru, false)
+    :: List.map
+         (fun g ->
+           ( Printf.sprintf "g%d" g,
+             Agg_core.Server_cache.Aggregating
+               (Agg_core.Config.with_group_size g Agg_core.Config.default),
+             false ))
+         group_sizes
   in
-  let lru =
-    {
-      Experiment.label = "lru";
-      points =
-        List.map
-          (fun c ->
-            (float_of_int c, hit_rate ~scheme:(Agg_core.Server_cache.Plain Agg_cache.Cache.Lru) c))
-          filter_capacities;
-    }
-  in
-  {
-    Experiment.name = profile.Agg_workload.Profile.name ^ " (A11 server group size)";
-    x_label = "filter capacity (files)";
-    y_label = "server hit rate (%)";
-    series = lru :: List.map series_for group_sizes;
-  }
+  hit_rate_panel ~settings
+    ~name:(profile.Agg_workload.Profile.name ^ " (A11 server group size)")
+    ~trace ~filter_capacities rows
 
 let adaptive_group ?(settings = Experiment.default_settings) () =
   let open Agg_util in
@@ -323,30 +294,29 @@ let adaptive_group ?(settings = Experiment.default_settings) () =
     Table.create ~title:"A9 — adaptive group sizing (fetches / speculation issued)"
       ~columns:[ "workload"; "lru"; "g5"; "g10"; "adaptive"; "final g" ]
   in
-  List.iter
-    (fun profile ->
-      let trace = generate settings profile in
-      let fixed g =
-        let config = Agg_core.Config.with_group_size g Agg_core.Config.default in
-        let cache = Agg_core.Client_cache.create ~config ~capacity:300 () in
-        Agg_core.Client_cache.run cache trace
-      in
-      let show (m : Agg_core.Metrics.client) =
-        Printf.sprintf "%d / %d" m.Agg_core.Metrics.demand_fetches
-          m.Agg_core.Metrics.prefetch.Agg_core.Metrics.issued
-      in
-      let adaptive = Agg_core.Adaptive_client.create ~capacity:300 () in
-      let adaptive_metrics = Agg_core.Adaptive_client.run adaptive trace in
-      Table.add_row table
-        [
-          profile.Agg_workload.Profile.name;
-          show (fixed 1);
-          show (fixed 5);
-          show (fixed 10);
-          show adaptive_metrics;
-          string_of_int (Agg_core.Adaptive_client.current_group_size adaptive);
-        ])
-    Agg_workload.Profile.all;
+  let show (m : Agg_core.Metrics.client) =
+    Printf.sprintf "%d / %d" m.Agg_core.Metrics.demand_fetches
+      m.Agg_core.Metrics.prefetch.Agg_core.Metrics.issued
+  in
+  Experiment.grid ~settings ~rows:Agg_workload.Profile.all
+    ~cols:[ `Fixed 1; `Fixed 5; `Fixed 10; `Adaptive ]
+    (fun profile variant ->
+      let trace = Trace_store.get ~settings profile in
+      match variant with
+      | `Fixed g ->
+          let config = Agg_core.Config.with_group_size g Agg_core.Config.default in
+          let cache = Agg_core.Client_cache.create ~config ~capacity:300 () in
+          (show (Agg_core.Client_cache.run cache trace), "")
+      | `Adaptive ->
+          let adaptive = Agg_core.Adaptive_client.create ~capacity:300 () in
+          let metrics = Agg_core.Adaptive_client.run adaptive trace in
+          (show metrics, string_of_int (Agg_core.Adaptive_client.current_group_size adaptive)))
+  |> List.iter (fun (profile, cells) ->
+         let shown = List.map (fun (_, (s, _)) -> s) cells in
+         let final_g =
+           List.fold_left (fun acc (_, (_, g)) -> if g = "" then acc else g) "" cells
+         in
+         Table.add_row table ((profile.Agg_workload.Profile.name :: shown) @ [ final_g ]));
   table
 
 let predictor_accuracy ?(settings = Experiment.default_settings) () =
@@ -355,19 +325,16 @@ let predictor_accuracy ?(settings = Experiment.default_settings) () =
     Table.create ~title:"Next-access predictor accuracy (recency vs frequency vs context)"
       ~columns:[ "workload"; "last-successor %"; "markov (frequency) %"; "ppm order-2 %" ]
   in
-  List.iter
-    (fun profile ->
-      let files =
-        Agg_workload.Generator.generate_files ~seed:settings.Experiment.seed
-          ~events:settings.Experiment.events profile
+  Experiment.grid ~settings ~rows:Agg_workload.Profile.all ~cols:[ `Last; `Markov; `Ppm ]
+    (fun profile predictor ->
+      let files = Trace_store.files ~settings profile in
+      let a =
+        match predictor with
+        | `Last -> Agg_baselines.Last_successor.measure files
+        | `Markov -> Agg_baselines.Markov_predictor.measure files
+        | `Ppm -> Agg_baselines.Ppm.measure files
       in
-      let pct a = Printf.sprintf "%.1f" (100.0 *. Agg_baselines.Last_successor.accuracy_rate a) in
-      Table.add_row table
-        [
-          profile.Agg_workload.Profile.name;
-          pct (Agg_baselines.Last_successor.measure files);
-          pct (Agg_baselines.Markov_predictor.measure files);
-          pct (Agg_baselines.Ppm.measure files);
-        ])
-    Agg_workload.Profile.all;
+      Printf.sprintf "%.1f" (100.0 *. Agg_baselines.Last_successor.accuracy_rate a))
+  |> List.iter (fun (profile, cells) ->
+         Table.add_row table (profile.Agg_workload.Profile.name :: List.map snd cells));
   table

@@ -4,10 +4,24 @@ type panel = { name : string; x_label : string; y_label : string; series : serie
 
 type figure = { id : string; title : string; panels : panel list }
 
-type settings = { events : int; seed : int; warmup : int }
+type settings = { events : int; seed : int; warmup : int; jobs : int }
 
-let default_settings = { events = 60_000; seed = 7; warmup = 0 }
-let quick_settings = { events = 6_000; seed = 7; warmup = 0 }
+let default_settings =
+  { events = 60_000; seed = 7; warmup = 0; jobs = Agg_util.Pool.default_jobs () }
+
+let quick_settings = { default_settings with events = 6_000 }
+
+let grid ~settings ~rows ~cols f =
+  let cells = List.concat_map (fun r -> List.map (fun c -> (r, c)) cols) rows in
+  let ys = Agg_util.Pool.map ~jobs:settings.jobs (fun (r, c) -> f r c) cells in
+  let width = List.length cols in
+  let rec chunk acc row w = function
+    | ys when w = 0 -> chunk (List.rev row :: acc) [] width ys
+    | y :: ys -> chunk acc (y :: row) (w - 1) ys
+    | [] -> List.rev acc
+  in
+  let chunks = if width = 0 then List.map (fun _ -> []) rows else chunk [] [] width ys in
+  List.map2 (fun r ys_row -> (r, List.combine cols ys_row)) rows chunks
 
 let series_value s x =
   Option.map snd (List.find_opt (fun (px, _) -> Float.equal px x) s.points)

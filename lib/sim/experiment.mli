@@ -13,16 +13,31 @@ type panel = {
 
 type figure = { id : string; title : string; panels : panel list }
 
-type settings = { events : int; seed : int; warmup : int }
+type settings = { events : int; seed : int; warmup : int; jobs : int }
 (** [events]: trace length; [seed]: generator seed; [warmup]: events run
     before counters are reset (0 = measure from cold, as the paper's
-    absolute fetch counts do). *)
+    absolute fetch counts do); [jobs]: number of domains used to
+    evaluate independent sweep cells ([1] = fully sequential). Results
+    are independent of [jobs] — see {!Agg_util.Pool}. *)
 
 val default_settings : settings
-(** 60k events, seed 7, no warm-up. *)
+(** 60k events, seed 7, no warm-up,
+    [jobs = Agg_util.Pool.default_jobs ()]. *)
 
 val quick_settings : settings
 (** A small configuration for tests: 6k events. *)
+
+val grid :
+  settings:settings ->
+  rows:'r list ->
+  cols:'c list ->
+  ('r -> 'c -> 'y) ->
+  ('r * ('c * 'y) list) list
+(** [grid ~settings ~rows ~cols f] evaluates every [(row, col)] cell of a
+    sweep through {!Agg_util.Pool.map} with [settings.jobs] domains and
+    returns the results regrouped by row, in input order. [f] must be
+    safe to run concurrently with itself (share only immutable data,
+    e.g. traces from {!Trace_store}). *)
 
 val series_value : series -> float -> float option
 (** [series_value s x] is the y at exactly [x], if present. *)

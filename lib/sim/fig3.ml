@@ -5,21 +5,18 @@ let label_of_group g = if g = 1 then "lru" else Printf.sprintf "g%d" g
 
 let panel ?(settings = Experiment.default_settings) ?(capacities = default_capacities)
     ?(group_sizes = default_group_sizes) profile =
-  let trace = Agg_workload.Generator.generate ~seed:settings.seed ~events:settings.events profile in
+  let trace = Trace_store.get ~settings profile in
   let series =
-    List.map
-      (fun g ->
+    Experiment.grid ~settings ~rows:group_sizes ~cols:capacities (fun g capacity ->
         let config = Agg_core.Config.with_group_size g Agg_core.Config.default in
-        let points =
-          List.map
-            (fun capacity ->
-              let cache = Agg_core.Client_cache.create ~config ~capacity () in
-              let m = Agg_core.Client_cache.run cache trace in
-              (float_of_int capacity, float_of_int m.Agg_core.Metrics.demand_fetches))
-            capacities
-        in
-        { Experiment.label = label_of_group g; points })
-      group_sizes
+        let cache = Agg_core.Client_cache.create ~config ~capacity () in
+        let m = Agg_core.Client_cache.run cache trace in
+        float_of_int m.Agg_core.Metrics.demand_fetches)
+    |> List.map (fun (g, points) ->
+           {
+             Experiment.label = label_of_group g;
+             points = List.map (fun (capacity, y) -> (float_of_int capacity, y)) points;
+           })
   in
   {
     Experiment.name = profile.Agg_workload.Profile.name;

@@ -12,23 +12,21 @@ let schemes ~group_size =
 let panel ?(settings = Experiment.default_settings)
     ?(filter_capacities = default_filter_capacities) ?(server_capacity = default_server_capacity)
     ?(group_size = 5) ?(cooperative = false) profile =
-  let trace = Agg_workload.Generator.generate ~seed:settings.seed ~events:settings.events profile in
+  let trace = Trace_store.get ~settings profile in
   let series =
-    List.map
-      (fun (label, scheme) ->
-        let points =
-          List.map
-            (fun filter_capacity ->
-              let sim =
-                Agg_core.Server_cache.create ~cooperative ~filter_kind:Agg_cache.Cache.Lru
-                  ~filter_capacity ~server_capacity ~scheme ()
-              in
-              let m = Agg_core.Server_cache.run sim trace in
-              (float_of_int filter_capacity, 100.0 *. Agg_core.Metrics.server_hit_rate m))
-            filter_capacities
+    Experiment.grid ~settings ~rows:(schemes ~group_size) ~cols:filter_capacities
+      (fun (_, scheme) filter_capacity ->
+        let sim =
+          Agg_core.Server_cache.create ~cooperative ~filter_kind:Agg_cache.Cache.Lru
+            ~filter_capacity ~server_capacity ~scheme ()
         in
-        { Experiment.label; points })
-      (schemes ~group_size)
+        let m = Agg_core.Server_cache.run sim trace in
+        100.0 *. Agg_core.Metrics.server_hit_rate m)
+    |> List.map (fun ((label, _), points) ->
+           {
+             Experiment.label;
+             points = List.map (fun (capacity, y) -> (float_of_int capacity, y)) points;
+           })
   in
   {
     Experiment.name = profile.Agg_workload.Profile.name;

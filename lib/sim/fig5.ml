@@ -48,27 +48,25 @@ let oracle_miss_probability files =
   Agg_util.Stats.ratio !missed !tested
 
 let panel ?(settings = Experiment.default_settings) ?(capacities = default_capacities) profile =
-  let files =
-    Agg_workload.Generator.generate_files ~seed:settings.seed ~events:settings.events profile
-  in
+  let files = Trace_store.files ~settings profile in
   let fixed_oracle = oracle_miss_probability files in
-  let capacity_points f = List.map (fun c -> (float_of_int c, f c)) capacities in
+  let online =
+    Experiment.grid ~settings
+      ~rows:[ ("lru", Successor_list.Recency); ("lfu", Successor_list.Frequency) ]
+      ~cols:capacities
+      (fun (_, policy) capacity -> miss_probability ~policy ~capacity files)
+    |> List.map (fun ((label, _), points) ->
+           {
+             Experiment.label;
+             points = List.map (fun (capacity, y) -> (float_of_int capacity, y)) points;
+           })
+  in
   let series =
-    [
-      { Experiment.label = "oracle"; points = capacity_points (fun _ -> fixed_oracle) };
-      {
-        Experiment.label = "lru";
-        points =
-          capacity_points (fun capacity ->
-              miss_probability ~policy:Successor_list.Recency ~capacity files);
-      };
-      {
-        Experiment.label = "lfu";
-        points =
-          capacity_points (fun capacity ->
-              miss_probability ~policy:Successor_list.Frequency ~capacity files);
-      };
-    ]
+    {
+      Experiment.label = "oracle";
+      points = List.map (fun c -> (float_of_int c, fixed_oracle)) capacities;
+    }
+    :: online
   in
   {
     Experiment.name = profile.Agg_workload.Profile.name;

@@ -1,22 +1,22 @@
 let default_lengths = List.init 20 (fun i -> i + 1)
 
 let figure ?(settings = Experiment.default_settings) ?(lengths = default_lengths) () =
+  let profiles =
+    [
+      Agg_workload.Profile.users;
+      Agg_workload.Profile.write;
+      Agg_workload.Profile.server;
+      Agg_workload.Profile.workstation;
+    ]
+  in
   let series =
-    List.map
-      (fun profile ->
-        let files =
-          Agg_workload.Generator.generate_files ~seed:settings.seed ~events:settings.events profile
-        in
-        let points =
-          List.map (fun (l, h) -> (float_of_int l, h)) (Agg_entropy.Entropy.sweep ~lengths files)
-        in
-        { Experiment.label = profile.Agg_workload.Profile.name; points })
-      [
-        Agg_workload.Profile.users;
-        Agg_workload.Profile.write;
-        Agg_workload.Profile.server;
-        Agg_workload.Profile.workstation;
-      ]
+    Experiment.grid ~settings ~rows:profiles ~cols:lengths (fun profile length ->
+        Agg_entropy.Entropy.of_files ~length (Trace_store.files ~settings profile))
+    |> List.map (fun (profile, points) ->
+           {
+             Experiment.label = profile.Agg_workload.Profile.name;
+             points = List.map (fun (l, h) -> (float_of_int l, h)) points;
+           })
   in
   {
     Experiment.id = "fig7";

@@ -2,16 +2,23 @@ let default_filter_capacities = [ 1; 10; 50; 100; 500; 1000 ]
 
 let panel ?(settings = Experiment.default_settings)
     ?(filter_capacities = default_filter_capacities) ?(lengths = Fig7.default_lengths) profile =
-  let trace = Agg_workload.Generator.generate ~seed:settings.seed ~events:settings.events profile in
-  let sweeps = Agg_entropy.Entropy.filtered_sweep ~filter_capacities ~lengths trace in
+  let trace = Trace_store.get ~settings profile in
+  (* two parallel stages: filter each capacity's miss stream, then sweep
+     every (capacity, length) entropy cell over the shared streams *)
+  let missed =
+    Agg_util.Pool.map ~jobs:settings.Experiment.jobs
+      (fun capacity ->
+        (capacity, Agg_trace.Trace.files (Agg_trace.Filter.miss_stream ~capacity trace)))
+      filter_capacities
+  in
   let series =
-    List.map
-      (fun (capacity, sweep) ->
-        {
-          Experiment.label = string_of_int capacity;
-          points = List.map (fun (l, h) -> (float_of_int l, h)) sweep;
-        })
-      sweeps
+    Experiment.grid ~settings ~rows:missed ~cols:lengths (fun (_, files) length ->
+        Agg_entropy.Entropy.of_files ~length files)
+    |> List.map (fun ((capacity, _), points) ->
+           {
+             Experiment.label = string_of_int capacity;
+             points = List.map (fun (l, h) -> (float_of_int l, h)) points;
+           })
   in
   {
     Experiment.name = profile.Agg_workload.Profile.name;

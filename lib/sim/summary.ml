@@ -20,22 +20,21 @@ let demand_fetches ~trace ~capacity ~group_size =
   (Agg_core.Client_cache.run cache trace).Agg_core.Metrics.demand_fetches
 
 let client_rows ?(settings = Experiment.default_settings) ?(capacity = 300) () =
-  List.map
-    (fun profile ->
-      let trace =
-        Agg_workload.Generator.generate ~seed:settings.seed ~events:settings.events profile
-      in
-      let lru = demand_fetches ~trace ~capacity ~group_size:1 in
-      let g5 = demand_fetches ~trace ~capacity ~group_size:5 in
-      {
-        workload = profile.Agg_workload.Profile.name;
-        capacity;
-        lru_fetches = lru;
-        g5_fetches = g5;
-        reduction_percent =
-          (if lru = 0 then 0.0 else 100.0 *. float_of_int (lru - g5) /. float_of_int lru);
-      })
-    Agg_workload.Profile.all
+  Experiment.grid ~settings ~rows:Agg_workload.Profile.all ~cols:[ 1; 5 ]
+    (fun profile group_size ->
+      demand_fetches ~trace:(Trace_store.get ~settings profile) ~capacity ~group_size)
+  |> List.map (fun (profile, points) ->
+         match points with
+         | [ (_, lru); (_, g5) ] ->
+             {
+               workload = profile.Agg_workload.Profile.name;
+               capacity;
+               lru_fetches = lru;
+               g5_fetches = g5;
+               reduction_percent =
+                 (if lru = 0 then 0.0 else 100.0 *. float_of_int (lru - g5) /. float_of_int lru);
+             }
+         | _ -> assert false (* grid returns one point per column *))
 
 let server_hit_rate ~trace ~filter_capacity ~scheme =
   let sim =
@@ -46,29 +45,31 @@ let server_hit_rate ~trace ~filter_capacity ~scheme =
 
 let server_rows ?(settings = Experiment.default_settings)
     ?(filter_capacities = Fig4.default_filter_capacities) () =
-  List.concat_map
-    (fun profile ->
-      let trace =
-        Agg_workload.Generator.generate ~seed:settings.seed ~events:settings.events profile
-      in
-      List.map
-        (fun filter_capacity ->
-          let lru =
-            server_hit_rate ~trace ~filter_capacity ~scheme:(Agg_core.Server_cache.Plain Agg_cache.Cache.Lru)
-          in
-          let g5 =
-            server_hit_rate ~trace ~filter_capacity
-              ~scheme:(Agg_core.Server_cache.Aggregating Agg_core.Config.default)
-          in
-          {
-            workload = profile.Agg_workload.Profile.name;
-            filter_capacity;
-            lru_hit_rate = lru;
-            g5_hit_rate = g5;
-            improvement_percent = (if lru = 0.0 then Float.infinity else 100.0 *. (g5 -. lru) /. lru);
-          })
-        filter_capacities)
-    [ Agg_workload.Profile.workstation; Agg_workload.Profile.users; Agg_workload.Profile.server ]
+  let rows =
+    List.concat_map
+      (fun profile -> List.map (fun filter_capacity -> (profile, filter_capacity)) filter_capacities)
+      [ Agg_workload.Profile.workstation; Agg_workload.Profile.users; Agg_workload.Profile.server ]
+  in
+  let schemes =
+    [
+      Agg_core.Server_cache.Plain Agg_cache.Cache.Lru;
+      Agg_core.Server_cache.Aggregating Agg_core.Config.default;
+    ]
+  in
+  Experiment.grid ~settings ~rows ~cols:schemes (fun (profile, filter_capacity) scheme ->
+      server_hit_rate ~trace:(Trace_store.get ~settings profile) ~filter_capacity ~scheme)
+  |> List.map (fun ((profile, filter_capacity), points) ->
+         match points with
+         | [ (_, lru); (_, g5) ] ->
+             {
+               workload = profile.Agg_workload.Profile.name;
+               filter_capacity;
+               lru_hit_rate = lru;
+               g5_hit_rate = g5;
+               improvement_percent =
+                 (if lru = 0.0 then Float.infinity else 100.0 *. (g5 -. lru) /. lru);
+             }
+         | _ -> assert false (* grid returns one point per column *))
 
 let client_table rows =
   let open Agg_util in

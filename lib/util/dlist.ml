@@ -80,6 +80,22 @@ let pop_back t =
     Some (value n)
   end
 
+let clear t =
+  (* Detach every node (so held node references stay safe to [remove])
+     in one sweep, without going through pop_front's option boxing. *)
+  let rec loop n =
+    if n != t.sentinel then begin
+      let next = n.next in
+      n.prev <- n;
+      n.next <- n;
+      loop next
+    end
+  in
+  loop t.sentinel.next;
+  t.sentinel.prev <- t.sentinel;
+  t.sentinel.next <- t.sentinel;
+  t.size <- 0
+
 let iter f t =
   let rec loop n = if n != t.sentinel then begin f (value n); loop n.next end in
   loop t.sentinel.next

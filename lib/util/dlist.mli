@@ -32,6 +32,10 @@ val peek_back : 'a t -> 'a option
 val pop_front : 'a t -> 'a option
 val pop_back : 'a t -> 'a option
 
+val clear : 'a t -> unit
+(** [clear t] empties [t] in O(n), detaching every node as it goes —
+    nodes previously handed out behave as after {!remove}. *)
+
 val iter : ('a -> unit) -> 'a t -> unit
 (** Front-to-back iteration. *)
 

@@ -1,0 +1,52 @@
+let default_jobs () = Domain.recommended_domain_count ()
+
+(* The first failure by input index, so the raised exception does not
+   depend on scheduling. *)
+type failure = { index : int; exn : exn; backtrace : Printexc.raw_backtrace }
+
+let map_array ?jobs f input =
+  let jobs = match jobs with Some j -> j | None -> default_jobs () in
+  if jobs <= 0 then invalid_arg "Pool.map: jobs must be positive";
+  let n = Array.length input in
+  if jobs = 1 || n <= 1 then Array.map f input
+  else begin
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let failed = Atomic.make (None : failure option) in
+    let record_failure index exn backtrace =
+      let rec loop () =
+        let current = Atomic.get failed in
+        let keep = match current with Some f -> f.index < index | None -> false in
+        if not keep then
+          if not (Atomic.compare_and_set failed current (Some { index; exn; backtrace })) then
+            loop ()
+      in
+      loop ()
+    in
+    let rec worker () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n then begin
+        (match f input.(i) with
+        | y -> results.(i) <- Some y
+        | exception exn -> record_failure i exn (Printexc.get_raw_backtrace ()));
+        if Atomic.get failed = None then worker ()
+      end
+    in
+    let workers = Array.init (min jobs n - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    Array.iter Domain.join workers;
+    match Atomic.get failed with
+    | Some { exn; backtrace; _ } -> Printexc.raise_with_backtrace exn backtrace
+    | None ->
+        Array.map
+          (function Some y -> y | None -> assert false (* no failure => every cell ran *))
+          results
+  end
+
+let map ?jobs f xs =
+  match xs with
+  | [] -> []
+  | [ x ] -> [ f x ]
+  | _ -> Array.to_list (map_array ?jobs f (Array.of_list xs))
+
+let map_reduce ?jobs ~map:f ~reduce ~init xs = List.fold_left reduce init (map ?jobs f xs)

@@ -1,0 +1,37 @@
+(** A fixed-size pool of OCaml 5 domains for embarrassingly parallel
+    sweeps.
+
+    Each call spawns at most [jobs - 1] worker domains (the calling
+    domain also works), feeds them tasks from a shared index counter,
+    and joins them before returning, so no domains outlive the call.
+    Results are keyed by input index — never by completion order — so
+    every function here is {e deterministic}: the result is identical
+    for any [jobs], including the sequential [jobs = 1] path.
+
+    Work items must not depend on each other and must only share data
+    that is immutable or internally synchronised; the pool provides no
+    locking of its own around user state. *)
+
+val default_jobs : unit -> int
+(** The pool width used when [?jobs] is omitted:
+    [Domain.recommended_domain_count ()]. *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map ~jobs f xs] is [List.map f xs], evaluated by up to [jobs]
+    domains. Order is preserved. If one or more applications of [f]
+    raise, the exception raised by the {e lowest-indexed} failing
+    element is re-raised after all workers have stopped (remaining
+    un-started elements may be skipped).
+    @raise Invalid_argument when [jobs <= 0]. *)
+
+val map_array : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+(** Array analogue of {!map}. The input array must not be mutated
+    during the call. *)
+
+val map_reduce :
+  ?jobs:int -> map:('a -> 'b) -> reduce:('acc -> 'b -> 'acc) -> init:'acc -> 'a list -> 'acc
+(** [map_reduce ~map ~reduce ~init xs] folds the mapped results in
+    {e input order} ([reduce] runs sequentially on the calling domain),
+    so the result equals [List.fold_left reduce init (List.map map xs)]
+    regardless of worker count.
+    @raise Invalid_argument when [jobs <= 0]. *)

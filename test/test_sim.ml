@@ -10,7 +10,7 @@ let check_int = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
 
 (* small but not degenerate: enough events for the orderings to show *)
-let tiny = { Experiment.events = 4000; seed = 7; warmup = 0 }
+let tiny = { Experiment.events = 4000; seed = 7; warmup = 0; jobs = 2 }
 
 let series_named panel label =
   match List.find_opt (fun s -> s.Experiment.label = label) panel.Experiment.series with
@@ -39,6 +39,56 @@ let test_panel_table_renders () =
   check_bool "non-empty" true (String.length (Agg_util.Table.render table) > 0);
   let fig = { Experiment.id = "figX"; title = "t"; panels = [ panel ] } in
   check_bool "figure renders" true (String.length (Experiment.render_figure fig) > 0)
+
+(* --- Trace_store -------------------------------------------------------- *)
+
+let test_trace_store_sharing () =
+  Trace_store.reset ();
+  let a = Trace_store.get ~settings:tiny Agg_workload.Profile.server in
+  let b = Trace_store.get ~settings:tiny Agg_workload.Profile.server in
+  check_bool "equal keys share one trace" true (a == b);
+  let fa = Trace_store.files ~settings:tiny Agg_workload.Profile.server in
+  let fb = Trace_store.files ~settings:tiny Agg_workload.Profile.server in
+  check_bool "files array shared too" true (fa == fb);
+  Alcotest.(check (array int)) "files match the trace" (Agg_trace.Trace.files a) fa;
+  let other_seed = Trace_store.get ~settings:{ tiny with seed = 8 } Agg_workload.Profile.server in
+  check_bool "distinct seeds give distinct traces" true (a != other_seed);
+  check_bool "distinct seeds give distinct contents" true
+    (Agg_trace.Trace.files a <> Agg_trace.Trace.files other_seed);
+  let other_profile = Trace_store.get ~settings:tiny Agg_workload.Profile.users in
+  check_bool "distinct profiles give distinct traces" true (a != other_profile);
+  check_int "three distinct keys memoized" 3 (Trace_store.size ());
+  Trace_store.reset ();
+  check_int "reset empties the store" 0 (Trace_store.size ());
+  let c = Trace_store.get ~settings:tiny Agg_workload.Profile.server in
+  check_bool "regenerated trace has identical contents" true
+    (Agg_trace.Trace.files a = Agg_trace.Trace.files c)
+
+let test_trace_store_concurrent () =
+  Trace_store.reset ();
+  let traces =
+    Agg_util.Pool.map ~jobs:4
+      (fun _ -> Trace_store.get ~settings:tiny Agg_workload.Profile.server)
+      (List.init 8 (fun i -> i))
+  in
+  (match traces with
+  | first :: rest -> List.iter (fun t -> check_bool "all domains share one trace" true (t == first)) rest
+  | [] -> Alcotest.fail "no traces");
+  check_int "generated once" 1 (Trace_store.size ())
+
+(* --- determinism across jobs -------------------------------------------- *)
+
+let test_jobs_determinism () =
+  (* the ISSUE 1 acceptance bar in miniature: a figure rendered on one
+     domain and on four must be byte-identical *)
+  let settings = Experiment.quick_settings in
+  let sequential =
+    Experiment.render_figure (Fig3.figure ~settings:{ settings with jobs = 1 } ())
+  in
+  let parallel =
+    Experiment.render_figure (Fig3.figure ~settings:{ settings with jobs = 4 } ())
+  in
+  Alcotest.(check string) "fig3 at jobs=1 equals jobs=4" sequential parallel
 
 (* --- Fig. 3 ---------------------------------------------------------------- *)
 
@@ -343,6 +393,15 @@ let () =
         [
           Alcotest.test_case "series_value" `Quick test_series_value;
           Alcotest.test_case "panel table" `Quick test_panel_table_renders;
+        ] );
+      ( "trace-store",
+        [
+          Alcotest.test_case "sharing" `Quick test_trace_store_sharing;
+          Alcotest.test_case "concurrent get" `Quick test_trace_store_concurrent;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "fig3 jobs=1 vs jobs=4" `Quick test_jobs_determinism;
         ] );
       ( "fig3",
         [

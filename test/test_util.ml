@@ -295,6 +295,18 @@ let test_dlist_pops () =
   Alcotest.(check (option int)) "pop back" (Some 2) (Dlist.pop_back l);
   check_bool "now empty" true (Dlist.is_empty l)
 
+let test_dlist_clear () =
+  let l = Dlist.create () in
+  let nodes = List.map (Dlist.push_back l) [ 1; 2; 3; 4 ] in
+  Dlist.clear l;
+  check_bool "empty" true (Dlist.is_empty l);
+  check_int "length" 0 (Dlist.length l);
+  (* cleared nodes are detached: removing them again is a safe no-op *)
+  List.iter (Dlist.remove l) nodes;
+  check_int "still empty" 0 (Dlist.length l);
+  ignore (Dlist.push_back l 9);
+  Alcotest.(check (list int)) "reusable after clear" [ 9 ] (Dlist.to_list l)
+
 let test_dlist_fold_iter () =
   let l = Dlist.create () in
   List.iter (fun v -> ignore (Dlist.push_back l v)) [ 1; 2; 3; 4 ];
@@ -302,6 +314,44 @@ let test_dlist_fold_iter () =
   let seen = ref [] in
   Dlist.iter (fun v -> seen := v :: !seen) l;
   Alcotest.(check (list int)) "iter order" [ 4; 3; 2; 1 ] !seen
+
+(* --- Pool ------------------------------------------------------------ *)
+
+let test_pool_map_order () =
+  let xs = List.init 100 (fun i -> i) in
+  Alcotest.(check (list int))
+    "squares in order" (List.map (fun x -> x * x) xs)
+    (Pool.map ~jobs:4 (fun x -> x * x) xs);
+  Alcotest.(check (list int)) "empty" [] (Pool.map ~jobs:4 (fun x -> x) []);
+  Alcotest.(check (list int)) "singleton" [ 7 ] (Pool.map ~jobs:4 (fun x -> x) [ 7 ])
+
+let test_pool_map_array () =
+  let input = Array.init 37 (fun i -> i) in
+  Alcotest.(check (array int))
+    "array map matches" (Array.map succ input)
+    (Pool.map_array ~jobs:3 succ input)
+
+let test_pool_map_reduce () =
+  (* string concatenation is not commutative, so this pins reduction
+     order, not just the multiset of results *)
+  let xs = List.init 50 string_of_int in
+  Alcotest.(check string)
+    "reduces in input order" (String.concat "" xs)
+    (Pool.map_reduce ~jobs:4 ~map:(fun s -> s) ~reduce:( ^ ) ~init:"" xs)
+
+let test_pool_invalid_jobs () =
+  Alcotest.check_raises "jobs 0" (Invalid_argument "Pool.map: jobs must be positive") (fun () ->
+      ignore (Pool.map ~jobs:0 (fun x -> x) [ 1; 2 ]))
+
+let test_pool_exception () =
+  let boom i = if i >= 3 then failwith (Printf.sprintf "boom %d" i) else i in
+  Alcotest.check_raises "lowest failing index wins" (Failure "boom 3") (fun () ->
+      ignore (Pool.map ~jobs:4 boom (List.init 20 (fun i -> i))));
+  Alcotest.check_raises "sequential path too" (Failure "boom 3") (fun () ->
+      ignore (Pool.map ~jobs:1 boom (List.init 20 (fun i -> i))))
+
+let test_pool_default_jobs () =
+  check_bool "at least one domain" true (Pool.default_jobs () >= 1)
 
 (* --- Heap ------------------------------------------------------------ *)
 
@@ -404,6 +454,15 @@ let qcheck_tests =
           match Heap.pop h with Some (p, ()) -> drain (p :: acc) | None -> List.rev acc
         in
         drain [] = List.sort compare l);
+    Test.make ~name:"Pool.map agrees with List.map for any jobs" ~count:100
+      (pair (int_range 1 8) (list small_int))
+      (fun (jobs, xs) ->
+        Pool.map ~jobs (fun x -> (x * 2) + 1) xs = List.map (fun x -> (x * 2) + 1) xs);
+    Test.make ~name:"Pool.map_reduce agrees with sequential fold" ~count:100
+      (pair (int_range 1 8) (list small_int))
+      (fun (jobs, xs) ->
+        Pool.map_reduce ~jobs ~map:string_of_int ~reduce:( ^ ) ~init:"" xs
+        = List.fold_left ( ^ ) "" (List.map string_of_int xs));
     Test.make ~name:"Dlist push_back preserves order" ~count:200 (list int) (fun l ->
         let d = Dlist.create () in
         List.iter (fun v -> ignore (Dlist.push_back d v)) l;
@@ -465,7 +524,17 @@ let () =
           Alcotest.test_case "moves" `Quick test_dlist_moves;
           Alcotest.test_case "remove" `Quick test_dlist_remove;
           Alcotest.test_case "pops" `Quick test_dlist_pops;
+          Alcotest.test_case "clear" `Quick test_dlist_clear;
           Alcotest.test_case "fold and iter" `Quick test_dlist_fold_iter;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "map preserves order" `Quick test_pool_map_order;
+          Alcotest.test_case "map_array" `Quick test_pool_map_array;
+          Alcotest.test_case "map_reduce order" `Quick test_pool_map_reduce;
+          Alcotest.test_case "invalid jobs" `Quick test_pool_invalid_jobs;
+          Alcotest.test_case "exception propagation" `Quick test_pool_exception;
+          Alcotest.test_case "default jobs" `Quick test_pool_default_jobs;
         ] );
       ( "heap",
         [
