@@ -167,6 +167,75 @@ let checks_cmd =
     (Cmd.info "checks" ~doc:"Run all paper-vs-measured qualitative checks; non-zero exit on failure.")
     Term.(const run $ settings_term)
 
+let differential_cmd =
+  let ops_arg =
+    Arg.(
+      value
+      & opt int 10_000
+      & info [ "ops" ] ~docv:"N"
+          ~doc:"Generated operations per policy for the op-sequence fuzz stage.")
+  in
+  let run settings ops =
+    let seed = settings.Agg_sim.Experiment.seed in
+    let events = settings.Agg_sim.Experiment.events in
+    let checks =
+      Agg_oracle.Diff_engine.fuzz_all ~seed ~ops
+      @ [ Agg_oracle.Diff_engine.mutant_check ~seed ~ops ]
+      @ Agg_oracle.Diff_engine.successor_checks ~seed ~events
+      @ Agg_oracle.Diff_engine.trace_checks ~seed ~events
+    in
+    (* Full-report invariance under --jobs: the sweep engine must produce
+       bit-identical results whether cells run sequentially or on a domain
+       pool (CLAUDE.md reproducibility contract). *)
+    let jobs_check =
+      let quick = { Agg_sim.Experiment.quick_settings with seed } in
+      let render jobs =
+        Agg_sim.Report.run_all ~settings:{ quick with Agg_sim.Experiment.jobs } ()
+        |> List.map (fun (c : Agg_sim.Report.check) ->
+               Printf.sprintf "%s|%s|%b" c.Agg_sim.Report.id c.Agg_sim.Report.measured
+                 c.Agg_sim.Report.pass)
+      in
+      let sequential = render 1 and pooled = render 2 in
+      if sequential = pooled then
+        {
+          Agg_oracle.Diff_engine.name = "inv.jobs-invariance";
+          cases = List.length sequential;
+          pass = true;
+          detail = "";
+        }
+      else
+        {
+          Agg_oracle.Diff_engine.name = "inv.jobs-invariance";
+          cases = List.length sequential;
+          pass = false;
+          detail = "report checks differ between --jobs 1 and --jobs 2";
+        }
+    in
+    let checks = checks @ [ jobs_check ] in
+    let table = Agg_util.Table.create ~title:"differential checks" ~columns:[ "check"; "cases"; "status"; "detail" ] in
+    List.iter
+      (fun (c : Agg_oracle.Diff_engine.check) ->
+        Agg_util.Table.add_row table
+          [
+            c.Agg_oracle.Diff_engine.name;
+            string_of_int c.Agg_oracle.Diff_engine.cases;
+            (if c.Agg_oracle.Diff_engine.pass then "ok" else "FAIL");
+            c.Agg_oracle.Diff_engine.detail;
+          ])
+      checks;
+    Agg_util.Table.print table;
+    let failed = List.filter (fun c -> not c.Agg_oracle.Diff_engine.pass) checks in
+    Printf.printf "%d checks, %d failed\n" (List.length checks) (List.length failed);
+    if failed = [] then exit_ok else 1
+  in
+  Cmd.v
+    (Cmd.info "differential"
+       ~doc:
+         "Drive every optimized policy, successor scheme and system configuration in lockstep \
+          against the lib/oracle reference models; non-zero exit on any divergence (or if the \
+          seeded mutant goes undetected).")
+    Term.(const run $ settings_term $ ops_arg)
+
 let ablations_cmd =
   let run settings =
     let print_panel panel =
@@ -388,6 +457,7 @@ let () =
             fig8_cmd;
             summary_cmd;
             checks_cmd;
+            differential_cmd;
             ablations_cmd;
             latency_cmd;
             fleet_cmd;

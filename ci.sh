@@ -1,5 +1,6 @@
 #!/bin/sh
-# CI entry point: full build, full test suite, and a quick smoke run of
+# CI entry point: full build, full test suite, the lockstep differential
+# gate against the lib/oracle reference models, and a quick smoke run of
 # the paper-vs-measured checks from the reproduction harness.
 #
 # The check thresholds are calibrated for full-size runs (60k events), so
@@ -7,11 +8,25 @@
 # verdicts are covered by the `report checks` alcotest case in `dune runtest`.
 #
 # Usage:
-#   ./ci.sh          # build + all tests + quick checks
+#   ./ci.sh          # build + all tests + differential + quick checks
 #   ./ci.sh --fast   # build + quick tests only (skips `Slow alcotest cases)
+#
+# Environment:
+#   DIFFERENTIAL_OPS=200000   # opt-in: a larger differential fuzz budget
+#                             # (generated ops per policy) on top of the
+#                             # fixed-seed @differential gate
 set -eu
 
 cd "$(dirname "$0")"
+
+# All randomness must flow through Agg_util.Prng with explicit seeds;
+# direct Stdlib.Random use would silently break run-to-run reproducibility.
+# (QCheck's own generators live in test/, which is exempt.)
+if grep -rnE '(^|[^.A-Za-z_])(Stdlib\.)?Random\.(self_init|State|int|bits|bool|float|full_init|init)' \
+    lib bin bench examples 2>/dev/null; then
+  echo "ci.sh: direct Random use found outside Agg_util.Prng (see matches above)" >&2
+  exit 1
+fi
 
 if [ "${1:-}" = "--fast" ]; then
   dune build @all
@@ -19,6 +34,15 @@ if [ "${1:-}" = "--fast" ]; then
 else
   dune build @all
   dune runtest
+fi
+
+# Differential gate: every policy, successor scheme and system configuration
+# against its executable reference model; fixed seed, 10k ops per policy.
+dune build @differential
+
+# Optional larger fuzz budget for nightly-style runs.
+if [ -n "${DIFFERENTIAL_OPS:-}" ]; then
+  dune exec bin/aggsim.exe -- differential --ops "$DIFFERENTIAL_OPS" --quick
 fi
 
 dune exec bench/main.exe -- checks --quick

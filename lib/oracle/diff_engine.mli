@@ -1,0 +1,78 @@
+(** The differential test engine: drives optimized implementations and
+    the {!Model_cache} / {!Model_successor} / {!Model_system} reference
+    models in lockstep and reports the first divergence.
+
+    Two generators feed it: random operation sequences over the full
+    {!Agg_cache.Policy.S} surface ([insert ~pos], [promote], [evict],
+    [mem], [clear]) with greedy shrinking to a minimal reproducing op
+    list, and calibrated-workload traces from every
+    {!Agg_workload.Profile} replayed end-to-end. Cross-cutting paper
+    invariants (metrics conservation, Belady optimality, group size 1 ≡
+    plain LRU) are checked on the same traces. All generation is driven
+    by {!Agg_util.Prng} from an explicit seed, so every failure is
+    reproducible from the (seed, ops) pair printed in its detail. *)
+
+type op =
+  | Insert of Agg_cache.Policy.insert_position * int
+  | Promote of int
+  | Evict
+  | Mem of int
+  | Clear
+
+val op_to_string : op -> string
+
+val ops_to_string : op list -> string
+(** Semicolon-separated, suitable for a one-line counterexample report. *)
+
+val gen_ops : Agg_util.Prng.t -> universe:int -> count:int -> op list
+(** [count] operations over keys in [\[0, universe)], weighted towards
+    insertions so caches actually fill. *)
+
+type divergence = { step : int  (** 0-based op index *); detail : string }
+
+val diff_ops : Agg_cache.Cache.kind -> capacity:int -> op list -> divergence option
+(** Runs the ops through the optimized policy and its model, comparing
+    insert victims, evict victims, [mem] answers, sizes and resident sets
+    after every operation. [None] means lockstep agreement throughout.
+    @raise Invalid_argument when [capacity <= 0]. *)
+
+val diff_ops_mutant : capacity:int -> op list -> divergence option
+(** Same lockstep run, but the subject is a deliberately broken LRU that
+    promotes to the {e cold} end — the engine's own smoke test. A [None]
+    result from a non-trivial op list means the engine has lost its
+    teeth. *)
+
+val shrink_ops : (op list -> bool) -> op list -> op list
+(** [shrink_ops fails ops] greedily removes windows of operations while
+    [fails] keeps holding, returning a (locally) minimal failing list.
+    [ops] itself must satisfy [fails]. *)
+
+type check = { name : string; cases : int  (** operations / events compared *); pass : bool; detail : string }
+
+val fuzz_policy : seed:int -> ops:int -> Agg_cache.Cache.kind -> check
+(** At least [ops] generated operations against the policy's model, in
+    rounds of fresh caches with varying capacities. On divergence the
+    detail carries the capacity and the shrunk op list. *)
+
+val fuzz_all : seed:int -> ops:int -> check list
+(** [fuzz_policy] for every kind in {!Agg_cache.Cache.all_kinds}. *)
+
+val mutant_check : seed:int -> ops:int -> check
+(** Passes iff the engine {e catches} the seeded LRU mutant; the detail
+    shows the shrunk counterexample it found. *)
+
+val successor_checks : seed:int -> events:int -> check list
+(** Per profile: every successor-list scheme (recency, frequency, at
+    several capacities) and the perfect oracle, driven over the profile's
+    trace in lockstep with their models — membership answers, ranked
+    orders and top predictions compared at every observation. *)
+
+val trace_checks : seed:int -> events:int -> check list
+(** Per profile: every policy replayed through {!Agg_cache.Cache} vs
+    {!Model_cache}; the aggregating client (tail and head insertion) vs
+    {!Model_system.Client}; the two-level system (plain and cooperative)
+    vs {!Model_system.Server}; plus the cross-cutting invariants
+    (metrics conservation, no policy beats Belady, group size 1 ≡ plain
+    LRU). *)
+
+val all_pass : check list -> bool

@@ -1,0 +1,42 @@
+(** Executable reference models of every replacement policy in
+    {!Agg_cache}.
+
+    Each model re-implements the {!Agg_cache.Policy.S} semantics with
+    plain lists and linear scans — deliberately slow, obviously correct —
+    so the optimized implementations can be driven in lockstep against
+    them by {!Diff_engine}. The models are {e behaviourally identical} to
+    the optimized caches: same eviction victims, same resident sets, same
+    return values, for any operation sequence (the [Random] policy shares
+    the optimized cache's PRNG seed so even its victims coincide). *)
+
+type t
+
+val create : ?seed:int -> Agg_cache.Cache.kind -> capacity:int -> t
+(** [create kind ~capacity] is an empty reference cache. [seed] (default
+    the seed used by {!Agg_cache.Cache.create}) only affects the [Random]
+    kind. @raise Invalid_argument when [capacity <= 0]. *)
+
+val kind : t -> Agg_cache.Cache.kind
+val capacity : t -> int
+val size : t -> int
+val mem : t -> int -> bool
+
+val promote : t -> int -> unit
+(** Records an access to a resident key; no-op when absent — mirrors
+    [Policy.S.promote]. *)
+
+val insert : t -> pos:Agg_cache.Policy.insert_position -> int -> int option
+(** Mirrors [Policy.S.insert]: makes the key resident, evicting if full,
+    and returns the victim; a resident key is only repositioned (returns
+    [None], never evicts). *)
+
+val evict : t -> int option
+(** Forces out the model's current victim; [None] when empty. *)
+
+val remove : t -> int -> unit
+val contents : t -> int list
+(** Resident keys, in no particular order (compare as sets). *)
+
+val clear : t -> unit
+(** Mirrors [Policy.S.clear], including what it does {e not} reset (the
+    [Random] PRNG stream continues, exactly like the optimized cache). *)

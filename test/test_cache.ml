@@ -86,6 +86,62 @@ let test_kind_names_roundtrip () =
     policy_kinds;
   check_bool "unknown kind" true (Cache.kind_of_string "optimal" = None)
 
+(* Cold reposition of a resident key (the speculative-member path hitting
+   data that is already cached) must reposition only: no eviction, no
+   size change, key still resident. Pinned per policy at the Policy.S
+   level, where ~pos is exposed. *)
+let policy_modules : (string * (module Policy.S)) list =
+  [
+    ("lru", (module Lru));
+    ("lfu", (module Lfu));
+    ("fifo", (module Fifo));
+    ("mru", (module Mru));
+    ("clock", (module Clock));
+    ("random", (module Random_policy));
+    ("mq", (module Mq));
+    ("slru", (module Slru));
+    ("twoq", (module Twoq));
+    ("arc", (module Arc));
+  ]
+
+let test_cold_reposition_never_evicts () =
+  List.iter
+    (fun (name, (module P : Policy.S)) ->
+      let t = P.create ~capacity:3 in
+      ignore (P.insert t ~pos:Policy.Hot 1);
+      ignore (P.insert t ~pos:Policy.Hot 2);
+      ignore (P.insert t ~pos:Policy.Hot 3);
+      Alcotest.(check (option int)) (name ^ " reposition returns None") None
+        (P.insert t ~pos:Policy.Cold 2);
+      check_int (name ^ " size unchanged") 3 (P.size t);
+      check_bool (name ^ " still resident") true (P.mem t 2))
+    policy_modules
+
+let test_cold_reposition_demotes () =
+  (* Where the demotion itself is observable, pin the next victim: the
+     repositioned key becomes first to go everywhere it has an ordered
+     cold end (2q keeps it inside its current queue and random ignores
+     position entirely, so both are covered by the no-evict law above);
+     mru's victim end is the hot end, so its victim stays the newest key. *)
+  List.iter
+    (fun (name, (module P : Policy.S), expected) ->
+      let t = P.create ~capacity:3 in
+      ignore (P.insert t ~pos:Policy.Hot 1);
+      ignore (P.insert t ~pos:Policy.Hot 2);
+      ignore (P.insert t ~pos:Policy.Hot 3);
+      ignore (P.insert t ~pos:Policy.Cold 2);
+      Alcotest.(check (option int)) (name ^ " next victim") (Some expected) (P.evict t))
+    [
+      ("lru", (module Lru : Policy.S), 2);
+      ("lfu", (module Lfu : Policy.S), 2);
+      ("fifo", (module Fifo : Policy.S), 2);
+      ("clock", (module Clock : Policy.S), 2);
+      ("slru", (module Slru : Policy.S), 2);
+      ("mq", (module Mq : Policy.S), 2);
+      ("arc", (module Arc : Policy.S), 2);
+      ("mru", (module Mru : Policy.S), 3);
+    ]
+
 (* --- LRU specifics --------------------------------------------------- *)
 
 let test_lru_evicts_least_recent () =
@@ -564,6 +620,9 @@ let () =
           Alcotest.test_case "mem does not mutate" `Quick test_mem_does_not_mutate;
           Alcotest.test_case "invalid capacity" `Quick test_invalid_capacity;
           Alcotest.test_case "kind names roundtrip" `Quick test_kind_names_roundtrip;
+          Alcotest.test_case "cold reposition never evicts" `Quick
+            test_cold_reposition_never_evicts;
+          Alcotest.test_case "cold reposition demotes" `Quick test_cold_reposition_demotes;
         ] );
       ( "lru",
         [

@@ -436,9 +436,75 @@ let test_table_float_row () =
 
 (* --- qcheck properties ------------------------------------------------ *)
 
+exception Boom of int
+
 let qcheck_tests =
   let open QCheck in
   [
+    Test.make ~name:"Pool.map_array agrees with Array.map for any jobs" ~count:100
+      (pair (int_range 1 8) (list small_int))
+      (fun (jobs, xs) ->
+        let input = Array.of_list xs in
+        let f x = (x * 3) - 1 in
+        Pool.map_array ~jobs f input = Array.map f input);
+    Test.make ~name:"Pool.map rethrows the lowest failing index" ~count:100
+      (pair (int_range 1 8) (list bool))
+      (fun (jobs, flags) ->
+        (* any subset of elements may raise; the contract is that the
+           exception of the lowest-index failure is the one rethrown *)
+        let xs = List.mapi (fun i fail -> (i, fail)) flags in
+        let f (i, fail) = if fail then raise (Boom i) else i in
+        match List.find_opt snd xs with
+        | None -> Pool.map ~jobs f xs = List.map fst xs
+        | Some (first, _) -> (
+            match Pool.map ~jobs f xs with
+            | _ -> false
+            | exception Boom i -> i = first));
+    Test.make ~name:"Heap drain equals the sorted priority list" ~count:200
+      (list (pair small_int small_int))
+      (fun l ->
+        let h = Heap.create ~compare:Int.compare () in
+        List.iter (fun (p, v) -> Heap.push h p v) l;
+        let rec drain acc =
+          match Heap.pop h with Some (p, _) -> drain (p :: acc) | None -> List.rev acc
+        in
+        drain [] = List.sort compare (List.map fst l));
+    Test.make ~name:"Vec push/pop round-trips against a list model" ~count:200
+      (* [Some v] = push v, [None] = pop; the reference is a plain list
+         used as a stack, compared op-for-op and on the final contents *)
+      (list (option small_int))
+      (fun ops ->
+        let v = Vec.create () in
+        let model = ref [] in
+        List.for_all
+          (fun op ->
+            match op with
+            | Some x ->
+                Vec.push v x;
+                model := x :: !model;
+                true
+            | None -> (
+                match !model with
+                | [] -> Vec.pop v = None
+                | x :: rest ->
+                    model := rest;
+                    Vec.pop v = Some x))
+          ops
+        && Vec.to_list v = List.rev !model);
+    Test.make ~name:"Table.render is deterministic and contains every cell" ~count:100
+      (list (pair small_int small_int))
+      (fun rows ->
+        let build () =
+          let t = Table.create ~title:"t" ~columns:[ "x"; "y" ] in
+          List.iter (fun (a, b) -> Table.add_row t [ string_of_int a; string_of_int b ]) rows;
+          Table.render t
+        in
+        let rendered = build () in
+        rendered = build ()
+        && List.for_all
+             (fun (a, b) ->
+               contains rendered (string_of_int a) && contains rendered (string_of_int b))
+             rows);
     Test.make ~name:"Prng.int always within bound" ~count:500
       (pair small_int (int_range 1 1000))
       (fun (seed, bound) ->
