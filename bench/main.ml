@@ -10,11 +10,15 @@
      dune exec bench/main.exe all --quick     # reduced event counts
      dune exec bench/main.exe -- --jobs 4     # evaluate sweeps on 4 domains
      dune exec bench/main.exe -- --sweep      # time --jobs 1 vs --jobs N
+     dune exec bench/main.exe -- --obs        # also write BENCH_obs.json
 
    Output on stdout is deterministic (fixed seeds) apart from the
    micro-benchmark timings, and identical for every --jobs value. Every
    run also records wall-clock per section in BENCH_sweep.json; --sweep
-   additionally measures the speedup of --jobs N over --jobs 1. *)
+   additionally measures the speedup of --jobs N over --jobs 1; --obs
+   additionally profiles every section and fig3/4/5 sweep cell as spans
+   and writes them as Chrome trace_event JSON to BENCH_obs.json (open in
+   chrome://tracing or Perfetto). *)
 
 let settings ~quick ~jobs =
   let base =
@@ -23,6 +27,10 @@ let settings ~quick ~jobs =
   { base with Agg_sim.Experiment.jobs }
 
 let section title = Printf.printf "\n================ %s ================\n%!" title
+
+(* Set by --obs: fig3/4/5 then time each sweep cell, and every section
+   becomes a span, all exported to BENCH_obs.json. *)
+let profiler : Agg_obs.Span.recorder option ref = ref None
 
 (* --- figure sections -------------------------------------------------- *)
 
@@ -61,15 +69,15 @@ let run_workloads ~settings =
 
 let run_fig3 ~settings =
   section "Fig. 3 — client demand fetches vs cache capacity (per group size)";
-  Agg_sim.Experiment.print_figure (Agg_sim.Fig3.figure ~settings ())
+  Agg_sim.Experiment.print_figure (Agg_sim.Fig3.figure ?profiler:!profiler ~settings ())
 
 let run_fig4 ~settings =
   section "Fig. 4 — server hit rate behind an intervening client cache";
-  Agg_sim.Experiment.print_figure (Agg_sim.Fig4.figure ~settings ())
+  Agg_sim.Experiment.print_figure (Agg_sim.Fig4.figure ?profiler:!profiler ~settings ())
 
 let run_fig5 ~settings =
   section "Fig. 5 — successor-list replacement quality (oracle / LRU / LFU)";
-  Agg_sim.Experiment.print_figure (Agg_sim.Fig5.figure ~settings ())
+  Agg_sim.Experiment.print_figure (Agg_sim.Fig5.figure ?profiler:!profiler ~settings ())
 
 let run_fig7 ~settings =
   section "Fig. 7 — successor entropy vs successor sequence length";
@@ -346,10 +354,12 @@ let silently f =
       Unix.close saved)
     f
 
+(* All timing goes through the Obs.Span monotonic clock — ci.sh greps for
+   direct clock calls outside lib/obs. *)
 let timed f =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Agg_obs.Span.now_ns () in
   f ();
-  Unix.gettimeofday () -. t0
+  Agg_obs.Span.seconds_since t0
 
 (* --- main ------------------------------------------------------------------ *)
 
@@ -370,14 +380,19 @@ let sections =
   ]
 
 let usage () =
-  Printf.eprintf "usage: main.exe [SECTION...] [--quick] [--jobs N] [--sweep]\nsections: %s | all\n"
+  Printf.eprintf
+    "usage: main.exe [SECTION...] [--quick] [--jobs N] [--sweep] [--obs]\nsections: %s | all\n"
     (String.concat " | " (List.map fst sections));
   exit 2
+
+let obs_json_path = "BENCH_obs.json"
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let quick = List.mem "--quick" args in
   let sweep = List.mem "--sweep" args in
+  let obs = List.mem "--obs" args in
+  if obs then profiler := Some (Agg_obs.Span.recorder ());
   let rec parse_jobs = function
     | "--jobs" :: n :: _ -> (
         match int_of_string_opt n with Some n when n > 0 -> n | _ -> usage ())
@@ -387,16 +402,18 @@ let () =
   let jobs = parse_jobs args in
   let rec strip = function
     | "--jobs" :: _ :: rest -> strip rest
-    | flag :: rest when flag = "--quick" || flag = "--sweep" -> strip rest
+    | flag :: rest when flag = "--quick" || flag = "--sweep" || flag = "--obs" -> strip rest
     | arg :: rest -> arg :: strip rest
     | [] -> []
   in
   let wanted = strip args in
   let wanted = if wanted = [] || List.mem "all" wanted then List.map fst sections else wanted in
   let settings = settings ~quick ~jobs in
-  let run_section ~settings = function
-    | `Settings f -> f ~settings
-    | `Plain f -> f ()
+  let run_section ~name ~settings body =
+    let go () = match body with `Settings f -> f ~settings | `Plain f -> f () in
+    match !profiler with
+    | Some recorder -> Agg_obs.Span.record recorder ~cat:"section" name go
+    | None -> go ()
   in
   let timings =
     List.map
@@ -411,11 +428,13 @@ let () =
               let baseline =
                 timed (fun () ->
                     silently (fun () ->
-                        run_section ~settings:{ settings with Agg_sim.Experiment.jobs = 1 } body))
+                        run_section ~name
+                          ~settings:{ settings with Agg_sim.Experiment.jobs = 1 }
+                          body))
               in
               Agg_sim.Trace_store.reset ();
               let seconds =
-                timed (fun () -> silently (fun () -> run_section ~settings body))
+                timed (fun () -> silently (fun () -> run_section ~name ~settings body))
               in
               Printf.printf "%-10s  jobs=1  %7.2fs   jobs=%-3d %7.2fs   speedup %.2fx\n%!" name
                 baseline jobs seconds
@@ -423,9 +442,18 @@ let () =
               { name; seconds; baseline_seconds = Some baseline }
             end
             else begin
-              let seconds = timed (fun () -> run_section ~settings body) in
+              let seconds = timed (fun () -> run_section ~name ~settings body) in
               { name; seconds; baseline_seconds = None }
             end)
       wanted
   in
-  write_bench_json ~jobs ~quick ~settings timings
+  write_bench_json ~jobs ~quick ~settings timings;
+  match !profiler with
+  | None -> ()
+  | Some recorder ->
+      let oc = open_out obs_json_path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> Agg_obs.Span.write_chrome oc recorder);
+      Printf.printf "\nwrote %d spans to %s (Chrome trace_event format)\n"
+        (Agg_obs.Span.count recorder) obs_json_path

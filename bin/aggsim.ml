@@ -435,8 +435,201 @@ let profile_report_cmd =
     exit_ok
   in
   Cmd.v
-    (Cmd.info "profile" ~doc:"Per-file predictability report (the visualization-tool view).")
+    (Cmd.info "predictability" ~doc:"Per-file predictability report (the visualization-tool view).")
     Term.(const run $ input_arg $ profile_arg $ events_arg $ seed_arg $ top_arg)
+
+(* --- trace (event dump) ---------------------------------------------- *)
+
+(* Satisfies the CLI contract that a bad output path is a clean error
+   message and exit code, never an escaping [Sys_error]. *)
+let open_out_result path =
+  match open_out path with oc -> Ok oc | exception Sys_error msg -> Error msg
+
+let trace_cmd =
+  let out_arg =
+    Arg.(
+      value
+      & opt string "events.jsonl"
+      & info [ "o"; "out" ] ~docv:"FILE" ~doc:"JSONL output path.")
+  in
+  let capacity_arg =
+    Arg.(value & opt int 300 & info [ "capacity" ] ~docv:"N" ~doc:"Client cache capacity (files).")
+  in
+  let group_arg =
+    Arg.(value & opt int 5 & info [ "g"; "group-size" ] ~docv:"G" ~doc:"Retrieval group size.")
+  in
+  let run input profile events seed out capacity group_size =
+    let trace = load_trace input profile events seed in
+    match open_out_result out with
+    | Error msg ->
+        Printf.eprintf "aggsim: cannot write %s: %s\n" out msg;
+        1
+    | Ok oc ->
+        let config = Agg_core.Config.with_group_size group_size Agg_core.Config.default in
+        let sink = Agg_obs.Sink.jsonl oc in
+        let cache = Agg_core.Client_cache.create ~config ~obs:sink ~capacity () in
+        let m = Agg_core.Client_cache.run cache trace in
+        let written = Agg_obs.Sink.emitted sink in
+        Agg_obs.Sink.flush sink;
+        close_out oc;
+        (* Validate what actually hit the disk: parse every line back,
+           check the seq numbering, and reconcile the replayed digest
+           against the run's aggregate metrics. *)
+        let digest = Agg_obs.Digest.create () in
+        let parse_errors = ref 0 in
+        let lines = ref 0 in
+        let ic = open_in out in
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () ->
+            try
+              while true do
+                let line = input_line ic in
+                (match Agg_obs.Event.of_json line with
+                | Ok (seq, event) ->
+                    if seq <> !lines then begin
+                      Printf.eprintf "aggsim: %s:%d: seq %d, expected %d\n" out (!lines + 1) seq
+                        !lines;
+                      incr parse_errors
+                    end;
+                    Agg_obs.Digest.observe digest event
+                | Error e ->
+                    Printf.eprintf "aggsim: %s:%d: %s\n" out (!lines + 1) e;
+                    incr parse_errors);
+                incr lines
+              done
+            with End_of_file -> ());
+        Printf.printf "wrote %d events to %s\n" written out;
+        Format.printf "%a@." Agg_obs.Digest.pp digest;
+        if !parse_errors > 0 || !lines <> written then begin
+          Printf.eprintf "aggsim: JSONL validation failed: %d parse errors, %d/%d lines readable\n"
+            !parse_errors !lines written;
+          1
+        end
+        else begin
+          match Agg_core.Metrics.reconcile_client digest m with
+          | Ok () ->
+              Printf.printf "reconciliation OK: %d accesses = %d hits + %d demand fetches\n"
+                m.Agg_core.Metrics.accesses m.Agg_core.Metrics.hits
+                m.Agg_core.Metrics.demand_fetches;
+              exit_ok
+          | Error msg ->
+              Printf.eprintf "aggsim: reconciliation FAILED: %s\n" msg;
+              1
+        end
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Replay one client-cache run with the JSONL event sink: dump every decision event, then \
+          re-parse the file and reconcile the event counts against the run's metrics (non-zero \
+          exit on any mismatch).")
+    Term.(const run $ input_arg $ profile_arg $ events_arg $ seed_arg $ out_arg $ capacity_arg $ group_arg)
+
+(* --- profile (sweep timing + histograms) ------------------------------ *)
+
+let profile_cmd =
+  let trace_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:
+            "Also write the per-cell spans as Chrome trace_event JSON to $(docv) (open in \
+             chrome://tracing or Perfetto).")
+  in
+  let pp_hist name h =
+    let q q' = match Agg_obs.Histogram.quantile h q' with Some v -> string_of_int v | None -> "-" in
+    Printf.printf "  %-22s count=%-7d mean=%-8.1f p50=%-6s p90=%-6s p99=%-6s max=%s\n" name
+      (Agg_obs.Histogram.count h) (Agg_obs.Histogram.mean h) (q 0.5) (q 0.9) (q 0.99)
+      (match Agg_obs.Histogram.max_value h with Some v -> string_of_int v | None -> "-")
+  in
+  let run settings profile trace_out =
+    let recorder = Agg_obs.Span.recorder () in
+    ignore (Agg_sim.Fig3.figure ~profiler:recorder ~settings ());
+    ignore (Agg_sim.Fig4.figure ~profiler:recorder ~settings ());
+    ignore (Agg_sim.Fig5.figure ~profiler:recorder ~settings ());
+    let spans = Agg_obs.Span.spans recorder in
+    let figure_of (s : Agg_obs.Span.span) =
+      match String.index_opt s.Agg_obs.Span.name '/' with
+      | Some i -> String.sub s.Agg_obs.Span.name 0 i
+      | None -> s.Agg_obs.Span.name
+    in
+    let totals = Hashtbl.create 8 in
+    List.iter
+      (fun s ->
+        let key = figure_of s in
+        let sofar = Option.value ~default:(0.0, 0) (Hashtbl.find_opt totals key) in
+        Hashtbl.replace totals key (fst sofar +. Agg_obs.Span.seconds_of s, snd sofar + 1))
+      spans;
+    let table =
+      Agg_util.Table.create ~title:"sweep wall-clock by figure"
+        ~columns:[ "figure"; "cells"; "cpu seconds" ]
+    in
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) totals []
+    |> List.sort compare
+    |> List.iter (fun (k, (seconds, cells)) ->
+           Agg_util.Table.add_row table [ k; string_of_int cells; Printf.sprintf "%.3f" seconds ]);
+    Agg_util.Table.print table;
+    let slowest =
+      List.sort
+        (fun a b -> compare (Agg_obs.Span.seconds_of b) (Agg_obs.Span.seconds_of a))
+        spans
+    in
+    let table =
+      Agg_util.Table.create ~title:"slowest sweep cells" ~columns:[ "cell"; "ms"; "domain" ]
+    in
+    List.iteri
+      (fun i (s : Agg_obs.Span.span) ->
+        if i < 10 then
+          Agg_util.Table.add_row table
+            [
+              s.Agg_obs.Span.name;
+              Printf.sprintf "%.2f" (1000.0 *. Agg_obs.Span.seconds_of s);
+              string_of_int s.Agg_obs.Span.tid;
+            ])
+      slowest;
+    Agg_util.Table.print table;
+    (* One fully instrumented run for the headline histograms. *)
+    let sink = Agg_obs.Sink.memory () in
+    let cache = Agg_core.Client_cache.create ~obs:sink ~capacity:300 () in
+    let m = Agg_core.Client_cache.run cache (Agg_sim.Trace_store.get ~settings profile) in
+    let digest = Agg_obs.Digest.of_events (Agg_obs.Sink.events sink) in
+    Printf.printf "\ninstrumented run: %s workload, g5, capacity 300\n"
+      profile.Agg_workload.Profile.name;
+    Format.printf "  %a@." Agg_obs.Digest.pp digest;
+    pp_hist "speculative lifetime" (Agg_obs.Digest.lifetime digest);
+    pp_hist "hit depth" (Agg_obs.Digest.hit_depth digest);
+    pp_hist "group size" (Agg_obs.Digest.group_size digest);
+    let reconcile_exit =
+      match Agg_core.Metrics.reconcile_client digest m with
+      | Ok () -> exit_ok
+      | Error msg ->
+          Printf.eprintf "aggsim: reconciliation FAILED: %s\n" msg;
+          1
+    in
+    match trace_out with
+    | None -> reconcile_exit
+    | Some path -> (
+        match open_out_result path with
+        | Error msg ->
+            Printf.eprintf "aggsim: cannot write %s: %s\n" path msg;
+            1
+        | Ok oc ->
+            Fun.protect
+              ~finally:(fun () -> close_out oc)
+              (fun () -> Agg_obs.Span.write_chrome oc recorder);
+            Printf.printf "wrote %d spans to %s (Chrome trace_event format)\n"
+              (Agg_obs.Span.count recorder) path;
+            reconcile_exit)
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Profile the fig3/fig4/fig5 sweeps: wall-clock per sweep cell (optionally exported as a \
+          Chrome trace via $(b,--trace-out)) plus the event histograms — speculative-resident \
+          lifetime, stack distance at hits, group size — of one instrumented run.")
+    Term.(const run $ settings_term $ profile_arg $ trace_out_arg)
 
 (* --- main ------------------------------------------------------------ *)
 
@@ -465,4 +658,6 @@ let () =
             groups_cmd;
             convert_cmd;
             profile_report_cmd;
+            trace_cmd;
+            profile_cmd;
           ]))

@@ -28,6 +28,15 @@ if grep -rnE '(^|[^.A-Za-z_])(Stdlib\.)?Random\.(self_init|State|int|bits|bool|f
   exit 1
 fi
 
+# All clock access must flow through Agg_obs.Span (lib/obs): hot-path
+# modules reading wall-clock time directly could make simulation results
+# time-dependent and break run-to-run reproducibility.
+if grep -rnE 'Unix\.gettimeofday|Unix\.time\b|Sys\.time\b|Monotonic_clock\.' \
+    lib bin bench examples 2>/dev/null | grep -v '^lib/obs/'; then
+  echo "ci.sh: direct clock use found outside Agg_obs.Span (see matches above)" >&2
+  exit 1
+fi
+
 if [ "${1:-}" = "--fast" ]; then
   dune build @all
   dune build @runtest-fast
@@ -39,6 +48,11 @@ fi
 # Differential gate: every policy, successor scheme and system configuration
 # against its executable reference model; fixed seed, 10k ops per policy.
 dune build @differential
+
+# Observability gate: JSONL event-dump schema validation plus exact
+# reconciliation of event counts against Metrics aggregates, and the
+# sweep-profiler / Chrome-trace smoke run.
+dune build @obs
 
 # Optional larger fuzz budget for nightly-style runs.
 if [ -n "${DIFFERENTIAL_OPS:-}" ]; then

@@ -45,7 +45,12 @@ let pp_stats ppf s =
 
 type packed = Packed : (module Policy.S with type t = 'a) * 'a -> packed
 
-type t = { kind : kind; packed : packed; mutable stats : stats }
+type t = {
+  kind : kind;
+  packed : packed;
+  mutable stats : stats;
+  mutable on_evict : (int -> unit) option;
+}
 
 let make_packed kind ~capacity =
   match kind with
@@ -60,7 +65,16 @@ let make_packed kind ~capacity =
   | Twoq -> Packed ((module Twoq), Twoq.create ~capacity)
   | Arc -> Packed ((module Arc), Arc.create ~capacity)
 
-let create kind ~capacity = { kind; packed = make_packed kind ~capacity; stats = zero_stats }
+let create kind ~capacity =
+  { kind; packed = make_packed kind ~capacity; stats = zero_stats; on_evict = None }
+
+let set_on_evict t f = t.on_evict <- Some f
+let clear_on_evict t = t.on_evict <- None
+
+let notify_evict t victim =
+  match (t.on_evict, victim) with
+  | Some f, Some key -> f key
+  | None, _ | _, None -> ()
 
 let kind t = t.kind
 
@@ -78,7 +92,9 @@ let mem t key =
 
 let raw_insert t ~pos key =
   let (Packed ((module P), state)) = t.packed in
-  P.insert state ~pos key
+  let victim = P.insert state ~pos key in
+  notify_evict t victim;
+  victim
 
 let access t key =
   let (Packed ((module P), state)) = t.packed in
@@ -136,9 +152,13 @@ let insert_cold_group t keys =
   let need = P.size state + List.length admitted - P.capacity state in
   let evicted = ref 0 in
   for _ = 1 to need do
-    match P.evict state with Some _ -> incr evicted | None -> ()
+    match P.evict state with
+    | Some _ as victim ->
+        incr evicted;
+        notify_evict t victim
+    | None -> ()
   done;
-  List.iter (fun k -> ignore (P.insert state ~pos:Policy.Cold k)) admitted;
+  List.iter (fun k -> notify_evict t (P.insert state ~pos:Policy.Cold k)) admitted;
   let s = t.stats in
   let n = List.length admitted in
   t.stats <-
@@ -166,6 +186,17 @@ let insert_hot t key =
 let remove t key =
   let (Packed ((module P), state)) = t.packed in
   P.remove state key
+
+let depth t key =
+  let (Packed ((module P), state)) = t.packed in
+  if not (P.mem state key) then None
+  else
+    let rec scan i = function
+      | [] -> None
+      | k :: _ when k = key -> Some i
+      | _ :: rest -> scan (i + 1) rest
+    in
+    scan 0 (P.contents state)
 
 let contents t =
   let (Packed ((module P), state)) = t.packed in

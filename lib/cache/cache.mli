@@ -52,6 +52,20 @@ val insert_hot : t -> int -> unit
 
 val remove : t -> int -> unit
 val contents : t -> int list
+
+val depth : t -> int -> int option
+(** [depth t key] is [key]'s stack distance — its 0-based position from
+    the hot end of the policy's {!contents} order — or [None] when not
+    resident. O(size): an instrumentation probe (see [Agg_obs]), not a hot
+    path; does not touch statistics or recency state. *)
+
+val set_on_evict : t -> (int -> unit) -> unit
+(** [set_on_evict t f] calls [f victim] whenever an insertion or group
+    admission physically evicts a resident key (not on {!remove} or
+    {!clear}). One observer at a time; used by the instrumentation layer
+    to attribute evictions. Unset by default, at zero cost. *)
+
+val clear_on_evict : t -> unit
 val stats : t -> stats
 val hit_rate : t -> float
 (** Hits over accesses; [0.] before any access. *)

@@ -11,13 +11,13 @@ type t = {
   mutable trajectory : (int * int) list; (* newest first *)
 }
 
-let create ?(config = Config.default) ?(min_group = 1) ?(max_group = 10) ?(window = 200)
-    ?(raise_above = 0.55) ?(lower_below = 0.30) ~capacity () =
+let create ?(config = Config.default) ?(obs = Agg_obs.Sink.noop) ?(min_group = 1)
+    ?(max_group = 10) ?(window = 200) ?(raise_above = 0.55) ?(lower_below = 0.30) ~capacity () =
   if min_group <= 0 || max_group < min_group then
     invalid_arg "Adaptive_client.create: need 0 < min_group <= max_group";
   if window <= 0 then invalid_arg "Adaptive_client.create: window must be positive";
   let start = max min_group (min max_group config.Config.group_size) in
-  let cache = Client_cache.create ~config ~capacity () in
+  let cache = Client_cache.create ~config ~obs ~capacity () in
   Client_cache.set_group_size cache start;
   {
     cache;

@@ -13,6 +13,7 @@ type t
 
 val create :
   ?config:Config.t ->
+  ?obs:Agg_obs.Sink.t ->
   ?min_group:int ->
   ?max_group:int ->
   ?window:int ->
@@ -23,6 +24,7 @@ val create :
   t
 (** Defaults: groups adapt within [1, 10] starting from
     [config.group_size], window 200 demand fetches, thresholds 0.55/0.30.
+    [obs] is passed through to the underlying {!Client_cache} unchanged.
     @raise Invalid_argument on an empty or inverted group range. *)
 
 val access : t -> Agg_trace.File_id.t -> bool

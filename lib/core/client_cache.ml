@@ -1,12 +1,17 @@
 module Cache = Agg_cache.Cache
 module Tracker = Agg_successor.Tracker
+module Sink = Agg_obs.Sink
+module Event = Agg_obs.Event
 
 type t = {
   config : Config.t;
+  obs : Sink.t;
   mutable group_size : int;
   cache : Cache.t;
   tracker : Tracker.t;
   speculative : (int, unit) Hashtbl.t; (* prefetched residents not yet demanded *)
+  inserted_at : (int, int) Hashtbl.t; (* instrumentation only: access count at insertion *)
+  mutable last_observed : int; (* instrumentation only: predecessor file, -1 at start *)
   mutable accesses : int;
   mutable hits : int;
   mutable demand_fetches : int;
@@ -15,22 +20,41 @@ type t = {
   mutable prefetch_evicted_unused : int;
 }
 
-let create ?(config = Config.default) ~capacity () =
+(* Fired by the cache on every physical eviction — only installed when the
+   sink is enabled, so the uninstrumented path is exactly the old one. *)
+let on_evict t victim =
+  let speculative = Hashtbl.mem t.speculative victim in
+  let age_accesses =
+    match Hashtbl.find_opt t.inserted_at victim with
+    | Some at -> t.accesses - at
+    | None -> 0
+  in
+  Hashtbl.remove t.inserted_at victim;
+  Sink.emit t.obs (Event.Evicted { file = victim; speculative; age_accesses })
+
+let create ?(config = Config.default) ?(obs = Sink.noop) ~capacity () =
   Config.validate config;
-  {
-    config;
-    group_size = config.group_size;
-    cache = Cache.create config.cache_kind ~capacity;
-    tracker =
-      Tracker.create ~capacity:config.successor_capacity ~policy:config.metadata_policy ();
-    speculative = Hashtbl.create 64;
-    accesses = 0;
-    hits = 0;
-    demand_fetches = 0;
-    prefetch_issued = 0;
-    prefetch_used = 0;
-    prefetch_evicted_unused = 0;
-  }
+  let t =
+    {
+      config;
+      obs;
+      group_size = config.group_size;
+      cache = Cache.create config.cache_kind ~capacity;
+      tracker =
+        Tracker.create ~capacity:config.successor_capacity ~policy:config.metadata_policy ();
+      speculative = Hashtbl.create 64;
+      inserted_at = Hashtbl.create 64;
+      last_observed = -1;
+      accesses = 0;
+      hits = 0;
+      demand_fetches = 0;
+      prefetch_issued = 0;
+      prefetch_used = 0;
+      prefetch_evicted_unused = 0;
+    }
+  in
+  if Sink.enabled obs then Cache.set_on_evict t.cache (on_evict t);
+  t
 
 let config t = t.config
 let capacity t = Cache.capacity t.cache
@@ -42,7 +66,11 @@ let set_group_size t g =
 
 let mark_speculative t file =
   t.prefetch_issued <- t.prefetch_issued + 1;
-  Hashtbl.replace t.speculative file ()
+  Hashtbl.replace t.speculative file ();
+  if Sink.enabled t.obs then begin
+    Hashtbl.replace t.inserted_at file t.accesses;
+    Sink.emit t.obs (Event.Prefetch_issued { file })
+  end
 
 let insert_members t members =
   match t.config.member_position with
@@ -63,12 +91,30 @@ let access t file =
   (* Metadata first: the tracker sees the raw request sequence. *)
   Tracker.observe t.tracker file;
   t.accesses <- t.accesses + 1;
+  if Sink.enabled t.obs then begin
+    if t.last_observed >= 0 then
+      Sink.emit t.obs (Event.Successor_update { prev = t.last_observed; next = file });
+    t.last_observed <- file;
+    (* Hit/miss is announced before the cache mutates so the eviction
+       events a miss triggers follow their cause in the stream. *)
+    match Cache.depth t.cache file with
+    | Some depth -> Sink.emit t.obs (Event.Demand_hit { file; depth })
+    | None -> Sink.emit t.obs (Event.Demand_miss { file })
+  end;
   if Cache.access t.cache file then begin
     t.hits <- t.hits + 1;
     if Hashtbl.mem t.speculative file then begin
       (* First demand hit on a prefetched file: the speculation paid off. *)
       t.prefetch_used <- t.prefetch_used + 1;
-      Hashtbl.remove t.speculative file
+      Hashtbl.remove t.speculative file;
+      if Sink.enabled t.obs then begin
+        let lifetime =
+          match Hashtbl.find_opt t.inserted_at file with
+          | Some at -> t.accesses - at
+          | None -> 0
+        in
+        Sink.emit t.obs (Event.Prefetch_promoted { file; lifetime })
+      end
     end;
     true
   end
@@ -79,7 +125,8 @@ let access t file =
       Hashtbl.remove t.speculative file
     end;
     t.demand_fetches <- t.demand_fetches + 1;
-    (match Group_builder.build t.tracker ~group_size:t.group_size file with
+    if Sink.enabled t.obs then Hashtbl.replace t.inserted_at file t.accesses;
+    (match Group_builder.build ~obs:t.obs t.tracker ~group_size:t.group_size file with
     | _requested :: members -> insert_members t members
     | [] -> assert false (* build always returns the requested file *));
     false
@@ -104,3 +151,4 @@ let run t trace =
 
 let tracker t = t.tracker
 let resident t file = Cache.mem t.cache file
+let obs t = t.obs

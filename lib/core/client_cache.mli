@@ -12,8 +12,15 @@
 
 type t
 
-val create : ?config:Config.t -> capacity:int -> unit -> t
-(** @raise Invalid_argument on invalid capacity or configuration. *)
+val create : ?config:Config.t -> ?obs:Agg_obs.Sink.t -> capacity:int -> unit -> t
+(** @raise Invalid_argument on invalid capacity or configuration.
+
+    When [obs] is an enabled sink the client reports every decision to it:
+    [Successor_update] for each observed adjacency, [Demand_hit]/[Demand_miss]
+    (announced before the cache mutates, so the eviction events a miss
+    triggers follow their cause), [Prefetch_issued]/[Prefetch_promoted],
+    [Group_built] per miss and [Evicted] per physical eviction. The default
+    no-op sink adds one branch per access and allocates nothing. *)
 
 val config : t -> Config.t
 val capacity : t -> int
@@ -39,3 +46,6 @@ val run : t -> Agg_trace.Trace.t -> Metrics.client
 val metrics : t -> Metrics.client
 val tracker : t -> Agg_successor.Tracker.t
 val resident : t -> Agg_trace.File_id.t -> bool
+
+val obs : t -> Agg_obs.Sink.t
+(** The sink given at {!create} (the no-op sink by default). *)

@@ -54,7 +54,7 @@ let transitive tracker ~want file =
   extend file;
   List.rev !members
 
-let build tracker ~group_size file =
+let build ?(obs = Agg_obs.Sink.noop) tracker ~group_size file =
   if group_size <= 0 then invalid_arg "Group_builder.build: group_size must be positive";
   let want = group_size - 1 in
   let members =
@@ -62,4 +62,7 @@ let build tracker ~group_size file =
     else if group_size <= 3 then immediate tracker ~want file
     else transitive tracker ~want file
   in
+  if Agg_obs.Sink.enabled obs then
+    Agg_obs.Sink.emit obs
+      (Agg_obs.Event.Group_built { anchor = file; size = 1 + List.length members });
   file :: members

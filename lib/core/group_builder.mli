@@ -7,11 +7,14 @@
     best effort, never a guarantee. *)
 
 val build :
+  ?obs:Agg_obs.Sink.t ->
   Agg_successor.Tracker.t ->
   group_size:int ->
   Agg_trace.File_id.t ->
   Agg_trace.File_id.t list
 (** [build tracker ~group_size file] is the retrieval group for [file]:
     [file] first, then up to [group_size - 1] distinct predicted files
-    (never [file] itself, no duplicates).
+    (never [file] itself, no duplicates). When [obs] is an enabled sink, a
+    [Group_built] event is emitted per call (the default no-op sink costs
+    one branch).
     @raise Invalid_argument when [group_size <= 0]. *)

@@ -33,3 +33,44 @@ let pp_server ppf s =
     s.client_accesses s.server_requests s.server_hits
     (100.0 *. server_hit_rate s)
     s.store_fetches pp_prefetch s.prefetch
+
+(* --- event-stream reconciliation ----------------------------------------- *)
+
+let check_all pairs =
+  let mismatches =
+    List.filter_map
+      (fun (label, expected, actual) ->
+        if expected = actual then None
+        else Some (Printf.sprintf "%s: metrics %d vs events %d" label expected actual))
+      pairs
+  in
+  match mismatches with [] -> Ok () | ms -> Error (String.concat "; " ms)
+
+let reconcile_client digest c =
+  check_all
+    [
+      ("accesses", c.accesses, Agg_obs.Digest.accesses digest);
+      ("hits", c.hits, Agg_obs.Digest.demand_hits digest);
+      ("demand_fetches", c.demand_fetches, Agg_obs.Digest.demand_misses digest);
+      ("prefetch.issued", c.prefetch.issued, Agg_obs.Digest.prefetch_issued digest);
+      ("prefetch.used", c.prefetch.used, Agg_obs.Digest.prefetch_promoted digest);
+      ( "prefetch.evicted_unused",
+        c.prefetch.evicted_unused,
+        Agg_obs.Digest.evicted_unused digest );
+      ("groups = demand_fetches", c.demand_fetches, Agg_obs.Digest.groups_built digest);
+    ]
+
+let reconcile_server digest s =
+  check_all
+    [
+      ("server_requests", s.server_requests, Agg_obs.Digest.accesses digest);
+      ("server_hits", s.server_hits, Agg_obs.Digest.demand_hits digest);
+      ( "store_fetches",
+        s.store_fetches,
+        Agg_obs.Digest.demand_misses digest + Agg_obs.Digest.prefetch_issued digest );
+      ("prefetch.issued", s.prefetch.issued, Agg_obs.Digest.prefetch_issued digest);
+      ("prefetch.used", s.prefetch.used, Agg_obs.Digest.prefetch_promoted digest);
+      ( "prefetch.evicted_unused",
+        s.prefetch.evicted_unused,
+        Agg_obs.Digest.evicted_unused digest );
+    ]

@@ -32,3 +32,14 @@ val server_hit_rate : server -> float
 (** Server hits over requests that reached the server — the Fig. 4 metric. *)
 
 val pp_server : Format.formatter -> server -> unit
+
+val reconcile_client : Agg_obs.Digest.t -> client -> (unit, string) result
+(** [reconcile_client digest c] checks that the per-event counts of a
+    run's digest agree exactly with its aggregate metrics — hits, misses
+    (= groups built), accesses, and all three prefetch counters — and
+    names every mismatching field otherwise. The [aggsim trace] verb and
+    the @obs CI gate fail on [Error]. *)
+
+val reconcile_server : Agg_obs.Digest.t -> server -> (unit, string) result
+(** Server-side counterpart: server requests/hits, store fetches
+    (= misses + issued prefetches) and the prefetch counters. *)

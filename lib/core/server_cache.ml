@@ -1,15 +1,20 @@
 module Cache = Agg_cache.Cache
 module Tracker = Agg_successor.Tracker
+module Sink = Agg_obs.Sink
+module Event = Agg_obs.Event
 
 type scheme = Plain of Agg_cache.Cache.kind | Aggregating of Config.t
 
 type t = {
   scheme : scheme;
   cooperative : bool;
+  obs : Sink.t;
   client : Cache.t;
   server : Cache.t;
   tracker : Tracker.t option; (* present only for the aggregating scheme *)
   speculative : (int, unit) Hashtbl.t;
+  inserted_at : (int, int) Hashtbl.t; (* instrumentation only: request count at insertion *)
+  mutable last_observed : int; (* instrumentation only: predecessor file, -1 at start *)
   mutable client_accesses : int;
   mutable server_requests : int;
   mutable server_hits : int;
@@ -19,7 +24,18 @@ type t = {
   mutable prefetch_evicted_unused : int;
 }
 
-let create ?(cooperative = false) ~filter_kind ~filter_capacity ~server_capacity ~scheme () =
+let on_evict t victim =
+  let speculative = Hashtbl.mem t.speculative victim in
+  let age_accesses =
+    match Hashtbl.find_opt t.inserted_at victim with
+    | Some at -> t.server_requests - at
+    | None -> 0
+  in
+  Hashtbl.remove t.inserted_at victim;
+  Sink.emit t.obs (Event.Evicted { file = victim; speculative; age_accesses })
+
+let create ?(cooperative = false) ?(obs = Sink.noop) ~filter_kind ~filter_capacity
+    ~server_capacity ~scheme () =
   let server_kind, tracker =
     match scheme with
     | Plain kind -> (kind, None)
@@ -29,28 +45,46 @@ let create ?(cooperative = false) ~filter_kind ~filter_capacity ~server_capacity
           Some (Tracker.create ~capacity:config.successor_capacity ~policy:config.metadata_policy ())
         )
   in
-  {
-    scheme;
-    cooperative;
-    client = Cache.create filter_kind ~capacity:filter_capacity;
-    server = Cache.create server_kind ~capacity:server_capacity;
-    tracker;
-    speculative = Hashtbl.create 64;
-    client_accesses = 0;
-    server_requests = 0;
-    server_hits = 0;
-    store_fetches = 0;
-    prefetch_issued = 0;
-    prefetch_used = 0;
-    prefetch_evicted_unused = 0;
-  }
+  let t =
+    {
+      scheme;
+      cooperative;
+      obs;
+      client = Cache.create filter_kind ~capacity:filter_capacity;
+      server = Cache.create server_kind ~capacity:server_capacity;
+      tracker;
+      speculative = Hashtbl.create 64;
+      inserted_at = Hashtbl.create 64;
+      last_observed = -1;
+      client_accesses = 0;
+      server_requests = 0;
+      server_hits = 0;
+      store_fetches = 0;
+      prefetch_issued = 0;
+      prefetch_used = 0;
+      prefetch_evicted_unused = 0;
+    }
+  in
+  if Sink.enabled obs then Cache.set_on_evict t.server (on_evict t);
+  t
 
 type outcome = Client_hit | Server_hit | Server_miss
+
+(* Shared by both metadata paths: report the adjacency the tracker just
+   learned. Only called when the sink is enabled. *)
+let note_observation t file =
+  if t.last_observed >= 0 then
+    Sink.emit t.obs (Event.Successor_update { prev = t.last_observed; next = file });
+  t.last_observed <- file
 
 let mark_speculative t file =
   t.store_fetches <- t.store_fetches + 1;
   t.prefetch_issued <- t.prefetch_issued + 1;
-  Hashtbl.replace t.speculative file ()
+  Hashtbl.replace t.speculative file ();
+  if Sink.enabled t.obs then begin
+    Hashtbl.replace t.inserted_at file t.server_requests;
+    Sink.emit t.obs (Event.Prefetch_issued { file })
+  end
 
 let insert_members t config members =
   match config.Config.member_position with
@@ -70,13 +104,28 @@ let serve t file =
   t.server_requests <- t.server_requests + 1;
   (* Non-cooperative servers learn from what they can see: the misses. *)
   (match (t.tracker, t.cooperative) with
-  | Some tracker, false -> Tracker.observe tracker file
+  | Some tracker, false ->
+      Tracker.observe tracker file;
+      if Sink.enabled t.obs then note_observation t file
   | Some _, true | None, _ -> ());
+  if Sink.enabled t.obs then begin
+    match Cache.depth t.server file with
+    | Some depth -> Sink.emit t.obs (Event.Demand_hit { file; depth })
+    | None -> Sink.emit t.obs (Event.Demand_miss { file })
+  end;
   if Cache.access t.server file then begin
     t.server_hits <- t.server_hits + 1;
     if Hashtbl.mem t.speculative file then begin
       t.prefetch_used <- t.prefetch_used + 1;
-      Hashtbl.remove t.speculative file
+      Hashtbl.remove t.speculative file;
+      if Sink.enabled t.obs then begin
+        let lifetime =
+          match Hashtbl.find_opt t.inserted_at file with
+          | Some at -> t.server_requests - at
+          | None -> 0
+        in
+        Sink.emit t.obs (Event.Prefetch_promoted { file; lifetime })
+      end
     end;
     Server_hit
   end
@@ -86,9 +135,10 @@ let serve t file =
       Hashtbl.remove t.speculative file
     end;
     t.store_fetches <- t.store_fetches + 1;
+    if Sink.enabled t.obs then Hashtbl.replace t.inserted_at file t.server_requests;
     (match (t.scheme, t.tracker) with
     | Aggregating config, Some tracker -> (
-        match Group_builder.build tracker ~group_size:config.group_size file with
+        match Group_builder.build ~obs:t.obs tracker ~group_size:config.group_size file with
         | _requested :: members -> insert_members t config members
         | [] -> assert false)
     | Plain _, _ -> ()
@@ -101,7 +151,9 @@ let access t file =
   (* Cooperative clients piggy-back every access to the server's metadata,
      even the ones their own cache absorbs. *)
   (match (t.tracker, t.cooperative) with
-  | Some tracker, true -> Tracker.observe tracker file
+  | Some tracker, true ->
+      Tracker.observe tracker file;
+      if Sink.enabled t.obs then note_observation t file
   | Some _, false | None, _ -> ());
   if Cache.access t.client file then Client_hit else serve t file
 

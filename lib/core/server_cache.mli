@@ -21,12 +21,22 @@ type t
 
 val create :
   ?cooperative:bool ->
+  ?obs:Agg_obs.Sink.t ->
   filter_kind:Agg_cache.Cache.kind ->
   filter_capacity:int ->
   server_capacity:int ->
   scheme:scheme ->
   unit ->
   t
+(** When [obs] is an enabled sink the *server-side* decisions are
+    reported to it: [Demand_hit]/[Demand_miss] for each request reaching
+    the server (announced before the server cache mutates),
+    [Successor_update] for each adjacency the tracker learns (the filtered
+    miss stream, or the full sequence when [cooperative]),
+    [Prefetch_issued]/[Prefetch_promoted], [Group_built] per server miss
+    and [Evicted] per physical server-cache eviction. Client filter hits
+    emit nothing — the sink sees what the server sees. The default no-op
+    sink adds one branch per request and allocates nothing. *)
 
 type outcome = Client_hit | Server_hit | Server_miss
 

@@ -1,0 +1,13 @@
+type t = { mutable count : int }
+
+let create () = { count = 0 }
+let incr t = t.count <- t.count + 1
+
+let add t n =
+  if n < 0 then invalid_arg "Counter.add: negative increment";
+  t.count <- t.count + n
+
+let value t = t.count
+let reset t = t.count <- 0
+let merge a b = { count = a.count + b.count }
+let pp ppf t = Format.pp_print_int ppf t.count

@@ -1,0 +1,30 @@
+(** A monotonically increasing event counter.
+
+    Counters are deliberately dumb — one mutable cell — so incrementing on
+    a hot path costs a single store. They become interesting through
+    {!merge}: per-domain counters accumulated inside [Agg_util.Pool]
+    workers can be combined after the sweep, and merging is associative
+    and commutative with {!create} as the identity (pinned by qcheck
+    properties in [test/test_obs.ml]). *)
+
+type t
+
+val create : unit -> t
+(** A fresh counter at zero. *)
+
+val incr : t -> unit
+(** Adds one. *)
+
+val add : t -> int -> unit
+(** [add t n] adds [n]. @raise Invalid_argument when [n] is negative. *)
+
+val value : t -> int
+
+val reset : t -> unit
+(** Back to zero. *)
+
+val merge : t -> t -> t
+(** [merge a b] is a fresh counter holding [value a + value b]; the
+    arguments are not mutated. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,109 @@
+type t = {
+  demand_hits : Counter.t;
+  demand_misses : Counter.t;
+  prefetch_issued : Counter.t;
+  prefetch_promoted : Counter.t;
+  evicted_speculative : Counter.t;
+  evicted_demand : Counter.t;
+  evicted_unused : Counter.t;
+  groups_built : Counter.t;
+  successor_updates : Counter.t;
+  lifetime : Histogram.t;
+  hit_depth : Histogram.t;
+  group_size : Histogram.t;
+  (* Mirror of the simulator's speculative-resident table, rebuilt from
+     the stream: a file is marked from Prefetch_issued until it is
+     promoted or its eviction is discovered by the next demand miss. *)
+  marked : (int, unit) Hashtbl.t;
+}
+
+let create () =
+  {
+    demand_hits = Counter.create ();
+    demand_misses = Counter.create ();
+    prefetch_issued = Counter.create ();
+    prefetch_promoted = Counter.create ();
+    evicted_speculative = Counter.create ();
+    evicted_demand = Counter.create ();
+    evicted_unused = Counter.create ();
+    groups_built = Counter.create ();
+    successor_updates = Counter.create ();
+    lifetime = Histogram.create ();
+    hit_depth = Histogram.create ();
+    group_size = Histogram.create ();
+    marked = Hashtbl.create 64;
+  }
+
+let observe t (event : Event.t) =
+  match event with
+  | Demand_hit { depth; _ } ->
+      Counter.incr t.demand_hits;
+      Histogram.add t.hit_depth depth
+  | Demand_miss { file } ->
+      Counter.incr t.demand_misses;
+      (* The simulator discovers a wasted prefetch lazily: the next demand
+         miss on a still-marked file means it was evicted before use. *)
+      if Hashtbl.mem t.marked file then begin
+        Counter.incr t.evicted_unused;
+        Hashtbl.remove t.marked file
+      end
+  | Prefetch_issued { file } ->
+      Counter.incr t.prefetch_issued;
+      Hashtbl.replace t.marked file ()
+  | Prefetch_promoted { file; lifetime } ->
+      Counter.incr t.prefetch_promoted;
+      Hashtbl.remove t.marked file;
+      Histogram.add t.lifetime lifetime
+  | Evicted { speculative; age_accesses; _ } ->
+      if speculative then begin
+        Counter.incr t.evicted_speculative;
+        Histogram.add t.lifetime age_accesses
+      end
+      else Counter.incr t.evicted_demand
+  | Group_built { size; _ } ->
+      Counter.incr t.groups_built;
+      Histogram.add t.group_size size
+
+  | Successor_update _ -> Counter.incr t.successor_updates
+
+let of_events events =
+  let t = create () in
+  List.iter (observe t) events;
+  t
+
+let merge a b =
+  {
+    demand_hits = Counter.merge a.demand_hits b.demand_hits;
+    demand_misses = Counter.merge a.demand_misses b.demand_misses;
+    prefetch_issued = Counter.merge a.prefetch_issued b.prefetch_issued;
+    prefetch_promoted = Counter.merge a.prefetch_promoted b.prefetch_promoted;
+    evicted_speculative = Counter.merge a.evicted_speculative b.evicted_speculative;
+    evicted_demand = Counter.merge a.evicted_demand b.evicted_demand;
+    evicted_unused = Counter.merge a.evicted_unused b.evicted_unused;
+    groups_built = Counter.merge a.groups_built b.groups_built;
+    successor_updates = Counter.merge a.successor_updates b.successor_updates;
+    lifetime = Histogram.merge a.lifetime b.lifetime;
+    hit_depth = Histogram.merge a.hit_depth b.hit_depth;
+    group_size = Histogram.merge a.group_size b.group_size;
+    marked = Hashtbl.create 64;
+  }
+
+let demand_hits t = Counter.value t.demand_hits
+let demand_misses t = Counter.value t.demand_misses
+let accesses t = demand_hits t + demand_misses t
+let prefetch_issued t = Counter.value t.prefetch_issued
+let prefetch_promoted t = Counter.value t.prefetch_promoted
+let evicted_speculative t = Counter.value t.evicted_speculative
+let evicted_demand t = Counter.value t.evicted_demand
+let evicted_unused t = Counter.value t.evicted_unused
+let groups_built t = Counter.value t.groups_built
+let successor_updates t = Counter.value t.successor_updates
+let lifetime t = t.lifetime
+let hit_depth t = t.hit_depth
+let group_size t = t.group_size
+
+let pp ppf t =
+  Format.fprintf ppf
+    "hits=%d misses=%d issued=%d promoted=%d evicted_unused=%d groups=%d succ_updates=%d"
+    (demand_hits t) (demand_misses t) (prefetch_issued t) (prefetch_promoted t) (evicted_unused t)
+    (groups_built t) (successor_updates t)

@@ -1,0 +1,55 @@
+(** Per-run observability products derived from an event stream.
+
+    A digest folds {!Event.t}s into counters and the three headline
+    histograms of the instrumentation layer — speculative-resident
+    lifetime, stack distance at demand hits, and built group size. It also
+    replays the simulator's lazy wasted-prefetch detection (a demand miss
+    on a file whose prefetch was never promoted), so {!evicted_unused}
+    reconciles *exactly* with [Agg_core.Metrics] aggregates: see
+    [Agg_core.Metrics.reconcile_client]. *)
+
+type t
+
+val create : unit -> t
+val observe : t -> Event.t -> unit
+(** Folds one event, in stream order — the replayed [evicted_unused]
+    counter is order-sensitive. *)
+
+val of_events : Event.t list -> t
+
+val merge : t -> t -> t
+(** Combines counters and histograms of two *completed* runs (e.g. sweep
+    cells); the replay state is not merged, so do not [observe] further
+    events on the result. *)
+
+val demand_hits : t -> int
+val demand_misses : t -> int
+val accesses : t -> int
+(** [demand_hits + demand_misses]. *)
+
+val prefetch_issued : t -> int
+val prefetch_promoted : t -> int
+
+val evicted_speculative : t -> int
+(** Physical evictions of still-unpromoted prefetches (eager count). *)
+
+val evicted_demand : t -> int
+(** Physical evictions of demand-earned residents. *)
+
+val evicted_unused : t -> int
+(** Wasted prefetches as the simulator counts them: detected at the next
+    demand miss on the evicted file. Always [<= evicted_speculative]. *)
+
+val groups_built : t -> int
+val successor_updates : t -> int
+
+val lifetime : t -> Histogram.t
+(** Accesses from prefetch issue to promotion or physical eviction. *)
+
+val hit_depth : t -> Histogram.t
+(** Stack distance at each demand hit. *)
+
+val group_size : t -> Histogram.t
+(** Size (anchor included) of each built group. *)
+
+val pp : Format.formatter -> t -> unit

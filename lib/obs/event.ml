@@ -1,0 +1,135 @@
+type t =
+  | Demand_hit of { file : int; depth : int }
+  | Demand_miss of { file : int }
+  | Prefetch_issued of { file : int }
+  | Prefetch_promoted of { file : int; lifetime : int }
+  | Evicted of { file : int; speculative : bool; age_accesses : int }
+  | Group_built of { anchor : int; size : int }
+  | Successor_update of { prev : int; next : int }
+
+let name = function
+  | Demand_hit _ -> "demand_hit"
+  | Demand_miss _ -> "demand_miss"
+  | Prefetch_issued _ -> "prefetch_issued"
+  | Prefetch_promoted _ -> "prefetch_promoted"
+  | Evicted _ -> "evicted"
+  | Group_built _ -> "group_built"
+  | Successor_update _ -> "successor_update"
+
+let to_json ~seq t =
+  match t with
+  | Demand_hit { file; depth } ->
+      Printf.sprintf {|{"seq":%d,"ev":"demand_hit","file":%d,"depth":%d}|} seq file depth
+  | Demand_miss { file } -> Printf.sprintf {|{"seq":%d,"ev":"demand_miss","file":%d}|} seq file
+  | Prefetch_issued { file } ->
+      Printf.sprintf {|{"seq":%d,"ev":"prefetch_issued","file":%d}|} seq file
+  | Prefetch_promoted { file; lifetime } ->
+      Printf.sprintf {|{"seq":%d,"ev":"prefetch_promoted","file":%d,"lifetime":%d}|} seq file
+        lifetime
+  | Evicted { file; speculative; age_accesses } ->
+      Printf.sprintf {|{"seq":%d,"ev":"evicted","file":%d,"speculative":%b,"age":%d}|} seq file
+        speculative age_accesses
+  | Group_built { anchor; size } ->
+      Printf.sprintf {|{"seq":%d,"ev":"group_built","anchor":%d,"size":%d}|} seq anchor size
+  | Successor_update { prev; next } ->
+      Printf.sprintf {|{"seq":%d,"ev":"successor_update","prev":%d,"next":%d}|} seq prev next
+
+(* Strict parser for exactly the lines [to_json] produces: one flat JSON
+   object, string values only for "ev", int or bool values elsewhere, no
+   whitespace variance required (but tolerated around separators). *)
+
+let parse_fields line =
+  let line = String.trim line in
+  let n = String.length line in
+  if n < 2 || line.[0] <> '{' || line.[n - 1] <> '}' then Error "not a JSON object"
+  else
+    let body = String.sub line 1 (n - 2) in
+    let parts = String.split_on_char ',' body in
+    let parse_field part =
+      match String.index_opt part ':' with
+      | None -> Error (Printf.sprintf "field %S has no colon" part)
+      | Some i ->
+          let key = String.trim (String.sub part 0 i) in
+          let value = String.trim (String.sub part (i + 1) (String.length part - i - 1)) in
+          let kn = String.length key in
+          if kn < 2 || key.[0] <> '"' || key.[kn - 1] <> '"' then
+            Error (Printf.sprintf "unquoted key %S" key)
+          else Ok (String.sub key 1 (kn - 2), value)
+    in
+    List.fold_left
+      (fun acc part ->
+        match (acc, parse_field part) with
+        | Error e, _ -> Error e
+        | _, Error e -> Error e
+        | Ok fields, Ok kv -> Ok (kv :: fields))
+      (Ok []) parts
+    |> Result.map List.rev
+
+let field fields key =
+  match List.assoc_opt key fields with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "missing field %S" key)
+
+let int_field fields key =
+  Result.bind (field fields key) (fun v ->
+      match int_of_string_opt v with
+      | Some i -> Ok i
+      | None -> Error (Printf.sprintf "field %S is not an int: %S" key v))
+
+let bool_field fields key =
+  Result.bind (field fields key) (fun v ->
+      match bool_of_string_opt v with
+      | Some b -> Ok b
+      | None -> Error (Printf.sprintf "field %S is not a bool: %S" key v))
+
+let ( let* ) = Result.bind
+
+let of_json line =
+  let* fields = parse_fields line in
+  let* seq = int_field fields "seq" in
+  let* ev = field fields "ev" in
+  let expect_fields n =
+    if List.length fields = n then Ok ()
+    else Error (Printf.sprintf "expected %d fields for %s, got %d" n ev (List.length fields))
+  in
+  let* event =
+    match ev with
+    | {|"demand_hit"|} ->
+        let* () = expect_fields 4 in
+        let* file = int_field fields "file" in
+        let* depth = int_field fields "depth" in
+        Ok (Demand_hit { file; depth })
+    | {|"demand_miss"|} ->
+        let* () = expect_fields 3 in
+        let* file = int_field fields "file" in
+        Ok (Demand_miss { file })
+    | {|"prefetch_issued"|} ->
+        let* () = expect_fields 3 in
+        let* file = int_field fields "file" in
+        Ok (Prefetch_issued { file })
+    | {|"prefetch_promoted"|} ->
+        let* () = expect_fields 4 in
+        let* file = int_field fields "file" in
+        let* lifetime = int_field fields "lifetime" in
+        Ok (Prefetch_promoted { file; lifetime })
+    | {|"evicted"|} ->
+        let* () = expect_fields 5 in
+        let* file = int_field fields "file" in
+        let* speculative = bool_field fields "speculative" in
+        let* age_accesses = int_field fields "age" in
+        Ok (Evicted { file; speculative; age_accesses })
+    | {|"group_built"|} ->
+        let* () = expect_fields 4 in
+        let* anchor = int_field fields "anchor" in
+        let* size = int_field fields "size" in
+        Ok (Group_built { anchor; size })
+    | {|"successor_update"|} ->
+        let* () = expect_fields 4 in
+        let* prev = int_field fields "prev" in
+        let* next = int_field fields "next" in
+        Ok (Successor_update { prev; next })
+    | other -> Error (Printf.sprintf "unknown event type %s" other)
+  in
+  Ok (seq, event)
+
+let pp ppf t = Format.pp_print_string ppf (to_json ~seq:0 t)

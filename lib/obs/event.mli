@@ -1,0 +1,43 @@
+(** The typed event vocabulary of the instrumentation layer.
+
+    One constructor per interesting state transition in the aggregating
+    cache's life cycle. File identifiers are plain ints (this library sits
+    in the util layer and cannot see [Agg_trace.File_id]); counts such as
+    [depth], [lifetime] and [age_accesses] are measured in *accesses*, the
+    simulator's only clock, so event streams are bit-reproducible across
+    runs and [--jobs] values. *)
+
+type t =
+  | Demand_hit of { file : int; depth : int }
+      (** A demand access found [file] resident; [depth] is its stack
+          distance (position from the hot end, 0-based) at the moment of
+          the hit. *)
+  | Demand_miss of { file : int }  (** A demand access missed. *)
+  | Prefetch_issued of { file : int }
+      (** [file] was inserted speculatively as a group member. *)
+  | Prefetch_promoted of { file : int; lifetime : int }
+      (** A speculative resident received its first demand hit, [lifetime]
+          accesses after it was issued. *)
+  | Evicted of { file : int; speculative : bool; age_accesses : int }
+      (** [file] was physically evicted, [age_accesses] accesses after its
+          insertion; [speculative] when it was still an unpromoted
+          prefetch. *)
+  | Group_built of { anchor : int; size : int }
+      (** The group builder assembled a group of [size] files (anchor
+          included) for the missed [anchor]. *)
+  | Successor_update of { prev : int; next : int }
+      (** The successor tracker observed [next] following [prev]. *)
+
+val name : t -> string
+(** The JSONL ["ev"] tag, e.g. ["demand_hit"]. *)
+
+val to_json : seq:int -> t -> string
+(** One flat JSON object (no trailing newline); [seq] is the event's
+    position in its stream. *)
+
+val of_json : string -> (int * t, string) result
+(** Strict inverse of {!to_json}: parses one line back into [(seq, event)]
+    or explains why it is malformed. Used by the JSONL schema validation
+    gate. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,30 @@
+type t =
+  | Noop
+  | Memory of Event.t Agg_util.Vec.t
+  | Jsonl of { oc : out_channel; mutable seq : int }
+
+let noop = Noop
+let memory () = Memory (Agg_util.Vec.create ())
+let jsonl oc = Jsonl { oc; seq = 0 }
+
+let enabled = function Noop -> false | Memory _ | Jsonl _ -> true
+
+let emit t event =
+  match t with
+  | Noop -> ()
+  | Memory vec -> Agg_util.Vec.push vec event
+  | Jsonl j ->
+      output_string j.oc (Event.to_json ~seq:j.seq event);
+      output_char j.oc '\n';
+      j.seq <- j.seq + 1
+
+let events = function
+  | Noop | Jsonl _ -> []
+  | Memory vec -> Agg_util.Vec.to_list vec
+
+let emitted = function
+  | Noop -> 0
+  | Memory vec -> Agg_util.Vec.length vec
+  | Jsonl j -> j.seq
+
+let flush = function Noop | Memory _ -> () | Jsonl j -> Stdlib.flush j.oc

@@ -1,0 +1,41 @@
+(** Pluggable event sinks.
+
+    Instrumented code holds a sink and reports {!Event.t}s to it. Three
+    implementations:
+
+    - {!noop} — drops everything. This is the default everywhere, and the
+      contract is strict: emitting code must guard event construction with
+      {!enabled} so the disabled hot path allocates nothing and simulation
+      outputs stay byte-identical to an uninstrumented build.
+    - {!memory} — appends to an in-memory vector, for tests and for
+      deriving {!Digest} histograms after a run.
+    - {!jsonl} — writes one {!Event.to_json} line per event to a channel,
+      stamping consecutive [seq] numbers from 0.
+
+    Sinks are single-domain: a sweep gives each cell its own sink rather
+    than sharing one across [Agg_util.Pool] workers (which also keeps
+    per-cell event sequences deterministic for any [--jobs] value). *)
+
+type t
+
+val noop : t
+val memory : unit -> t
+val jsonl : out_channel -> t
+
+val enabled : t -> bool
+(** [false] only for {!noop}. Emitters must check this before building an
+    event value, so the no-op path costs one branch and zero allocation:
+    [if Sink.enabled obs then Sink.emit obs (Demand_miss { file })]. *)
+
+val emit : t -> Event.t -> unit
+(** Records [event]; a no-op on {!noop}. *)
+
+val events : t -> Event.t list
+(** Everything a {!memory} sink recorded, in emission order; [[]] for the
+    other sinks. *)
+
+val emitted : t -> int
+(** Events recorded ({!memory}) or written ({!jsonl}); 0 for {!noop}. *)
+
+val flush : t -> unit
+(** Flushes the underlying channel of a {!jsonl} sink; no-op otherwise. *)

@@ -1,0 +1,76 @@
+(* The monotonic clock lives behind this module so simulation code never
+   reads time directly — ci.sh greps for stray clock calls. The clock
+   itself is bechamel's CLOCK_MONOTONIC stub (nanoseconds, no
+   allocation). *)
+
+let now_ns () = Monotonic_clock.now ()
+
+let seconds_since start_ns = Int64.to_float (Int64.sub (now_ns ()) start_ns) /. 1e9
+
+type span = { name : string; cat : string; start_ns : int64; dur_ns : int64; tid : int }
+
+type recorder = {
+  origin_ns : int64;
+  lock : Mutex.t;
+  spans : span Agg_util.Vec.t;
+}
+
+let recorder () =
+  { origin_ns = now_ns (); lock = Mutex.create (); spans = Agg_util.Vec.create () }
+
+let add_span t span = Mutex.protect t.lock (fun () -> Agg_util.Vec.push t.spans span)
+
+let record t ?(cat = "sweep") name f =
+  let start_ns = now_ns () in
+  let finally () =
+    let dur_ns = Int64.sub (now_ns ()) start_ns in
+    add_span t { name; cat; start_ns; dur_ns; tid = (Domain.self () :> int) }
+  in
+  Fun.protect ~finally f
+
+let spans t =
+  let all = Mutex.protect t.lock (fun () -> Agg_util.Vec.to_list t.spans) in
+  List.stable_sort (fun a b -> Int64.compare a.start_ns b.start_ns) all
+
+let count t = Mutex.protect t.lock (fun () -> Agg_util.Vec.length t.spans)
+
+let seconds_of span = Int64.to_float span.dur_ns /. 1e9
+
+let total_seconds t = List.fold_left (fun acc s -> acc +. seconds_of s) 0.0 (spans t)
+
+(* --- Chrome trace_event export ------------------------------------------ *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let us_of_ns ns = Int64.to_float ns /. 1e3
+
+let chrome_json t =
+  let spans = spans t in
+  let n = List.length spans in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n  \"displayTimeUnit\": \"ms\",\n  \"traceEvents\": [\n";
+  List.iteri
+    (fun i s ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"X\", \"ts\": %.3f, \"dur\": %.3f, \
+            \"pid\": 1, \"tid\": %d}%s\n"
+           (json_escape s.name) (json_escape s.cat)
+           (us_of_ns (Int64.sub s.start_ns t.origin_ns))
+           (us_of_ns s.dur_ns) s.tid
+           (if i = n - 1 then "" else ",")))
+    spans;
+  Buffer.add_string buf "  ]\n}\n";
+  Buffer.contents buf
+
+let write_chrome oc t = output_string oc (chrome_json t)

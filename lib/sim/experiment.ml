@@ -11,9 +11,16 @@ let default_settings =
 
 let quick_settings = { default_settings with events = 6_000 }
 
-let grid ~settings ~rows ~cols f =
+let grid ?profiler ?span_label ~settings ~rows ~cols f =
+  let eval =
+    match profiler with
+    | None -> f
+    | Some recorder ->
+        let label = match span_label with Some l -> l | None -> fun _ _ -> "cell" in
+        fun r c -> Agg_obs.Span.record recorder (label r c) (fun () -> f r c)
+  in
   let cells = List.concat_map (fun r -> List.map (fun c -> (r, c)) cols) rows in
-  let ys = Agg_util.Pool.map ~jobs:settings.jobs (fun (r, c) -> f r c) cells in
+  let ys = Agg_util.Pool.map ~jobs:settings.jobs (fun (r, c) -> eval r c) cells in
   let width = List.length cols in
   let rec chunk acc row w = function
     | ys when w = 0 -> chunk (List.rev row :: acc) [] width ys

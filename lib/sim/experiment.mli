@@ -28,6 +28,8 @@ val quick_settings : settings
 (** A small configuration for tests: 6k events. *)
 
 val grid :
+  ?profiler:Agg_obs.Span.recorder ->
+  ?span_label:('r -> 'c -> string) ->
   settings:settings ->
   rows:'r list ->
   cols:'c list ->
@@ -37,7 +39,12 @@ val grid :
     sweep through {!Agg_util.Pool.map} with [settings.jobs] domains and
     returns the results regrouped by row, in input order. [f] must be
     safe to run concurrently with itself (share only immutable data,
-    e.g. traces from {!Trace_store}). *)
+    e.g. traces from {!Trace_store}).
+
+    When [profiler] is given, each cell evaluation is wall-clock timed as
+    one {!Agg_obs.Span} named by [span_label] (default ["cell"]), tagged
+    with the evaluating domain — exportable as a Chrome trace via
+    {!Agg_obs.Span.write_chrome}. Timing never affects results. *)
 
 val series_value : series -> float -> float option
 (** [series_value s x] is the y at exactly [x], if present. *)

@@ -3,13 +3,22 @@ let default_group_sizes = [ 1; 2; 3; 5; 7; 10 ]
 
 let label_of_group g = if g = 1 then "lru" else Printf.sprintf "g%d" g
 
-let panel ?(settings = Experiment.default_settings) ?(capacities = default_capacities)
-    ?(group_sizes = default_group_sizes) profile =
+let panel ?profiler ?sink_for ?(settings = Experiment.default_settings)
+    ?(capacities = default_capacities) ?(group_sizes = default_group_sizes) profile =
   let trace = Trace_store.get ~settings profile in
+  let span_label g capacity =
+    Printf.sprintf "fig3/%s/g%d/c%d" profile.Agg_workload.Profile.name g capacity
+  in
+  let sink g capacity =
+    match sink_for with
+    | Some f -> f ~group:g ~capacity
+    | None -> Agg_obs.Sink.noop
+  in
   let series =
-    Experiment.grid ~settings ~rows:group_sizes ~cols:capacities (fun g capacity ->
+    Experiment.grid ?profiler ~span_label ~settings ~rows:group_sizes ~cols:capacities
+      (fun g capacity ->
         let config = Agg_core.Config.with_group_size g Agg_core.Config.default in
-        let cache = Agg_core.Client_cache.create ~config ~capacity () in
+        let cache = Agg_core.Client_cache.create ~config ~obs:(sink g capacity) ~capacity () in
         let m = Agg_core.Client_cache.run cache trace in
         float_of_int m.Agg_core.Metrics.demand_fetches)
     |> List.map (fun (g, points) ->
@@ -25,13 +34,13 @@ let panel ?(settings = Experiment.default_settings) ?(capacities = default_capac
     series;
   }
 
-let figure ?(settings = Experiment.default_settings) () =
+let figure ?profiler ?(settings = Experiment.default_settings) () =
   {
     Experiment.id = "fig3";
     title = "Client demand fetches vs cache capacity, by group size";
     panels =
       [
-        panel ~settings Agg_workload.Profile.server;
-        panel ~settings Agg_workload.Profile.write;
+        panel ?profiler ~settings Agg_workload.Profile.server;
+        panel ?profiler ~settings Agg_workload.Profile.write;
       ];
   }

@@ -8,13 +8,22 @@ val default_group_sizes : int list
 (** 1, 2, 3, 5, 7, 10. *)
 
 val panel :
+  ?profiler:Agg_obs.Span.recorder ->
+  ?sink_for:(group:int -> capacity:int -> Agg_obs.Sink.t) ->
   ?settings:Experiment.settings ->
   ?capacities:int list ->
   ?group_sizes:int list ->
   Agg_workload.Profile.t ->
   Experiment.panel
 (** Demand-fetch counts for one workload. The same generated trace is
-    replayed through every (capacity, group size) configuration. *)
+    replayed through every (capacity, group size) configuration.
 
-val figure : ?settings:Experiment.settings -> unit -> Experiment.figure
+    [profiler] times each sweep cell as a span named
+    ["fig3/<workload>/g<G>/c<C>"]. [sink_for] supplies a per-cell event
+    sink (default: no-op); because each cell owns its sink, event
+    sequences are identical for any [settings.jobs] — give each cell a
+    distinct sink when running with several domains. *)
+
+val figure :
+  ?profiler:Agg_obs.Span.recorder -> ?settings:Experiment.settings -> unit -> Experiment.figure
 (** Both paper panels: [server] (3a) and [write] (3b). *)

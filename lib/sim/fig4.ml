@@ -9,16 +9,25 @@ let schemes ~group_size =
     ("lfu", Agg_core.Server_cache.Plain Agg_cache.Cache.Lfu);
   ]
 
-let panel ?(settings = Experiment.default_settings)
+let panel ?profiler ?sink_for ?(settings = Experiment.default_settings)
     ?(filter_capacities = default_filter_capacities) ?(server_capacity = default_server_capacity)
     ?(group_size = 5) ?(cooperative = false) profile =
   let trace = Trace_store.get ~settings profile in
+  let span_label (scheme_label, _) filter_capacity =
+    Printf.sprintf "fig4/%s/%s/f%d" profile.Agg_workload.Profile.name scheme_label
+      filter_capacity
+  in
+  let sink scheme_label filter_capacity =
+    match sink_for with
+    | Some f -> f ~scheme:scheme_label ~filter_capacity
+    | None -> Agg_obs.Sink.noop
+  in
   let series =
-    Experiment.grid ~settings ~rows:(schemes ~group_size) ~cols:filter_capacities
-      (fun (_, scheme) filter_capacity ->
+    Experiment.grid ?profiler ~span_label ~settings ~rows:(schemes ~group_size)
+      ~cols:filter_capacities (fun (scheme_label, scheme) filter_capacity ->
         let sim =
-          Agg_core.Server_cache.create ~cooperative ~filter_kind:Agg_cache.Cache.Lru
-            ~filter_capacity ~server_capacity ~scheme ()
+          Agg_core.Server_cache.create ~cooperative ~obs:(sink scheme_label filter_capacity)
+            ~filter_kind:Agg_cache.Cache.Lru ~filter_capacity ~server_capacity ~scheme ()
         in
         let m = Agg_core.Server_cache.run sim trace in
         100.0 *. Agg_core.Metrics.server_hit_rate m)
@@ -35,7 +44,7 @@ let panel ?(settings = Experiment.default_settings)
     series;
   }
 
-let figure ?(settings = Experiment.default_settings) () =
+let figure ?profiler ?(settings = Experiment.default_settings) () =
   {
     Experiment.id = "fig4";
     title =
@@ -43,8 +52,8 @@ let figure ?(settings = Experiment.default_settings) () =
         default_server_capacity;
     panels =
       [
-        panel ~settings Agg_workload.Profile.workstation;
-        panel ~settings Agg_workload.Profile.users;
-        panel ~settings Agg_workload.Profile.server;
+        panel ?profiler ~settings Agg_workload.Profile.workstation;
+        panel ?profiler ~settings Agg_workload.Profile.users;
+        panel ?profiler ~settings Agg_workload.Profile.server;
       ];
   }

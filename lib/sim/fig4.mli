@@ -9,6 +9,8 @@ val default_server_capacity : int
 (** 300 files. *)
 
 val panel :
+  ?profiler:Agg_obs.Span.recorder ->
+  ?sink_for:(scheme:string -> filter_capacity:int -> Agg_obs.Sink.t) ->
   ?settings:Experiment.settings ->
   ?filter_capacities:int list ->
   ?server_capacity:int ->
@@ -16,8 +18,15 @@ val panel :
   ?cooperative:bool ->
   Agg_workload.Profile.t ->
   Experiment.panel
-(** Server hit rate (%) for one workload. *)
+(** Server hit rate (%) for one workload.
 
-val figure : ?settings:Experiment.settings -> unit -> Experiment.figure
+    [profiler] times each sweep cell as a span named
+    ["fig4/<workload>/<scheme>/f<C>"]. [sink_for] supplies a per-cell
+    event sink keyed by scheme label ("g5"/"lru"/"lfu") and filter
+    capacity (default: no-op); per-cell sinks keep event sequences
+    independent of [settings.jobs]. *)
+
+val figure :
+  ?profiler:Agg_obs.Span.recorder -> ?settings:Experiment.settings -> unit -> Experiment.figure
 (** The paper's three panels: [workstation] (4a), [users] (4b),
     [server] (4c). *)

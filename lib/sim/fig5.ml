@@ -4,7 +4,7 @@ let default_capacities = [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 ]
 
 (* Streams the file sequence through per-file successor lists: each event
    with a predecessor first tests the predecessor's list, then updates it. *)
-let miss_probability ~policy ~capacity files =
+let miss_probability ?(obs = Agg_obs.Sink.noop) ~policy ~capacity files =
   let lists : (int, Successor_list.t) Hashtbl.t = Hashtbl.create 4096 in
   let list_for file =
     match Hashtbl.find_opt lists file with
@@ -24,7 +24,9 @@ let miss_probability ~policy ~capacity files =
           let l = list_for p in
           incr tested;
           if not (Successor_list.mem l file) then incr missed;
-          Successor_list.observe l file
+          Successor_list.observe l file;
+          if Agg_obs.Sink.enabled obs then
+            Agg_obs.Sink.emit obs (Agg_obs.Event.Successor_update { prev = p; next = file })
       | None -> ());
       prev := Some file)
     files;
@@ -47,14 +49,24 @@ let oracle_miss_probability files =
     files;
   Agg_util.Stats.ratio !missed !tested
 
-let panel ?(settings = Experiment.default_settings) ?(capacities = default_capacities) profile =
+let panel ?profiler ?sink_for ?(settings = Experiment.default_settings)
+    ?(capacities = default_capacities) profile =
   let files = Trace_store.files ~settings profile in
   let fixed_oracle = oracle_miss_probability files in
+  let span_label (policy_label, _) capacity =
+    Printf.sprintf "fig5/%s/%s/k%d" profile.Agg_workload.Profile.name policy_label capacity
+  in
+  let sink policy_label capacity =
+    match sink_for with
+    | Some f -> f ~policy:policy_label ~capacity
+    | None -> Agg_obs.Sink.noop
+  in
   let online =
-    Experiment.grid ~settings
+    Experiment.grid ?profiler ~span_label ~settings
       ~rows:[ ("lru", Successor_list.Recency); ("lfu", Successor_list.Frequency) ]
       ~cols:capacities
-      (fun (_, policy) capacity -> miss_probability ~policy ~capacity files)
+      (fun (policy_label, policy) capacity ->
+        miss_probability ~obs:(sink policy_label capacity) ~policy ~capacity files)
     |> List.map (fun ((label, _), points) ->
            {
              Experiment.label;
@@ -75,13 +87,13 @@ let panel ?(settings = Experiment.default_settings) ?(capacities = default_capac
     series;
   }
 
-let figure ?(settings = Experiment.default_settings) () =
+let figure ?profiler ?(settings = Experiment.default_settings) () =
   {
     Experiment.id = "fig5";
     title = "Probability of successor-list replacement evicting a future successor";
     panels =
       [
-        panel ~settings Agg_workload.Profile.workstation;
-        panel ~settings Agg_workload.Profile.server;
+        panel ?profiler ~settings Agg_workload.Profile.workstation;
+        panel ?profiler ~settings Agg_workload.Profile.server;
       ];
   }

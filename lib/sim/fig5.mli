@@ -9,19 +9,29 @@ val default_capacities : int list
 (** 1–10. *)
 
 val panel :
+  ?profiler:Agg_obs.Span.recorder ->
+  ?sink_for:(policy:string -> capacity:int -> Agg_obs.Sink.t) ->
   ?settings:Experiment.settings ->
   ?capacities:int list ->
   Agg_workload.Profile.t ->
   Experiment.panel
+(** [profiler] times each sweep cell as a span named
+    ["fig5/<workload>/<policy>/k<C>"]. [sink_for] supplies a per-cell
+    event sink keyed by policy label ("lru"/"lfu") and list capacity
+    (default: no-op). *)
 
-val figure : ?settings:Experiment.settings -> unit -> Experiment.figure
+val figure :
+  ?profiler:Agg_obs.Span.recorder -> ?settings:Experiment.settings -> unit -> Experiment.figure
 (** The paper's panels: [workstation] (5a) and [server] (5b). *)
 
 val miss_probability :
+  ?obs:Agg_obs.Sink.t ->
   policy:Agg_successor.Successor_list.policy ->
   capacity:int ->
   Agg_trace.File_id.t array ->
   float
-(** The probability plotted for one (policy, capacity) point. *)
+(** The probability plotted for one (policy, capacity) point. When [obs]
+    is an enabled sink, one [Successor_update] event is emitted per
+    observed adjacency (every access with a predecessor). *)
 
 val oracle_miss_probability : Agg_trace.File_id.t array -> float

@@ -14,6 +14,13 @@ type server_row = {
   improvement_percent : float;
 }
 
+(* Total: a dead baseline (0 % LRU hit rate) must not leak nan or inf
+   into the report. No improvement over nothing is 0; a gain over nothing
+   is unbounded and rendered as "n/a" by {!server_table}. *)
+let improvement ~lru ~g5 =
+  if lru = 0.0 then (if g5 = 0.0 then 0.0 else Float.infinity)
+  else 100.0 *. (g5 -. lru) /. lru
+
 let demand_fetches ~trace ~capacity ~group_size =
   let config = Agg_core.Config.with_group_size group_size Agg_core.Config.default in
   let cache = Agg_core.Client_cache.create ~config ~capacity () in
@@ -66,8 +73,7 @@ let server_rows ?(settings = Experiment.default_settings)
                filter_capacity;
                lru_hit_rate = lru;
                g5_hit_rate = g5;
-               improvement_percent =
-                 (if lru = 0.0 then Float.infinity else 100.0 *. (g5 -. lru) /. lru);
+               improvement_percent = improvement ~lru ~g5;
              }
          | _ -> assert false (* grid returns one point per column *))
 
@@ -104,9 +110,9 @@ let server_table rows =
           string_of_int r.filter_capacity;
           Printf.sprintf "%.1f" r.lru_hit_rate;
           Printf.sprintf "%.1f" r.g5_hit_rate;
-          (if Float.is_integer r.improvement_percent || Float.is_finite r.improvement_percent then
+          (if Float.is_finite r.improvement_percent then
              Printf.sprintf "%.0f" r.improvement_percent
-           else "inf");
+           else "n/a");
         ])
     rows;
   table

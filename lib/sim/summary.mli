@@ -19,6 +19,11 @@ type server_row = {
   improvement_percent : float;  (** relative improvement of g5 over LRU *)
 }
 
+val improvement : lru:float -> g5:float -> float
+(** Relative improvement in percent, total on the whole domain: [0.] when
+    both rates are zero, [infinity] when only the baseline is (rendered
+    as ["n/a"] by {!server_table}) — never nan. *)
+
 val client_rows : ?settings:Experiment.settings -> ?capacity:int -> unit -> client_row list
 (** One row per workload at the given client cache capacity (default 300). *)
 

@@ -112,6 +112,36 @@ let test_client_metric_identities () =
   check_bool "evicted_unused <= issued" true
     (m.Metrics.prefetch.Metrics.evicted_unused <= m.Metrics.prefetch.Metrics.issued)
 
+let test_metrics_zero_access_edge_cases () =
+  (* the divide-by-zero corner: a run that never happened must print as
+     clean zeros, never nan/inf (satellite of the obs instrumentation PR) *)
+  let prefetch = { Metrics.issued = 0; used = 0; evicted_unused = 0 } in
+  let client = { Metrics.accesses = 0; hits = 0; demand_fetches = 0; prefetch } in
+  let server =
+    {
+      Metrics.client_accesses = 0;
+      server_requests = 0;
+      server_hits = 0;
+      store_fetches = 0;
+      prefetch;
+    }
+  in
+  check_bool "utilisation 0/0 = 0" true (Metrics.prefetch_utilisation prefetch = 0.0);
+  check_bool "client hit rate 0/0 = 0" true (Metrics.client_hit_rate client = 0.0);
+  check_bool "server hit rate 0/0 = 0" true (Metrics.server_hit_rate server = 0.0);
+  let clean s =
+    let has needle =
+      let n = String.length needle and h = String.length s in
+      let rec loop i = i + n <= h && (String.sub s i n = needle || loop (i + 1)) in
+      loop 0
+    in
+    (not (has "nan")) && not (has "inf")
+  in
+  check_bool "pp_client prints no nan/inf" true
+    (clean (Format.asprintf "%a" Metrics.pp_client client));
+  check_bool "pp_server prints no nan/inf" true
+    (clean (Format.asprintf "%a" Metrics.pp_server server))
+
 let test_client_grouping_helps_on_runs () =
   (* a strongly sequential workload: grouping must cut demand fetches *)
   let prng = Agg_util.Prng.create ~seed:1 () in
@@ -361,6 +391,7 @@ let () =
           Alcotest.test_case "g1 = lru (crafted)" `Quick test_client_g1_equals_lru_crafted;
           Alcotest.test_case "g1 = lru (generated)" `Quick test_client_g1_equals_lru_generated;
           Alcotest.test_case "metric identities" `Quick test_client_metric_identities;
+          Alcotest.test_case "zero-access printing" `Quick test_metrics_zero_access_edge_cases;
           Alcotest.test_case "grouping helps on runs" `Quick test_client_grouping_helps_on_runs;
           Alcotest.test_case "perfect sequence accounting" `Quick
             test_client_prefetch_accounting_on_perfect_sequence;

@@ -1,0 +1,442 @@
+(* Tests for the instrumentation layer: counters and histograms (crafted
+   semantics plus the merge algebra qcheck properties), event JSONL
+   round-trips, sink behaviours, digest reconciliation against the
+   simulator's aggregate metrics, and the sweep determinism regressions
+   (identical event sequences for any --jobs, Noop vs Memory leaving
+   figure numbers unchanged). *)
+
+open Agg_obs
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* --- Counter ----------------------------------------------------------- *)
+
+let test_counter_basics () =
+  let c = Counter.create () in
+  check_int "fresh" 0 (Counter.value c);
+  Counter.incr c;
+  Counter.incr c;
+  Counter.add c 5;
+  check_int "incr+add" 7 (Counter.value c);
+  Counter.reset c;
+  check_int "reset" 0 (Counter.value c);
+  Alcotest.check_raises "negative add" (Invalid_argument "Counter.add: negative increment")
+    (fun () -> Counter.add c (-1))
+
+let test_counter_merge () =
+  let a = Counter.create () and b = Counter.create () in
+  Counter.add a 3;
+  Counter.add b 4;
+  check_int "merge sums" 7 (Counter.value (Counter.merge a b));
+  (* merge is pure: the inputs are untouched *)
+  check_int "a untouched" 3 (Counter.value a);
+  check_int "b untouched" 4 (Counter.value b)
+
+(* --- Histogram --------------------------------------------------------- *)
+
+let hist_of values =
+  let h = Histogram.create () in
+  List.iter (Histogram.add h) values;
+  h
+
+let hist_eq a b =
+  Histogram.count a = Histogram.count b
+  && Histogram.sum a = Histogram.sum b
+  && Histogram.min_value a = Histogram.min_value b
+  && Histogram.max_value a = Histogram.max_value b
+  && Histogram.buckets a = Histogram.buckets b
+
+let test_histogram_crafted () =
+  let h = hist_of [ 0; 1; 1; 2; 3; 8; 100 ] in
+  check_int "count" 7 (Histogram.count h);
+  check_int "sum" 115 (Histogram.sum h);
+  Alcotest.(check (option int)) "min" (Some 0) (Histogram.min_value h);
+  Alcotest.(check (option int)) "max" (Some 100) (Histogram.max_value h);
+  (* value 0 → bucket {0}; 1 → [1,1]; 2..3 → [2,3]; 8 → [8,15]; 100 → [64,127] *)
+  Alcotest.(check (list (triple int int int)))
+    "buckets"
+    [ (0, 0, 1); (1, 1, 2); (2, 3, 2); (8, 15, 1); (64, 127, 1) ]
+    (Histogram.buckets h);
+  Alcotest.check_raises "negative value" (Invalid_argument "Histogram.add: negative value")
+    (fun () -> Histogram.add h (-1))
+
+let test_histogram_quantiles () =
+  let h = Histogram.create () in
+  Alcotest.(check (option int)) "empty" None (Histogram.quantile h 0.5);
+  Histogram.add h 5;
+  (* A single observation: every quantile is clamped to the observed max. *)
+  Alcotest.(check (option int)) "single p0" (Some 5) (Histogram.quantile h 0.0);
+  Alcotest.(check (option int)) "single p100" (Some 5) (Histogram.quantile h 1.0);
+  let h = hist_of (List.init 100 (fun i -> i)) in
+  check_bool "p50 <= p99" true (Histogram.quantile h 0.5 <= Histogram.quantile h 0.99);
+  Alcotest.(check (option int)) "p100 = max" (Some 99) (Histogram.quantile h 1.0);
+  Alcotest.check_raises "q out of range" (Invalid_argument "Histogram.quantile: q out of [0,1]")
+    (fun () -> ignore (Histogram.quantile h 1.5))
+
+let test_histogram_merge_pool () =
+  (* Pool map-reduce over chunks must equal the sequential histogram. *)
+  let values = List.init 2000 (fun i -> i * 37 mod 517) in
+  let rec chunks n = function
+    | [] -> []
+    | l ->
+        let rec take k acc = function
+          | x :: rest when k > 0 -> take (k - 1) (x :: acc) rest
+          | rest -> (List.rev acc, rest)
+        in
+        let c, rest = take n [] l in
+        c :: chunks n rest
+  in
+  let parts =
+    Agg_util.Pool.map ~jobs:4 (fun chunk -> hist_of chunk) (chunks 123 values)
+  in
+  let merged = List.fold_left Histogram.merge (Histogram.create ()) parts in
+  check_bool "pooled merge = sequential" true (hist_eq merged (hist_of values))
+
+(* --- Event JSONL -------------------------------------------------------- *)
+
+let event_equal (a : Event.t) (b : Event.t) = a = b
+
+let test_event_json_roundtrip_crafted () =
+  let events =
+    [
+      Event.Demand_hit { file = 3; depth = 0 };
+      Event.Demand_miss { file = 12345 };
+      Event.Prefetch_issued { file = 0 };
+      Event.Prefetch_promoted { file = 9; lifetime = 42 };
+      Event.Evicted { file = 7; speculative = true; age_accesses = 17 };
+      Event.Evicted { file = 8; speculative = false; age_accesses = 0 };
+      Event.Group_built { anchor = 4; size = 5 };
+      Event.Successor_update { prev = 1; next = 2 };
+    ]
+  in
+  List.iteri
+    (fun seq ev ->
+      match Event.of_json (Event.to_json ~seq ev) with
+      | Ok (seq', ev') ->
+          check_int "seq" seq seq';
+          check_bool (Event.name ev ^ " round-trips") true (event_equal ev ev')
+      | Error e -> Alcotest.failf "%s: %s" (Event.name ev) e)
+    events
+
+let test_event_json_errors () =
+  let is_error s =
+    match Event.of_json s with Ok _ -> false | Error _ -> true
+  in
+  check_bool "garbage" true (is_error "not json");
+  check_bool "empty object" true (is_error "{}");
+  check_bool "unknown tag" true (is_error {|{"seq":0,"ev":"warp_drive","file":1}|});
+  check_bool "missing field" true (is_error {|{"seq":0,"ev":"demand_hit","file":1}|});
+  check_bool "extra field" true
+    (is_error {|{"seq":0,"ev":"demand_miss","file":1,"bogus":2}|});
+  check_bool "bad seq" true (is_error {|{"seq":"x","ev":"demand_miss","file":1}|})
+
+(* --- Sinks -------------------------------------------------------------- *)
+
+let test_sink_noop () =
+  check_bool "disabled" false (Sink.enabled Sink.noop);
+  Sink.emit Sink.noop (Event.Demand_miss { file = 1 });
+  check_int "emitted" 0 (Sink.emitted Sink.noop);
+  check_int "no events" 0 (List.length (Sink.events Sink.noop))
+
+let test_sink_memory () =
+  let s = Sink.memory () in
+  check_bool "enabled" true (Sink.enabled s);
+  let evs =
+    [ Event.Demand_miss { file = 1 }; Event.Group_built { anchor = 1; size = 3 } ]
+  in
+  List.iter (Sink.emit s) evs;
+  check_int "emitted" 2 (Sink.emitted s);
+  check_bool "in order" true (Sink.events s = evs)
+
+let test_sink_jsonl () =
+  let path = Filename.temp_file "aggsim_obs" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      let s = Sink.jsonl oc in
+      let evs =
+        [
+          Event.Demand_hit { file = 2; depth = 7 };
+          Event.Evicted { file = 2; speculative = true; age_accesses = 3 };
+        ]
+      in
+      List.iter (Sink.emit s) evs;
+      Sink.flush s;
+      close_out oc;
+      let ic = open_in path in
+      let lines = ref [] in
+      (try
+         while true do
+           lines := input_line ic :: !lines
+         done
+       with End_of_file -> close_in ic);
+      let parsed = List.rev_map Event.of_json !lines in
+      check_int "two lines" 2 (List.length parsed);
+      List.iteri
+        (fun i -> function
+          | Ok (seq, ev) ->
+              check_int "seq stamped" i seq;
+              check_bool "event survives" true (event_equal ev (List.nth evs i))
+          | Error e -> Alcotest.fail e)
+        parsed)
+
+(* --- Digest ------------------------------------------------------------- *)
+
+let test_digest_replay () =
+  let d = Digest.create () in
+  List.iter (Digest.observe d)
+    [
+      Event.Demand_miss { file = 1 };
+      Event.Group_built { anchor = 1; size = 3 };
+      Event.Prefetch_issued { file = 2 };
+      Event.Prefetch_issued { file = 3 };
+      Event.Demand_hit { file = 2; depth = 1 };
+      Event.Prefetch_promoted { file = 2; lifetime = 1 };
+      Event.Evicted { file = 3; speculative = true; age_accesses = 2 };
+      (* the simulator notices the wasted prefetch of 3 only here: *)
+      Event.Demand_miss { file = 3 };
+      Event.Group_built { anchor = 3; size = 1 };
+    ];
+  check_int "hits" 1 (Digest.demand_hits d);
+  check_int "misses" 2 (Digest.demand_misses d);
+  check_int "accesses" 3 (Digest.accesses d);
+  check_int "issued" 2 (Digest.prefetch_issued d);
+  check_int "promoted" 1 (Digest.prefetch_promoted d);
+  check_int "evicted_speculative" 1 (Digest.evicted_speculative d);
+  check_int "evicted_unused (lazy)" 1 (Digest.evicted_unused d);
+  check_int "groups" 2 (Digest.groups_built d);
+  check_int "lifetime samples" 2 (Histogram.count (Digest.lifetime d));
+  check_int "group size samples" 2 (Histogram.count (Digest.group_size d))
+
+let server_profile () =
+  match Agg_workload.Profile.by_name "server" with
+  | Some p -> p
+  | None -> Alcotest.fail "server profile missing"
+
+let client_run ~obs =
+  let trace = Agg_workload.Generator.generate ~seed:11 ~events:6_000 (server_profile ()) in
+  let cache = Agg_core.Client_cache.create ~obs ~capacity:200 () in
+  Agg_core.Client_cache.run cache trace
+
+let test_reconcile_client () =
+  let sink = Sink.memory () in
+  let m = client_run ~obs:sink in
+  let digest = Digest.of_events (Sink.events sink) in
+  (match Agg_core.Metrics.reconcile_client digest m with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail msg);
+  check_int "hits + fetches = accesses" m.Agg_core.Metrics.accesses
+    (m.Agg_core.Metrics.hits + m.Agg_core.Metrics.demand_fetches)
+
+let test_reconcile_server () =
+  let trace = Agg_workload.Generator.generate ~seed:11 ~events:6_000 (server_profile ()) in
+  List.iter
+    (fun cooperative ->
+      let sink = Sink.memory () in
+      let sim =
+        Agg_core.Server_cache.create ~cooperative ~obs:sink ~filter_kind:Agg_cache.Cache.Lru
+          ~filter_capacity:150 ~server_capacity:300
+          ~scheme:(Agg_core.Server_cache.Aggregating Agg_core.Config.default) ()
+      in
+      let m = Agg_core.Server_cache.run sim trace in
+      let digest = Digest.of_events (Sink.events sink) in
+      match Agg_core.Metrics.reconcile_server digest m with
+      | Ok () -> ()
+      | Error msg -> Alcotest.failf "cooperative=%b: %s" cooperative msg)
+    [ false; true ]
+
+let test_noop_identical_metrics () =
+  let plain = client_run ~obs:Sink.noop in
+  let sink = Sink.memory () in
+  let instrumented = client_run ~obs:sink in
+  check_bool "metrics unchanged by instrumentation" true (plain = instrumented);
+  check_bool "events were recorded" true (Sink.emitted sink > 0)
+
+(* --- sweep determinism --------------------------------------------------- *)
+
+let fig3_with_sinks ~jobs =
+  let settings = { Agg_sim.Experiment.quick_settings with Agg_sim.Experiment.jobs } in
+  let group_sizes = [ 1; 5 ] and capacities = [ 100; 300 ] in
+  let sinks = Hashtbl.create 8 in
+  List.iter
+    (fun g -> List.iter (fun c -> Hashtbl.replace sinks (g, c) (Sink.memory ())) capacities)
+    group_sizes;
+  let sink_for ~group ~capacity = Hashtbl.find sinks (group, capacity) in
+  let panel =
+    Agg_sim.Fig3.panel ~sink_for ~settings ~capacities ~group_sizes (server_profile ())
+  in
+  (panel, sinks)
+
+let test_fig3_jobs_determinism () =
+  let panel1, sinks1 = fig3_with_sinks ~jobs:1 in
+  let panel4, sinks4 = fig3_with_sinks ~jobs:4 in
+  check_bool "panel numbers identical" true (panel1 = panel4);
+  Hashtbl.iter
+    (fun (g, c) sink ->
+      let e1 = Sink.events sink and e4 = Sink.events (Hashtbl.find sinks4 (g, c)) in
+      check_bool
+        (Printf.sprintf "g%d/c%d event count > 0" g c)
+        true (e1 <> []);
+      check_bool
+        (Printf.sprintf "g%d/c%d events identical for jobs 1 vs 4" g c)
+        true (e1 = e4))
+    sinks1
+
+let test_fig3_noop_vs_memory () =
+  let settings = Agg_sim.Experiment.quick_settings in
+  let capacities = [ 100; 300 ] and group_sizes = [ 1; 5 ] in
+  let noop_panel =
+    Agg_sim.Fig3.panel ~settings ~capacities ~group_sizes (server_profile ())
+  in
+  let memory_panel, _ = fig3_with_sinks ~jobs:2 in
+  check_bool "Noop vs Memory leave figure numbers unchanged" true (noop_panel = memory_panel)
+
+(* --- Span ---------------------------------------------------------------- *)
+
+let test_span_record () =
+  let r = Span.recorder () in
+  let x = Span.record r ~cat:"test" "outer" (fun () -> Span.record r "inner" (fun () -> 41) + 1) in
+  check_int "result passed through" 42 x;
+  check_int "both spans recorded" 2 (Span.count r);
+  (try Span.record r "raises" (fun () -> failwith "boom") with Failure _ -> 0) |> ignore;
+  check_int "span recorded on raise" 3 (Span.count r);
+  List.iter
+    (fun (s : Span.span) -> check_bool (s.Span.name ^ " duration >= 0") true (Span.seconds_of s >= 0.0))
+    (Span.spans r);
+  check_bool "total >= 0" true (Span.total_seconds r >= 0.0)
+
+let contains ~needle haystack =
+  let n = String.length needle and h = String.length haystack in
+  let rec loop i = i + n <= h && (String.sub haystack i n = needle || loop (i + 1)) in
+  n = 0 || loop 0
+
+let test_span_chrome_json () =
+  let r = Span.recorder () in
+  Span.record r ~cat:"sec\"tion" "na\\me" (fun () -> ()) |> ignore;
+  let json = Span.chrome_json r in
+  check_bool "has traceEvents" true (contains ~needle:"\"traceEvents\"" json);
+  check_bool "has complete-event ph" true (contains ~needle:"\"X\"" json);
+  check_bool "escapes quotes" true (contains ~needle:"sec\\\"tion" json)
+
+(* --- qcheck properties ---------------------------------------------------- *)
+
+let qcheck_tests =
+  let open QCheck in
+  let values_gen = list_of_size (Gen.int_range 0 200) (int_range 0 100_000) in
+  let event_gen =
+    let open Gen in
+    let file = int_range 0 10_000 in
+    oneof
+      [
+        map2 (fun f d -> Event.Demand_hit { file = f; depth = d }) file (int_range 0 1000);
+        map (fun f -> Event.Demand_miss { file = f }) file;
+        map (fun f -> Event.Prefetch_issued { file = f }) file;
+        map2 (fun f l -> Event.Prefetch_promoted { file = f; lifetime = l }) file (int_range 0 1000);
+        map3
+          (fun f s a -> Event.Evicted { file = f; speculative = s; age_accesses = a })
+          file bool (int_range 0 1000);
+        map2 (fun a s -> Event.Group_built { anchor = a; size = s }) file (int_range 1 20);
+        map2 (fun p n -> Event.Successor_update { prev = p; next = n }) file file;
+      ]
+  in
+  let event_arb = make ~print:(Format.asprintf "%a" Event.pp) event_gen in
+  [
+    Test.make ~name:"counter merge is commutative and associative" ~count:200
+      (triple (list small_nat) (list small_nat) (list small_nat))
+      (fun (xs, ys, zs) ->
+        let counter values =
+          let c = Counter.create () in
+          List.iter (Counter.add c) values;
+          c
+        in
+        let a = counter xs and b = counter ys and c = counter zs in
+        Counter.(value (merge a b)) = Counter.(value (merge b a))
+        && Counter.(value (merge (merge a b) c)) = Counter.(value (merge a (merge b c))));
+    Test.make ~name:"histogram merge is commutative with create identity" ~count:100
+      (pair values_gen values_gen)
+      (fun (xs, ys) ->
+        let a = hist_of xs and b = hist_of ys in
+        hist_eq (Histogram.merge a b) (Histogram.merge b a)
+        && hist_eq (Histogram.merge a (Histogram.create ())) a);
+    Test.make ~name:"histogram merge is associative" ~count:100
+      (triple values_gen values_gen values_gen)
+      (fun (xs, ys, zs) ->
+        let a = hist_of xs and b = hist_of ys and c = hist_of zs in
+        hist_eq
+          (Histogram.merge (Histogram.merge a b) c)
+          (Histogram.merge a (Histogram.merge b c)));
+    Test.make ~name:"histogram merge equals histogram of concatenation" ~count:100
+      (pair values_gen values_gen)
+      (fun (xs, ys) -> hist_eq (Histogram.merge (hist_of xs) (hist_of ys)) (hist_of (xs @ ys)));
+    Test.make ~name:"quantiles are monotone in q" ~count:200
+      (triple values_gen (float_bound_inclusive 1.0) (float_bound_inclusive 1.0))
+      (fun (xs, q1, q2) ->
+        let h = hist_of xs in
+        let lo = Float.min q1 q2 and hi = Float.max q1 q2 in
+        match (Histogram.quantile h lo, Histogram.quantile h hi) with
+        | Some a, Some b -> a <= b
+        | None, None -> xs = []
+        | _ -> false);
+    Test.make ~name:"quantiles stay within observed extremes" ~count:200
+      (pair values_gen (float_bound_inclusive 1.0))
+      (fun (xs, q) ->
+        match (hist_of xs, xs) with
+        | h, _ :: _ ->
+            let v = Option.get (Histogram.quantile h q) in
+            Option.get (Histogram.min_value h) <= v
+            && v <= Option.get (Histogram.max_value h)
+        | h, [] -> Histogram.quantile h q = None);
+    Test.make ~name:"event JSONL round-trips" ~count:500
+      (pair (make Gen.small_nat) event_arb)
+      (fun (seq, ev) ->
+        match Event.of_json (Event.to_json ~seq ev) with
+        | Ok (seq', ev') -> seq = seq' && event_equal ev ev'
+        | Error _ -> false);
+  ]
+
+let () =
+  Alcotest.run "agg_obs"
+    [
+      ( "counter",
+        [
+          Alcotest.test_case "basics" `Quick test_counter_basics;
+          Alcotest.test_case "merge" `Quick test_counter_merge;
+        ] );
+      ( "histogram",
+        [
+          Alcotest.test_case "crafted buckets" `Quick test_histogram_crafted;
+          Alcotest.test_case "quantiles" `Quick test_histogram_quantiles;
+          Alcotest.test_case "pool merge" `Quick test_histogram_merge_pool;
+        ] );
+      ( "event-json",
+        [
+          Alcotest.test_case "round-trip crafted" `Quick test_event_json_roundtrip_crafted;
+          Alcotest.test_case "malformed lines" `Quick test_event_json_errors;
+        ] );
+      ( "sink",
+        [
+          Alcotest.test_case "noop" `Quick test_sink_noop;
+          Alcotest.test_case "memory" `Quick test_sink_memory;
+          Alcotest.test_case "jsonl" `Quick test_sink_jsonl;
+        ] );
+      ( "digest",
+        [
+          Alcotest.test_case "crafted replay" `Quick test_digest_replay;
+          Alcotest.test_case "reconciles client run" `Quick test_reconcile_client;
+          Alcotest.test_case "reconciles server run" `Quick test_reconcile_server;
+          Alcotest.test_case "noop leaves metrics identical" `Quick test_noop_identical_metrics;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "fig3 events, jobs 1 vs 4" `Quick test_fig3_jobs_determinism;
+          Alcotest.test_case "fig3 noop vs memory" `Quick test_fig3_noop_vs_memory;
+        ] );
+      ( "span",
+        [
+          Alcotest.test_case "record" `Quick test_span_record;
+          Alcotest.test_case "chrome json" `Quick test_span_chrome_json;
+        ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest qcheck_tests);
+    ]

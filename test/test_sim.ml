@@ -240,6 +240,35 @@ let test_summary_server_rows () =
   check_bool "table renders" true
     (String.length (Agg_util.Table.render (Summary.server_table rows)) > 0)
 
+let test_summary_improvement_edge_cases () =
+  (* pins the nan/inf leak fixed with the obs PR: a dead LRU baseline must
+     render as "n/a", never nan or inf, and 0-vs-0 is 0 % improvement *)
+  check_bool "0 vs 0 improves by 0" true (Summary.improvement ~lru:0.0 ~g5:0.0 = 0.0);
+  check_bool "gain over dead baseline is +inf" true
+    (Summary.improvement ~lru:0.0 ~g5:5.0 = Float.infinity);
+  check_bool "never nan" true
+    (List.for_all
+       (fun (lru, g5) -> not (Float.is_nan (Summary.improvement ~lru ~g5)))
+       [ (0.0, 0.0); (0.0, 5.0); (5.0, 0.0); (5.0, 5.0) ]);
+  let row lru g5 =
+    {
+      Summary.workload = "crafted";
+      filter_capacity = 100;
+      lru_hit_rate = lru;
+      g5_hit_rate = g5;
+      improvement_percent = Summary.improvement ~lru ~g5;
+    }
+  in
+  let rendered = Agg_util.Table.render (Summary.server_table [ row 0.0 0.0; row 0.0 5.0 ]) in
+  let has needle =
+    let n = String.length needle and h = String.length rendered in
+    let rec loop i = i + n <= h && (String.sub rendered i n = needle || loop (i + 1)) in
+    loop 0
+  in
+  check_bool "renders n/a for unbounded improvement" true (has "n/a");
+  check_bool "no nan in table" true (not (has "nan"));
+  check_bool "no bare inf in table" true (not (has "inf"))
+
 let test_report_checks_structure () =
   (* tiny-scale runs need not pass the paper's quantitative bars, but the
      checks must all run and produce both fields *)
@@ -430,6 +459,7 @@ let () =
         [
           Alcotest.test_case "client rows" `Quick test_summary_client_rows;
           Alcotest.test_case "server rows" `Quick test_summary_server_rows;
+          Alcotest.test_case "improvement edge cases" `Quick test_summary_improvement_edge_cases;
           Alcotest.test_case "report checks" `Slow test_report_checks_structure;
         ] );
       ( "export-plot",
