@@ -11,6 +11,8 @@
      dune exec bench/main.exe -- --jobs 4     # evaluate sweeps on 4 domains
      dune exec bench/main.exe -- --sweep      # time --jobs 1 vs --jobs N
      dune exec bench/main.exe -- --obs        # also write BENCH_obs.json
+     dune exec bench/main.exe -- --faults     # also run the resilience sweep
+                                              # and write BENCH_faults.json
 
    Output on stdout is deterministic (fixed seeds) apart from the
    micro-benchmark timings, and identical for every --jobs value. Every
@@ -137,7 +139,10 @@ let run_latency ~settings =
   let deployments = [ `Baseline; `Aggregating_client; `Aggregating_both ] in
   Agg_sim.Experiment.grid ~settings ~rows:costs ~cols:deployments
     (fun (_, cost) deployment ->
-      let config = { Agg_system.Path.default_config with deployment; cost } in
+      let config =
+        Agg_system.Path.with_deployment deployment
+          { Agg_system.Path.default_config with cost }
+      in
       let r = Agg_system.Path.run config trace in
       [
         Agg_system.Path.deployment_name deployment;
@@ -170,12 +175,10 @@ let run_fleet ~settings =
   in
   let schemes =
     [
-      ( "plain",
-        Agg_system.Fleet.Client_plain Agg_cache.Cache.Lru,
-        Agg_system.Fleet.Server_plain Agg_cache.Cache.Lru );
+      ("plain", Agg_system.Scheme.plain_lru, Agg_system.Scheme.plain_lru);
       ( "aggregating",
-        Agg_system.Fleet.Client_aggregating Agg_core.Config.default,
-        Agg_system.Fleet.Server_aggregating Agg_core.Config.default );
+        Agg_system.Scheme.Aggregating Agg_core.Config.default,
+        Agg_system.Scheme.Aggregating Agg_core.Config.default );
     ]
   in
   Agg_sim.Experiment.grid ~settings ~rows:[ 1; 2; 4; 8; 16 ] ~cols:schemes
@@ -195,6 +198,22 @@ let run_fleet ~settings =
   |> List.iter (fun (_, rows) ->
          List.iter (fun (_, row) -> Agg_util.Table.add_row table row) rows);
   Agg_util.Table.print table
+
+let faults_json_path = "BENCH_faults.json"
+
+let run_faults ~settings =
+  section "Resilience — hit rate & latency vs message loss (lru vs g5)";
+  let runner = Agg_sim.Experiment.Runner.create ~settings () in
+  let points = Agg_sim.Resilience.sweep runner in
+  Agg_sim.Experiment.print_figure (Agg_sim.Resilience.run runner);
+  (match Agg_sim.Resilience.hit_rate_advantage ~loss_rate:0.1 points with
+  | Some d -> Printf.printf "g5 hit-rate advantage over lru at 10%% loss: %+.2f pts\n" d
+  | None -> ());
+  let oc = open_out faults_json_path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (Agg_sim.Resilience.json_of_points points));
+  Printf.printf "wrote %d sweep points to %s\n" (List.length points) faults_json_path
 
 (* --- Bechamel micro-benchmarks ------------------------------------------- *)
 
@@ -381,7 +400,7 @@ let sections =
 
 let usage () =
   Printf.eprintf
-    "usage: main.exe [SECTION...] [--quick] [--jobs N] [--sweep] [--obs]\nsections: %s | all\n"
+    "usage: main.exe [SECTION...] [--quick] [--jobs N] [--sweep] [--obs] [--faults]\nsections: %s | all\n"
     (String.concat " | " (List.map fst sections));
   exit 2
 
@@ -392,6 +411,7 @@ let () =
   let quick = List.mem "--quick" args in
   let sweep = List.mem "--sweep" args in
   let obs = List.mem "--obs" args in
+  let faults = List.mem "--faults" args in
   if obs then profiler := Some (Agg_obs.Span.recorder ());
   let rec parse_jobs = function
     | "--jobs" :: n :: _ -> (
@@ -402,7 +422,8 @@ let () =
   let jobs = parse_jobs args in
   let rec strip = function
     | "--jobs" :: _ :: rest -> strip rest
-    | flag :: rest when flag = "--quick" || flag = "--sweep" || flag = "--obs" -> strip rest
+    | flag :: rest when flag = "--quick" || flag = "--sweep" || flag = "--obs" || flag = "--faults"
+      -> strip rest
     | arg :: rest -> arg :: strip rest
     | [] -> []
   in
@@ -447,6 +468,7 @@ let () =
             end)
       wanted
   in
+  if faults then run_faults ~settings;
   write_bench_json ~jobs ~quick ~settings timings;
   match !profiler with
   | None -> ()

@@ -263,7 +263,10 @@ let latency_cmd =
         Printf.printf "-- %s costs --\n" cost_name;
         List.iter
           (fun deployment ->
-            let config = { Agg_system.Path.default_config with deployment; cost } in
+            let config =
+              Agg_system.Path.with_deployment deployment
+                { Agg_system.Path.default_config with cost }
+            in
             Format.printf "%-11s %a@."
               (Agg_system.Path.deployment_name deployment)
               Agg_system.Path.pp_result
@@ -293,18 +296,87 @@ let fleet_cmd =
         Format.printf "%-12s %a@." name Agg_system.Fleet.pp_result
           (Agg_system.Fleet.run config trace))
       [
-        ( "plain",
-          Agg_system.Fleet.Client_plain Agg_cache.Cache.Lru,
-          Agg_system.Fleet.Server_plain Agg_cache.Cache.Lru );
+        ("plain", Agg_system.Scheme.plain_lru, Agg_system.Scheme.plain_lru);
         ( "aggregating",
-          Agg_system.Fleet.Client_aggregating Agg_core.Config.default,
-          Agg_system.Fleet.Server_aggregating Agg_core.Config.default );
+          Agg_system.Scheme.Aggregating Agg_core.Config.default,
+          Agg_system.Scheme.Aggregating Agg_core.Config.default );
       ];
     exit_ok
   in
   Cmd.v
     (Cmd.info "fleet" ~doc:"Many clients sharing one server, with write invalidation.")
     Term.(const run $ settings_term $ profile_arg $ clients_arg)
+
+let faults_cmd =
+  let float_opt names doc =
+    Arg.(value & opt (some float) None & info names ~docv:"P" ~doc)
+  in
+  let loss_arg = float_opt [ "loss" ] "Message loss probability per fetch attempt (default 0.1)." in
+  let outage_arg = float_opt [ "outage-rate" ] "P(an epoch opens with a server outage)." in
+  let slow_arg = float_opt [ "slow-rate" ] "P(an attempt rides a degraded link)." in
+  let crash_arg = float_opt [ "crash-rate" ] "Per-access client crash probability." in
+  let fault_seed_arg =
+    Arg.(
+      value
+      & opt int Agg_faults.Plan.default.Agg_faults.Plan.seed
+      & info [ "fault-seed" ] ~docv:"SEED" ~doc:"Fault-plan seed (independent of the workload seed).")
+  in
+  let sweep_arg =
+    Arg.(
+      value & flag
+      & info [ "sweep" ]
+          ~doc:"Print the resilience sweep (hit rate and latency vs loss rate, lru vs g5) instead.")
+  in
+  let run settings profile loss outage slow crash fault_seed sweep =
+    if sweep then begin
+      let runner = Agg_sim.Experiment.Runner.create ~settings () in
+      Agg_sim.Experiment.print_figure (Agg_sim.Resilience.run ~profile runner);
+      exit_ok
+    end
+    else begin
+      let d = Agg_faults.Plan.default in
+      let faults =
+        {
+          d with
+          Agg_faults.Plan.seed = fault_seed;
+          loss_rate = Option.value ~default:d.Agg_faults.Plan.loss_rate loss;
+          outage_rate = Option.value ~default:d.Agg_faults.Plan.outage_rate outage;
+          slow_rate = Option.value ~default:d.Agg_faults.Plan.slow_rate slow;
+          crash_rate = Option.value ~default:d.Agg_faults.Plan.crash_rate crash;
+        }
+      in
+      match Agg_faults.Plan.validate faults with
+      | exception Invalid_argument msg ->
+          Printf.eprintf "aggsim: %s\n" msg;
+          Cmd.Exit.cli_error
+      | () ->
+      let trace =
+        Agg_workload.Generator.generate ~seed:settings.Agg_sim.Experiment.seed
+          ~events:settings.Agg_sim.Experiment.events profile
+      in
+      Format.printf "plan: %a@.resilience: %a@." Agg_faults.Plan.pp_config faults
+        Agg_faults.Resilience.pp Agg_faults.Resilience.default;
+      List.iter
+        (fun (name, client) ->
+          let config = { Agg_system.Path.default_config with Agg_system.Path.client; faults } in
+          let r = Agg_system.Path.run config trace in
+          Format.printf "%-4s %a@.     faults: %a@." name Agg_system.Path.pp_result r
+            Agg_faults.Counters.pp r.Agg_system.Path.faults)
+        [
+          ("lru", Agg_system.Scheme.plain_lru);
+          ("g5", Agg_system.Scheme.aggregating ());
+        ];
+      exit_ok
+    end
+  in
+  Cmd.v
+    (Cmd.info "faults"
+       ~doc:
+         "Fault injection on the Fig. 2 path: run lru vs g5 clients under a deterministic fault \
+          plan (message loss, outages, slow links, crashes), or --sweep the loss rate.")
+    Term.(
+      const run $ settings_term $ profile_arg $ loss_arg $ outage_arg $ slow_arg $ crash_arg
+      $ fault_seed_arg $ sweep_arg)
 
 (* --- entropy / groups ----------------------------------------------- *)
 
@@ -654,6 +726,7 @@ let () =
             ablations_cmd;
             latency_cmd;
             fleet_cmd;
+            faults_cmd;
             entropy_cmd;
             groups_cmd;
             convert_cmd;

@@ -28,6 +28,15 @@ if grep -rnE '(^|[^.A-Za-z_])(Stdlib\.)?Random\.(self_init|State|int|bits|bool|f
   exit 1
 fi
 
+# The fault layer must derive every decision from Agg_util.Prng (the
+# Random grep above already rejects Stdlib.Random): a fault plan that
+# drew entropy anywhere else would stop being a pure function of its
+# seed and coordinates, breaking jobs-independent replay.
+if ! grep -rq 'Agg_util\.Prng' lib/faults; then
+  echo "ci.sh: lib/faults no longer draws its randomness from Agg_util.Prng" >&2
+  exit 1
+fi
+
 # All clock access must flow through Agg_obs.Span (lib/obs): hot-path
 # modules reading wall-clock time directly could make simulation results
 # time-dependent and break run-to-run reproducibility.
@@ -53,6 +62,10 @@ dune build @differential
 # reconciliation of event counts against Metrics aggregates, and the
 # sweep-profiler / Chrome-trace smoke run.
 dune build @obs
+
+# Fault-injection gate: smoke-run `aggsim faults` (single hostile run and
+# the loss-rate resilience sweep) at quick size.
+dune build @faults
 
 # Optional larger fuzz budget for nightly-style runs.
 if [ -n "${DIFFERENTIAL_OPS:-}" ]; then

@@ -8,6 +8,10 @@ type t = {
   evicted_unused : Counter.t;
   groups_built : Counter.t;
   successor_updates : Counter.t;
+  fetch_timeouts : Counter.t;
+  fetch_retries : Counter.t;
+  degraded_fetches : Counter.t;
+  client_crashes : Counter.t;
   lifetime : Histogram.t;
   hit_depth : Histogram.t;
   group_size : Histogram.t;
@@ -28,6 +32,10 @@ let create () =
     evicted_unused = Counter.create ();
     groups_built = Counter.create ();
     successor_updates = Counter.create ();
+    fetch_timeouts = Counter.create ();
+    fetch_retries = Counter.create ();
+    degraded_fetches = Counter.create ();
+    client_crashes = Counter.create ();
     lifetime = Histogram.create ();
     hit_depth = Histogram.create ();
     group_size = Histogram.create ();
@@ -65,6 +73,12 @@ let observe t (event : Event.t) =
       Histogram.add t.group_size size
 
   | Successor_update _ -> Counter.incr t.successor_updates
+  | Fetch_timeout { attempt; _ } ->
+      Counter.incr t.fetch_timeouts;
+      (* attempt 1 and later exist only because a retry re-issued them *)
+      if attempt > 0 then Counter.incr t.fetch_retries
+  | Fetch_degraded _ -> Counter.incr t.degraded_fetches
+  | Client_crashed _ -> Counter.incr t.client_crashes
 
 let of_events events =
   let t = create () in
@@ -82,6 +96,10 @@ let merge a b =
     evicted_unused = Counter.merge a.evicted_unused b.evicted_unused;
     groups_built = Counter.merge a.groups_built b.groups_built;
     successor_updates = Counter.merge a.successor_updates b.successor_updates;
+    fetch_timeouts = Counter.merge a.fetch_timeouts b.fetch_timeouts;
+    fetch_retries = Counter.merge a.fetch_retries b.fetch_retries;
+    degraded_fetches = Counter.merge a.degraded_fetches b.degraded_fetches;
+    client_crashes = Counter.merge a.client_crashes b.client_crashes;
     lifetime = Histogram.merge a.lifetime b.lifetime;
     hit_depth = Histogram.merge a.hit_depth b.hit_depth;
     group_size = Histogram.merge a.group_size b.group_size;
@@ -98,6 +116,10 @@ let evicted_demand t = Counter.value t.evicted_demand
 let evicted_unused t = Counter.value t.evicted_unused
 let groups_built t = Counter.value t.groups_built
 let successor_updates t = Counter.value t.successor_updates
+let fetch_timeouts t = Counter.value t.fetch_timeouts
+let fetch_retries t = Counter.value t.fetch_retries
+let degraded_fetches t = Counter.value t.degraded_fetches
+let client_crashes t = Counter.value t.client_crashes
 let lifetime t = t.lifetime
 let hit_depth t = t.hit_depth
 let group_size t = t.group_size

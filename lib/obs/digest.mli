@@ -43,6 +43,18 @@ val evicted_unused : t -> int
 val groups_built : t -> int
 val successor_updates : t -> int
 
+val fetch_timeouts : t -> int
+(** Timed-out remote fetch attempts ({!Event.Fetch_timeout}). *)
+
+val fetch_retries : t -> int
+(** Timed-out attempts that were themselves re-issues (attempt > 0). *)
+
+val degraded_fetches : t -> int
+(** Group fetches that fell back to the single-file demand path. *)
+
+val client_crashes : t -> int
+(** Client crash/restart events. *)
+
 val lifetime : t -> Histogram.t
 (** Accesses from prefetch issue to promotion or physical eviction. *)
 

@@ -6,6 +6,9 @@ type t =
   | Evicted of { file : int; speculative : bool; age_accesses : int }
   | Group_built of { anchor : int; size : int }
   | Successor_update of { prev : int; next : int }
+  | Fetch_timeout of { file : int; attempt : int }
+  | Fetch_degraded of { file : int; dropped : int }
+  | Client_crashed of { client : int; wiped : int }
 
 let name = function
   | Demand_hit _ -> "demand_hit"
@@ -15,6 +18,9 @@ let name = function
   | Evicted _ -> "evicted"
   | Group_built _ -> "group_built"
   | Successor_update _ -> "successor_update"
+  | Fetch_timeout _ -> "fetch_timeout"
+  | Fetch_degraded _ -> "fetch_degraded"
+  | Client_crashed _ -> "client_crashed"
 
 let to_json ~seq t =
   match t with
@@ -33,6 +39,12 @@ let to_json ~seq t =
       Printf.sprintf {|{"seq":%d,"ev":"group_built","anchor":%d,"size":%d}|} seq anchor size
   | Successor_update { prev; next } ->
       Printf.sprintf {|{"seq":%d,"ev":"successor_update","prev":%d,"next":%d}|} seq prev next
+  | Fetch_timeout { file; attempt } ->
+      Printf.sprintf {|{"seq":%d,"ev":"fetch_timeout","file":%d,"attempt":%d}|} seq file attempt
+  | Fetch_degraded { file; dropped } ->
+      Printf.sprintf {|{"seq":%d,"ev":"fetch_degraded","file":%d,"dropped":%d}|} seq file dropped
+  | Client_crashed { client; wiped } ->
+      Printf.sprintf {|{"seq":%d,"ev":"client_crashed","client":%d,"wiped":%d}|} seq client wiped
 
 (* Strict parser for exactly the lines [to_json] produces: one flat JSON
    object, string values only for "ev", int or bool values elsewhere, no
@@ -128,6 +140,21 @@ let of_json line =
         let* prev = int_field fields "prev" in
         let* next = int_field fields "next" in
         Ok (Successor_update { prev; next })
+    | {|"fetch_timeout"|} ->
+        let* () = expect_fields 4 in
+        let* file = int_field fields "file" in
+        let* attempt = int_field fields "attempt" in
+        Ok (Fetch_timeout { file; attempt })
+    | {|"fetch_degraded"|} ->
+        let* () = expect_fields 4 in
+        let* file = int_field fields "file" in
+        let* dropped = int_field fields "dropped" in
+        Ok (Fetch_degraded { file; dropped })
+    | {|"client_crashed"|} ->
+        let* () = expect_fields 4 in
+        let* client = int_field fields "client" in
+        let* wiped = int_field fields "wiped" in
+        Ok (Client_crashed { client; wiped })
     | other -> Error (Printf.sprintf "unknown event type %s" other)
   in
   Ok (seq, event)

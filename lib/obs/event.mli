@@ -27,6 +27,16 @@ type t =
           included) for the missed [anchor]. *)
   | Successor_update of { prev : int; next : int }
       (** The successor tracker observed [next] following [prev]. *)
+  | Fetch_timeout of { file : int; attempt : int }
+      (** Remote fetch attempt number [attempt] (0-based) for [file] timed
+          out — the request or response was lost, or the server was inside
+          an outage window. *)
+  | Fetch_degraded of { file : int; dropped : int }
+      (** A fetch exhausted its retries and fell back to the single-file
+          demand path; [dropped] speculative group members were shed. *)
+  | Client_crashed of { client : int; wiped : int }
+      (** [client] crashed and restarted, losing [wiped] cached files;
+          server-side metadata survives. *)
 
 val name : t -> string
 (** The JSONL ["ev"] tag, e.g. ["demand_hit"]. *)

@@ -11,6 +11,21 @@ let default_settings =
 
 let quick_settings = { default_settings with events = 6_000 }
 
+module Runner = struct
+  type nonrec t = {
+    settings : settings;
+    profiler : Agg_obs.Span.recorder option;
+    sink_for : (label:string -> Agg_obs.Sink.t) option;
+  }
+
+  let create ?jobs ?profiler ?sink_for ?(settings = default_settings) () =
+    let settings = match jobs with None -> settings | Some jobs -> { settings with jobs } in
+    { settings; profiler; sink_for }
+
+  let default = create ()
+  let sink t label = match t.sink_for with None -> Agg_obs.Sink.noop | Some f -> f ~label
+end
+
 let grid ?profiler ?span_label ~settings ~rows ~cols f =
   let eval =
     match profiler with

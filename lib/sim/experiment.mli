@@ -27,6 +27,42 @@ val default_settings : settings
 val quick_settings : settings
 (** A small configuration for tests: 6k events. *)
 
+(** One value describing {e how} a sweep is evaluated — settings,
+    parallelism, profiling and event sinks — so every figure exposes the
+    same [run : Runner.t -> figure] entry point instead of its own
+    combination of optional arguments. The per-figure [figure]/[panel]
+    signatures remain as thin wrappers for one release; new code should
+    construct a runner. *)
+module Runner : sig
+  type nonrec t = {
+    settings : settings;
+    profiler : Agg_obs.Span.recorder option;
+        (** when set, each sweep cell is timed as one {!Agg_obs.Span} *)
+    sink_for : (label:string -> Agg_obs.Sink.t) option;
+        (** per-cell event sinks, keyed by the cell's span label (e.g.
+            ["fig3/server/g5/c300"]); [None] = no-op sinks everywhere.
+            Because each cell owns its sink, event sequences are identical
+            for any [settings.jobs] — supply a distinct sink per label
+            when running with several domains. *)
+  }
+
+  val create :
+    ?jobs:int ->
+    ?profiler:Agg_obs.Span.recorder ->
+    ?sink_for:(label:string -> Agg_obs.Sink.t) ->
+    ?settings:settings ->
+    unit ->
+    t
+  (** [create ()] is {!default_settings} with no profiling and no sinks;
+      [jobs], when given, overrides [settings.jobs]. *)
+
+  val default : t
+
+  val sink : t -> string -> Agg_obs.Sink.t
+  (** [sink t label] is the sink for the cell labelled [label]
+      ({!Agg_obs.Sink.noop} when [sink_for] is unset). *)
+end
+
 val grid :
   ?profiler:Agg_obs.Span.recorder ->
   ?span_label:('r -> 'c -> string) ->

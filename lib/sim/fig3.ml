@@ -34,13 +34,24 @@ let panel ?profiler ?sink_for ?(settings = Experiment.default_settings)
     series;
   }
 
-let figure ?profiler ?(settings = Experiment.default_settings) () =
+let run (runner : Experiment.Runner.t) =
+  let panel_for profile =
+    let sink_for =
+      Option.map
+        (fun f ~group ~capacity ->
+          f
+            ~label:
+              (Printf.sprintf "fig3/%s/g%d/c%d" profile.Agg_workload.Profile.name group capacity))
+        runner.Experiment.Runner.sink_for
+    in
+    panel ?profiler:runner.Experiment.Runner.profiler ?sink_for
+      ~settings:runner.Experiment.Runner.settings profile
+  in
   {
     Experiment.id = "fig3";
     title = "Client demand fetches vs cache capacity, by group size";
-    panels =
-      [
-        panel ?profiler ~settings Agg_workload.Profile.server;
-        panel ?profiler ~settings Agg_workload.Profile.write;
-      ];
+    panels = [ panel_for Agg_workload.Profile.server; panel_for Agg_workload.Profile.write ];
   }
+
+let figure ?profiler ?(settings = Experiment.default_settings) () =
+  run (Experiment.Runner.create ?profiler ~settings ())

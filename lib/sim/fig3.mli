@@ -24,6 +24,13 @@ val panel :
     sequences are identical for any [settings.jobs] — give each cell a
     distinct sink when running with several domains. *)
 
+val run : Experiment.Runner.t -> Experiment.figure
+(** Both paper panels — [server] (3a) and [write] (3b) — under the
+    runner's settings, profiler and sinks. The runner's [sink_for] is
+    keyed by span label (["fig3/<workload>/g<G>/c<C>"]). This is the
+    preferred entry point; {!figure} is a thin wrapper kept for one
+    release. *)
+
 val figure :
   ?profiler:Agg_obs.Span.recorder -> ?settings:Experiment.settings -> unit -> Experiment.figure
-(** Both paper panels: [server] (3a) and [write] (3b). *)
+(** Deprecated spelling of {!run} (no sinks). *)

@@ -44,7 +44,20 @@ let panel ?profiler ?sink_for ?(settings = Experiment.default_settings)
     series;
   }
 
-let figure ?profiler ?(settings = Experiment.default_settings) () =
+let run (runner : Experiment.Runner.t) =
+  let panel_for profile =
+    let sink_for =
+      Option.map
+        (fun f ~scheme ~filter_capacity ->
+          f
+            ~label:
+              (Printf.sprintf "fig4/%s/%s/f%d" profile.Agg_workload.Profile.name scheme
+                 filter_capacity))
+        runner.Experiment.Runner.sink_for
+    in
+    panel ?profiler:runner.Experiment.Runner.profiler ?sink_for
+      ~settings:runner.Experiment.Runner.settings profile
+  in
   {
     Experiment.id = "fig4";
     title =
@@ -52,8 +65,11 @@ let figure ?profiler ?(settings = Experiment.default_settings) () =
         default_server_capacity;
     panels =
       [
-        panel ?profiler ~settings Agg_workload.Profile.workstation;
-        panel ?profiler ~settings Agg_workload.Profile.users;
-        panel ?profiler ~settings Agg_workload.Profile.server;
+        panel_for Agg_workload.Profile.workstation;
+        panel_for Agg_workload.Profile.users;
+        panel_for Agg_workload.Profile.server;
       ];
   }
+
+let figure ?profiler ?(settings = Experiment.default_settings) () =
+  run (Experiment.Runner.create ?profiler ~settings ())

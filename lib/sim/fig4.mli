@@ -26,7 +26,12 @@ val panel :
     capacity (default: no-op); per-cell sinks keep event sequences
     independent of [settings.jobs]. *)
 
+val run : Experiment.Runner.t -> Experiment.figure
+(** The paper's three panels — [workstation] (4a), [users] (4b),
+    [server] (4c) — under the runner's settings, profiler and sinks
+    (keyed by span label ["fig4/<workload>/<scheme>/f<C>"]). Preferred
+    entry point; {!figure} is a thin wrapper kept for one release. *)
+
 val figure :
   ?profiler:Agg_obs.Span.recorder -> ?settings:Experiment.settings -> unit -> Experiment.figure
-(** The paper's three panels: [workstation] (4a), [users] (4b),
-    [server] (4c). *)
+(** Deprecated spelling of {!run} (no sinks). *)

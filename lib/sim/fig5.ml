@@ -87,13 +87,24 @@ let panel ?profiler ?sink_for ?(settings = Experiment.default_settings)
     series;
   }
 
-let figure ?profiler ?(settings = Experiment.default_settings) () =
+let run (runner : Experiment.Runner.t) =
+  let panel_for profile =
+    let sink_for =
+      Option.map
+        (fun f ~policy ~capacity ->
+          f
+            ~label:
+              (Printf.sprintf "fig5/%s/%s/k%d" profile.Agg_workload.Profile.name policy capacity))
+        runner.Experiment.Runner.sink_for
+    in
+    panel ?profiler:runner.Experiment.Runner.profiler ?sink_for
+      ~settings:runner.Experiment.Runner.settings profile
+  in
   {
     Experiment.id = "fig5";
     title = "Probability of successor-list replacement evicting a future successor";
-    panels =
-      [
-        panel ?profiler ~settings Agg_workload.Profile.workstation;
-        panel ?profiler ~settings Agg_workload.Profile.server;
-      ];
+    panels = [ panel_for Agg_workload.Profile.workstation; panel_for Agg_workload.Profile.server ];
   }
+
+let figure ?profiler ?(settings = Experiment.default_settings) () =
+  run (Experiment.Runner.create ?profiler ~settings ())

@@ -20,9 +20,15 @@ val panel :
     event sink keyed by policy label ("lru"/"lfu") and list capacity
     (default: no-op). *)
 
+val run : Experiment.Runner.t -> Experiment.figure
+(** The paper's panels — [workstation] (5a) and [server] (5b) — under
+    the runner's settings, profiler and sinks (keyed by span label
+    ["fig5/<workload>/<policy>/k<C>"]). Preferred entry point; {!figure}
+    is a thin wrapper kept for one release. *)
+
 val figure :
   ?profiler:Agg_obs.Span.recorder -> ?settings:Experiment.settings -> unit -> Experiment.figure
-(** The paper's panels: [workstation] (5a) and [server] (5b). *)
+(** Deprecated spelling of {!run} (no sinks). *)
 
 val miss_probability :
   ?obs:Agg_obs.Sink.t ->

@@ -1,6 +1,7 @@
 let default_lengths = List.init 20 (fun i -> i + 1)
 
-let figure ?(settings = Experiment.default_settings) ?(lengths = default_lengths) () =
+let run ?(lengths = default_lengths) (runner : Experiment.Runner.t) =
+  let settings = runner.Experiment.Runner.settings in
   let profiles =
     [
       Agg_workload.Profile.users;
@@ -9,8 +10,12 @@ let figure ?(settings = Experiment.default_settings) ?(lengths = default_lengths
       Agg_workload.Profile.workstation;
     ]
   in
+  let span_label profile length =
+    Printf.sprintf "fig7/%s/l%d" profile.Agg_workload.Profile.name length
+  in
   let series =
-    Experiment.grid ~settings ~rows:profiles ~cols:lengths (fun profile length ->
+    Experiment.grid ?profiler:runner.Experiment.Runner.profiler ~span_label ~settings
+      ~rows:profiles ~cols:lengths (fun profile length ->
         Agg_entropy.Entropy.of_files ~length (Trace_store.files ~settings profile))
     |> List.map (fun (profile, points) ->
            {
@@ -31,3 +36,6 @@ let figure ?(settings = Experiment.default_settings) ?(lengths = default_lengths
         };
       ];
   }
+
+let figure ?(settings = Experiment.default_settings) ?lengths () =
+  run ?lengths (Experiment.Runner.create ~settings ())

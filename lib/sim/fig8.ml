@@ -1,6 +1,6 @@
 let default_filter_capacities = [ 1; 10; 50; 100; 500; 1000 ]
 
-let panel ?(settings = Experiment.default_settings)
+let panel ?profiler ?(settings = Experiment.default_settings)
     ?(filter_capacities = default_filter_capacities) ?(lengths = Fig7.default_lengths) profile =
   let trace = Trace_store.get ~settings profile in
   (* two parallel stages: filter each capacity's miss stream, then sweep
@@ -11,9 +11,12 @@ let panel ?(settings = Experiment.default_settings)
         (capacity, Agg_trace.Trace.files (Agg_trace.Filter.miss_stream ~capacity trace)))
       filter_capacities
   in
+  let span_label (capacity, _) length =
+    Printf.sprintf "fig8/%s/f%d/l%d" profile.Agg_workload.Profile.name capacity length
+  in
   let series =
-    Experiment.grid ~settings ~rows:missed ~cols:lengths (fun (_, files) length ->
-        Agg_entropy.Entropy.of_files ~length files)
+    Experiment.grid ?profiler ~span_label ~settings ~rows:missed ~cols:lengths
+      (fun (_, files) length -> Agg_entropy.Entropy.of_files ~length files)
     |> List.map (fun ((capacity, _), points) ->
            {
              Experiment.label = string_of_int capacity;
@@ -27,10 +30,16 @@ let panel ?(settings = Experiment.default_settings)
     series;
   }
 
-let figure ?(settings = Experiment.default_settings) () =
+let run (runner : Experiment.Runner.t) =
+  let panel_for profile =
+    panel ?profiler:runner.Experiment.Runner.profiler
+      ~settings:runner.Experiment.Runner.settings profile
+  in
   {
     Experiment.id = "fig8";
     title = "Successor entropy of LRU-filtered miss streams, by filter capacity";
-    panels =
-      [ panel ~settings Agg_workload.Profile.write; panel ~settings Agg_workload.Profile.users ];
+    panels = [ panel_for Agg_workload.Profile.write; panel_for Agg_workload.Profile.users ];
   }
+
+let figure ?(settings = Experiment.default_settings) () =
+  run (Experiment.Runner.create ~settings ())

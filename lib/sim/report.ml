@@ -189,11 +189,12 @@ let fig8_checks fig8 =
   List.concat_map checks_for [ "write"; "users" ]
 
 let run_all ?(settings = Experiment.default_settings) () =
-  let fig3 = Fig3.figure ~settings () in
-  let fig4 = Fig4.figure ~settings () in
-  let fig5 = Fig5.figure ~settings () in
-  let fig7 = Fig7.figure ~settings () in
-  let fig8 = Fig8.figure ~settings () in
+  let runner = Experiment.Runner.create ~settings () in
+  let fig3 = Fig3.run runner in
+  let fig4 = Fig4.run runner in
+  let fig5 = Fig5.run runner in
+  let fig7 = Fig7.run runner in
+  let fig8 = Fig8.run runner in
   fig3_checks fig3 @ fig4_checks fig4 @ fig5_checks fig5 @ fig7_checks fig7 @ fig8_checks fig8
 
 let table checks =

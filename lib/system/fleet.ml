@@ -1,33 +1,32 @@
 module Cache = Agg_cache.Cache
 module Tracker = Agg_successor.Tracker
-
-type client_scheme =
-  | Client_plain of Agg_cache.Cache.kind
-  | Client_aggregating of Agg_core.Config.t
-
-type server_scheme =
-  | Server_plain of Agg_cache.Cache.kind
-  | Server_aggregating of Agg_core.Config.t
+module Plan = Agg_faults.Plan
+module Resilience = Agg_faults.Resilience
+module Counters = Agg_faults.Counters
 
 type config = {
   clients : int;
   client_capacity : int;
-  client_scheme : client_scheme;
+  client_scheme : Scheme.t;
   server_capacity : int;
-  server_scheme : server_scheme;
+  server_scheme : Scheme.t;
   per_client_metadata : bool;
   write_invalidation : bool;
+  faults : Plan.config;
+  resilience : Resilience.t;
 }
 
 let default_config =
   {
     clients = 4;
     client_capacity = 150;
-    client_scheme = Client_aggregating Agg_core.Config.default;
+    client_scheme = Scheme.Aggregating Agg_core.Config.default;
     server_capacity = 300;
-    server_scheme = Server_aggregating Agg_core.Config.default;
+    server_scheme = Scheme.Aggregating Agg_core.Config.default;
     per_client_metadata = true;
     write_invalidation = true;
+    faults = Plan.none;
+    resilience = Resilience.default;
   }
 
 type result = {
@@ -38,57 +37,78 @@ type result = {
   store_fetches : int;
   invalidations : int;
   per_client_hit_rate : (int * float) list;
+  faults : Counters.t;
 }
 
 type client_state = { cache : Cache.t; mutable accesses : int; mutable hits : int }
 
 type state = {
   config : config;
+  plan : Plan.t;
   client_states : client_state array;
   server : Cache.t;
   tracker : Tracker.t; (* server-side metadata over the request stream *)
+  counters : Counters.t;
   mutable server_requests : int;
   mutable server_hits : int;
   mutable store_fetches : int;
   mutable invalidations : int;
+  mutable now : int;
 }
 
+let validate config =
+  if config.clients <= 0 then
+    invalid_arg (Printf.sprintf "Fleet.run: clients must be positive (got %d)" config.clients);
+  if config.client_capacity <= 0 then
+    invalid_arg
+      (Printf.sprintf "Fleet.run: client_capacity must be positive (got %d)"
+         config.client_capacity);
+  if config.server_capacity <= 0 then
+    invalid_arg
+      (Printf.sprintf "Fleet.run: server_capacity must be positive (got %d)"
+         config.server_capacity);
+  Scheme.validate config.client_scheme;
+  Scheme.validate config.server_scheme;
+  Plan.validate config.faults;
+  Resilience.validate config.resilience
+
+let remap_clients ~clients trace =
+  if clients <= 0 then
+    invalid_arg (Printf.sprintf "Fleet.remap_clients: clients must be positive (got %d)" clients);
+  Agg_trace.Trace.of_events
+    (List.map
+       (fun (e : Agg_trace.Event.t) -> { e with Agg_trace.Event.client = e.Agg_trace.Event.client mod clients })
+       (Agg_trace.Trace.to_events trace))
+
 let make_state config =
-  if config.clients <= 0 then invalid_arg "Fleet.run: clients must be positive";
-  let client_kind =
-    match config.client_scheme with
-    | Client_plain kind -> kind
-    | Client_aggregating c ->
-        Agg_core.Config.validate c;
-        c.Agg_core.Config.cache_kind
-  in
-  let server_kind =
-    match config.server_scheme with
-    | Server_plain kind -> kind
-    | Server_aggregating c ->
-        Agg_core.Config.validate c;
-        c.Agg_core.Config.cache_kind
-  in
+  validate config;
   let metadata_config =
-    match (config.client_scheme, config.server_scheme) with
-    | Client_aggregating c, _ | _, Server_aggregating c -> c
-    | _ -> Agg_core.Config.default
+    match (Scheme.group_config config.client_scheme, Scheme.group_config config.server_scheme) with
+    | Some c, _ | _, Some c -> c
+    | None, None -> Agg_core.Config.default
   in
   {
     config;
+    plan = Plan.make config.faults;
     client_states =
       Array.init config.clients (fun _ ->
-          { cache = Cache.create client_kind ~capacity:config.client_capacity; accesses = 0; hits = 0 });
-    server = Cache.create server_kind ~capacity:config.server_capacity;
+          {
+            cache = Cache.create (Scheme.cache_kind config.client_scheme) ~capacity:config.client_capacity;
+            accesses = 0;
+            hits = 0;
+          });
+    server = Cache.create (Scheme.cache_kind config.server_scheme) ~capacity:config.server_capacity;
     tracker =
       Tracker.create
         ~capacity:metadata_config.Agg_core.Config.successor_capacity
         ~policy:metadata_config.Agg_core.Config.metadata_policy
         ~per_client:config.per_client_metadata ();
+    counters = Counters.create ();
     server_requests = 0;
     server_hits = 0;
     store_fetches = 0;
     invalidations = 0;
+    now = 0;
   }
 
 (* a write at one client breaks every other client's cached copy *)
@@ -101,50 +121,85 @@ let invalidate_others st ~writer file =
       end)
     st.client_states
 
-let serve st ~client file =
+(* The resilience loop (see Path.attempt_fetch): timed-out attempts are
+   retried up to the policy's budget, then the fetch degrades. *)
+let rec fetch_survives st ~time ~attempt =
+  let down = Plan.server_down st.plan ~time in
+  if not (down || Plan.message_lost st.plan ~time ~attempt) then true
+  else begin
+    if down then st.counters.Counters.outage_denials <- st.counters.Counters.outage_denials + 1
+    else st.counters.Counters.lost_messages <- st.counters.Counters.lost_messages + 1;
+    st.counters.Counters.timeouts <- st.counters.Counters.timeouts + 1;
+    if attempt < st.config.resilience.Resilience.max_retries then begin
+      st.counters.Counters.retries <- st.counters.Counters.retries + 1;
+      fetch_survives st ~time ~attempt:(attempt + 1)
+    end
+    else false
+  end
+
+let serve st ~client ~time file =
   st.server_requests <- st.server_requests + 1;
   Tracker.observe st.tracker ~client file;
-  let group =
-    match st.config.client_scheme with
-    | Client_aggregating c ->
-        Agg_core.Group_builder.build st.tracker ~group_size:c.Agg_core.Config.group_size file
-    | Client_plain _ -> [ file ]
-  in
-  if Cache.access st.server file then st.server_hits <- st.server_hits + 1
+  let survives = (not (Plan.enabled st.plan)) || fetch_survives st ~time ~attempt:0 in
+  if not survives then begin
+    (* Degraded single-file fallback: the demanded file is still served
+       (counted against the server cache as usual), but no group is built,
+       no members travel, and the server stages nothing speculative. *)
+    st.counters.Counters.degraded_fetches <- st.counters.Counters.degraded_fetches + 1;
+    if Cache.access st.server file then st.server_hits <- st.server_hits + 1
+    else st.store_fetches <- st.store_fetches + 1
+  end
   else begin
-    st.store_fetches <- st.store_fetches + 1;
-    (* an aggregating server stages its own (possibly longer) group *)
-    match st.config.server_scheme with
-    | Server_aggregating c ->
-        let staged =
+    let group =
+      match Scheme.group_config st.config.client_scheme with
+      | Some c ->
           Agg_core.Group_builder.build st.tracker ~group_size:c.Agg_core.Config.group_size file
-        in
-        let members = match staged with _ :: rest -> rest | [] -> [] in
-        List.iter
-          (fun m -> if not (Cache.mem st.server m) then st.store_fetches <- st.store_fetches + 1)
-          members;
-        ignore (Cache.insert_cold_group st.server members)
-    | Server_plain _ -> ()
-  end;
-  (* group members travel to the requesting client; absent ones are read
-     from the store (or the server cache) on the way *)
-  let members = match group with _ :: rest -> rest | [] -> [] in
-  List.iter
-    (fun m ->
-      if not (Cache.mem st.server m) then begin
-        st.store_fetches <- st.store_fetches + 1;
-        Cache.insert_cold st.server m
-      end)
-    members;
-  let client_cache = st.client_states.(client).cache in
-  ignore (Cache.insert_cold_group client_cache members)
+      | None -> [ file ]
+    in
+    if Cache.access st.server file then st.server_hits <- st.server_hits + 1
+    else begin
+      st.store_fetches <- st.store_fetches + 1;
+      (* an aggregating server stages its own (possibly longer) group *)
+      match Scheme.group_config st.config.server_scheme with
+      | Some c ->
+          let staged =
+            Agg_core.Group_builder.build st.tracker ~group_size:c.Agg_core.Config.group_size file
+          in
+          let members = match staged with _ :: rest -> rest | [] -> [] in
+          List.iter
+            (fun m -> if not (Cache.mem st.server m) then st.store_fetches <- st.store_fetches + 1)
+            members;
+          ignore (Cache.insert_cold_group st.server members)
+      | None -> ()
+    end;
+    (* group members travel to the requesting client; absent ones are read
+       from the store (or the server cache) on the way *)
+    let members = match group with _ :: rest -> rest | [] -> [] in
+    List.iter
+      (fun m ->
+        if not (Cache.mem st.server m) then begin
+          st.store_fetches <- st.store_fetches + 1;
+          Cache.insert_cold st.server m
+        end)
+      members;
+    let client_cache = st.client_states.(client).cache in
+    ignore (Cache.insert_cold_group client_cache members)
+  end
 
 let access st (e : Agg_trace.Event.t) =
+  let time = st.now in
+  st.now <- time + 1;
   let client = e.Agg_trace.Event.client mod st.config.clients in
   let cs = st.client_states.(client) in
+  if Plan.enabled st.plan && Plan.client_crashes st.plan ~time ~client then begin
+    (* crash/restart: the cache is wiped; the run's per-client hit counts
+       and the server-side metadata survive *)
+    Cache.clear cs.cache;
+    st.counters.Counters.crashes <- st.counters.Counters.crashes + 1
+  end;
   cs.accesses <- cs.accesses + 1;
   if Cache.access cs.cache e.Agg_trace.Event.file then cs.hits <- cs.hits + 1
-  else serve st ~client e.Agg_trace.Event.file;
+  else serve st ~client ~time e.Agg_trace.Event.file;
   if st.config.write_invalidation && Agg_trace.Event.is_write e then
     invalidate_others st ~writer:client e.Agg_trace.Event.file
 
@@ -163,6 +218,7 @@ let run config trace =
     per_client_hit_rate =
       Array.to_list
         (Array.mapi (fun i cs -> (i, Agg_util.Stats.ratio cs.hits cs.accesses)) st.client_states);
+    faults = st.counters;
   }
 
 let client_hit_rate (r : result) = Agg_util.Stats.ratio r.client_hits r.accesses

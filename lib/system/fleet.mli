@@ -3,36 +3,42 @@
     single-filter model of §4.3 to many caches, with optional Coda-style
     write invalidation (a write breaks other clients' cached copies).
 
-    Events are routed to clients by their [client] id; [remap_clients]
+    Events are routed to clients by their [client] id; {!remap_clients}
     folds the trace's client ids onto a smaller fleet, which makes the
     related-work scale question (Wolman et al.: how do shared caches
-    behave as the population grows?) directly measurable. *)
+    behave as the population grows?) directly measurable.
 
-type client_scheme =
-  | Client_plain of Agg_cache.Cache.kind
-  | Client_aggregating of Agg_core.Config.t
-      (** group retrieval on client misses, metadata held at the server *)
+    Each cache level is configured by a shared {!Scheme.t} (the same type
+    {!Path} uses): [Plain] for demand caching, [Aggregating] for group
+    retrieval with the relationship metadata held at the server.
 
-type server_scheme =
-  | Server_plain of Agg_cache.Cache.kind
-  | Server_aggregating of Agg_core.Config.t
+    Resilience: when the fault plan is enabled, a server fetch blocked by
+    message loss or an outage window is retried up to
+    [resilience.max_retries] times and then degrades to a single-file
+    demand fetch — speculative group members are dropped, the demanded
+    file is still served. A client crash wipes that client's cache; the
+    server-side metadata survives. With [faults = Agg_faults.Plan.none]
+    every output is byte-identical to a fault-free build. *)
 
 type config = {
   clients : int;  (** fleet size; trace client ids are taken modulo this *)
   client_capacity : int;
-  client_scheme : client_scheme;
+  client_scheme : Scheme.t;
   server_capacity : int;
-  server_scheme : server_scheme;
+  server_scheme : Scheme.t;
   per_client_metadata : bool;
       (** keep a separate successor context per client at the server
           (§2.2's "identity of the driving client" model choice) *)
   write_invalidation : bool;
       (** writes invalidate the file in every *other* client cache *)
+  faults : Agg_faults.Plan.config;
+      (** fault plan; [Agg_faults.Plan.none] = healthy network *)
+  resilience : Agg_faults.Resilience.t;  (** retry / degradation policy *)
 }
 
 val default_config : config
 (** 4 clients of 150 files (aggregating, g = 5), a 300-file aggregating
-    server, per-client metadata, write invalidation on. *)
+    server, per-client metadata, write invalidation on, no faults. *)
 
 type result = {
   accesses : int;
@@ -42,9 +48,25 @@ type result = {
   store_fetches : int;
   invalidations : int;  (** cached copies broken by writes elsewhere *)
   per_client_hit_rate : (int * float) list;  (** client id, hit rate *)
+  faults : Agg_faults.Counters.t;
+      (** what the plan injected and the policy absorbed *)
 }
+
+val remap_clients : clients:int -> Agg_trace.Trace.t -> Agg_trace.Trace.t
+(** A copy of the trace with every event's client id taken modulo
+    [clients] — folds a large recorded population onto a smaller fleet.
+    @raise Invalid_argument when [clients] is not positive. *)
 
 val client_hit_rate : result -> float
 val server_hit_rate : result -> float
+
 val run : config -> Agg_trace.Trace.t -> result
+(** Replays the trace through the fleet. Deterministic: the fault plan is
+    a pure function of its seed and the access index, so results are
+    identical run-to-run and for any [--jobs] value.
+    @raise Invalid_argument when [clients] or a capacity is not positive,
+    or a scheme, fault plan or resilience policy is invalid. *)
+
 val pp_result : Format.formatter -> result -> unit
+(** Prints the original load fields only (fault counters excluded), so
+    fault-free output is identical to the pre-resilience layer. *)

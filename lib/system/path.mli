@@ -1,18 +1,26 @@
 (** End-to-end simulation of the full distributed path of the paper's
     Fig. 2 — client cache, network, server cache, server store — with
-    latency and load accounting. This turns the hit-rate results of the
-    figure experiments into the quantity the paper's introduction
-    actually promises: reduced access latency, at a measured cost in
-    network and disk load.
+    latency and load accounting, and (since the resilience layer) an
+    optional deterministic fault plan driving message loss, server
+    outages, slow links and client crashes.
 
-    Three deployments are modelled:
-    - [`Baseline]: plain demand caches at both levels;
-    - [`Aggregating_client]: the client fetches groups (the server keeps
-      the relationship metadata, §3), plain server cache;
-    - [`Aggregating_both]: group retrieval at the client *and* grouped
-      staging from disk into the server cache. *)
+    Each cache level is configured by a shared {!Scheme.t}: [Plain] for
+    demand caching, [Aggregating] for group retrieval (the server keeps
+    the relationship metadata, §3). An [Aggregating] {e server} walks the
+    successor chain to its own (typically deeper) group size and stages
+    the extension into its cache only — cheap disk readahead that is not
+    transferred to the client.
+
+    Resilience: a remote fetch blocked by the fault plan times out after
+    [resilience.timeout_ms], retries up to [resilience.max_retries] times
+    with exponential backoff, and — when the budget runs dry — degrades
+    to a single-file demand fetch: the speculative group members are
+    dropped, the demanded file is still served. With [faults = Plan.none]
+    every output is byte-identical to a fault-free build. *)
 
 type deployment = [ `Baseline | `Aggregating_client | `Aggregating_both ]
+(** The paper's three named configurations, kept as a shorthand over
+    {!Scheme.t} pairs (see {!with_deployment}). *)
 
 val deployment_name : deployment -> string
 
@@ -20,12 +28,26 @@ type config = {
   cost : Cost_model.t;
   client_capacity : int;
   server_capacity : int;
-  deployment : deployment;
-  group_size : int;  (** used by the aggregating deployments *)
+  client : Scheme.t;  (** the client cache's scheme *)
+  server : Scheme.t;  (** the server cache's scheme; [Aggregating] = staged readahead *)
+  faults : Agg_faults.Plan.config;  (** fault plan; [Agg_faults.Plan.none] = healthy network *)
+  resilience : Agg_faults.Resilience.t;  (** timeout / retry / degradation policy *)
+  obs : Agg_obs.Sink.t;
+      (** receives {!Agg_obs.Event.Fetch_timeout}, [Fetch_degraded] and
+          [Client_crashed] events; default {!Agg_obs.Sink.noop} *)
 }
 
 val default_config : config
-(** LAN costs, 300-file client, 1000-file server, [`Baseline], g = 5. *)
+(** LAN costs, 300-file client, 1000-file server, plain LRU at both
+    levels, no faults, default resilience, no-op sink. *)
+
+val with_deployment : ?group_size:int -> deployment -> config -> config
+(** [with_deployment d config] sets [config]'s schemes to the named
+    deployment: [`Baseline] is plain LRU at both levels;
+    [`Aggregating_client] puts an aggregating client (default [g = 5])
+    over a plain server; [`Aggregating_both] additionally stages
+    [2 * group_size]-deep readahead at the server.
+    @raise Invalid_argument when [group_size] is not positive. *)
 
 type result = {
   accesses : int;
@@ -33,13 +55,25 @@ type result = {
   server_hits : int;  (** of requests reaching the server *)
   disk_reads : int;  (** demanded + speculative reads at the store *)
   files_transferred : int;  (** network payload, in files *)
-  round_trips : int;
-  mean_latency : float;  (** demand latency per access, ms *)
+  round_trips : int;  (** completed fetches; timed-out attempts are not counted *)
+  mean_latency : float;  (** demand latency per access, ms — waits, backoff and
+                             slow-link multipliers included *)
   p95_latency : float;
   p99_latency : float;
+  faults : Agg_faults.Counters.t;  (** what the plan injected and the policy absorbed *)
 }
 
+val client_hit_rate : result -> float
+(** [client_hits / accesses]; [0.] on an empty trace. *)
+
 val run : config -> Agg_trace.Trace.t -> result
-(** Replays the trace through the configured deployment. *)
+(** Replays the trace through the configured path. Deterministic: the
+    fault plan is a pure function of its seed and the access index, so
+    results are identical run-to-run and for any [--jobs] value.
+    @raise Invalid_argument on non-positive capacities, an invalid
+    scheme, fault plan or resilience policy (see
+    {!Agg_faults.Plan.validate} and {!Agg_faults.Resilience.validate}). *)
 
 val pp_result : Format.formatter -> result -> unit
+(** Prints the load/latency fields only (fault counters excluded), so
+    fault-free output is identical to the pre-resilience layer. *)

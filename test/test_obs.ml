@@ -108,6 +108,9 @@ let test_event_json_roundtrip_crafted () =
       Event.Evicted { file = 8; speculative = false; age_accesses = 0 };
       Event.Group_built { anchor = 4; size = 5 };
       Event.Successor_update { prev = 1; next = 2 };
+      Event.Fetch_timeout { file = 11; attempt = 2 };
+      Event.Fetch_degraded { file = 11; dropped = 4 };
+      Event.Client_crashed { client = 3; wiped = 150 };
     ]
   in
   List.iteri
@@ -339,6 +342,10 @@ let qcheck_tests =
           file bool (int_range 0 1000);
         map2 (fun a s -> Event.Group_built { anchor = a; size = s }) file (int_range 1 20);
         map2 (fun p n -> Event.Successor_update { prev = p; next = n }) file file;
+        map2 (fun f a -> Event.Fetch_timeout { file = f; attempt = a }) file (int_range 0 10);
+        map2 (fun f d -> Event.Fetch_degraded { file = f; dropped = d }) file (int_range 0 20);
+        map2 (fun c w -> Event.Client_crashed { client = c; wiped = w }) (int_range 0 64)
+          (int_range 0 1000);
       ]
   in
   let event_arb = make ~print:(Format.asprintf "%a" Event.pp) event_gen in

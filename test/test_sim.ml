@@ -415,6 +415,36 @@ let test_ablation_adaptive_group () =
   let table = Ablations.adaptive_group ~settings:tiny () in
   check_bool "renders" true (String.length (Agg_util.Table.render table) > 0)
 
+(* --- Runner API & resilience sweep -------------------------------------- *)
+
+let test_runner_matches_figure () =
+  (* the deprecated per-figure entry points must stay byte-identical
+     wrappers around Runner-driven [run] *)
+  let runner = Experiment.Runner.create ~settings:tiny () in
+  let check_fig name via_run via_figure =
+    Alcotest.(check string) name
+      (Experiment.render_figure via_figure)
+      (Experiment.render_figure via_run)
+  in
+  check_fig "fig3 run = figure" (Fig3.run runner) (Fig3.figure ~settings:tiny ());
+  check_fig "fig7 run = figure" (Fig7.run runner) (Fig7.figure ~settings:tiny ())
+
+let test_resilience_sweep_jobs_determinism () =
+  let sweep jobs =
+    Resilience.sweep ~loss_rates:[ 0.0; 0.1 ]
+      (Experiment.Runner.create ~settings:{ tiny with Experiment.jobs } ())
+  in
+  check_bool "sweep points identical at jobs=1 and jobs=4" true (sweep 1 = sweep 4)
+
+let test_resilience_g5_beats_lru () =
+  let runner = Experiment.Runner.create ~settings:tiny () in
+  let points = Resilience.sweep ~loss_rates:[ 0.1 ] runner in
+  (match Resilience.hit_rate_advantage ~loss_rate:0.1 points with
+  | None -> Alcotest.fail "both schemes expected in the sweep"
+  | Some d -> check_bool "g5 retains a higher hit rate under 10% loss" true (d > 0.0));
+  let fig = Resilience.run ~loss_rates:[ 0.0; 0.1 ] runner in
+  check_int "two panels (hit rate, latency)" 2 (List.length fig.Experiment.panels)
+
 let () =
   Alcotest.run "agg_sim"
     [
@@ -454,6 +484,13 @@ let () =
         [
           Alcotest.test_case "fig7 shape" `Quick test_fig7_shape;
           Alcotest.test_case "fig8 shape" `Quick test_fig8_shape;
+        ] );
+      ( "runner-resilience",
+        [
+          Alcotest.test_case "run equals deprecated figure" `Quick test_runner_matches_figure;
+          Alcotest.test_case "sweep jobs=1 vs jobs=4" `Quick
+            test_resilience_sweep_jobs_determinism;
+          Alcotest.test_case "g5 beats lru under loss" `Quick test_resilience_g5_beats_lru;
         ] );
       ( "summary-report",
         [

@@ -18,13 +18,8 @@ let test_cost_model_arithmetic () =
     > Cost_model.demand_fetch_latency Cost_model.lan ~served_from_disk:false)
 
 let small_config deployment =
-  {
-    Path.default_config with
-    Path.client_capacity = 4;
-    server_capacity = 8;
-    deployment;
-    group_size = 3;
-  }
+  Path.with_deployment ~group_size:3 deployment
+    { Path.default_config with Path.client_capacity = 4; server_capacity = 8 }
 
 let test_baseline_crafted_latencies () =
   (* capacity 4 client: 1 2 3 1 2 -> misses 1,2,3 then hits 1,2 *)
@@ -48,7 +43,7 @@ let test_accounting_identities () =
   in
   List.iter
     (fun deployment ->
-      let r = Path.run { Path.default_config with Path.deployment } trace in
+      let r = Path.run (Path.with_deployment deployment Path.default_config) trace in
       check_int "accesses = trace" (Agg_trace.Trace.length trace) r.Path.accesses;
       check_int "rtts = client misses" (r.Path.accesses - r.Path.client_hits) r.Path.round_trips;
       check_bool "transferred >= rtts" true (r.Path.files_transferred >= r.Path.round_trips);
@@ -61,7 +56,7 @@ let test_baseline_transfers_one_per_rtt () =
   let trace =
     Agg_workload.Generator.generate ~seed:5 ~events:5000 Agg_workload.Profile.server
   in
-  let r = Path.run { Path.default_config with Path.deployment = `Baseline } trace in
+  let r = Path.run (Path.with_deployment `Baseline Path.default_config) trace in
   check_int "baseline sends exactly one file per round trip" r.Path.round_trips
     r.Path.files_transferred
 
@@ -69,7 +64,7 @@ let test_aggregation_cuts_latency_on_predictable_workload () =
   let trace =
     Agg_workload.Generator.generate ~seed:7 ~events:15_000 Agg_workload.Profile.server
   in
-  let run deployment = Path.run { Path.default_config with Path.deployment } trace in
+  let run deployment = Path.run (Path.with_deployment deployment Path.default_config) trace in
   let baseline = run `Baseline in
   let agg = run `Aggregating_client in
   let both = run `Aggregating_both in
@@ -141,18 +136,37 @@ let test_fleet_aggregation_reduces_requests () =
       server_capacity = 300;
     }
   in
-  let plain =
-    Fleet.run
-      { base with Fleet.client_scheme = Fleet.Client_plain Agg_cache.Cache.Lru } trace
-  in
+  let plain = Fleet.run { base with Fleet.client_scheme = Scheme.plain_lru } trace in
   let agg = Fleet.run base trace in
   check_bool "fewer server requests with grouping" true
     (agg.Fleet.server_requests < plain.Fleet.server_requests)
 
 let test_fleet_invalid_clients () =
-  Alcotest.check_raises "0 clients" (Invalid_argument "Fleet.run: clients must be positive")
-    (fun () ->
-      ignore (Fleet.run { Fleet.default_config with Fleet.clients = 0 } (Agg_trace.Trace.create ())))
+  Alcotest.check_raises "0 clients"
+    (Invalid_argument "Fleet.run: clients must be positive (got 0)") (fun () ->
+      ignore (Fleet.run { Fleet.default_config with Fleet.clients = 0 } (Agg_trace.Trace.create ())));
+  Alcotest.check_raises "negative capacity"
+    (Invalid_argument "Fleet.run: client_capacity must be positive (got -3)") (fun () ->
+      ignore
+        (Fleet.run
+           { Fleet.default_config with Fleet.client_capacity = -3 }
+           (Agg_trace.Trace.create ())))
+
+let test_fleet_remap_clients () =
+  let trace = Agg_trace.Trace.create () in
+  Agg_trace.Trace.add_access trace ~client:0 1;
+  Agg_trace.Trace.add_access trace ~client:5 2;
+  Agg_trace.Trace.add_access trace ~client:7 3;
+  let remapped = Fleet.remap_clients ~clients:3 trace in
+  let ids =
+    List.map (fun (e : Agg_trace.Event.t) -> e.Agg_trace.Event.client)
+      (Agg_trace.Trace.to_events remapped)
+  in
+  Alcotest.(check (list int)) "ids folded mod 3" [ 0; 2; 1 ] ids;
+  check_int "length preserved" 3 (Agg_trace.Trace.length remapped);
+  Alcotest.check_raises "0 clients rejected"
+    (Invalid_argument "Fleet.remap_clients: clients must be positive (got 0)") (fun () ->
+      ignore (Fleet.remap_clients ~clients:0 trace))
 
 let qcheck_tests =
   let open QCheck in
@@ -193,6 +207,7 @@ let () =
           Alcotest.test_case "aggregation reduces requests" `Quick
             test_fleet_aggregation_reduces_requests;
           Alcotest.test_case "invalid clients" `Quick test_fleet_invalid_clients;
+          Alcotest.test_case "remap clients" `Quick test_fleet_remap_clients;
         ] );
       ("properties", List.map QCheck_alcotest.to_alcotest qcheck_tests);
     ]
