@@ -30,6 +30,29 @@ let settings ~quick ~jobs =
 
 let section title = Printf.printf "\n================ %s ================\n%!" title
 
+(* Set by --quick: the micro section shrinks its Bechamel quota and
+   throughput repetitions instead of its event counts. *)
+let quick_flag = ref false
+
+(* All timing goes through the Obs.Span monotonic clock — ci.sh greps for
+   direct clock calls outside lib/obs. *)
+let timed f =
+  let t0 = Agg_obs.Span.now_ns () in
+  f ();
+  Agg_obs.Span.seconds_since t0
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
 (* Set by --obs: fig3/4/5 then time each sweep cell, and every section
    becomes a span, all exported to BENCH_obs.json. *)
 let profiler : Agg_obs.Span.recorder option ref = ref None
@@ -215,6 +238,71 @@ let run_faults ~settings =
     (fun () -> output_string oc (Agg_sim.Resilience.json_of_points points));
   Printf.printf "wrote %d sweep points to %s\n" (List.length points) faults_json_path
 
+(* --- scale: one fig3-shaped point at 10^5 clients ------------------------- *)
+
+(* The profile lives here, not in Profile.all: the calibrated
+   paper-vs-measured checks only cover the four paper workloads, and a
+   100k-client population has no paper counterpart. Shape follows the
+   `users` profile with shorter tasks so the private-file namespace stays
+   bounded (~10^6 ids, within the flat trackers' dense-id assumption). *)
+let scale_profile =
+  {
+    Agg_workload.Profile.users with
+    Agg_workload.Profile.name = "scale-100k";
+    clients = 100_000;
+    tasks = 100_000;
+    task_len_min = 4;
+    task_len_max = 10;
+    shared_pool = 2_000;
+    background_files = 50_000;
+  }
+
+let run_scale ~settings:_ =
+  section "Scale — fig3-shaped cell at 100,000 clients (group size 5, capacity 300)";
+  let events = if !quick_flag then 100_000 else 400_000 in
+  let files = Agg_workload.Generator.generate_files ~seed:42 ~events scale_profile in
+  let distinct =
+    let max_id = Array.fold_left max 0 files in
+    let seen = Bytes.make (max_id + 1) '\000' in
+    Array.iter (fun f -> Bytes.set seen f '\001') files;
+    let n = ref 0 in
+    Bytes.iter (fun c -> if c = '\001' then incr n) seen;
+    !n
+  in
+  let run ~group_size =
+    let cache =
+      Agg_core.Client_cache.create
+        ~config:(Agg_core.Config.with_group_size group_size Agg_core.Config.default)
+        ~capacity:300 ()
+    in
+    Agg_core.Client_cache.run_files cache files
+  in
+  let baseline = run ~group_size:1 in
+  let grouped = run ~group_size:5 in
+  let table =
+    Agg_util.Table.create
+      ~title:
+        (Printf.sprintf "scale-100k: %d clients, %d events, %d distinct files"
+           scale_profile.Agg_workload.Profile.clients events distinct)
+      ~columns:[ "scheme"; "hit %"; "demand fetches"; "prefetches used" ]
+  in
+  List.iter
+    (fun (name, (m : Agg_core.Metrics.client)) ->
+      Agg_util.Table.add_row table
+        [
+          name;
+          Printf.sprintf "%.2f" (100.0 *. Agg_core.Metrics.client_hit_rate m);
+          string_of_int m.Agg_core.Metrics.demand_fetches;
+          string_of_int m.Agg_core.Metrics.prefetch.Agg_core.Metrics.used;
+        ])
+    [ ("lru (g=1)", baseline); ("aggregating g5", grouped) ];
+  Agg_util.Table.print table;
+  Printf.printf "demand-fetch reduction at 100k clients: %.1f%%\n"
+    (100.0
+    *. (1.0
+       -. (float_of_int grouped.Agg_core.Metrics.demand_fetches
+          /. float_of_int (max 1 baseline.Agg_core.Metrics.demand_fetches))))
+
 (* --- Bechamel micro-benchmarks ------------------------------------------- *)
 
 let micro_tests () =
@@ -270,12 +358,51 @@ let micro_tests () =
                 Agg_workload.Profile.server)));
   ]
 
+let micro_json_path = "BENCH_micro.json"
+
+(* Per-policy op throughput: the same 20k-event server stream driven
+   through every online policy facade. Wall-clock, so the numbers vary
+   run to run; structure and op counts are deterministic. *)
+let policy_throughput ~reps files =
+  List.map
+    (fun kind ->
+      let cache = Agg_cache.Cache.create kind ~capacity:500 in
+      let ops = reps * Array.length files in
+      let seconds =
+        timed (fun () ->
+            for _ = 1 to reps do
+              Array.iter (fun f -> ignore (Agg_cache.Cache.access cache f)) files
+            done)
+      in
+      (Agg_cache.Cache.kind_name kind, ops, seconds))
+    Agg_cache.Cache.all_kinds
+
+let write_micro_json rows =
+  let oc = open_out micro_json_path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Printf.fprintf oc "{\n  \"stream\": \"server seed=7 events=20000 capacity=500\",\n";
+      Printf.fprintf oc "  \"policies\": [\n";
+      List.iteri
+        (fun i (name, ops, seconds) ->
+          let ns_per_op = if ops = 0 then 0.0 else seconds *. 1e9 /. float_of_int ops in
+          let mops = if seconds > 0.0 then float_of_int ops /. seconds /. 1e6 else 0.0 in
+          Printf.fprintf oc
+            "    {\"policy\": \"%s\", \"ops\": %d, \"seconds\": %.4f, \"ns_per_op\": %.1f, \
+             \"mops_per_sec\": %.2f}%s\n"
+            (json_escape name) ops seconds ns_per_op mops
+            (if i = List.length rows - 1 then "" else ","))
+        rows;
+      Printf.fprintf oc "  ]\n}\n")
+
 let run_micro () =
   section "Micro-benchmarks (Bechamel, monotonic clock)";
   let open Bechamel in
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
   let instances = Toolkit.Instance.[ monotonic_clock ] in
-  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None () in
+  let quota = if !quick_flag then Time.second 0.1 else Time.second 0.5 in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota ~kde:None () in
   let grouped = Test.make_grouped ~name:"aggcache" (micro_tests ()) in
   let raw = Benchmark.all cfg instances grouped in
   let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
@@ -298,23 +425,34 @@ let run_micro () =
       in
       Agg_util.Table.add_row table [ name; time; Printf.sprintf "%.3f" r2 ])
     (List.sort (fun (a, _) (b, _) -> compare a b) rows);
-  Agg_util.Table.print table
+  Agg_util.Table.print table;
+  let files =
+    Agg_workload.Generator.generate_files ~seed:7 ~events:20_000 Agg_workload.Profile.server
+  in
+  let reps = if !quick_flag then 2 else 10 in
+  let throughput = policy_throughput ~reps files in
+  let table =
+    Agg_util.Table.create ~title:"per-policy access throughput (server stream, capacity 500)"
+      ~columns:[ "policy"; "ops"; "ns/op"; "Mops/s" ]
+  in
+  List.iter
+    (fun (name, ops, seconds) ->
+      Agg_util.Table.add_row table
+        [
+          name;
+          string_of_int ops;
+          Printf.sprintf "%.0f" (seconds *. 1e9 /. float_of_int (max 1 ops));
+          (if seconds > 0.0 then Printf.sprintf "%.2f" (float_of_int ops /. seconds /. 1e6)
+           else "n/a");
+        ])
+    throughput;
+  Agg_util.Table.print table;
+  write_micro_json throughput;
+  Printf.printf "wrote %d policy rows to %s\n" (List.length throughput) micro_json_path
 
 (* --- BENCH_sweep.json ------------------------------------------------------ *)
 
 let bench_json_path = "BENCH_sweep.json"
-
-let json_escape s =
-  let buf = Buffer.create (String.length s) in
-  String.iter
-    (function
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
 
 (* one timing record per executed section: (name, seconds at --jobs N,
    seconds at --jobs 1 when --sweep measured it) *)
@@ -373,13 +511,6 @@ let silently f =
       Unix.close saved)
     f
 
-(* All timing goes through the Obs.Span monotonic clock — ci.sh greps for
-   direct clock calls outside lib/obs. *)
-let timed f =
-  let t0 = Agg_obs.Span.now_ns () in
-  f ();
-  Agg_obs.Span.seconds_since t0
-
 (* --- main ------------------------------------------------------------------ *)
 
 let sections =
@@ -395,6 +526,7 @@ let sections =
     ("ablations", `Settings run_ablations);
     ("latency", `Settings run_latency);
     ("fleet", `Settings run_fleet);
+    ("scale", `Settings run_scale);
     ("micro", `Plain run_micro);
   ]
 
@@ -409,6 +541,7 @@ let obs_json_path = "BENCH_obs.json"
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let quick = List.mem "--quick" args in
+  quick_flag := quick;
   let sweep = List.mem "--sweep" args in
   let obs = List.mem "--obs" args in
   let faults = List.mem "--faults" args in

@@ -610,13 +610,19 @@ let profile_cmd =
             "Also write the per-cell spans as Chrome trace_event JSON to $(docv) (open in \
              chrome://tracing or Perfetto).")
   in
+  let top_arg =
+    Arg.(
+      value
+      & opt int 10
+      & info [ "top" ] ~docv:"N" ~doc:"Show the $(docv) slowest sweep cells (default 10).")
+  in
   let pp_hist name h =
     let q q' = match Agg_obs.Histogram.quantile h q' with Some v -> string_of_int v | None -> "-" in
     Printf.printf "  %-22s count=%-7d mean=%-8.1f p50=%-6s p90=%-6s p99=%-6s max=%s\n" name
       (Agg_obs.Histogram.count h) (Agg_obs.Histogram.mean h) (q 0.5) (q 0.9) (q 0.99)
       (match Agg_obs.Histogram.max_value h with Some v -> string_of_int v | None -> "-")
   in
-  let run settings profile trace_out =
+  let run settings profile trace_out top =
     let recorder = Agg_obs.Span.recorder () in
     ignore (Agg_sim.Fig3.figure ~profiler:recorder ~settings ());
     ignore (Agg_sim.Fig4.figure ~profiler:recorder ~settings ());
@@ -648,18 +654,27 @@ let profile_cmd =
         (fun a b -> compare (Agg_obs.Span.seconds_of b) (Agg_obs.Span.seconds_of a))
         spans
     in
+    (* Every fig3/4/5 cell replays the full trace, so events/s per cell
+       is the trace length over the cell's wall-clock. *)
+    let cell_events = float_of_int settings.Agg_sim.Experiment.events in
     let table =
-      Agg_util.Table.create ~title:"slowest sweep cells" ~columns:[ "cell"; "ms"; "domain" ]
+      Agg_util.Table.create
+        ~title:(Printf.sprintf "slowest %d sweep cells" top)
+        ~columns:[ "cell"; "ms"; "events/s"; "domain" ]
     in
     List.iteri
       (fun i (s : Agg_obs.Span.span) ->
-        if i < 10 then
+        if i < top then begin
+          let seconds = Agg_obs.Span.seconds_of s in
           Agg_util.Table.add_row table
             [
               s.Agg_obs.Span.name;
-              Printf.sprintf "%.2f" (1000.0 *. Agg_obs.Span.seconds_of s);
+              Printf.sprintf "%.2f" (1000.0 *. seconds);
+              (if seconds > 0.0 then Printf.sprintf "%.0fk" (cell_events /. seconds /. 1e3)
+               else "-");
               string_of_int s.Agg_obs.Span.tid;
-            ])
+            ]
+        end)
       slowest;
     Agg_util.Table.print table;
     (* One fully instrumented run for the headline histograms. *)
@@ -701,7 +716,7 @@ let profile_cmd =
          "Profile the fig3/fig4/fig5 sweeps: wall-clock per sweep cell (optionally exported as a \
           Chrome trace via $(b,--trace-out)) plus the event histograms — speculative-resident \
           lifetime, stack distance at hits, group size — of one instrumented run.")
-    Term.(const run $ settings_term $ profile_arg $ trace_out_arg)
+    Term.(const run $ settings_term $ profile_arg $ trace_out_arg $ top_arg)
 
 (* --- main ------------------------------------------------------------ *)
 

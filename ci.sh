@@ -46,6 +46,26 @@ if grep -rnE 'Unix\.gettimeofday|Unix\.time\b|Sys\.time\b|Monotonic_clock\.' \
   exit 1
 fi
 
+# Arena discipline: the per-access recency paths in lib/cache and
+# lib/successor are flat-array structures (Agg_util.Dlist_arena /
+# Agg_util.Int_table); a Hashtbl creeping back in would reintroduce
+# per-access hashing and allocation. Sanctioned exceptions, none of them
+# on the recency hot path:
+#   lib/cache/lfu.ml, lib/cache/arc.ml      frequency counts / ghost lists
+#   lib/cache/belady.ml                     offline oracle policy
+#   lib/successor/successor_list.ml         Frequency-policy count tables
+#   lib/successor/tracker.ml                Frequency-policy fallback lists
+#   lib/successor/{graph,grouping,oracle}.* offline baselines and oracles
+hot_hashtbl=$(grep -rl 'Hashtbl' lib/cache lib/successor 2>/dev/null \
+  | grep -vE 'lib/cache/(arc|belady|lfu)\.ml$' \
+  | grep -vE 'lib/successor/(tracker|successor_list|graph|grouping|oracle)\.(ml|mli)$' \
+  || true)
+if [ -n "$hot_hashtbl" ]; then
+  echo "ci.sh: Hashtbl found on the arena hot path:" >&2
+  echo "$hot_hashtbl" >&2
+  exit 1
+fi
+
 if [ "${1:-}" = "--fast" ]; then
   dune build @all
   dune build @runtest-fast
@@ -66,6 +86,10 @@ dune build @obs
 # Fault-injection gate: smoke-run `aggsim faults` (single hostile run and
 # the loss-rate resilience sweep) at quick size.
 dune build @faults
+
+# Micro gate: Bechamel micro-benchmarks and the per-policy throughput
+# pass at reduced quota; exercises every online policy facade.
+dune build @micro
 
 # Optional larger fuzz budget for nightly-style runs.
 if [ -n "${DIFFERENTIAL_OPS:-}" ]; then

@@ -36,19 +36,23 @@ type stats = {
   evictions : int;
 }
 
-let zero_stats =
-  { accesses = 0; hits = 0; misses = 0; insertions = 0; speculative_insertions = 0; evictions = 0 }
-
 let pp_stats ppf s =
   Format.fprintf ppf "accesses=%d hits=%d misses=%d insertions=%d speculative=%d evictions=%d"
     s.accesses s.hits s.misses s.insertions s.speculative_insertions s.evictions
 
 type packed = Packed : (module Policy.S with type t = 'a) * 'a -> packed
 
+(* Counters live as mutable fields — the exposed [stats] record is only
+   materialized on demand, so the access path allocates nothing. *)
 type t = {
   kind : kind;
   packed : packed;
-  mutable stats : stats;
+  mutable accesses : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable insertions : int;
+  mutable speculative_insertions : int;
+  mutable evictions : int;
   mutable on_evict : (int -> unit) option;
 }
 
@@ -66,7 +70,17 @@ let make_packed kind ~capacity =
   | Arc -> Packed ((module Arc), Arc.create ~capacity)
 
 let create kind ~capacity =
-  { kind; packed = make_packed kind ~capacity; stats = zero_stats; on_evict = None }
+  {
+    kind;
+    packed = make_packed kind ~capacity;
+    accesses = 0;
+    hits = 0;
+    misses = 0;
+    insertions = 0;
+    speculative_insertions = 0;
+    evictions = 0;
+    on_evict = None;
+  }
 
 let set_on_evict t f = t.on_evict <- Some f
 let clear_on_evict t = t.on_evict <- None
@@ -98,52 +112,41 @@ let raw_insert t ~pos key =
 
 let access t key =
   let (Packed ((module P), state)) = t.packed in
-  let s = t.stats in
+  t.accesses <- t.accesses + 1;
   if P.mem state key then begin
     P.promote state key;
-    t.stats <- { s with accesses = s.accesses + 1; hits = s.hits + 1 };
+    t.hits <- t.hits + 1;
     true
   end
   else begin
     let evicted = raw_insert t ~pos:Policy.Hot key in
-    t.stats <-
-      {
-        s with
-        accesses = s.accesses + 1;
-        misses = s.misses + 1;
-        insertions = s.insertions + 1;
-        evictions = (s.evictions + match evicted with Some _ -> 1 | None -> 0);
-      };
+    t.misses <- t.misses + 1;
+    t.insertions <- t.insertions + 1;
+    (match evicted with Some _ -> t.evictions <- t.evictions + 1 | None -> ());
     false
   end
 
 let insert_cold t key =
   if not (mem t key) then begin
     let evicted = raw_insert t ~pos:Policy.Cold key in
-    let s = t.stats in
-    t.stats <-
-      {
-        s with
-        insertions = s.insertions + 1;
-        speculative_insertions = s.speculative_insertions + 1;
-        evictions = (s.evictions + match evicted with Some _ -> 1 | None -> 0);
-      }
+    t.insertions <- t.insertions + 1;
+    t.speculative_insertions <- t.speculative_insertions + 1;
+    match evicted with Some _ -> t.evictions <- t.evictions + 1 | None -> ()
   end
 
 let insert_cold_group t keys =
   let (Packed ((module P), state)) = t.packed in
   (* Distinct, non-resident members only, capped so the block cannot fill
-     the whole cache and displace the demanded file at the hot end. *)
-  let seen = Hashtbl.create 8 in
+     the whole cache and displace the demanded file at the hot end.
+     Groups are a handful of keys (g ≤ 10 in every experiment), so a
+     linear membership scan beats allocating a scratch table per call. *)
   let fresh =
     List.filter
-      (fun k ->
-        if Hashtbl.mem seen k || P.mem state k then false
-        else begin
-          Hashtbl.replace seen k ();
-          true
-        end)
-      keys
+      (fun k -> not (P.mem state k))
+      (List.fold_left
+         (fun acc k -> if List.mem k acc then acc else k :: acc)
+         [] keys
+      |> List.rev)
   in
   let admitted =
     let cap = P.capacity state - 1 in
@@ -159,28 +162,18 @@ let insert_cold_group t keys =
     | None -> ()
   done;
   List.iter (fun k -> notify_evict t (P.insert state ~pos:Policy.Cold k)) admitted;
-  let s = t.stats in
   let n = List.length admitted in
-  t.stats <-
-    {
-      s with
-      insertions = s.insertions + n;
-      speculative_insertions = s.speculative_insertions + n;
-      evictions = s.evictions + !evicted;
-    };
+  t.insertions <- t.insertions + n;
+  t.speculative_insertions <- t.speculative_insertions + n;
+  t.evictions <- t.evictions + !evicted;
   admitted
 
 let insert_hot t key =
   let resident = mem t key in
   let evicted = raw_insert t ~pos:Policy.Hot key in
   if not resident then begin
-    let s = t.stats in
-    t.stats <-
-      {
-        s with
-        insertions = s.insertions + 1;
-        evictions = (s.evictions + match evicted with Some _ -> 1 | None -> 0);
-      }
+    t.insertions <- t.insertions + 1;
+    match evicted with Some _ -> t.evictions <- t.evictions + 1 | None -> ()
   end
 
 let remove t key =
@@ -202,15 +195,27 @@ let contents t =
   let (Packed ((module P), state)) = t.packed in
   P.contents state
 
-let stats t = t.stats
+let stats t =
+  {
+    accesses = t.accesses;
+    hits = t.hits;
+    misses = t.misses;
+    insertions = t.insertions;
+    speculative_insertions = t.speculative_insertions;
+    evictions = t.evictions;
+  }
 
-let hit_rate t =
-  let s = t.stats in
-  if s.accesses = 0 then 0.0 else float_of_int s.hits /. float_of_int s.accesses
+let hit_rate t = if t.accesses = 0 then 0.0 else float_of_int t.hits /. float_of_int t.accesses
 
-let reset_stats t = t.stats <- zero_stats
+let reset_stats t =
+  t.accesses <- 0;
+  t.hits <- 0;
+  t.misses <- 0;
+  t.insertions <- 0;
+  t.speculative_insertions <- 0;
+  t.evictions <- 0
 
 let clear t =
   let (Packed ((module P), state)) = t.packed in
   P.clear state;
-  t.stats <- zero_stats
+  reset_stats t

@@ -1,9 +1,15 @@
-type slot = { mutable key : int; mutable referenced : bool; mutable occupied : bool }
+open Agg_util
+
+(* The circular buffer is already flat; this version splits the slot
+   records into parallel arrays and swaps the hash index for a
+   direct-index table, so the whole policy is unboxed int/bool arrays. *)
 
 type t = {
   capacity : int;
-  slots : slot array;
-  index : (int, int) Hashtbl.t; (* key -> slot number *)
+  keys : int array;
+  referenced : bool array;
+  occupied : bool array;
+  index : Int_table.t; (* key -> slot number *)
   mutable hand : int;
   mutable size : int;
 }
@@ -14,33 +20,33 @@ let create ~capacity =
   if capacity <= 0 then invalid_arg "Clock.create: capacity must be positive";
   {
     capacity;
-    slots = Array.init capacity (fun _ -> { key = 0; referenced = false; occupied = false });
-    index = Hashtbl.create (2 * capacity);
+    keys = Array.make capacity 0;
+    referenced = Array.make capacity false;
+    occupied = Array.make capacity false;
+    index = Int_table.create ~capacity:(2 * capacity) ();
     hand = 0;
     size = 0;
   }
 
 let capacity t = t.capacity
 let size t = t.size
-let mem t key = Hashtbl.mem t.index key
+let mem t key = Int_table.mem t.index key
 
 let promote t key =
-  match Hashtbl.find_opt t.index key with
-  | Some i -> t.slots.(i).referenced <- true
-  | None -> ()
+  let i = Int_table.get t.index key in
+  if i >= 0 then t.referenced.(i) <- true
 
 let advance t = t.hand <- (t.hand + 1) mod t.capacity
 
 (* Sweep the hand, giving second chances, until an unreferenced occupied
    slot is found. Terminates within two revolutions. *)
 let rec find_victim t =
-  let slot = t.slots.(t.hand) in
-  if not slot.occupied then begin
+  if not t.occupied.(t.hand) then begin
     advance t;
     find_victim t
   end
-  else if slot.referenced then begin
-    slot.referenced <- false;
+  else if t.referenced.(t.hand) then begin
+    t.referenced.(t.hand) <- false;
     advance t;
     find_victim t
   end
@@ -52,8 +58,8 @@ let rec find_victim t =
 
 let free_slot t =
   let rec scan i remaining =
-    if remaining = 0 then None
-    else if not t.slots.(i).occupied then Some i
+    if remaining = 0 then -1
+    else if not t.occupied.(i) then i
     else scan ((i + 1) mod t.capacity) (remaining - 1)
   in
   scan t.hand t.capacity
@@ -62,57 +68,61 @@ let evict t =
   if t.size = 0 then None
   else begin
     let i = find_victim t in
-    let victim = t.slots.(i).key in
-    t.slots.(i).occupied <- false;
-    Hashtbl.remove t.index victim;
+    let victim = t.keys.(i) in
+    t.occupied.(i) <- false;
+    Int_table.remove t.index victim;
     t.size <- t.size - 1;
     Some victim
   end
 
 let insert t ~pos key =
-  match Hashtbl.find_opt t.index key with
-  | Some i ->
-      t.slots.(i).referenced <- (match pos with Policy.Hot -> true | Policy.Cold -> false);
-      None
-  | None ->
-      let slot_idx, victim =
-        if t.size < t.capacity then (
-          match free_slot t with
-          | Some i -> (i, None)
-          | None -> assert false (* size < capacity implies a free slot *))
-        else
-          let i = find_victim t in
-          let old = t.slots.(i).key in
-          Hashtbl.remove t.index old;
-          t.size <- t.size - 1;
-          (i, Some old)
-      in
-      let slot = t.slots.(slot_idx) in
-      slot.key <- key;
-      slot.occupied <- true;
-      slot.referenced <- (match pos with Policy.Hot -> true | Policy.Cold -> false);
-      Hashtbl.replace t.index key slot_idx;
-      t.size <- t.size + 1;
-      victim
+  let existing = Int_table.get t.index key in
+  if existing >= 0 then begin
+    t.referenced.(existing) <- (match pos with Policy.Hot -> true | Policy.Cold -> false);
+    None
+  end
+  else begin
+    let slot_idx, victim =
+      if t.size < t.capacity then begin
+        let i = free_slot t in
+        assert (i >= 0) (* size < capacity implies a free slot *);
+        (i, None)
+      end
+      else begin
+        let i = find_victim t in
+        let old = t.keys.(i) in
+        Int_table.remove t.index old;
+        t.size <- t.size - 1;
+        (i, Some old)
+      end
+    in
+    t.keys.(slot_idx) <- key;
+    t.occupied.(slot_idx) <- true;
+    t.referenced.(slot_idx) <- (match pos with Policy.Hot -> true | Policy.Cold -> false);
+    Int_table.set t.index key slot_idx;
+    t.size <- t.size + 1;
+    victim
+  end
 
 let remove t key =
-  match Hashtbl.find_opt t.index key with
-  | Some i ->
-      t.slots.(i).occupied <- false;
-      t.slots.(i).referenced <- false;
-      Hashtbl.remove t.index key;
-      t.size <- t.size - 1
-  | None -> ()
+  let i = Int_table.get t.index key in
+  if i >= 0 then begin
+    t.occupied.(i) <- false;
+    t.referenced.(i) <- false;
+    Int_table.remove t.index key;
+    t.size <- t.size - 1
+  end
 
 let contents t =
-  Hashtbl.fold (fun key _ acc -> key :: acc) t.index []
+  let out = ref [] in
+  for i = t.capacity - 1 downto 0 do
+    if t.occupied.(i) then out := t.keys.(i) :: !out
+  done;
+  !out
 
 let clear t =
-  Array.iter
-    (fun slot ->
-      slot.occupied <- false;
-      slot.referenced <- false)
-    t.slots;
-  Hashtbl.reset t.index;
+  Array.fill t.occupied 0 t.capacity false;
+  Array.fill t.referenced 0 t.capacity false;
+  Int_table.clear t.index;
   t.hand <- 0;
   t.size <- 0

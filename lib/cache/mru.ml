@@ -1,56 +1,76 @@
 open Agg_util
 
-type t = { capacity : int; order : int Dlist.t; index : (int, int Dlist.node) Hashtbl.t }
+(* Arena-backed (see lru.ml): flat-array list + direct-index key table. *)
+type t = {
+  capacity : int;
+  arena : Dlist_arena.t;
+  order : Dlist_arena.list_;
+  index : Int_table.t; (* key -> node *)
+  mutable size : int;
+}
 
 let policy_name = "mru"
 
 let create ~capacity =
   if capacity <= 0 then invalid_arg "Mru.create: capacity must be positive";
-  { capacity; order = Dlist.create (); index = Hashtbl.create (2 * capacity) }
+  let arena = Dlist_arena.create ~capacity:(capacity + 2) () in
+  {
+    capacity;
+    arena;
+    order = Dlist_arena.new_list arena;
+    index = Int_table.create ~capacity:(2 * capacity) ();
+    size = 0;
+  }
 
 let capacity t = t.capacity
-let size t = Dlist.length t.order
-let mem t key = Hashtbl.mem t.index key
+let size t = t.size
+let mem t key = Int_table.mem t.index key
 
 let promote t key =
-  match Hashtbl.find_opt t.index key with
-  | Some node -> Dlist.move_to_front t.order node
-  | None -> ()
+  let node = Int_table.get t.index key in
+  if node >= 0 then Dlist_arena.move_to_front t.arena t.order node
 
 (* The victim is the *front* (most recently touched) entry. *)
 let evict t =
-  match Dlist.pop_front t.order with
-  | None -> None
-  | Some victim ->
-      Hashtbl.remove t.index victim;
-      Some victim
+  let victim = Dlist_arena.pop_front t.arena t.order in
+  if victim < 0 then None
+  else begin
+    Int_table.remove t.index victim;
+    t.size <- t.size - 1;
+    Some victim
+  end
 
 let insert t ~pos key =
-  match Hashtbl.find_opt t.index key with
-  | Some node ->
-      (match pos with
-      | Policy.Hot -> Dlist.move_to_front t.order node
-      | Policy.Cold -> Dlist.move_to_back t.order node);
-      None
-  | None ->
-      let victim = if size t >= t.capacity then evict t else None in
-      let node =
-        match pos with
-        | Policy.Hot -> Dlist.push_front t.order key
-        | Policy.Cold -> Dlist.push_back t.order key
-      in
-      Hashtbl.replace t.index key node;
-      victim
+  let node = Int_table.get t.index key in
+  if node >= 0 then begin
+    (match pos with
+    | Policy.Hot -> Dlist_arena.move_to_front t.arena t.order node
+    | Policy.Cold -> Dlist_arena.move_to_back t.arena t.order node);
+    None
+  end
+  else begin
+    let victim = if t.size >= t.capacity then evict t else None in
+    let node =
+      match pos with
+      | Policy.Hot -> Dlist_arena.push_front t.arena t.order key
+      | Policy.Cold -> Dlist_arena.push_back t.arena t.order key
+    in
+    Int_table.set t.index key node;
+    t.size <- t.size + 1;
+    victim
+  end
 
 let remove t key =
-  match Hashtbl.find_opt t.index key with
-  | Some node ->
-      Dlist.remove t.order node;
-      Hashtbl.remove t.index key
-  | None -> ()
+  let node = Int_table.get t.index key in
+  if node >= 0 then begin
+    Dlist_arena.remove t.arena node;
+    Int_table.remove t.index key;
+    t.size <- t.size - 1
+  end
 
-let contents t = Dlist.to_list t.order
+let contents t = Dlist_arena.to_list t.arena t.order
 
 let clear t =
-  Hashtbl.reset t.index;
-  Dlist.clear t.order
+  Int_table.clear t.index;
+  Dlist_arena.clear_list t.arena t.order;
+  t.size <- 0

@@ -3,7 +3,7 @@ open Agg_util
 type t = {
   capacity : int;
   keys : int Vec.t; (* dense array for O(1) random victim selection *)
-  index : (int, int) Hashtbl.t; (* key -> position in [keys] *)
+  index : Int_table.t; (* key -> position in [keys] *)
   prng : Prng.t;
 }
 
@@ -11,13 +11,18 @@ let policy_name = "random"
 
 let create_seeded ~capacity ~seed =
   if capacity <= 0 then invalid_arg "Random_policy.create: capacity must be positive";
-  { capacity; keys = Vec.create (); index = Hashtbl.create (2 * capacity); prng = Prng.create ~seed () }
+  {
+    capacity;
+    keys = Vec.create ();
+    index = Int_table.create ~capacity:(2 * capacity) ();
+    prng = Prng.create ~seed ();
+  }
 
 let create ~capacity = create_seeded ~capacity ~seed:0x5eed
 
 let capacity t = t.capacity
 let size t = Vec.length t.keys
-let mem t key = Hashtbl.mem t.index key
+let mem t key = Int_table.mem t.index key
 let promote _t _key = ()
 
 (* Swap-remove keeps the key array dense. *)
@@ -27,31 +32,30 @@ let remove_at t i =
   let moved = Vec.get t.keys last in
   Vec.set t.keys i moved;
   ignore (Vec.pop t.keys);
-  if i <> last then Hashtbl.replace t.index moved i;
-  Hashtbl.remove t.index victim;
+  if i <> last then Int_table.set t.index moved i;
+  Int_table.remove t.index victim;
   victim
 
 let evict t = if size t = 0 then None else Some (remove_at t (Prng.int t.prng (size t)))
 
 let insert t ~pos key =
   ignore pos;
-  if Hashtbl.mem t.index key then None
+  if Int_table.mem t.index key then None
   else begin
     let victim =
       if size t >= t.capacity then Some (remove_at t (Prng.int t.prng (size t))) else None
     in
-    Hashtbl.replace t.index key (Vec.length t.keys);
+    Int_table.set t.index key (Vec.length t.keys);
     Vec.push t.keys key;
     victim
   end
 
 let remove t key =
-  match Hashtbl.find_opt t.index key with
-  | Some i -> ignore (remove_at t i)
-  | None -> ()
+  let i = Int_table.get t.index key in
+  if i >= 0 then ignore (remove_at t i)
 
 let contents t = Vec.to_list t.keys
 
 let clear t =
   Vec.clear t.keys;
-  Hashtbl.reset t.index
+  Int_table.clear t.index

@@ -1,4 +1,5 @@
 module Cache = Agg_cache.Cache
+module Int_table = Agg_util.Int_table
 module Tracker = Agg_successor.Tracker
 module Sink = Agg_obs.Sink
 module Event = Agg_obs.Event
@@ -9,8 +10,8 @@ type t = {
   mutable group_size : int;
   cache : Cache.t;
   tracker : Tracker.t;
-  speculative : (int, unit) Hashtbl.t; (* prefetched residents not yet demanded *)
-  inserted_at : (int, int) Hashtbl.t; (* instrumentation only: access count at insertion *)
+  speculative : Int_table.t; (* prefetched residents not yet demanded *)
+  inserted_at : Int_table.t; (* instrumentation only: access count at insertion *)
   mutable last_observed : int; (* instrumentation only: predecessor file, -1 at start *)
   mutable accesses : int;
   mutable hits : int;
@@ -23,13 +24,11 @@ type t = {
 (* Fired by the cache on every physical eviction — only installed when the
    sink is enabled, so the uninstrumented path is exactly the old one. *)
 let on_evict t victim =
-  let speculative = Hashtbl.mem t.speculative victim in
+  let speculative = Int_table.mem t.speculative victim in
   let age_accesses =
-    match Hashtbl.find_opt t.inserted_at victim with
-    | Some at -> t.accesses - at
-    | None -> 0
+    match Int_table.get t.inserted_at victim with at when at >= 0 -> t.accesses - at | _ -> 0
   in
-  Hashtbl.remove t.inserted_at victim;
+  Int_table.remove t.inserted_at victim;
   Sink.emit t.obs (Event.Evicted { file = victim; speculative; age_accesses })
 
 let create ?(config = Config.default) ?(obs = Sink.noop) ~capacity () =
@@ -42,8 +41,8 @@ let create ?(config = Config.default) ?(obs = Sink.noop) ~capacity () =
       cache = Cache.create config.cache_kind ~capacity;
       tracker =
         Tracker.create ~capacity:config.successor_capacity ~policy:config.metadata_policy ();
-      speculative = Hashtbl.create 64;
-      inserted_at = Hashtbl.create 64;
+      speculative = Int_table.create ~capacity:64 ();
+      inserted_at = Int_table.create ~capacity:64 ();
       last_observed = -1;
       accesses = 0;
       hits = 0;
@@ -66,9 +65,9 @@ let set_group_size t g =
 
 let mark_speculative t file =
   t.prefetch_issued <- t.prefetch_issued + 1;
-  Hashtbl.replace t.speculative file ();
+  Int_table.set t.speculative file 1;
   if Sink.enabled t.obs then begin
-    Hashtbl.replace t.inserted_at file t.accesses;
+    Int_table.set t.inserted_at file t.accesses;
     Sink.emit t.obs (Event.Prefetch_issued { file })
   end
 
@@ -103,15 +102,13 @@ let access t file =
   end;
   if Cache.access t.cache file then begin
     t.hits <- t.hits + 1;
-    if Hashtbl.mem t.speculative file then begin
+    if Int_table.mem t.speculative file then begin
       (* First demand hit on a prefetched file: the speculation paid off. *)
       t.prefetch_used <- t.prefetch_used + 1;
-      Hashtbl.remove t.speculative file;
+      Int_table.remove t.speculative file;
       if Sink.enabled t.obs then begin
         let lifetime =
-          match Hashtbl.find_opt t.inserted_at file with
-          | Some at -> t.accesses - at
-          | None -> 0
+          match Int_table.get t.inserted_at file with at when at >= 0 -> t.accesses - at | _ -> 0
         in
         Sink.emit t.obs (Event.Prefetch_promoted { file; lifetime })
       end
@@ -119,13 +116,13 @@ let access t file =
     true
   end
   else begin
-    if Hashtbl.mem t.speculative file then begin
+    if Int_table.mem t.speculative file then begin
       (* It was prefetched once but evicted before being used. *)
       t.prefetch_evicted_unused <- t.prefetch_evicted_unused + 1;
-      Hashtbl.remove t.speculative file
+      Int_table.remove t.speculative file
     end;
     t.demand_fetches <- t.demand_fetches + 1;
-    if Sink.enabled t.obs then Hashtbl.replace t.inserted_at file t.accesses;
+    if Sink.enabled t.obs then Int_table.set t.inserted_at file t.accesses;
     (match Group_builder.build ~obs:t.obs t.tracker ~group_size:t.group_size file with
     | _requested :: members -> insert_members t members
     | [] -> assert false (* build always returns the requested file *));
@@ -147,6 +144,10 @@ let metrics t =
 
 let run t trace =
   Agg_trace.Trace.iter (fun (e : Agg_trace.Event.t) -> ignore (access t e.file)) trace;
+  metrics t
+
+let run_files t files =
+  Array.iter (fun file -> ignore (access t file)) files;
   metrics t
 
 let tracker t = t.tracker

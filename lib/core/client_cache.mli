@@ -43,6 +43,11 @@ val run : t -> Agg_trace.Trace.t -> Metrics.client
     returns the accumulated metrics. Can be called repeatedly; metrics
     accumulate across calls. *)
 
+val run_files : t -> Agg_trace.File_id.t array -> Metrics.client
+(** [run_files t files] is {!run} over a bare file-id sequence — the
+    client only consumes file ids, so sweeps that already hold the id
+    array (see [Trace_store.files]) can skip materialising a trace. *)
+
 val metrics : t -> Metrics.client
 val tracker : t -> Agg_successor.Tracker.t
 val resident : t -> Agg_trace.File_id.t -> bool

@@ -20,16 +20,17 @@ let immediate tracker ~want file =
    already in the group), fall back to the next-ranked successor of the
    most recently added member that still has one. *)
 let transitive tracker ~want file =
-  let seen = Hashtbl.create 16 in
-  Hashtbl.replace seen file ();
+  (* groups are single digits, so a linear scan of the accumulated members
+     replaces a scratch table; [members] is newest-first and [file] is
+     checked separately *)
   let members = ref [] in
   let count = ref 0 in
   let add f =
-    Hashtbl.replace seen f ();
     members := f :: !members;
     incr count
   in
-  let first_unseen candidates = List.find_opt (fun s -> not (Hashtbl.mem seen s)) candidates in
+  let seen s = s = file || List.mem s !members in
+  let first_unseen candidates = List.find_opt (fun s -> not (seen s)) candidates in
   let rec extend current =
     if !count < want then
       match first_unseen (Tracker.successors tracker current) with

@@ -1,4 +1,5 @@
 module Cache = Agg_cache.Cache
+module Int_table = Agg_util.Int_table
 module Tracker = Agg_successor.Tracker
 module Sink = Agg_obs.Sink
 module Event = Agg_obs.Event
@@ -12,8 +13,8 @@ type t = {
   client : Cache.t;
   server : Cache.t;
   tracker : Tracker.t option; (* present only for the aggregating scheme *)
-  speculative : (int, unit) Hashtbl.t;
-  inserted_at : (int, int) Hashtbl.t; (* instrumentation only: request count at insertion *)
+  speculative : Int_table.t;
+  inserted_at : Int_table.t; (* instrumentation only: request count at insertion *)
   mutable last_observed : int; (* instrumentation only: predecessor file, -1 at start *)
   mutable client_accesses : int;
   mutable server_requests : int;
@@ -25,13 +26,13 @@ type t = {
 }
 
 let on_evict t victim =
-  let speculative = Hashtbl.mem t.speculative victim in
+  let speculative = Int_table.mem t.speculative victim in
   let age_accesses =
-    match Hashtbl.find_opt t.inserted_at victim with
-    | Some at -> t.server_requests - at
-    | None -> 0
+    match Int_table.get t.inserted_at victim with
+    | at when at >= 0 -> t.server_requests - at
+    | _ -> 0
   in
-  Hashtbl.remove t.inserted_at victim;
+  Int_table.remove t.inserted_at victim;
   Sink.emit t.obs (Event.Evicted { file = victim; speculative; age_accesses })
 
 let create ?(cooperative = false) ?(obs = Sink.noop) ~filter_kind ~filter_capacity
@@ -53,8 +54,8 @@ let create ?(cooperative = false) ?(obs = Sink.noop) ~filter_kind ~filter_capaci
       client = Cache.create filter_kind ~capacity:filter_capacity;
       server = Cache.create server_kind ~capacity:server_capacity;
       tracker;
-      speculative = Hashtbl.create 64;
-      inserted_at = Hashtbl.create 64;
+      speculative = Int_table.create ~capacity:64 ();
+      inserted_at = Int_table.create ~capacity:64 ();
       last_observed = -1;
       client_accesses = 0;
       server_requests = 0;
@@ -80,9 +81,9 @@ let note_observation t file =
 let mark_speculative t file =
   t.store_fetches <- t.store_fetches + 1;
   t.prefetch_issued <- t.prefetch_issued + 1;
-  Hashtbl.replace t.speculative file ();
+  Int_table.set t.speculative file 1;
   if Sink.enabled t.obs then begin
-    Hashtbl.replace t.inserted_at file t.server_requests;
+    Int_table.set t.inserted_at file t.server_requests;
     Sink.emit t.obs (Event.Prefetch_issued { file })
   end
 
@@ -115,14 +116,14 @@ let serve t file =
   end;
   if Cache.access t.server file then begin
     t.server_hits <- t.server_hits + 1;
-    if Hashtbl.mem t.speculative file then begin
+    if Int_table.mem t.speculative file then begin
       t.prefetch_used <- t.prefetch_used + 1;
-      Hashtbl.remove t.speculative file;
+      Int_table.remove t.speculative file;
       if Sink.enabled t.obs then begin
         let lifetime =
-          match Hashtbl.find_opt t.inserted_at file with
-          | Some at -> t.server_requests - at
-          | None -> 0
+          match Int_table.get t.inserted_at file with
+          | at when at >= 0 -> t.server_requests - at
+          | _ -> 0
         in
         Sink.emit t.obs (Event.Prefetch_promoted { file; lifetime })
       end
@@ -130,12 +131,12 @@ let serve t file =
     Server_hit
   end
   else begin
-    if Hashtbl.mem t.speculative file then begin
+    if Int_table.mem t.speculative file then begin
       t.prefetch_evicted_unused <- t.prefetch_evicted_unused + 1;
-      Hashtbl.remove t.speculative file
+      Int_table.remove t.speculative file
     end;
     t.store_fetches <- t.store_fetches + 1;
-    if Sink.enabled t.obs then Hashtbl.replace t.inserted_at file t.server_requests;
+    if Sink.enabled t.obs then Int_table.set t.inserted_at file t.server_requests;
     (match (t.scheme, t.tracker) with
     | Aggregating config, Some tracker -> (
         match Group_builder.build ~obs:t.obs tracker ~group_size:config.group_size file with
@@ -173,4 +174,8 @@ let metrics t =
 
 let run t trace =
   Agg_trace.Trace.iter (fun (e : Agg_trace.Event.t) -> ignore (access t e.file)) trace;
+  metrics t
+
+let run_files t files =
+  Array.iter (fun file -> ignore (access t file)) files;
   metrics t

@@ -44,4 +44,9 @@ val access : t -> Agg_trace.File_id.t -> outcome
 val run : t -> Agg_trace.Trace.t -> Metrics.server
 (** Feeds the whole trace through {!access}; metrics accumulate. *)
 
+val run_files : t -> Agg_trace.File_id.t array -> Metrics.server
+(** [run_files t files] is {!run} over a bare file-id sequence — the
+    simulation only consumes file ids, so sweeps that already hold the id
+    array (see [Trace_store.files]) can skip materialising a trace. *)
+
 val metrics : t -> Metrics.server

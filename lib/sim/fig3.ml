@@ -5,7 +5,8 @@ let label_of_group g = if g = 1 then "lru" else Printf.sprintf "g%d" g
 
 let panel ?profiler ?sink_for ?(settings = Experiment.default_settings)
     ?(capacities = default_capacities) ?(group_sizes = default_group_sizes) profile =
-  let trace = Trace_store.get ~settings profile in
+  (* the client only consumes file ids: fold over the memoised id array *)
+  let files = Trace_store.files ~settings profile in
   let span_label g capacity =
     Printf.sprintf "fig3/%s/g%d/c%d" profile.Agg_workload.Profile.name g capacity
   in
@@ -19,7 +20,7 @@ let panel ?profiler ?sink_for ?(settings = Experiment.default_settings)
       (fun g capacity ->
         let config = Agg_core.Config.with_group_size g Agg_core.Config.default in
         let cache = Agg_core.Client_cache.create ~config ~obs:(sink g capacity) ~capacity () in
-        let m = Agg_core.Client_cache.run cache trace in
+        let m = Agg_core.Client_cache.run_files cache files in
         float_of_int m.Agg_core.Metrics.demand_fetches)
     |> List.map (fun (g, points) ->
            {

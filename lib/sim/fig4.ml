@@ -12,7 +12,8 @@ let schemes ~group_size =
 let panel ?profiler ?sink_for ?(settings = Experiment.default_settings)
     ?(filter_capacities = default_filter_capacities) ?(server_capacity = default_server_capacity)
     ?(group_size = 5) ?(cooperative = false) profile =
-  let trace = Trace_store.get ~settings profile in
+  (* the simulation only consumes file ids: use the memoised id array *)
+  let files = Trace_store.files ~settings profile in
   let span_label (scheme_label, _) filter_capacity =
     Printf.sprintf "fig4/%s/%s/f%d" profile.Agg_workload.Profile.name scheme_label
       filter_capacity
@@ -29,7 +30,7 @@ let panel ?profiler ?sink_for ?(settings = Experiment.default_settings)
           Agg_core.Server_cache.create ~cooperative ~obs:(sink scheme_label filter_capacity)
             ~filter_kind:Agg_cache.Cache.Lru ~filter_capacity ~server_capacity ~scheme ()
         in
-        let m = Agg_core.Server_cache.run sim trace in
+        let m = Agg_core.Server_cache.run_files sim files in
         100.0 *. Agg_core.Metrics.server_hit_rate m)
     |> List.map (fun ((label, _), points) ->
            {

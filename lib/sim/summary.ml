@@ -21,15 +21,15 @@ let improvement ~lru ~g5 =
   if lru = 0.0 then (if g5 = 0.0 then 0.0 else Float.infinity)
   else 100.0 *. (g5 -. lru) /. lru
 
-let demand_fetches ~trace ~capacity ~group_size =
+let demand_fetches ~files ~capacity ~group_size =
   let config = Agg_core.Config.with_group_size group_size Agg_core.Config.default in
   let cache = Agg_core.Client_cache.create ~config ~capacity () in
-  (Agg_core.Client_cache.run cache trace).Agg_core.Metrics.demand_fetches
+  (Agg_core.Client_cache.run_files cache files).Agg_core.Metrics.demand_fetches
 
 let client_rows ?(settings = Experiment.default_settings) ?(capacity = 300) () =
   Experiment.grid ~settings ~rows:Agg_workload.Profile.all ~cols:[ 1; 5 ]
     (fun profile group_size ->
-      demand_fetches ~trace:(Trace_store.get ~settings profile) ~capacity ~group_size)
+      demand_fetches ~files:(Trace_store.files ~settings profile) ~capacity ~group_size)
   |> List.map (fun (profile, points) ->
          match points with
          | [ (_, lru); (_, g5) ] ->
@@ -43,12 +43,12 @@ let client_rows ?(settings = Experiment.default_settings) ?(capacity = 300) () =
              }
          | _ -> assert false (* grid returns one point per column *))
 
-let server_hit_rate ~trace ~filter_capacity ~scheme =
+let server_hit_rate ~files ~filter_capacity ~scheme =
   let sim =
     Agg_core.Server_cache.create ~filter_kind:Agg_cache.Cache.Lru ~filter_capacity
       ~server_capacity:Fig4.default_server_capacity ~scheme ()
   in
-  100.0 *. Agg_core.Metrics.server_hit_rate (Agg_core.Server_cache.run sim trace)
+  100.0 *. Agg_core.Metrics.server_hit_rate (Agg_core.Server_cache.run_files sim files)
 
 let server_rows ?(settings = Experiment.default_settings)
     ?(filter_capacities = Fig4.default_filter_capacities) () =
@@ -64,7 +64,7 @@ let server_rows ?(settings = Experiment.default_settings)
     ]
   in
   Experiment.grid ~settings ~rows ~cols:schemes (fun (profile, filter_capacity) scheme ->
-      server_hit_rate ~trace:(Trace_store.get ~settings profile) ~filter_capacity ~scheme)
+      server_hit_rate ~files:(Trace_store.files ~settings profile) ~filter_capacity ~scheme)
   |> List.map (fun ((profile, filter_capacity), points) ->
          match points with
          | [ (_, lru); (_, g5) ] ->

@@ -43,17 +43,15 @@ let files ~settings profile =
       match e.files with
       | Some files -> files
       | None ->
-          let trace =
+          let files =
             match e.trace with
-            | Some trace -> trace
+            | Some trace -> Agg_trace.Trace.files trace
             | None ->
-                let trace =
-                  Agg_workload.Generator.generate ~seed:key.seed ~events:key.events key.profile
-                in
-                e.trace <- Some trace;
-                trace
+                (* same deterministic stream as [get], without boxing an
+                   event list we would only project file ids out of *)
+                Agg_workload.Generator.generate_files ~seed:key.seed ~events:key.events
+                  key.profile
           in
-          let files = Agg_trace.Trace.files trace in
           e.files <- Some files;
           files)
 

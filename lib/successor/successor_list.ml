@@ -1,10 +1,11 @@
-open Agg_util
-
 type policy = Recency | Frequency
 
 let policy_name = function Recency -> "lru" | Frequency -> "lfu"
 
-(* [Recency] is an LRU list over successor ids: the list *is* the state.
+(* [Recency] is an LRU list over successor ids. The capacity is a small
+   constant (the paper explores k ≤ 10), so the list lives in a fixed int
+   array, MRU first, and "move to front" is a few-word shift — no nodes,
+   no hashing, no allocation.
 
    [Frequency] keeps the k *most frequent* successors seen so far, per the
    paper's description ("maintains a list of the most frequent
@@ -19,8 +20,8 @@ type entry = { mutable count : int; mutable tick : int }
 type t = {
   capacity : int;
   policy : policy;
-  order : int Dlist.t; (* Recency only: most recent at front *)
-  nodes : (int, int Dlist.node) Hashtbl.t; (* Recency only *)
+  succs : int array; (* Recency only: most recent first, [len] live *)
+  mutable len : int; (* Recency only *)
   counts : (int, entry) Hashtbl.t; (* Frequency only: all successors ever *)
   members : (int, unit) Hashtbl.t; (* Frequency only: the current top-k *)
   mutable clock : int;
@@ -31,8 +32,8 @@ let create ~capacity ~policy =
   {
     capacity;
     policy;
-    order = Dlist.create ();
-    nodes = Hashtbl.create (2 * capacity);
+    succs = (match policy with Recency -> Array.make capacity 0 | Frequency -> [||]);
+    len = 0;
     counts = Hashtbl.create 16;
     members = Hashtbl.create (2 * capacity);
     clock = 0;
@@ -40,24 +41,30 @@ let create ~capacity ~policy =
 
 let capacity t = t.capacity
 
-let size t =
-  match t.policy with Recency -> Dlist.length t.order | Frequency -> Hashtbl.length t.members
+let size t = match t.policy with Recency -> t.len | Frequency -> Hashtbl.length t.members
+
+let find_recency t succ =
+  let rec scan i = if i >= t.len then -1 else if t.succs.(i) = succ then i else scan (i + 1) in
+  scan 0
 
 let mem t succ =
   match t.policy with
-  | Recency -> Hashtbl.mem t.nodes succ
+  | Recency -> find_recency t succ >= 0
   | Frequency -> Hashtbl.mem t.members succ
 
-let observe_recency t succ =
-  match Hashtbl.find_opt t.nodes succ with
-  | Some node -> Dlist.move_to_front t.order node
-  | None ->
-      if Dlist.length t.order >= t.capacity then begin
-        match Dlist.pop_back t.order with
-        | Some victim -> Hashtbl.remove t.nodes victim
-        | None -> ()
-      end;
-      Hashtbl.replace t.nodes succ (Dlist.push_front t.order succ)
+(* Exposed for the flat per-file tracker, which stores many such lists
+   back to back in one array: move [succ] to the front of the region
+   [slots.(off) .. slots.(off + len - 1)], evicting the last entry when a
+   full region sees a newcomer. Returns the new live length. *)
+let observe_slots slots ~off ~len ~capacity succ =
+  let rec scan i = if i >= len then -1 else if slots.(off + i) = succ then i else scan (i + 1) in
+  let at = scan 0 in
+  let shift_end = if at >= 0 then at else min len (capacity - 1) in
+  Array.blit slots off slots (off + 1) shift_end;
+  slots.(off) <- succ;
+  if at >= 0 then len else min (len + 1) capacity
+
+let observe_recency t succ = t.len <- observe_slots t.succs ~off:0 ~len:t.len ~capacity:t.capacity succ
 
 (* The list member with the smallest (count, tick): the one a newcomer
    must beat. Linear in k, and k is at most ~10. *)
@@ -102,7 +109,9 @@ let observe t succ =
 
 let ranked t =
   match t.policy with
-  | Recency -> Dlist.to_list t.order
+  | Recency ->
+      let rec build i acc = if i < 0 then acc else build (i - 1) (t.succs.(i) :: acc) in
+      build (t.len - 1) []
   | Frequency ->
       let all =
         Hashtbl.fold (fun key () acc -> (key, Hashtbl.find t.counts key) :: acc) t.members []
@@ -114,5 +123,5 @@ let ranked t =
 
 let top t =
   match t.policy with
-  | Recency -> Dlist.peek_front t.order
+  | Recency -> if t.len > 0 then Some t.succs.(0) else None
   | Frequency -> ( match ranked t with [] -> None | s :: _ -> Some s)

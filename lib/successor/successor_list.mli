@@ -29,3 +29,13 @@ val ranked : t -> Agg_trace.File_id.t list
 
 val top : t -> Agg_trace.File_id.t option
 (** The most likely successor, if any. *)
+
+val observe_slots :
+  int array -> off:int -> len:int -> capacity:int -> Agg_trace.File_id.t -> int
+(** [observe_slots slots ~off ~len ~capacity succ] applies one [Recency]
+    observation to the bare list region [slots.(off) ..
+    slots.(off + len - 1)] (most recent first): a resident successor moves
+    to the front, a fresh one is pushed, evicting the least recent entry
+    when the region already holds [capacity]. Returns the new live length.
+    This is the storage primitive behind {!observe} that [Tracker] uses to
+    keep every file's list in one flat array. *)

@@ -1,0 +1,44 @@
+(** A direct-index map from dense non-negative int keys to non-negative
+    int values — the hot-path replacement for [(int, _) Hashtbl.t] in the
+    cache and successor layers.
+
+    File ids are dense (see [Agg_trace.File_id]), so a plain [int array]
+    indexed by key beats any hash table: lookup, insert and delete are a
+    single unguarded-by-hashing array probe each, with no collision
+    chains and no per-entry boxes. Absence is the sentinel [-1], which is
+    why values must be non-negative; callers with richer per-key state
+    pack it into the value (e.g. [(node lsl 1) lor segment_bit]) or keep
+    side arrays indexed by the stored value.
+
+    The backing array grows by doubling to cover the largest key seen;
+    memory is proportional to that key, which is the id-density
+    assumption documented in DESIGN.md. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** [create ~capacity ()] pre-sizes the table for keys below [capacity]
+    (default 16). @raise Invalid_argument when [capacity < 1]. *)
+
+val get : t -> int -> int
+(** [get t k] is the value bound to [k], or [-1] when absent (including
+    any [k] at or beyond the backing array, and negative [k]). *)
+
+val mem : t -> int -> bool
+
+val set : t -> int -> int -> unit
+(** [set t k v] binds [k] to [v], growing as needed.
+    @raise Invalid_argument when [k] or [v] is negative. *)
+
+val remove : t -> int -> unit
+(** Unbinds [k]; no-op when absent. *)
+
+val length : t -> int
+(** Number of keys currently bound. O(1). *)
+
+val clear : t -> unit
+(** Unbinds everything, keeping the backing array. *)
+
+val iter : t -> (int -> int -> unit) -> unit
+(** [iter t f] applies [f key value] to every binding in increasing key
+    order (O(capacity) — not for hot paths). *)

@@ -159,6 +159,24 @@ let step st =
   let op = if Prng.bernoulli st.prng ~p:st.profile.p_write then Agg_trace.Event.Write else Agg_trace.Event.Open in
   (client, op, file)
 
+let fold ?seed ~events profile ~init ~f =
+  if events < 0 then invalid_arg "Generator.fold: events must be non-negative";
+  let st = make_state ?seed profile in
+  let acc = ref init in
+  for _ = 1 to events do
+    let client, op, file = step st in
+    acc := f !acc ~client ~op ~file
+  done;
+  !acc
+
+let iter ?seed ~events profile ~f =
+  if events < 0 then invalid_arg "Generator.iter: events must be non-negative";
+  let st = make_state ?seed profile in
+  for _ = 1 to events do
+    let client, op, file = step st in
+    f ~client ~op ~file
+  done
+
 let generate ?seed ~events profile =
   if events < 0 then invalid_arg "Generator.generate: events must be non-negative";
   let st = make_state ?seed profile in

@@ -523,12 +523,113 @@ let test_multilevel_hit_rate () =
   Multilevel.reset_stats ml;
   check_int "reset" 0 (Cache.stats (Multilevel.server ml)).Cache.accesses
 
+(* --- arena ports vs the pre-arena pointer implementation ---------------- *)
+
+(* The boxed-node implementation the pure-recency policies had before the
+   arena port, re-derived in test scope: an [Agg_util.Dlist] of pointer
+   nodes plus a [Hashtbl] index. The three flavours differ only in
+   whether accesses promote ([`Fifo] ignores them, including a [Hot]
+   re-insert) and which end evicts ([`Mru] the front). The arena-backed
+   ports must match it operation for operation, including the exact
+   [contents] order — a stronger pin than the order-free
+   [Oracle.Model_cache] agreement. *)
+module Pointer = struct
+  module Dlist = Agg_util.Dlist
+
+  type t = {
+    flavour : [ `Lru | `Fifo | `Mru ];
+    capacity : int;
+    order : int Dlist.t;
+    index : (int, int Dlist.node) Hashtbl.t;
+  }
+
+  let create flavour ~capacity =
+    { flavour; capacity; order = Dlist.create (); index = Hashtbl.create (2 * capacity) }
+
+  let size t = Dlist.length t.order
+  let mem t key = Hashtbl.mem t.index key
+
+  let promote t key =
+    match (t.flavour, Hashtbl.find_opt t.index key) with
+    | `Fifo, _ | _, None -> ()
+    | (`Lru | `Mru), Some node -> Dlist.move_to_front t.order node
+
+  let evict t =
+    let victim =
+      match t.flavour with
+      | `Mru -> Dlist.pop_front t.order
+      | `Lru | `Fifo -> Dlist.pop_back t.order
+    in
+    Option.iter (Hashtbl.remove t.index) victim;
+    victim
+
+  let insert t ~pos key =
+    match Hashtbl.find_opt t.index key with
+    | Some node ->
+        (match (pos, t.flavour) with
+        | Policy.Hot, `Fifo -> ()
+        | Policy.Hot, (`Lru | `Mru) -> Dlist.move_to_front t.order node
+        | Policy.Cold, _ -> Dlist.move_to_back t.order node);
+        None
+    | None ->
+        let victim = if size t >= t.capacity then evict t else None in
+        let node =
+          match pos with
+          | Policy.Hot -> Dlist.push_front t.order key
+          | Policy.Cold -> Dlist.push_back t.order key
+        in
+        Hashtbl.replace t.index key node;
+        victim
+
+  let remove t key =
+    match Hashtbl.find_opt t.index key with
+    | Some node ->
+        Dlist.remove t.order node;
+        Hashtbl.remove t.index key
+    | None -> ()
+
+  let contents t = Dlist.to_list t.order
+end
+
+let pointer_agreement name flavour (module P : Policy.S) =
+  QCheck.Test.make
+    ~name:(name ^ " arena port matches the pointer implementation exactly")
+    ~count:200
+    QCheck.(pair (int_range 1 10) (list (pair (int_range 0 4) (int_range 0 25))))
+    (fun (capacity, ops) ->
+      let real = P.create ~capacity in
+      let model = Pointer.create flavour ~capacity in
+      List.for_all
+        (fun (op, key) ->
+          let step_ok =
+            match op with
+            | 0 ->
+                P.promote real key;
+                Pointer.promote model key;
+                true
+            | 1 -> P.insert real ~pos:Policy.Hot key = Pointer.insert model ~pos:Policy.Hot key
+            | 2 -> P.insert real ~pos:Policy.Cold key = Pointer.insert model ~pos:Policy.Cold key
+            | 3 -> P.evict real = Pointer.evict model
+            | _ ->
+                P.remove real key;
+                Pointer.remove model key;
+                true
+          in
+          step_ok
+          && P.size real = Pointer.size model
+          && P.mem real key = Pointer.mem model key
+          && P.contents real = Pointer.contents model)
+        ops)
+
 (* --- qcheck properties -------------------------------------------------- *)
 
 let qcheck_tests =
   let open QCheck in
   let trace_gen = list_of_size (Gen.int_range 50 300) (int_range 0 30) in
   [
+    pointer_agreement "lru" `Lru (module Lru);
+    pointer_agreement "fifo" `Fifo (module Fifo);
+    pointer_agreement "mru" `Mru (module Mru);
     Test.make ~name:"every policy respects capacity" ~count:100
       (pair trace_gen (int_range 1 10))
       (fun (trace, capacity) ->

@@ -64,6 +64,23 @@ let test_trace_store_sharing () =
   check_bool "regenerated trace has identical contents" true
     (Agg_trace.Trace.files a = Agg_trace.Trace.files c)
 
+let test_trace_store_files_fast_path () =
+  (* [files] on a cold store takes the generate_files fast path (no trace
+     is boxed); the stream must equal the projection of [get]'s trace *)
+  Trace_store.reset ();
+  let fast = Trace_store.files ~settings:tiny Agg_workload.Profile.users in
+  Trace_store.reset ();
+  let via_trace =
+    Agg_trace.Trace.files (Trace_store.get ~settings:tiny Agg_workload.Profile.users)
+  in
+  Alcotest.(check (array int)) "fast path equals trace projection" via_trace fast;
+  (* and the memoized entry keeps serving the same array *)
+  Trace_store.reset ();
+  let a = Trace_store.files ~settings:tiny Agg_workload.Profile.users in
+  let b = Trace_store.files ~settings:tiny Agg_workload.Profile.users in
+  check_bool "fast-path array memoized" true (a == b);
+  Trace_store.reset ()
+
 let test_trace_store_concurrent () =
   Trace_store.reset ();
   let traces =
@@ -456,6 +473,7 @@ let () =
       ( "trace-store",
         [
           Alcotest.test_case "sharing" `Quick test_trace_store_sharing;
+          Alcotest.test_case "files fast path" `Quick test_trace_store_files_fast_path;
           Alcotest.test_case "concurrent get" `Quick test_trace_store_concurrent;
         ] );
       ( "determinism",

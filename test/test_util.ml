@@ -315,6 +315,107 @@ let test_dlist_fold_iter () =
   Dlist.iter (fun v -> seen := v :: !seen) l;
   Alcotest.(check (list int)) "iter order" [ 4; 3; 2; 1 ] !seen
 
+(* --- Dlist_arena ----------------------------------------------------- *)
+
+let check_arena_invariant t =
+  check_int "live + free = slots" (Dlist_arena.slots t)
+    (Dlist_arena.live t + Dlist_arena.free t)
+
+let test_arena_order () =
+  let t = Dlist_arena.create ~capacity:2 () in
+  let l = Dlist_arena.new_list t in
+  ignore (Dlist_arena.push_front t l 2);
+  ignore (Dlist_arena.push_front t l 1);
+  ignore (Dlist_arena.push_back t l 3);
+  Alcotest.(check (list int)) "front-to-back" [ 1; 2; 3 ] (Dlist_arena.to_list t l);
+  check_int "length" 3 (Dlist_arena.length t l);
+  check_arena_invariant t
+
+let test_arena_moves_cross_list () =
+  let t = Dlist_arena.create () in
+  let a = Dlist_arena.new_list t in
+  let b = Dlist_arena.new_list t in
+  let n1 = Dlist_arena.push_back t a 1 in
+  let n2 = Dlist_arena.push_back t a 2 in
+  ignore (Dlist_arena.push_back t b 9);
+  (* node indices are stable across cross-list moves *)
+  Dlist_arena.move_to_front t b n1;
+  Dlist_arena.move_to_back t b n2;
+  Alcotest.(check (list int)) "a emptied" [] (Dlist_arena.to_list t a);
+  Alcotest.(check (list int)) "b order" [ 1; 9; 2 ] (Dlist_arena.to_list t b);
+  check_int "moved key" 1 (Dlist_arena.key t n1);
+  check_arena_invariant t
+
+let test_arena_free_list_reuse () =
+  let t = Dlist_arena.create ~capacity:4 () in
+  let l = Dlist_arena.new_list t in
+  let n1 = Dlist_arena.push_back t l 1 in
+  let _n2 = Dlist_arena.push_back t l 2 in
+  let slots_before = Dlist_arena.slots t in
+  Dlist_arena.remove t n1;
+  check_arena_invariant t;
+  let n3 = Dlist_arena.push_back t l 3 in
+  check_int "freed slot is reused" n1 n3;
+  check_int "no growth on reuse" slots_before (Dlist_arena.slots t);
+  Alcotest.(check (list int)) "order after reuse" [ 2; 3 ] (Dlist_arena.to_list t l)
+
+let test_arena_pops () =
+  let t = Dlist_arena.create () in
+  let l = Dlist_arena.new_list t in
+  check_int "pop empty" (-1) (Dlist_arena.pop_front t l);
+  ignore (Dlist_arena.push_back t l 1);
+  ignore (Dlist_arena.push_back t l 2);
+  check_int "pop front" 1 (Dlist_arena.pop_front t l);
+  check_int "pop back" 2 (Dlist_arena.pop_back t l);
+  check_bool "now empty" true (Dlist_arena.is_empty t l);
+  check_arena_invariant t
+
+let test_arena_clear_list () =
+  let t = Dlist_arena.create ~capacity:2 () in
+  let l = Dlist_arena.new_list t in
+  let other = Dlist_arena.new_list t in
+  ignore (Dlist_arena.push_back t other 42);
+  for k = 1 to 5 do
+    ignore (Dlist_arena.push_back t l k)
+  done;
+  let slots_full = Dlist_arena.slots t in
+  Dlist_arena.clear_list t l;
+  check_bool "cleared" true (Dlist_arena.is_empty t l);
+  check_arena_invariant t;
+  Alcotest.(check (list int)) "other list untouched" [ 42 ] (Dlist_arena.to_list t other);
+  (* all five slots are back on the free list: refilling must not grow *)
+  for k = 6 to 10 do
+    ignore (Dlist_arena.push_back t l k)
+  done;
+  check_int "no growth after clear" slots_full (Dlist_arena.slots t);
+  Alcotest.(check (list int)) "refilled" [ 6; 7; 8; 9; 10 ] (Dlist_arena.to_list t l)
+
+(* --- Int_table -------------------------------------------------------- *)
+
+let test_int_table_basics () =
+  let t = Int_table.create ~capacity:2 () in
+  check_int "absent" (-1) (Int_table.get t 5);
+  check_bool "absent mem" false (Int_table.mem t 5);
+  Int_table.set t 5 7;
+  Int_table.set t 0 0;
+  check_int "bound" 7 (Int_table.get t 5);
+  check_int "zero value" 0 (Int_table.get t 0);
+  check_int "length" 2 (Int_table.length t);
+  Int_table.set t 5 9;
+  check_int "overwrite" 9 (Int_table.get t 5);
+  check_int "length after overwrite" 2 (Int_table.length t);
+  Int_table.remove t 5;
+  check_int "removed" (-1) (Int_table.get t 5);
+  check_int "length after remove" 1 (Int_table.length t);
+  Int_table.remove t 99;
+  (* out-of-range removal is a no-op *)
+  check_int "negative get" (-1) (Int_table.get t (-3));
+  Alcotest.check_raises "negative key" (Invalid_argument "Int_table.set: negative key")
+    (fun () -> Int_table.set t (-1) 0);
+  Int_table.clear t;
+  check_int "cleared" 0 (Int_table.length t);
+  check_int "cleared get" (-1) (Int_table.get t 0)
+
 (* --- Pool ------------------------------------------------------------ *)
 
 let test_pool_map_order () =
@@ -540,6 +641,72 @@ let qcheck_tests =
         let t = Prng.create ~seed () in
         let v = Dist.Zipf.sample z t in
         v >= 0 && v < n);
+    Test.make ~name:"Int_table agrees with a Hashtbl model" ~count:300
+      (list (pair (int_range 0 40) (int_range (-1) 20)))
+      (fun ops ->
+        (* value -1 encodes a removal of that key *)
+        let t = Int_table.create ~capacity:1 () in
+        let model : (int, int) Hashtbl.t = Hashtbl.create 16 in
+        List.for_all
+          (fun (k, v) ->
+            if v < 0 then begin
+              Int_table.remove t k;
+              Hashtbl.remove model k
+            end
+            else begin
+              Int_table.set t k v;
+              Hashtbl.replace model k v
+            end;
+            Int_table.length t = Hashtbl.length model
+            && List.for_all
+                 (fun key ->
+                   Int_table.get t key = Option.value ~default:(-1) (Hashtbl.find_opt model key))
+                 (List.init 41 Fun.id))
+          ops);
+    Test.make ~name:"Dlist_arena keeps live + free = slots and mirrors a list model" ~count:200
+      (list (pair (int_range 0 3) (int_range 0 30)))
+      (fun ops ->
+        (* op 0: push_back, 1: push_front, 2: pop_front, 3: pop_back —
+           mirrored against a plain list model, with the free-list
+           invariant checked after every operation *)
+        let t = Dlist_arena.create ~capacity:1 () in
+        let l = Dlist_arena.new_list t in
+        let model = ref [] in
+        List.for_all
+          (fun (op, k) ->
+            let step_ok =
+              match op with
+              | 0 ->
+                  ignore (Dlist_arena.push_back t l k);
+                  model := !model @ [ k ];
+                  true
+              | 1 ->
+                  ignore (Dlist_arena.push_front t l k);
+                  model := k :: !model;
+                  true
+              | 2 ->
+                  let expected =
+                    match !model with
+                    | [] -> -1
+                    | x :: tl ->
+                        model := tl;
+                        x
+                  in
+                  Dlist_arena.pop_front t l = expected
+              | _ ->
+                  let expected =
+                    match List.rev !model with
+                    | [] -> -1
+                    | x :: tl ->
+                        model := List.rev tl;
+                        x
+                  in
+                  Dlist_arena.pop_back t l = expected
+            in
+            step_ok
+            && Dlist_arena.live t + Dlist_arena.free t = Dlist_arena.slots t
+            && Dlist_arena.to_list t l = !model)
+          ops);
   ]
 
 let () =
@@ -593,6 +760,16 @@ let () =
           Alcotest.test_case "clear" `Quick test_dlist_clear;
           Alcotest.test_case "fold and iter" `Quick test_dlist_fold_iter;
         ] );
+      ( "dlist_arena",
+        [
+          Alcotest.test_case "order" `Quick test_arena_order;
+          Alcotest.test_case "cross-list moves" `Quick test_arena_moves_cross_list;
+          Alcotest.test_case "free-list reuse" `Quick test_arena_free_list_reuse;
+          Alcotest.test_case "pops" `Quick test_arena_pops;
+          Alcotest.test_case "clear_list" `Quick test_arena_clear_list;
+        ] );
+      ( "int_table",
+        [ Alcotest.test_case "basics" `Quick test_int_table_basics ] );
       ( "pool",
         [
           Alcotest.test_case "map preserves order" `Quick test_pool_map_order;
