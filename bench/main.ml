@@ -13,6 +13,8 @@
      dune exec bench/main.exe -- --obs        # also write BENCH_obs.json
      dune exec bench/main.exe -- --faults     # also run the resilience sweep
                                               # and write BENCH_faults.json
+     dune exec bench/main.exe -- --cluster    # also run the sharded-cluster
+                                              # sweep and write BENCH_cluster.json
 
    Output on stdout is deterministic (fixed seeds) apart from the
    micro-benchmark timings, and identical for every --jobs value. Every
@@ -237,6 +239,26 @@ let run_faults ~settings =
     ~finally:(fun () -> close_out oc)
     (fun () -> output_string oc (Agg_sim.Resilience.json_of_points points));
   Printf.printf "wrote %d sweep points to %s\n" (List.length points) faults_json_path
+
+let cluster_json_path = "BENCH_cluster.json"
+
+let run_cluster ~settings =
+  section "Cluster — sharded ring under node loss (scheme x replicas x metadata placement)";
+  let runner = Agg_sim.Experiment.Runner.create ~settings () in
+  let points = Agg_sim.Cluster.sweep runner in
+  Agg_sim.Experiment.print_figure (Agg_sim.Cluster.run runner);
+  let fleet_match = Agg_sim.Cluster.fleet_equivalent runner in
+  Printf.printf "degenerate N=1,k=1 cluster matches Fleet byte-for-byte: %b\n" fleet_match;
+  (match Agg_sim.Cluster.degraded_reduction points with
+  | Some (k_min, k_max) ->
+      Printf.printf "degraded fetches at max node loss (g5, replicated metadata): k_min=%d k_max=%d\n"
+        k_min k_max
+  | None -> ());
+  let oc = open_out cluster_json_path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (Agg_sim.Cluster.json_of_points ~fleet_match points));
+  Printf.printf "wrote %d sweep points to %s\n" (List.length points) cluster_json_path
 
 (* --- scale: one fig3-shaped point at 10^5 clients ------------------------- *)
 
@@ -532,7 +554,7 @@ let sections =
 
 let usage () =
   Printf.eprintf
-    "usage: main.exe [SECTION...] [--quick] [--jobs N] [--sweep] [--obs] [--faults]\nsections: %s | all\n"
+    "usage: main.exe [SECTION...] [--quick] [--jobs N] [--sweep] [--obs] [--faults] [--cluster]\nsections: %s | all\n"
     (String.concat " | " (List.map fst sections));
   exit 2
 
@@ -545,6 +567,7 @@ let () =
   let sweep = List.mem "--sweep" args in
   let obs = List.mem "--obs" args in
   let faults = List.mem "--faults" args in
+  let cluster = List.mem "--cluster" args in
   if obs then profiler := Some (Agg_obs.Span.recorder ());
   let rec parse_jobs = function
     | "--jobs" :: n :: _ -> (
@@ -555,8 +578,9 @@ let () =
   let jobs = parse_jobs args in
   let rec strip = function
     | "--jobs" :: _ :: rest -> strip rest
-    | flag :: rest when flag = "--quick" || flag = "--sweep" || flag = "--obs" || flag = "--faults"
-      -> strip rest
+    | flag :: rest
+      when flag = "--quick" || flag = "--sweep" || flag = "--obs" || flag = "--faults"
+           || flag = "--cluster" -> strip rest
     | arg :: rest -> arg :: strip rest
     | [] -> []
   in
@@ -602,6 +626,7 @@ let () =
       wanted
   in
   if faults then run_faults ~settings;
+  if cluster then run_cluster ~settings;
   write_bench_json ~jobs ~quick ~settings timings;
   match !profiler with
   | None -> ()

@@ -36,10 +36,21 @@ let seed_arg = Arg.(value & opt int 7 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG 
 let quick_arg =
   Arg.(value & flag & info [ "quick" ] ~doc:"Use a small event count for a fast run.")
 
+(* Counts that make no sense at zero or below are rejected at parse time
+   with a one-line error instead of silently misbehaving downstream. *)
+let positive_int what =
+  let parse s =
+    match int_of_string_opt s with
+    | Some v when v > 0 -> Ok v
+    | Some v -> Error (`Msg (Printf.sprintf "%s must be positive (got %d)" what v))
+    | None -> Error (`Msg (Printf.sprintf "%s must be a positive integer (got %S)" what s))
+  in
+  Arg.conv (parse, Format.pp_print_int)
+
 let jobs_arg =
   Arg.(
     value
-    & opt int 0
+    & opt (some (positive_int "--jobs")) None
     & info [ "j"; "jobs" ] ~docv:"N"
         ~doc:
           "Worker domains for sweep evaluation (results are identical for any N; 1 = \
@@ -47,7 +58,7 @@ let jobs_arg =
 
 let settings_term =
   let make events seed quick jobs =
-    let jobs = if jobs <= 0 then Agg_util.Pool.default_jobs () else jobs in
+    let jobs = match jobs with Some j -> j | None -> Agg_util.Pool.default_jobs () in
     if quick then { Agg_sim.Experiment.quick_settings with seed; jobs }
     else { Agg_sim.Experiment.events; seed; warmup = 0; jobs }
   in
@@ -378,6 +389,113 @@ let faults_cmd =
       const run $ settings_term $ profile_arg $ loss_arg $ outage_arg $ slow_arg $ crash_arg
       $ fault_seed_arg $ sweep_arg)
 
+let cluster_cmd =
+  let nodes_arg =
+    Arg.(
+      value
+      & opt (positive_int "--nodes") 5
+      & info [ "nodes" ] ~docv:"N" ~doc:"Server nodes on the ring (default 5).")
+  in
+  let replicas_arg =
+    Arg.(
+      value
+      & opt (positive_int "--replicas") 3
+      & info [ "k"; "replicas" ] ~docv:"K"
+          ~doc:"Replication-group size: each file is owned by K ring successors (default 3).")
+  in
+  let placement_conv =
+    let parse s =
+      match Agg_cluster.Cluster.placement_of_string s with
+      | Some p -> Ok p
+      | None -> Error (`Msg (Printf.sprintf "unknown placement %S (expected owner, group or client)" s))
+    in
+    Arg.conv
+      (parse, fun ppf p -> Format.pp_print_string ppf (Agg_cluster.Cluster.placement_name p))
+  in
+  let placement_arg =
+    Arg.(
+      value
+      & opt placement_conv Agg_cluster.Cluster.Replicated_with_group
+      & info [ "placement" ] ~docv:"WHERE"
+          ~doc:
+            "Where successor metadata lives: $(b,owner) (primary node only), $(b,group) \
+             (replicated with the group) or $(b,client) (client-side trackers).")
+  in
+  let node_loss_arg =
+    Arg.(
+      value
+      & opt float 0.0
+      & info [ "node-loss" ] ~docv:"P"
+          ~doc:"Per-node outage probability per 1000-access epoch (default 0: healthy).")
+  in
+  let ring_seed_arg =
+    Arg.(
+      value
+      & opt int Agg_cluster.Cluster.default_config.Agg_cluster.Cluster.ring_seed
+      & info [ "ring-seed" ] ~docv:"SEED" ~doc:"Consistent-hash ring seed.")
+  in
+  let sweep_arg =
+    Arg.(
+      value & flag
+      & info [ "sweep" ]
+          ~doc:
+            "Print the cluster sweep (hit rate and latency vs node loss, across scheme x K x \
+             placement) instead.")
+  in
+  let run settings profile nodes replicas placement node_loss ring_seed sweep =
+    if sweep then begin
+      let runner = Agg_sim.Experiment.Runner.create ~settings () in
+      Agg_sim.Experiment.print_figure (Agg_sim.Cluster.run ~profile runner);
+      exit_ok
+    end
+    else begin
+      let faults = Agg_sim.Cluster.node_kill_plan node_loss in
+      match Agg_faults.Plan.validate faults with
+      | exception Invalid_argument msg ->
+          Printf.eprintf "aggsim: %s\n" msg;
+          Cmd.Exit.cli_error
+      | () ->
+          let trace =
+            Agg_workload.Generator.generate ~seed:settings.Agg_sim.Experiment.seed
+              ~events:settings.Agg_sim.Experiment.events profile
+          in
+          Printf.printf "cluster: %d nodes, k=%d, metadata=%s, node-loss %g\n" nodes replicas
+            (Agg_cluster.Cluster.placement_name placement)
+            node_loss;
+          List.iter
+            (fun (name, scheme) ->
+              let config =
+                {
+                  Agg_cluster.Cluster.default_config with
+                  Agg_cluster.Cluster.nodes;
+                  replicas;
+                  ring_seed;
+                  metadata = placement;
+                  client_scheme = scheme;
+                  node_scheme = scheme;
+                  faults;
+                }
+              in
+              let r = Agg_cluster.Cluster.run config trace in
+              Format.printf "%-4s %a@.     faults: %a@." name Agg_cluster.Cluster.pp_result r
+                Agg_faults.Counters.pp r.Agg_cluster.Cluster.faults)
+            [
+              ("lru", Agg_system.Scheme.plain_lru);
+              ("g5", Agg_system.Scheme.aggregating ());
+            ];
+          exit_ok
+    end
+  in
+  Cmd.v
+    (Cmd.info "cluster"
+       ~doc:
+         "Sharded multi-node cluster: route the fleet workload through a consistent-hash ring of \
+          replication groups, optionally killing nodes ($(b,--node-loss)), or $(b,--sweep) node \
+          count x K x metadata placement.")
+    Term.(
+      const run $ settings_term $ profile_arg $ nodes_arg $ replicas_arg $ placement_arg
+      $ node_loss_arg $ ring_seed_arg $ sweep_arg)
+
 (* --- entropy / groups ----------------------------------------------- *)
 
 let entropy_cmd =
@@ -406,7 +524,11 @@ let entropy_cmd =
 
 let groups_cmd =
   let size_arg = Arg.(value & opt int 5 & info [ "g"; "size" ] ~docv:"G" ~doc:"Group size.") in
-  let top_arg = Arg.(value & opt int 10 & info [ "top" ] ~docv:"K" ~doc:"Show the K largest-anchor groups.") in
+  let top_arg =
+    Arg.(
+      value & opt (positive_int "--top") 10
+      & info [ "top" ] ~docv:"K" ~doc:"Show the K largest-anchor groups.")
+  in
   let run input profile events seed size top =
     let trace = load_trace input profile events seed in
     let graph = Agg_successor.Graph.of_trace trace in
@@ -480,7 +602,9 @@ let convert_cmd =
 
 let profile_report_cmd =
   let top_arg =
-    Arg.(value & opt int 10 & info [ "top" ] ~docv:"K" ~doc:"Files to show at each extreme.")
+    Arg.(
+      value & opt (positive_int "--top") 10
+      & info [ "top" ] ~docv:"K" ~doc:"Files to show at each extreme.")
   in
   let run input profile events seed top =
     let trace = load_trace input profile events seed in
@@ -613,7 +737,7 @@ let profile_cmd =
   let top_arg =
     Arg.(
       value
-      & opt int 10
+      & opt (positive_int "--top") 10
       & info [ "top" ] ~docv:"N" ~doc:"Show the $(docv) slowest sweep cells (default 10).")
   in
   let pp_hist name h =
@@ -742,6 +866,7 @@ let () =
             latency_cmd;
             fleet_cmd;
             faults_cmd;
+            cluster_cmd;
             entropy_cmd;
             groups_cmd;
             convert_cmd;

@@ -37,6 +37,14 @@ if ! grep -rq 'Agg_util\.Prng' lib/faults; then
   exit 1
 fi
 
+# The cluster layer's ring placement, per-node fault seeds and churn all
+# hang off Agg_util.Prng.derive: any other entropy source would break the
+# N=1/k=1 Fleet byte-identity guarantee and jobs-independent sweeps.
+if ! grep -rq 'Agg_util\.Prng' lib/cluster; then
+  echo "ci.sh: lib/cluster no longer draws its randomness from Agg_util.Prng" >&2
+  exit 1
+fi
+
 # All clock access must flow through Agg_obs.Span (lib/obs): hot-path
 # modules reading wall-clock time directly could make simulation results
 # time-dependent and break run-to-run reproducibility.
@@ -86,6 +94,10 @@ dune build @obs
 # Fault-injection gate: smoke-run `aggsim faults` (single hostile run and
 # the loss-rate resilience sweep) at quick size.
 dune build @faults
+
+# Cluster gate: smoke-run `aggsim cluster` (replicated ring under node
+# kills and the node-loss sweep) at quick size.
+dune build @cluster
 
 # Micro gate: Bechamel micro-benchmarks and the per-policy throughput
 # pass at reduced quota; exercises every online policy facade.

@@ -1,0 +1,131 @@
+(** A sharded multi-node server cluster in front of the client fleet.
+
+    This generalises {!Agg_system.Fleet} from one server to a {!Ring} of
+    N role-symmetric nodes: every file id is owned by a replication group
+    of [replicas] nodes, any of which can serve it (the apothik Phase-3
+    design — no master/replica asymmetry, so failover is just "ask the
+    next group member"). The client-side behaviour, cache semantics and
+    fault/resilience accounting are exactly Fleet's; what the cluster
+    adds is routing, replica failover, node churn with deterministic
+    rebalancing, and a choice of where the successor metadata lives.
+
+    {b Degenerate-case guarantee}: with [nodes = 1], [replicas = 1],
+    [metadata = Owner_node] and no churn, a run is {e byte-identical} to
+    {!Agg_system.Fleet.run} on the same trace and fault plan — same
+    counters, same per-client hit rates, same fault accounting
+    ({!fleet_view} extracts the comparable record). Node 0 always reuses
+    the fault plan's own seed; nodes [> 0] fault independently on seeds
+    drawn through {!Agg_util.Prng.derive}.
+
+    {b Metadata placement} ({!metadata_placement}) is a config axis:
+
+    - [Owner_node] — each node tracks successors of the files it
+      primarily owns. Matches Fleet at N = 1; at larger N each node only
+      links requests {e it} sees, and a failover target usually has no
+      metadata for the file, so groups degenerate — the cost of sharding
+      the metadata with the data.
+    - [Replicated_with_group] — an observation is replicated to every
+      group member, so any serving replica can build full groups at the
+      price of k-way metadata write amplification.
+    - [Client_side] — each client tracks its own stream and proposes
+      groups itself; nodes hold no metadata (and stage no server-side
+      readahead), and a client crash now destroys its metadata too — the
+      paper's §3 argument for server-side placement, made measurable.
+
+    All decisions flow through {!Agg_util.Prng}; runs are pure functions
+    of (config, trace), independent of sweep layout or [--jobs]. *)
+
+type metadata_placement = Owner_node | Replicated_with_group | Client_side
+
+val placement_name : metadata_placement -> string
+(** ["owner"], ["group"], ["client"] — stable labels for tables/CLI. *)
+
+val placement_of_string : string -> metadata_placement option
+(** Inverse of {!placement_name}. *)
+
+val placements : metadata_placement list
+(** All three placements, in sweep order. *)
+
+type churn_op =
+  | Join of int  (** node id joins the ring *)
+  | Leave of int  (** node id departs, handing cached files over *)
+
+type config = {
+  nodes : int;  (** initial node count; ids [0 .. nodes-1] *)
+  replicas : int;  (** replication-group size k (clamped to live nodes) *)
+  ring_seed : int;  (** placement seed for the consistent-hash ring *)
+  metadata : metadata_placement;
+  clients : int;
+  client_capacity : int;
+  client_scheme : Agg_system.Scheme.t;
+  node_capacity : int;  (** per-node server cache capacity *)
+  node_scheme : Agg_system.Scheme.t;
+  per_client_metadata : bool;
+  write_invalidation : bool;
+  cost : Agg_system.Cost_model.t;  (** latency model of the fetch path *)
+  faults : Agg_faults.Plan.config;
+      (** node 0 uses this seed verbatim; node [i > 0] uses a seed
+          derived from it, so nodes fail independently *)
+  resilience : Agg_faults.Resilience.t;
+  churn : (int * churn_op) list;
+      (** (time, op) pairs; an op fires just before the first access at
+          [now >= time]. Ops beyond the trace never fire. *)
+  obs : Agg_obs.Sink.t;
+}
+
+val default_config : config
+(** Fleet's defaults (4 clients x 150 aggregating, 300-file aggregating
+    server, per-client metadata, write invalidation, LAN costs, no
+    faults) on a single-node, single-replica, [Owner_node] ring. *)
+
+type result = {
+  accesses : int;
+  client_hits : int;
+  server_requests : int;
+  server_hits : int;  (** summed over all node caches *)
+  store_fetches : int;
+  invalidations : int;
+  per_client_hit_rate : (int * float) list;
+  routed_fetches : int;  (** requests served by a live node *)
+  failovers : int;
+      (** retries re-aimed at a different group member than the attempt
+          before them *)
+  cross_shard_members : int;
+      (** group members fetched from the store because the serving node
+          is not in their replication group (never staged there) *)
+  slowed_fetches : int;
+      (** served fetches that rode a degraded link (kept out of
+          [faults] so the counter block stays Fleet-comparable) *)
+  rebalances : int;  (** churn ops applied *)
+  moved_files : int;  (** cached files whose placement a rebalance changed *)
+  mean_latency : float;  (** ms per access, client hits included *)
+  p95_latency : float;
+  per_node_requests : (int * int) list;
+      (** node id -> fetches served (routed + degraded), departed nodes
+          included *)
+  faults : Agg_faults.Counters.t;
+}
+
+val run : config -> Agg_trace.Trace.t -> result
+(** Replays the trace through the fleet-and-cluster pair. Deterministic.
+    @raise Invalid_argument on an invalid config (non-positive counts or
+    capacities, bad scheme/plan/resilience, negative churn time) or an
+    inapplicable churn op (joining a present node, leaving an absent or
+    the last node). *)
+
+val fleet_view : result -> Agg_system.Fleet.result
+(** The Fleet-comparable projection of a cluster result (fault counters
+    copied). With [nodes = 1], [replicas = 1], [Owner_node] and no
+    churn, [fleet_view (run config trace)] equals
+    [Agg_system.Fleet.run _ trace] field for field. *)
+
+val client_hit_rate : result -> float
+val server_hit_rate : result -> float
+
+val reconcile : Agg_obs.Digest.t -> result -> (unit, string) Stdlib.result
+(** Cross-checks an event-stream digest against the result counters:
+    routed fetches, failovers, rebalances, timeouts, degraded fetches,
+    crashes, and the served = routed + degraded identity. [Ok ()] when
+    every pair agrees, otherwise [Error] naming each mismatch. *)
+
+val pp_result : Format.formatter -> result -> unit

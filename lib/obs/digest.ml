@@ -12,6 +12,9 @@ type t = {
   fetch_retries : Counter.t;
   degraded_fetches : Counter.t;
   client_crashes : Counter.t;
+  node_routes : Counter.t;
+  replica_failovers : Counter.t;
+  ring_rebalances : Counter.t;
   lifetime : Histogram.t;
   hit_depth : Histogram.t;
   group_size : Histogram.t;
@@ -36,6 +39,9 @@ let create () =
     fetch_retries = Counter.create ();
     degraded_fetches = Counter.create ();
     client_crashes = Counter.create ();
+    node_routes = Counter.create ();
+    replica_failovers = Counter.create ();
+    ring_rebalances = Counter.create ();
     lifetime = Histogram.create ();
     hit_depth = Histogram.create ();
     group_size = Histogram.create ();
@@ -79,6 +85,9 @@ let observe t (event : Event.t) =
       if attempt > 0 then Counter.incr t.fetch_retries
   | Fetch_degraded _ -> Counter.incr t.degraded_fetches
   | Client_crashed _ -> Counter.incr t.client_crashes
+  | Node_routed _ -> Counter.incr t.node_routes
+  | Replica_failover _ -> Counter.incr t.replica_failovers
+  | Ring_rebalance _ -> Counter.incr t.ring_rebalances
 
 let of_events events =
   let t = create () in
@@ -100,6 +109,9 @@ let merge a b =
     fetch_retries = Counter.merge a.fetch_retries b.fetch_retries;
     degraded_fetches = Counter.merge a.degraded_fetches b.degraded_fetches;
     client_crashes = Counter.merge a.client_crashes b.client_crashes;
+    node_routes = Counter.merge a.node_routes b.node_routes;
+    replica_failovers = Counter.merge a.replica_failovers b.replica_failovers;
+    ring_rebalances = Counter.merge a.ring_rebalances b.ring_rebalances;
     lifetime = Histogram.merge a.lifetime b.lifetime;
     hit_depth = Histogram.merge a.hit_depth b.hit_depth;
     group_size = Histogram.merge a.group_size b.group_size;
@@ -120,6 +132,9 @@ let fetch_timeouts t = Counter.value t.fetch_timeouts
 let fetch_retries t = Counter.value t.fetch_retries
 let degraded_fetches t = Counter.value t.degraded_fetches
 let client_crashes t = Counter.value t.client_crashes
+let node_routes t = Counter.value t.node_routes
+let replica_failovers t = Counter.value t.replica_failovers
+let ring_rebalances t = Counter.value t.ring_rebalances
 let lifetime t = t.lifetime
 let hit_depth t = t.hit_depth
 let group_size t = t.group_size

@@ -55,6 +55,17 @@ val degraded_fetches : t -> int
 val client_crashes : t -> int
 (** Client crash/restart events. *)
 
+val node_routes : t -> int
+(** Server fetches routed to (and served by) a cluster node
+    ({!Event.Node_routed}). *)
+
+val replica_failovers : t -> int
+(** Fetch attempts re-issued against the next replication-group member
+    after a node failure ({!Event.Replica_failover}). *)
+
+val ring_rebalances : t -> int
+(** Node join/leave rebalance events ({!Event.Ring_rebalance}). *)
+
 val lifetime : t -> Histogram.t
 (** Accesses from prefetch issue to promotion or physical eviction. *)
 

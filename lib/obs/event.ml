@@ -9,6 +9,9 @@ type t =
   | Fetch_timeout of { file : int; attempt : int }
   | Fetch_degraded of { file : int; dropped : int }
   | Client_crashed of { client : int; wiped : int }
+  | Node_routed of { file : int; node : int }
+  | Replica_failover of { file : int; failed : int; target : int }
+  | Ring_rebalance of { node : int; joined : bool; moved : int }
 
 let name = function
   | Demand_hit _ -> "demand_hit"
@@ -21,6 +24,9 @@ let name = function
   | Fetch_timeout _ -> "fetch_timeout"
   | Fetch_degraded _ -> "fetch_degraded"
   | Client_crashed _ -> "client_crashed"
+  | Node_routed _ -> "node_routed"
+  | Replica_failover _ -> "replica_failover"
+  | Ring_rebalance _ -> "ring_rebalance"
 
 let to_json ~seq t =
   match t with
@@ -45,6 +51,14 @@ let to_json ~seq t =
       Printf.sprintf {|{"seq":%d,"ev":"fetch_degraded","file":%d,"dropped":%d}|} seq file dropped
   | Client_crashed { client; wiped } ->
       Printf.sprintf {|{"seq":%d,"ev":"client_crashed","client":%d,"wiped":%d}|} seq client wiped
+  | Node_routed { file; node } ->
+      Printf.sprintf {|{"seq":%d,"ev":"node_routed","file":%d,"node":%d}|} seq file node
+  | Replica_failover { file; failed; target } ->
+      Printf.sprintf {|{"seq":%d,"ev":"replica_failover","file":%d,"failed":%d,"target":%d}|} seq
+        file failed target
+  | Ring_rebalance { node; joined; moved } ->
+      Printf.sprintf {|{"seq":%d,"ev":"ring_rebalance","node":%d,"joined":%b,"moved":%d}|} seq
+        node joined moved
 
 (* Strict parser for exactly the lines [to_json] produces: one flat JSON
    object, string values only for "ev", int or bool values elsewhere, no
@@ -155,6 +169,23 @@ let of_json line =
         let* client = int_field fields "client" in
         let* wiped = int_field fields "wiped" in
         Ok (Client_crashed { client; wiped })
+    | {|"node_routed"|} ->
+        let* () = expect_fields 4 in
+        let* file = int_field fields "file" in
+        let* node = int_field fields "node" in
+        Ok (Node_routed { file; node })
+    | {|"replica_failover"|} ->
+        let* () = expect_fields 5 in
+        let* file = int_field fields "file" in
+        let* failed = int_field fields "failed" in
+        let* target = int_field fields "target" in
+        Ok (Replica_failover { file; failed; target })
+    | {|"ring_rebalance"|} ->
+        let* () = expect_fields 5 in
+        let* node = int_field fields "node" in
+        let* joined = bool_field fields "joined" in
+        let* moved = int_field fields "moved" in
+        Ok (Ring_rebalance { node; joined; moved })
     | other -> Error (Printf.sprintf "unknown event type %s" other)
   in
   Ok (seq, event)

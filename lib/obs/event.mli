@@ -37,6 +37,16 @@ type t =
   | Client_crashed of { client : int; wiped : int }
       (** [client] crashed and restarted, losing [wiped] cached files;
           server-side metadata survives. *)
+  | Node_routed of { file : int; node : int }
+      (** A server fetch for [file] was routed through the hash ring and
+          served by cluster [node] (a member of the file's replication
+          group). *)
+  | Replica_failover of { file : int; failed : int; target : int }
+      (** The fetch for [file] timed out against group member [failed] and
+          was re-issued against the next role-symmetric member [target]. *)
+  | Ring_rebalance of { node : int; joined : bool; moved : int }
+      (** [node] joined ([joined = true]) or left the hash ring; [moved]
+          cached files migrated to their new replication groups. *)
 
 val name : t -> string
 (** The JSONL ["ev"] tag, e.g. ["demand_hit"]. *)

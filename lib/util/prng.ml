@@ -44,6 +44,22 @@ let split t =
   let s3 = splitmix64 state in
   { s0; s1; s2; s3 }
 
+let derive t index =
+  (* Fold the parent's full 256-bit state with the (injectively scaled)
+     stream index into one SplitMix64 seed; the parent is not advanced, so
+     [derive t i] is a pure function of [t]'s current state and [i]. *)
+  let key =
+    Int64.logxor
+      (Int64.logxor t.s0 (rotl t.s1 13))
+      (Int64.logxor (rotl t.s2 27) (rotl t.s3 41))
+  in
+  let state = ref (Int64.logxor key (Int64.mul (Int64.of_int index) 0x9E3779B97F4A7C15L)) in
+  let s0 = splitmix64 state in
+  let s1 = splitmix64 state in
+  let s2 = splitmix64 state in
+  let s3 = splitmix64 state in
+  { s0; s1; s2; s3 }
+
 (* A non-negative 62-bit integer: plenty for array indices, and it avoids
    having to reason about [min_int] when taking remainders. *)
 let bits62 t = Int64.to_int (Int64.shift_right_logical (bits64 t) 2)

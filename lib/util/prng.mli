@@ -20,6 +20,14 @@ val split : t -> t
 (** [split t] derives a new generator from [t], advancing [t]. Streams of
     the parent and child are statistically independent. *)
 
+val derive : t -> int -> t
+(** [derive t index] is a fresh generator determined purely by [t]'s
+    current state and the stream [index]; [t] is {e not} advanced. Two
+    parents in the same state derive identical children for the same
+    index, and distinct indices yield statistically independent streams —
+    the per-node / per-stream seeding idiom: give worker [i] the stream
+    [derive base i] instead of ad-hoc seed arithmetic. *)
+
 val bits64 : t -> int64
 (** [bits64 t] is the next raw 64-bit output. *)
 

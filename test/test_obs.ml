@@ -111,6 +111,10 @@ let test_event_json_roundtrip_crafted () =
       Event.Fetch_timeout { file = 11; attempt = 2 };
       Event.Fetch_degraded { file = 11; dropped = 4 };
       Event.Client_crashed { client = 3; wiped = 150 };
+      Event.Node_routed { file = 21; node = 4 };
+      Event.Replica_failover { file = 21; failed = 4; target = 0 };
+      Event.Ring_rebalance { node = 5; joined = true; moved = 37 };
+      Event.Ring_rebalance { node = 2; joined = false; moved = 0 };
     ]
   in
   List.iteri
@@ -132,7 +136,10 @@ let test_event_json_errors () =
   check_bool "missing field" true (is_error {|{"seq":0,"ev":"demand_hit","file":1}|});
   check_bool "extra field" true
     (is_error {|{"seq":0,"ev":"demand_miss","file":1,"bogus":2}|});
-  check_bool "bad seq" true (is_error {|{"seq":"x","ev":"demand_miss","file":1}|})
+  check_bool "bad seq" true (is_error {|{"seq":"x","ev":"demand_miss","file":1}|});
+  check_bool "node_routed missing node" true (is_error {|{"seq":0,"ev":"node_routed","file":1}|});
+  check_bool "ring_rebalance non-bool joined" true
+    (is_error {|{"seq":0,"ev":"ring_rebalance","node":1,"joined":2,"moved":3}|})
 
 (* --- Sinks -------------------------------------------------------------- *)
 
@@ -346,6 +353,13 @@ let qcheck_tests =
         map2 (fun f d -> Event.Fetch_degraded { file = f; dropped = d }) file (int_range 0 20);
         map2 (fun c w -> Event.Client_crashed { client = c; wiped = w }) (int_range 0 64)
           (int_range 0 1000);
+        map2 (fun f n -> Event.Node_routed { file = f; node = n }) file (int_range 0 64);
+        map3
+          (fun f a b -> Event.Replica_failover { file = f; failed = a; target = b })
+          file (int_range 0 64) (int_range 0 64);
+        map3
+          (fun n j m -> Event.Ring_rebalance { node = n; joined = j; moved = m })
+          (int_range 0 64) bool (int_range 0 1000);
       ]
   in
   let event_arb = make ~print:(Format.asprintf "%a" Event.pp) event_gen in

@@ -41,6 +41,14 @@ let test_prng_split () =
   done;
   check_bool "split stream differs from parent" true !differs
 
+let test_prng_derive () =
+  let a = Prng.create ~seed:5 () in
+  let b = Prng.copy a in
+  Alcotest.(check int64) "derive is reproducible"
+    (Prng.bits64 (Prng.derive a 3))
+    (Prng.bits64 (Prng.derive a 3));
+  Alcotest.(check int64) "derive leaves the parent untouched" (Prng.bits64 b) (Prng.bits64 a)
+
 let test_prng_int_bounds () =
   let t = Prng.create ~seed:7 () in
   for _ = 1 to 1000 do
@@ -561,6 +569,24 @@ let qcheck_tests =
             match Pool.map ~jobs f xs with
             | _ -> false
             | exception Boom i -> i = first));
+    Test.make ~name:"Prng.derive streams are reproducible and index-distinct" ~count:200
+      (triple (int_range 0 1_000_000) (int_range 0 1000) (int_range 0 1000))
+      (fun (seed, i, j) ->
+        let stream k =
+          let g = Prng.derive (Prng.create ~seed ()) k in
+          List.init 4 (fun _ -> Prng.bits64 g)
+        in
+        stream i = stream i && (i = j || stream i <> stream j));
+    Test.make ~name:"Prng.derive never advances the parent" ~count:200
+      (triple (int_range 0 1_000_000) (int_range 0 20) (int_range 0 1000))
+      (fun (seed, draws, index) ->
+        let a = Prng.create ~seed () in
+        for _ = 1 to draws do
+          ignore (Prng.bits64 a)
+        done;
+        let b = Prng.copy a in
+        ignore (Prng.derive a index);
+        Prng.bits64 a = Prng.bits64 b);
     Test.make ~name:"Heap drain equals the sorted priority list" ~count:200
       (list (pair small_int small_int))
       (fun l ->
@@ -718,6 +744,7 @@ let () =
           Alcotest.test_case "seed sensitivity" `Quick test_prng_seed_sensitivity;
           Alcotest.test_case "copy" `Quick test_prng_copy;
           Alcotest.test_case "split" `Quick test_prng_split;
+          Alcotest.test_case "derive" `Quick test_prng_derive;
           Alcotest.test_case "int bounds" `Quick test_prng_int_bounds;
           Alcotest.test_case "int invalid" `Quick test_prng_int_invalid;
           Alcotest.test_case "int_in_range" `Quick test_prng_int_in_range;
