@@ -15,6 +15,8 @@
                                               # and write BENCH_faults.json
      dune exec bench/main.exe -- --cluster    # also run the sharded-cluster
                                               # sweep and write BENCH_cluster.json
+     dune exec bench/main.exe -- --scenarios  # also run the scenario corpus
+                                              # and write BENCH_scenarios.json
 
    Output on stdout is deterministic (fixed seeds) apart from the
    micro-benchmark timings, and identical for every --jobs value. Every
@@ -259,6 +261,22 @@ let run_cluster ~settings =
     ~finally:(fun () -> close_out oc)
     (fun () -> output_string oc (Agg_sim.Cluster.json_of_points ~fleet_match points));
   Printf.printf "wrote %d sweep points to %s\n" (List.length points) cluster_json_path
+
+let scenarios_json_path = "BENCH_scenarios.json"
+
+let run_scenarios ~settings =
+  section "Scenarios — declarative corpus with invariant checking (scenarios/*.scn)";
+  let runner = Agg_sim.Experiment.Runner.create ~settings () in
+  let events_cap = if !quick_flag then Some 4_000 else None in
+  let entries = Agg_sim.Scenarios.run_corpus ?events_cap ~runner "scenarios" in
+  print_string (Agg_sim.Scenarios.render entries);
+  Printf.printf "corpus verdict: %s\n"
+    (if Agg_sim.Scenarios.all_ok entries then "all ok" else "FAILURES");
+  let oc = open_out scenarios_json_path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (Agg_sim.Scenarios.json_of_entries entries));
+  Printf.printf "wrote %d scenario results to %s\n" (List.length entries) scenarios_json_path
 
 (* --- scale: one fig3-shaped point at 10^5 clients ------------------------- *)
 
@@ -554,7 +572,8 @@ let sections =
 
 let usage () =
   Printf.eprintf
-    "usage: main.exe [SECTION...] [--quick] [--jobs N] [--sweep] [--obs] [--faults] [--cluster]\nsections: %s | all\n"
+    "usage: main.exe [SECTION...] [--quick] [--jobs N] [--sweep] [--obs] [--faults] [--cluster] \
+     [--scenarios]\nsections: %s | all\n"
     (String.concat " | " (List.map fst sections));
   exit 2
 
@@ -568,6 +587,7 @@ let () =
   let obs = List.mem "--obs" args in
   let faults = List.mem "--faults" args in
   let cluster = List.mem "--cluster" args in
+  let scenarios = List.mem "--scenarios" args in
   if obs then profiler := Some (Agg_obs.Span.recorder ());
   let rec parse_jobs = function
     | "--jobs" :: n :: _ -> (
@@ -580,7 +600,7 @@ let () =
     | "--jobs" :: _ :: rest -> strip rest
     | flag :: rest
       when flag = "--quick" || flag = "--sweep" || flag = "--obs" || flag = "--faults"
-           || flag = "--cluster" -> strip rest
+           || flag = "--cluster" || flag = "--scenarios" -> strip rest
     | arg :: rest -> arg :: strip rest
     | [] -> []
   in
@@ -627,6 +647,7 @@ let () =
   in
   if faults then run_faults ~settings;
   if cluster then run_cluster ~settings;
+  if scenarios then run_scenarios ~settings;
   write_bench_json ~jobs ~quick ~settings timings;
   match !profiler with
   | None -> ()

@@ -17,7 +17,9 @@ let profile_conv =
           (`Msg
              (Printf.sprintf "unknown profile %S (expected one of: %s)" s
                 (String.concat ", "
-                   (List.map (fun p -> p.Agg_workload.Profile.name) Agg_workload.Profile.all))))
+                   (List.map
+                      (fun p -> p.Agg_workload.Profile.name)
+                      (Agg_workload.Profile.all @ Agg_workload.Profile.extras)))))
   in
   let print ppf p = Format.pp_print_string ppf p.Agg_workload.Profile.name in
   Arg.conv (parse, print)
@@ -26,7 +28,8 @@ let profile_arg =
   Arg.(
     value
     & opt profile_conv Agg_workload.Profile.server
-    & info [ "p"; "profile" ] ~docv:"PROFILE" ~doc:"Workload profile (workstation|users|write|server).")
+    & info [ "p"; "profile" ] ~docv:"PROFILE"
+        ~doc:"Workload profile (workstation|users|write|server|scientific|streaming).")
 
 let events_arg =
   Arg.(value & opt int 60_000 & info [ "n"; "events" ] ~docv:"N" ~doc:"Number of trace events.")
@@ -842,6 +845,164 @@ let profile_cmd =
           lifetime, stack distance at hits, group size — of one instrumented run.")
     Term.(const run $ settings_term $ profile_arg $ trace_out_arg $ top_arg)
 
+(* --- scenario ------------------------------------------------------- *)
+
+let scenario_cmd =
+  let module Scenario = Agg_scenario.Scenario in
+  let module Exec = Agg_scenario.Exec in
+  let module Fuzz = Agg_scenario.Fuzz in
+  let file_arg =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "f"; "file" ] ~docv:"FILE" ~doc:"A scenario file; repeatable.")
+  in
+  let dir_arg =
+    Arg.(
+      value
+      & opt string "scenarios"
+      & info [ "dir" ] ~docv:"DIR"
+          ~doc:"Corpus directory scanned for *.scn files when no $(b,--file) is given.")
+  in
+  let events_cap_arg =
+    Arg.(
+      value
+      & opt (some (positive_int "--events-cap")) None
+      & info [ "events-cap" ] ~docv:"N"
+          ~doc:"Truncate every workload to at most N events (fast CI runs).")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE" ~doc:"Also write the results as a JSON document.")
+  in
+  let jobs_of jobs = match jobs with Some j -> j | None -> Agg_util.Pool.default_jobs () in
+  (* --file list, or the corpus directory when none was given *)
+  let selected files dir =
+    match files with [] -> Agg_sim.Scenarios.corpus_files dir | files -> files
+  in
+  let validate_cmd =
+    let run files dir =
+      match selected files dir with
+      | exception Sys_error msg ->
+          Printf.eprintf "aggsim: %s\n" msg;
+          Cmd.Exit.cli_error
+      | files ->
+          let bad = ref 0 in
+          List.iter
+            (fun file ->
+              match Scenario.load_file file with
+              | Error msg ->
+                  incr bad;
+                  Printf.printf "ERROR %s\n" msg
+              | Ok s -> (
+                  match Scenario.validate s with
+                  | exception Invalid_argument msg ->
+                      incr bad;
+                      Printf.printf "ERROR %s: %s\n" file msg
+                  | () -> Printf.printf "ok   %s (%s)\n" file s.Scenario.name))
+            files;
+          if !bad = 0 then exit_ok else Cmd.Exit.some_error
+    in
+    Cmd.v
+      (Cmd.info "validate" ~doc:"Parse and validate scenario files without running them.")
+      Term.(const run $ file_arg $ dir_arg)
+  in
+  let run_cmd =
+    let run files dir jobs events_cap json =
+      let jobs = jobs_of jobs in
+      match selected files dir with
+      | exception Sys_error msg ->
+          Printf.eprintf "aggsim: %s\n" msg;
+          Cmd.Exit.cli_error
+      | files ->
+          let entries =
+            List.map
+              (fun file ->
+                let outcome =
+                  match Scenario.load_file file with
+                  | Error _ as e -> e
+                  | Ok s -> Exec.run ~jobs ?events_cap s
+                in
+                { Agg_sim.Scenarios.file; outcome })
+              files
+          in
+          List.iter
+            (fun (e : Agg_sim.Scenarios.entry) ->
+              match e.Agg_sim.Scenarios.outcome with
+              | Error msg -> Printf.printf "ERROR %s: %s\n" e.Agg_sim.Scenarios.file msg
+              | Ok o -> print_string (Exec.render_outcome o))
+            entries;
+          print_newline ();
+          print_string (Agg_sim.Scenarios.render entries);
+          (match json with
+          | Some path ->
+              Out_channel.with_open_text path (fun oc ->
+                  output_string oc (Agg_sim.Scenarios.json_of_entries entries))
+          | None -> ());
+          if Agg_sim.Scenarios.all_ok entries then exit_ok else Cmd.Exit.some_error
+    in
+    Cmd.v
+      (Cmd.info "run"
+         ~doc:
+           "Execute scenarios and check every invariant and expectation. Exits non-zero unless \
+            every scenario meets its verdict (known-bad scenarios must fail).")
+      Term.(const run $ file_arg $ dir_arg $ jobs_arg $ events_cap_arg $ json_arg)
+  in
+  let fuzz_cmd =
+    let seed_arg =
+      Arg.(value & opt int 7 & info [ "seed" ] ~docv:"SEED" ~doc:"Fuzzing PRNG seed.")
+    in
+    let rounds_arg =
+      Arg.(
+        value
+        & opt (positive_int "--rounds") 40
+        & info [ "rounds" ] ~docv:"N" ~doc:"Perturbation rounds (default 40).")
+    in
+    let run files dir seed rounds jobs events_cap =
+      let jobs = jobs_of jobs in
+      match selected files dir with
+      | exception Sys_error msg ->
+          Printf.eprintf "aggsim: %s\n" msg;
+          Cmd.Exit.cli_error
+      | [] ->
+          Printf.eprintf "aggsim: no scenario files to fuzz\n";
+          Cmd.Exit.cli_error
+      | file :: _ -> (
+          match Scenario.load_file file with
+          | Error msg ->
+              Printf.eprintf "aggsim: %s\n" msg;
+              Cmd.Exit.cli_error
+          | Ok base -> (
+              let report = Fuzz.run ~jobs ?events_cap ~seed ~rounds base in
+              Printf.printf "fuzz %s: seed=%d rounds=%d tested=%d\n" file seed rounds
+                report.Fuzz.tested;
+              match report.Fuzz.failure with
+              | None ->
+                  Printf.printf "no violation found\n";
+                  exit_ok
+              | Some f ->
+                  let size s = String.length (Scenario.to_string s) in
+                  Printf.printf "violation in %s (%d bytes), shrunk to %d bytes:\n"
+                    f.Fuzz.original.Scenario.name (size f.Fuzz.original) (size f.Fuzz.shrunk);
+                  print_string (Scenario.to_string f.Fuzz.shrunk);
+                  exit_ok))
+    in
+    Cmd.v
+      (Cmd.info "fuzz"
+         ~doc:
+           "Perturb a scenario with seeded randomness until an invariant breaks, then greedily \
+            shrink to a minimal failing scenario (deterministic for a fixed $(b,--seed)).")
+      Term.(const run $ file_arg $ dir_arg $ seed_arg $ rounds_arg $ jobs_arg $ events_cap_arg)
+  in
+  Cmd.group
+    (Cmd.info "scenario"
+       ~doc:
+         "Declarative experiments: validate, run or fuzz *.scn scenario files (workload, \
+          topology, faults, policy matrix, invariants).")
+    [ run_cmd; fuzz_cmd; validate_cmd ]
+
 (* --- main ------------------------------------------------------------ *)
 
 let () =
@@ -867,6 +1028,7 @@ let () =
             fleet_cmd;
             faults_cmd;
             cluster_cmd;
+            scenario_cmd;
             entropy_cmd;
             groups_cmd;
             convert_cmd;

@@ -45,6 +45,13 @@ if ! grep -rq 'Agg_util\.Prng' lib/cluster; then
   exit 1
 fi
 
+# The scenario fuzzer's perturbations must come from Agg_util.Prng so a
+# fixed --seed replays the same violation and shrunk scenario.
+if ! grep -rq 'Agg_util\.Prng' lib/scenario; then
+  echo "ci.sh: lib/scenario no longer draws its randomness from Agg_util.Prng" >&2
+  exit 1
+fi
+
 # All clock access must flow through Agg_obs.Span (lib/obs): hot-path
 # modules reading wall-clock time directly could make simulation results
 # time-dependent and break run-to-run reproducibility.
@@ -98,6 +105,11 @@ dune build @faults
 # Cluster gate: smoke-run `aggsim cluster` (replicated ring under node
 # kills and the node-loss sweep) at quick size.
 dune build @cluster
+
+# Scenario gate: validate the declarative corpus, run it fast-sized with
+# every invariant checked (the known-bad entry must fail), and smoke the
+# fuzz/shrink path.
+dune build @scenario
 
 # Micro gate: Bechamel micro-benchmarks and the per-policy throughput
 # pass at reduced quota; exercises every online policy facade.

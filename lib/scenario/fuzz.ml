@@ -1,0 +1,215 @@
+module Prng = Agg_util.Prng
+module Plan = Agg_faults.Plan
+module Cache = Agg_cache.Cache
+
+let is_valid t = match Scenario.validate t with () -> true | exception Invalid_argument _ -> false
+
+let violates ?jobs ?events_cap t =
+  match Exec.run ?jobs ?events_cap t with Ok o -> not o.Exec.pass | Error _ -> false
+
+(* --- perturbation ----------------------------------------------------------- *)
+
+let policy_palette =
+  [|
+    Scenario.Plain Cache.Lru;
+    Scenario.Plain Cache.Arc;
+    Scenario.Plain Cache.Clock;
+    Scenario.Group 2;
+    Scenario.Group 5;
+    Scenario.Group 10;
+  |]
+
+let clamp_rate r = Float.max 0.0 (Float.min 1.0 r)
+
+let perturb rng (t : Scenario.t) =
+  let orphaned policies =
+    List.exists
+      (fun e ->
+        let (Scenario.Hit_rate_min { policy; _ } | Scenario.Hit_rate_max { policy; _ }) = e in
+        not
+          (List.exists
+             (fun p -> Scenario.policy_name p = Scenario.policy_name policy)
+             policies))
+      t.Scenario.expectations
+  in
+  let candidate =
+    match Prng.int rng 8 with
+    | 0 -> (
+        (* reseed the workload *)
+        match t.Scenario.workload with
+        | Scenario.Profile p ->
+            { t with Scenario.workload = Scenario.Profile { p with seed = Prng.int rng 1_000_000 } }
+        | _ -> t)
+    | 1 -> (
+        (* resize the workload: 0.5x .. 2x, floor 100 *)
+        match t.Scenario.workload with
+        | Scenario.Profile p ->
+            let events = max 100 (p.events / 2 * Prng.int_in_range rng ~lo:1 ~hi:4) in
+            { t with Scenario.workload = Scenario.Profile { p with events } }
+        | _ -> t)
+    | 2 ->
+        (* scale a fault rate *)
+        let f = t.Scenario.faults in
+        let faults =
+          match Prng.int rng 4 with
+          | 0 -> { f with Plan.loss_rate = clamp_rate (Prng.float rng 0.3) }
+          | 1 ->
+              { f with
+                Plan.outage_period = 500 * Prng.int_in_range rng ~lo:1 ~hi:4;
+                outage_rate = clamp_rate (Prng.float rng 0.3);
+                outage_length = 50 * Prng.int_in_range rng ~lo:1 ~hi:4 }
+          | 2 ->
+              { f with
+                Plan.slow_rate = clamp_rate (Prng.float rng 0.2);
+                slow_multiplier = 1.0 +. Prng.float rng 4.0 }
+          | _ -> { f with Plan.crash_rate = clamp_rate (Prng.float rng 0.005) }
+        in
+        { t with Scenario.faults = faults }
+    | 3 -> (
+        (* resize the fleet *)
+        match t.Scenario.topology with
+        | Scenario.Fleet f ->
+            let clients = max 1 (f.clients / 2 * Prng.int_in_range rng ~lo:1 ~hi:4) in
+            { t with Scenario.topology = Scenario.Fleet { f with clients } }
+        | Scenario.Cluster c ->
+            let clients = max 1 (c.clients / 2 * Prng.int_in_range rng ~lo:1 ~hi:4) in
+            { t with Scenario.topology = Scenario.Cluster { c with clients } }
+        | Scenario.Path _ -> t)
+    | 4 ->
+        (* add a palette policy not already present *)
+        let missing =
+          Array.to_list policy_palette
+          |> List.filter (fun p ->
+                 not
+                   (List.exists
+                      (fun q -> Scenario.policy_name q = Scenario.policy_name p)
+                      t.Scenario.policies))
+        in
+        if missing = [] then t
+        else
+          let p = Prng.choose rng (Array.of_list missing) in
+          { t with Scenario.policies = t.Scenario.policies @ [ p ] }
+    | 5 ->
+        (* drop a random policy (keep >= 1, keep expectations satisfied) *)
+        let n = List.length t.Scenario.policies in
+        if n <= 1 then t
+        else
+          let k = Prng.int rng n in
+          let policies = List.filteri (fun idx _ -> idx <> k) t.Scenario.policies in
+          if orphaned policies then t else { t with Scenario.policies = policies }
+    | 6 -> (
+        (* reseed the fault plan *)
+        let f = t.Scenario.faults in
+        { t with Scenario.faults = { f with Plan.seed = Prng.int rng 1_000_000 } })
+    | _ -> (
+        (* reseed the ring (cluster) *)
+        match t.Scenario.topology with
+        | Scenario.Cluster c ->
+            { t with Scenario.topology = Scenario.Cluster { c with ring_seed = Prng.int rng 1_000_000 } }
+        | _ -> t)
+  in
+  if is_valid candidate then candidate else t
+
+(* --- shrinking -------------------------------------------------------------- *)
+
+(* Candidate reductions, in documented order. Only structurally smaller
+   (or fault-free-er) scenarios are proposed; the caller keeps a
+   candidate iff it is valid and still violates. *)
+let reductions (t : Scenario.t) =
+  let faults_steps =
+    let f = t.Scenario.faults in
+    (if f <> Plan.none then [ { t with Scenario.faults = Plan.none } ] else [])
+    @ (if f.Plan.loss_rate > 0.0 then
+         [ { t with Scenario.faults = { f with Plan.loss_rate = 0.0 } } ]
+       else [])
+    @ (if f.Plan.outage_rate > 0.0 then
+         [ { t with Scenario.faults = { f with Plan.outage_rate = 0.0 } } ]
+       else [])
+    @ (if f.Plan.slow_rate > 0.0 then
+         [ { t with Scenario.faults = { f with Plan.slow_rate = 0.0; slow_multiplier = 1.0 } } ]
+       else [])
+    @
+    if f.Plan.crash_rate > 0.0 then
+      [ { t with Scenario.faults = { f with Plan.crash_rate = 0.0 } } ]
+    else []
+  in
+  let topology_steps =
+    match t.Scenario.topology with
+    | Scenario.Path _ -> []
+    | Scenario.Fleet f ->
+        if f.clients > 1 then
+          [ { t with Scenario.topology = Scenario.Fleet { f with clients = max 1 (f.clients / 2) } } ]
+        else []
+    | Scenario.Cluster c ->
+        (if c.churn <> [] then
+           [ { t with Scenario.topology = Scenario.Cluster { c with churn = [] } } ]
+         else [])
+        @ (if c.clients > 1 then
+             [ { t with
+                 Scenario.topology = Scenario.Cluster { c with clients = max 1 (c.clients / 2) } } ]
+           else [])
+        @ (if c.nodes > 1 then
+             [ { t with
+                 Scenario.topology =
+                   Scenario.Cluster
+                     { c with nodes = max 1 (c.nodes / 2); replicas = min c.replicas (max 1 (c.nodes / 2)) } } ]
+           else [])
+        @
+        if c.replicas > 1 then
+          [ { t with Scenario.topology = Scenario.Cluster { c with replicas = max 1 (c.replicas / 2) } } ]
+        else []
+  in
+  let events_steps =
+    match t.Scenario.workload with
+    | Scenario.Profile p when p.events > 100 ->
+        [ { t with Scenario.workload = Scenario.Profile { p with events = max 100 (p.events / 2) } } ]
+    | _ -> []
+  in
+  let drop_each list rebuild =
+    List.mapi (fun k _ -> rebuild (List.filteri (fun idx _ -> idx <> k) list)) list
+  in
+  let policy_steps =
+    if List.length t.Scenario.policies <= 1 then []
+    else drop_each t.Scenario.policies (fun policies -> { t with Scenario.policies })
+  in
+  let invariant_steps =
+    drop_each t.Scenario.invariants (fun invariants -> { t with Scenario.invariants })
+  in
+  let expectation_steps =
+    drop_each t.Scenario.expectations (fun expectations -> { t with Scenario.expectations })
+  in
+  faults_steps @ topology_steps @ events_steps @ policy_steps @ invariant_steps
+  @ expectation_steps
+
+let shrink ?jobs ?events_cap t =
+  if not (violates ?jobs ?events_cap t) then t
+  else
+    let rec fixpoint t =
+      let step =
+        List.find_opt
+          (fun candidate -> is_valid candidate && violates ?jobs ?events_cap candidate)
+          (reductions t)
+      in
+      match step with None -> t | Some smaller -> fixpoint smaller
+    in
+    fixpoint t
+
+(* --- the fuzz loop ----------------------------------------------------------- *)
+
+type failure = { original : Scenario.t; shrunk : Scenario.t }
+type report = { rounds : int; tested : int; failure : failure option }
+
+let run ?jobs ?events_cap ~seed ~rounds base =
+  let rng = Prng.create ~seed () in
+  let rec loop round current tested =
+    if round > rounds then { rounds; tested; failure = None }
+    else
+      let current = if round = 0 || round mod 8 = 0 then base else current in
+      let candidate = if round = 0 then base else perturb rng current in
+      if violates ?jobs ?events_cap candidate then
+        { rounds;
+          tested = tested + 1;
+          failure = Some { original = candidate; shrunk = shrink ?jobs ?events_cap candidate } }
+      else loop (round + 1) candidate (tested + 1)
+  in
+  loop 0 base 0

@@ -1,0 +1,491 @@
+module Plan = Agg_faults.Plan
+module Cache = Agg_cache.Cache
+module Cluster = Agg_cluster.Cluster
+
+type workload =
+  | Profile of { profile : string; events : int; seed : int }
+  | Trace_file of { file : string }
+  | Import_file of { format : Agg_trace.Import.format; file : string }
+
+type topology =
+  | Path of { client_capacity : int; server_capacity : int }
+  | Fleet of { clients : int; client_capacity : int; server_capacity : int }
+  | Cluster of {
+      nodes : int;
+      replicas : int;
+      placement : Cluster.metadata_placement;
+      ring_seed : int;
+      clients : int;
+      client_capacity : int;
+      node_capacity : int;
+      churn : (int * Cluster.churn_op) list;
+    }
+
+type policy = Plain of Cache.kind | Group of int
+
+let policy_name = function
+  | Plain kind -> Cache.kind_name kind
+  | Group n -> Printf.sprintf "g%d" n
+
+let policy_of_string s =
+  match Cache.kind_of_string s with
+  | Some kind -> Some (Plain kind)
+  | None ->
+      let n = String.length s in
+      if n >= 2 && s.[0] = 'g' then
+        match int_of_string_opt (String.sub s 1 (n - 1)) with
+        | Some g when g > 0 -> Some (Group g)
+        | _ -> None
+      else None
+
+type invariant =
+  | Conservation
+  | Belady_bound
+  | G1_equals_lru
+  | Jobs_invariance
+  | Every_request_served
+
+let invariant_name = function
+  | Conservation -> "conservation"
+  | Belady_bound -> "belady_bound"
+  | G1_equals_lru -> "g1_equals_lru"
+  | Jobs_invariance -> "jobs_invariance"
+  | Every_request_served -> "every_request_served"
+
+let all_invariants =
+  [ Conservation; Belady_bound; G1_equals_lru; Jobs_invariance; Every_request_served ]
+
+let invariant_of_string s =
+  List.find_opt (fun i -> invariant_name i = s) all_invariants
+
+type expectation =
+  | Hit_rate_min of { policy : policy; percent : float }
+  | Hit_rate_max of { policy : policy; percent : float }
+
+type t = {
+  name : string;
+  workload : workload;
+  topology : topology;
+  faults : Plan.config;
+  policies : policy list;
+  invariants : invariant list;
+  expectations : expectation list;
+  expect_violation : bool;
+}
+
+(* --- canonical printing --------------------------------------------------- *)
+
+(* Floats must survive the round trip exactly: prefer the short %g form,
+   fall back to the always-exact %.17g when it loses precision. *)
+let float_str f =
+  let s = Printf.sprintf "%g" f in
+  if float_of_string s = f then s else Printf.sprintf "%.17g" f
+
+let header = "#scenario v1"
+
+let format_name = function Agg_trace.Import.Paths -> "paths" | Agg_trace.Import.Strace -> "strace"
+
+let workload_line = function
+  | Profile { profile; events; seed } ->
+      Printf.sprintf "workload profile name=%s events=%d seed=%d" profile events seed
+  | Trace_file { file } -> Printf.sprintf "workload trace file=%s" file
+  | Import_file { format; file } ->
+      Printf.sprintf "workload import format=%s file=%s" (format_name format) file
+
+let topology_lines = function
+  | Path { client_capacity; server_capacity } ->
+      [ Printf.sprintf "topology path client_capacity=%d server_capacity=%d" client_capacity
+          server_capacity ]
+  | Fleet { clients; client_capacity; server_capacity } ->
+      [ Printf.sprintf "topology fleet clients=%d client_capacity=%d server_capacity=%d" clients
+          client_capacity server_capacity ]
+  | Cluster { nodes; replicas; placement; ring_seed; clients; client_capacity; node_capacity; churn }
+    ->
+      Printf.sprintf
+        "topology cluster nodes=%d replicas=%d placement=%s ring_seed=%d clients=%d \
+         client_capacity=%d node_capacity=%d"
+        nodes replicas
+        (Cluster.placement_name placement)
+        ring_seed clients client_capacity node_capacity
+      :: List.map
+           (fun (time, op) ->
+             match op with
+             | Cluster.Join node -> Printf.sprintf "churn time=%d op=join node=%d" time node
+             | Cluster.Leave node -> Printf.sprintf "churn time=%d op=leave node=%d" time node)
+           churn
+
+let faults_line (c : Plan.config) =
+  Printf.sprintf
+    "faults seed=%d loss=%s outage_period=%d outage_rate=%s outage_length=%d slow=%s slow_mult=%s \
+     crash=%s"
+    c.Plan.seed (float_str c.Plan.loss_rate) c.Plan.outage_period (float_str c.Plan.outage_rate)
+    c.Plan.outage_length (float_str c.Plan.slow_rate) (float_str c.Plan.slow_multiplier)
+    (float_str c.Plan.crash_rate)
+
+let expectation_name = function
+  | Hit_rate_min { policy; percent } ->
+      Printf.sprintf "hit_rate policy=%s min=%s" (policy_name policy) (float_str percent)
+  | Hit_rate_max { policy; percent } ->
+      Printf.sprintf "hit_rate policy=%s max=%s" (policy_name policy) (float_str percent)
+
+let expectation_line e = "expect " ^ expectation_name e
+
+let to_string t =
+  let lines =
+    [ header; Printf.sprintf "name %s" t.name; workload_line t.workload ]
+    @ topology_lines t.topology
+    @ [ faults_line t.faults ]
+    @ List.map (fun p -> Printf.sprintf "policy %s" (policy_name p)) t.policies
+    @ List.map (fun i -> Printf.sprintf "invariant %s" (invariant_name i)) t.invariants
+    @ List.map expectation_line t.expectations
+    @ (if t.expect_violation then [ "expect violation" ] else [])
+  in
+  String.concat "\n" lines ^ "\n"
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+(* --- strict parsing -------------------------------------------------------- *)
+
+let ( let* ) = Result.bind
+
+let errf line fmt = Printf.ksprintf (fun m -> Error (Printf.sprintf "line %d: %s" line m)) fmt
+
+(* Every token after a line's keyword must be key=value; [keys] is the
+   exact expected set — unknown, duplicate and missing keys are errors. *)
+let parse_kvs ~line keys tokens =
+  let* kvs =
+    List.fold_left
+      (fun acc token ->
+        let* acc = acc in
+        match String.index_opt token '=' with
+        | None -> errf line "malformed field %S (expected key=value)" token
+        | Some i ->
+            let key = String.sub token 0 i in
+            let value = String.sub token (i + 1) (String.length token - i - 1) in
+            if not (List.mem key keys) then errf line "unknown field %S" key
+            else if List.mem_assoc key acc then errf line "duplicate field %S" key
+            else Ok ((key, value) :: acc))
+      (Ok []) tokens
+  in
+  match List.find_opt (fun k -> not (List.mem_assoc k kvs)) keys with
+  | Some missing -> errf line "missing field %S" missing
+  | None -> Ok kvs
+
+let int_kv ~line kvs key =
+  let v = List.assoc key kvs in
+  match int_of_string_opt v with
+  | Some i -> Ok i
+  | None -> errf line "field %S is not an integer: %S" key v
+
+let float_kv ~line kvs key =
+  let v = List.assoc key kvs in
+  match float_of_string_opt v with
+  | Some f -> Ok f
+  | None -> errf line "field %S is not a number: %S" key v
+
+type partial = {
+  mutable p_name : string option;
+  mutable p_workload : workload option;
+  mutable p_topology : topology option;
+  mutable p_churn : (int * Cluster.churn_op) list;  (* reversed *)
+  mutable p_faults : Plan.config option;
+  mutable p_policies : policy list;  (* reversed *)
+  mutable p_invariants : invariant list;  (* reversed *)
+  mutable p_expectations : expectation list;  (* reversed *)
+  mutable p_expect_violation : bool;
+}
+
+let parse_line p ~line tokens =
+  let once what slot store =
+    match slot with Some _ -> errf line "duplicate %s line" what | None -> Ok (store ())
+  in
+  match tokens with
+  | [ "name"; name ] ->
+      once "name" p.p_name (fun () -> p.p_name <- Some name)
+  | "name" :: _ -> errf line "name takes exactly one value"
+  | "workload" :: "profile" :: rest ->
+      let* kvs = parse_kvs ~line [ "name"; "events"; "seed" ] rest in
+      let profile = List.assoc "name" kvs in
+      let* events = int_kv ~line kvs "events" in
+      let* seed = int_kv ~line kvs "seed" in
+      once "workload" p.p_workload (fun () ->
+          p.p_workload <- Some (Profile { profile; events; seed }))
+  | "workload" :: "trace" :: rest ->
+      let* kvs = parse_kvs ~line [ "file" ] rest in
+      once "workload" p.p_workload (fun () ->
+          p.p_workload <- Some (Trace_file { file = List.assoc "file" kvs }))
+  | "workload" :: "import" :: rest ->
+      let* kvs = parse_kvs ~line [ "format"; "file" ] rest in
+      let fmt = List.assoc "format" kvs in
+      let* format =
+        match Agg_trace.Import.format_of_string fmt with
+        | Some f -> Ok f
+        | None -> errf line "unknown import format %S (expected paths or strace)" fmt
+      in
+      once "workload" p.p_workload (fun () ->
+          p.p_workload <- Some (Import_file { format; file = List.assoc "file" kvs }))
+  | "workload" :: kind :: _ -> errf line "unknown workload kind %S" kind
+  | [ "workload" ] -> errf line "workload needs a kind (profile, trace or import)"
+  | "topology" :: "path" :: rest ->
+      let* kvs = parse_kvs ~line [ "client_capacity"; "server_capacity" ] rest in
+      let* client_capacity = int_kv ~line kvs "client_capacity" in
+      let* server_capacity = int_kv ~line kvs "server_capacity" in
+      once "topology" p.p_topology (fun () ->
+          p.p_topology <- Some (Path { client_capacity; server_capacity }))
+  | "topology" :: "fleet" :: rest ->
+      let* kvs = parse_kvs ~line [ "clients"; "client_capacity"; "server_capacity" ] rest in
+      let* clients = int_kv ~line kvs "clients" in
+      let* client_capacity = int_kv ~line kvs "client_capacity" in
+      let* server_capacity = int_kv ~line kvs "server_capacity" in
+      once "topology" p.p_topology (fun () ->
+          p.p_topology <- Some (Fleet { clients; client_capacity; server_capacity }))
+  | "topology" :: "cluster" :: rest ->
+      let* kvs =
+        parse_kvs ~line
+          [ "nodes"; "replicas"; "placement"; "ring_seed"; "clients"; "client_capacity";
+            "node_capacity" ]
+          rest
+      in
+      let* nodes = int_kv ~line kvs "nodes" in
+      let* replicas = int_kv ~line kvs "replicas" in
+      let* ring_seed = int_kv ~line kvs "ring_seed" in
+      let* clients = int_kv ~line kvs "clients" in
+      let* client_capacity = int_kv ~line kvs "client_capacity" in
+      let* node_capacity = int_kv ~line kvs "node_capacity" in
+      let pl = List.assoc "placement" kvs in
+      let* placement =
+        match Cluster.placement_of_string pl with
+        | Some p -> Ok p
+        | None -> errf line "unknown placement %S (expected owner, group or client)" pl
+      in
+      once "topology" p.p_topology (fun () ->
+          p.p_topology <-
+            Some
+              (Cluster
+                 { nodes; replicas; placement; ring_seed; clients; client_capacity; node_capacity;
+                   churn = [] }))
+  | "topology" :: kind :: _ -> errf line "unknown topology %S" kind
+  | [ "topology" ] -> errf line "topology needs a kind (path, fleet or cluster)"
+  | "churn" :: rest -> (
+      match p.p_topology with
+      | Some (Cluster _) ->
+          let* kvs = parse_kvs ~line [ "time"; "op"; "node" ] rest in
+          let* time = int_kv ~line kvs "time" in
+          let* node = int_kv ~line kvs "node" in
+          let* op =
+            match List.assoc "op" kvs with
+            | "join" -> Ok (Cluster.Join node)
+            | "leave" -> Ok (Cluster.Leave node)
+            | other -> errf line "unknown churn op %S (expected join or leave)" other
+          in
+          Ok (p.p_churn <- (time, op) :: p.p_churn)
+      | Some _ | None -> errf line "churn is only valid after a cluster topology")
+  | "faults" :: rest ->
+      let* kvs =
+        parse_kvs ~line
+          [ "seed"; "loss"; "outage_period"; "outage_rate"; "outage_length"; "slow"; "slow_mult";
+            "crash" ]
+          rest
+      in
+      let* seed = int_kv ~line kvs "seed" in
+      let* loss_rate = float_kv ~line kvs "loss" in
+      let* outage_period = int_kv ~line kvs "outage_period" in
+      let* outage_rate = float_kv ~line kvs "outage_rate" in
+      let* outage_length = int_kv ~line kvs "outage_length" in
+      let* slow_rate = float_kv ~line kvs "slow" in
+      let* slow_multiplier = float_kv ~line kvs "slow_mult" in
+      let* crash_rate = float_kv ~line kvs "crash" in
+      once "faults" p.p_faults (fun () ->
+          p.p_faults <-
+            Some
+              { Plan.seed; loss_rate; outage_period; outage_rate; outage_length; slow_rate;
+                slow_multiplier; crash_rate })
+  | [ "policy"; spec ] -> (
+      match policy_of_string spec with
+      | Some policy -> Ok (p.p_policies <- policy :: p.p_policies)
+      | None -> errf line "unknown policy %S (a cache kind or g<N>)" spec)
+  | "policy" :: _ -> errf line "policy takes exactly one value"
+  | [ "invariant"; spec ] -> (
+      match invariant_of_string spec with
+      | Some i -> Ok (p.p_invariants <- i :: p.p_invariants)
+      | None ->
+          errf line "unknown invariant %S (expected one of: %s)" spec
+            (String.concat ", " (List.map invariant_name all_invariants)))
+  | "invariant" :: _ -> errf line "invariant takes exactly one value"
+  | [ "expect"; "violation" ] ->
+      if p.p_expect_violation then errf line "duplicate expect violation line"
+      else Ok (p.p_expect_violation <- true)
+  | "expect" :: "hit_rate" :: rest ->
+      let* kvs =
+        List.fold_left
+          (fun acc token ->
+            let* acc = acc in
+            match String.index_opt token '=' with
+            | None -> errf line "malformed field %S (expected key=value)" token
+            | Some i ->
+                let key = String.sub token 0 i in
+                let value = String.sub token (i + 1) (String.length token - i - 1) in
+                if not (List.mem key [ "policy"; "min"; "max" ]) then
+                  errf line "unknown field %S" key
+                else if List.mem_assoc key acc then errf line "duplicate field %S" key
+                else Ok ((key, value) :: acc))
+          (Ok []) rest
+      in
+      let* policy =
+        match List.assoc_opt "policy" kvs with
+        | None -> errf line "missing field \"policy\""
+        | Some spec -> (
+            match policy_of_string spec with
+            | Some p -> Ok p
+            | None -> errf line "unknown policy %S (a cache kind or g<N>)" spec)
+      in
+      let* e =
+        match (List.assoc_opt "min" kvs, List.assoc_opt "max" kvs) with
+        | Some v, None -> (
+            match float_of_string_opt v with
+            | Some percent -> Ok (Hit_rate_min { policy; percent })
+            | None -> errf line "field \"min\" is not a number: %S" v)
+        | None, Some v -> (
+            match float_of_string_opt v with
+            | Some percent -> Ok (Hit_rate_max { policy; percent })
+            | None -> errf line "field \"max\" is not a number: %S" v)
+        | Some _, Some _ -> errf line "expect hit_rate takes min or max, not both"
+        | None, None -> errf line "expect hit_rate needs min= or max="
+      in
+      Ok (p.p_expectations <- e :: p.p_expectations)
+  | "expect" :: kind :: _ -> errf line "unknown expectation %S" kind
+  | [ "expect" ] -> errf line "expect needs a kind (hit_rate or violation)"
+  | keyword :: _ -> errf line "unknown line keyword %S" keyword
+  | [] -> Ok () (* unreachable: blank lines are filtered by the caller *)
+
+let of_string text =
+  let lines = String.split_on_char '\n' text in
+  match lines with
+  | first :: rest when String.trim first = header ->
+      let p =
+        {
+          p_name = None;
+          p_workload = None;
+          p_topology = None;
+          p_churn = [];
+          p_faults = None;
+          p_policies = [];
+          p_invariants = [];
+          p_expectations = [];
+          p_expect_violation = false;
+        }
+      in
+      let* () =
+        List.fold_left
+          (fun acc (line, raw) ->
+            let* () = acc in
+            let raw = String.trim raw in
+            if raw = "" || raw.[0] = '#' then Ok ()
+            else
+              let tokens = List.filter (fun t -> t <> "") (String.split_on_char ' ' raw) in
+              parse_line p ~line tokens)
+          (Ok ())
+          (List.mapi (fun i raw -> (i + 2, raw)) rest)
+      in
+      let require what = function
+        | Some v -> Ok v
+        | None -> Error (Printf.sprintf "line %d: missing %s line" (List.length lines) what)
+      in
+      let* name = require "name" p.p_name in
+      let* workload = require "workload" p.p_workload in
+      let* topology = require "topology" p.p_topology in
+      let topology =
+        match topology with
+        | Cluster c -> Cluster { c with churn = List.rev p.p_churn }
+        | t -> t
+      in
+      if p.p_policies = [] then
+        Error (Printf.sprintf "line %d: missing policy line" (List.length lines))
+      else
+        Ok
+          {
+            name;
+            workload;
+            topology;
+            faults = Option.value ~default:Plan.none p.p_faults;
+            policies = List.rev p.p_policies;
+            invariants = List.rev p.p_invariants;
+            expectations = List.rev p.p_expectations;
+            expect_violation = p.p_expect_violation;
+          }
+  | first :: _ -> Error (Printf.sprintf "line 1: expected %S header, got %S" header (String.trim first))
+  | [] -> Error "line 1: empty input"
+
+let load_file path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | exception Sys_error msg -> Error msg
+  | text -> (
+      match of_string text with
+      | Ok t -> Ok t
+      | Error msg -> Error (Printf.sprintf "%s: %s" path msg))
+
+let save_file path t = Out_channel.with_open_text path (fun oc -> output_string oc (to_string t))
+
+(* --- validation ------------------------------------------------------------ *)
+
+let invalid fmt = Printf.ksprintf invalid_arg fmt
+
+let positive what v = if v <= 0 then invalid "Scenario.validate: %s must be positive (got %d)" what v
+
+let validate t =
+  if t.name = "" then invalid "Scenario.validate: empty name";
+  String.iter
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' | '.' -> ()
+      | c -> invalid "Scenario.validate: name contains %C" c)
+    t.name;
+  (match t.workload with
+  | Profile { events; _ } -> positive "events" events
+  | Trace_file _ | Import_file _ -> ());
+  (match t.topology with
+  | Path { client_capacity; server_capacity } ->
+      positive "client_capacity" client_capacity;
+      positive "server_capacity" server_capacity
+  | Fleet { clients; client_capacity; server_capacity } ->
+      positive "clients" clients;
+      positive "client_capacity" client_capacity;
+      positive "server_capacity" server_capacity
+  | Cluster { nodes; replicas; clients; client_capacity; node_capacity; churn; _ } ->
+      positive "nodes" nodes;
+      positive "replicas" replicas;
+      positive "clients" clients;
+      positive "client_capacity" client_capacity;
+      positive "node_capacity" node_capacity;
+      List.iter
+        (fun (time, _) ->
+          if time < 0 then invalid "Scenario.validate: negative churn time %d" time)
+        churn);
+  Plan.validate t.faults;
+  if t.policies = [] then invalid "Scenario.validate: empty policy matrix";
+  List.iter (fun (p : policy) -> match p with Group g -> positive "group size" g | Plain _ -> ())
+    t.policies;
+  let dup to_name l =
+    let names = List.map to_name l in
+    List.find_opt (fun n -> List.length (List.filter (( = ) n) names) > 1) names
+  in
+  (match dup policy_name t.policies with
+  | Some p -> invalid "Scenario.validate: duplicate policy %s" p
+  | None -> ());
+  (match dup invariant_name t.invariants with
+  | Some i -> invalid "Scenario.validate: duplicate invariant %s" i
+  | None -> ());
+  List.iter
+    (fun e ->
+      let (Hit_rate_min { policy; percent } | Hit_rate_max { policy; percent }) = e in
+      if not (percent >= 0.0 && percent <= 100.0) then
+        invalid "Scenario.validate: hit-rate expectation %s outside [0, 100]" (float_str percent);
+      if not (List.exists (fun p -> policy_name p = policy_name policy) t.policies) then
+        invalid "Scenario.validate: expectation on policy %s absent from the matrix"
+          (policy_name policy))
+    t.expectations
+
+let events_hint t =
+  match t.workload with
+  | Profile { events; _ } -> Some events
+  | Trace_file _ | Import_file _ -> None

@@ -1,0 +1,34 @@
+(** Corpus driver for the declarative scenarios of {!Agg_scenario}: load
+    every [*.scn] file of a directory, execute each through an
+    {!Experiment.Runner} (its [jobs] sizes the pool, its profiler times
+    each cell), and render the results as a table and as the
+    [BENCH_scenarios.json] document. *)
+
+type entry = {
+  file : string;  (** path of the [.scn] file *)
+  outcome : (Agg_scenario.Exec.outcome, string) result;
+      (** the executed scenario, or the load/run error *)
+}
+
+val corpus_files : string -> string list
+(** The [*.scn] files directly inside a directory, sorted by name.
+    @raise Sys_error when the directory cannot be read. *)
+
+val run_corpus :
+  ?events_cap:int -> runner:Experiment.Runner.t -> string -> entry list
+(** Loads and executes every corpus file. Scenario files that fail to
+    parse or run become [Error] entries rather than exceptions, so one
+    corrupt file cannot hide the rest of the corpus.
+    @raise Sys_error when the directory cannot be read. *)
+
+val all_ok : entry list -> bool
+(** Every entry executed and met its verdict ([Exec.outcome.ok]):
+    healthy scenarios passed all checks, [expect violation] scenarios
+    failed at least one. *)
+
+val render : entry list -> string
+(** One line per entry: verdict, name, events, check summary. *)
+
+val json_of_entries : entry list -> string
+(** The [BENCH_scenarios.json] document: per scenario its verdict,
+    per-cell hit rates and every check with its detail. *)

@@ -125,9 +125,64 @@ let server =
     loop_mean_reps = 5.0;
   }
 
-let all = [ workstation; users; write; server ]
+(* Beyond the paper: a scientific data-lifecycle cache in the XRootD
+   style (Bellavita et al.) — long analysis campaigns re-reading large
+   shared datasets, a huge cold population touched once, few writes. *)
+let scientific =
+  {
+    name = "scientific";
+    clients = 6;
+    tasks = 90;
+    task_len_min = 30;
+    task_len_max = 80;
+    shared_pool = 120;
+    shared_fraction = 0.12;
+    task_zipf_s = 1.0;
+    p_skip = 0.02;
+    p_substitute = 0.015;
+    p_insert = 0.02;
+    background_files = 30000;
+    background_zipf_s = 0.35;
+    p_background = 0.30;
+    p_write = 0.05;
+    burst_mean = 120.0;
+    phase_period = 4000;
+    p_task_mutate = 0.10;
+    p_loop = 0.02;
+    loop_mean_reps = 4.0;
+  }
 
-let by_name name = List.find_opt (fun p -> p.name = name) all
+(* Streaming/video delivery (Friedlander & Aggarwal): long, highly
+   sequential per-title playback runs, strong popularity skew across a
+   modest catalogue, almost no writes — the most groupable workload. *)
+let streaming =
+  {
+    name = "streaming";
+    clients = 12;
+    tasks = 60;
+    task_len_min = 40;
+    task_len_max = 120;
+    shared_pool = 40;
+    shared_fraction = 0.05;
+    task_zipf_s = 1.4;
+    p_skip = 0.01;
+    p_substitute = 0.005;
+    p_insert = 0.008;
+    background_files = 8000;
+    background_zipf_s = 0.6;
+    p_background = 0.03;
+    p_write = 0.005;
+    burst_mean = 90.0;
+    phase_period = 6000;
+    p_task_mutate = 0.02;
+    p_loop = 0.01;
+    loop_mean_reps = 3.0;
+  }
+
+let all = [ workstation; users; write; server ]
+let extras = [ scientific; streaming ]
+
+let by_name name = List.find_opt (fun p -> p.name = name) (all @ extras)
 
 let distinct_file_estimate p =
   let mean_len = (p.task_len_min + p.task_len_max) / 2 in

@@ -53,10 +53,30 @@ val users : t
 val write : t
 val server : t
 
+val scientific : t
+(** Beyond the paper: an XRootD-style scientific data-lifecycle cache —
+    long analysis campaigns over large shared datasets with a huge
+    read-once cold population (30k background files at heavy background
+    share) and few writes. *)
+
+val streaming : t
+(** Beyond the paper: streaming/video delivery — long, highly sequential
+    playback runs over a strongly skewed catalogue with almost no
+    writes; the most predictable succession structure. *)
+
 val all : t list
-(** The four paper workloads, in the paper's naming order. *)
+(** The four paper workloads, in the paper's naming order. The
+    paper-vs-measured checks sweep exactly this list, so it never grows;
+    extra profiles live in {!extras}. *)
+
+val extras : t list
+(** Calibrated profiles beyond the paper ([scientific], [streaming]) —
+    reachable via {!by_name} and the scenario corpus, excluded from the
+    paper's check tables. *)
 
 val by_name : string -> t option
+(** Finds a profile in {!all} or {!extras} by name. *)
+
 val distinct_file_estimate : t -> int
 (** Rough size of the file universe the profile can touch. *)
 
