@@ -278,6 +278,141 @@ let run_scenarios ~settings =
     (fun () -> output_string oc (Agg_sim.Scenarios.json_of_entries entries));
   Printf.printf "wrote %d scenario results to %s\n" (List.length entries) scenarios_json_path
 
+let telemetry_json_path = "BENCH_telemetry.json"
+
+(* Two windowed-series measurements the end-of-run aggregates cannot
+   express:
+
+   - {e crash recovery} — with a client-crash plan wiping the cache
+     mid-run, how many windows does each scheme need to climb back to
+     90% of its own steady-state hit rate? Grouping refills a lost
+     working set a whole retrieval group at a time, so g5 should recover
+     in no more windows than lru.
+   - {e ring-churn load skew} — peak per-window load imbalance across a
+     5-node ring while a node leaves and rejoins, versus the pre-churn
+     baseline. *)
+let run_telemetry ~settings =
+  section "Telemetry — windowed series: crash recovery (lru vs g5) and ring-churn load skew";
+  let events = settings.Agg_sim.Experiment.events in
+  let window = max 250 (events / 40) in
+  let trace = Agg_sim.Trace_store.get ~settings Agg_workload.Profile.server in
+  let faults =
+    {
+      Agg_faults.Plan.none with
+      Agg_faults.Plan.crash_rate = 4.0 /. float_of_int events;
+      seed = 11;
+    }
+  in
+  let recover scheme =
+    let series = Agg_obs.Series.create ~window in
+    let config =
+      {
+        Agg_system.Path.default_config with
+        Agg_system.Path.client = scheme;
+        server = scheme;
+        faults;
+        series = Some series;
+      }
+    in
+    ignore (Agg_system.Path.run config trace);
+    let n = Agg_obs.Series.windows series in
+    let hit w = Agg_obs.Series.hit_rate series w in
+    let steady =
+      let lo = 3 * n / 4 in
+      let sum = ref 0.0 in
+      for w = lo to n - 1 do
+        sum := !sum +. hit w
+      done;
+      !sum /. float_of_int (max 1 (n - lo))
+    in
+    (* deepest dip after the cold-start ramp, then windows back to 90%
+       of steady state (n - 1 - dip when the run ends still degraded) *)
+    let warm = max 1 (n / 5) in
+    let dip = ref warm in
+    for w = warm to n - 1 do
+      if hit w < hit !dip then dip := w
+    done;
+    let recovered = ref (n - 1) in
+    (try
+       for w = !dip to n - 1 do
+         if hit w >= 0.9 *. steady then begin
+           recovered := w;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    (steady, hit !dip, !dip, !recovered - !dip)
+  in
+  let lru_steady, lru_dip_rate, lru_dip, lru_rec = recover Agg_system.Scheme.plain_lru in
+  let g5_steady, g5_dip_rate, g5_dip, g5_rec = recover (Agg_system.Scheme.aggregating ()) in
+  Printf.printf
+    "crash recovery (window %d accesses): lru steady %.1f%% dip %.1f%% @w%d, back in %d windows\n"
+    window lru_steady lru_dip_rate lru_dip lru_rec;
+  Printf.printf
+    "                                     g5  steady %.1f%% dip %.1f%% @w%d, back in %d windows\n"
+    g5_steady g5_dip_rate g5_dip g5_rec;
+  Printf.printf "g5 recovers %s lru after cache loss\n"
+    (if g5_rec < lru_rec then "faster than"
+     else if g5_rec = lru_rec then "as fast as"
+     else "SLOWER than");
+  let churn =
+    [ (events / 3, Agg_cluster.Cluster.Leave 4); (2 * events / 3, Agg_cluster.Cluster.Join 4) ]
+  in
+  let series = Agg_obs.Series.create ~window in
+  let config =
+    {
+      Agg_cluster.Cluster.default_config with
+      Agg_cluster.Cluster.nodes = 5;
+      replicas = 2;
+      client_scheme = Agg_system.Scheme.aggregating ();
+      node_scheme = Agg_system.Scheme.aggregating ();
+      churn;
+      series = Some series;
+    }
+  in
+  let r = Agg_cluster.Cluster.run config trace in
+  let n = Agg_obs.Series.windows series in
+  let imb w = Agg_obs.Series.load_imbalance series w in
+  let baseline =
+    let upto = max 1 (events / 3 / window) in
+    let sum = ref 0.0 in
+    for w = 0 to min (n - 1) (upto - 1) do
+      sum := !sum +. imb w
+    done;
+    !sum /. float_of_int (min n upto)
+  in
+  let peak = ref 0.0 in
+  let peak_w = ref 0 in
+  for w = 0 to n - 1 do
+    if imb w > !peak then begin
+      peak := imb w;
+      peak_w := w
+    end
+  done;
+  Printf.printf
+    "ring churn (5 nodes, k=2, leave+rejoin): baseline imbalance %.2f, peak %.2f @w%d, %d \
+     rebalances moved %d files\n"
+    baseline !peak !peak_w r.Agg_cluster.Cluster.rebalances r.Agg_cluster.Cluster.moved_files;
+  let oc = open_out telemetry_json_path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Printf.fprintf oc
+        "{\n\
+        \  \"window\": %d,\n\
+        \  \"recovery\": {\n\
+        \    \"lru\": {\"steady_hit_rate\": %.4f, \"dip_hit_rate\": %.4f, \"dip_window\": %d, \
+         \"recovery_windows\": %d},\n\
+        \    \"g5\": {\"steady_hit_rate\": %.4f, \"dip_hit_rate\": %.4f, \"dip_window\": %d, \
+         \"recovery_windows\": %d}\n\
+        \  },\n\
+        \  \"churn_skew\": {\"nodes\": 5, \"replicas\": 2, \"baseline_imbalance\": %.4f, \
+         \"peak_imbalance\": %.4f, \"peak_window\": %d, \"rebalances\": %d, \"moved_files\": %d}\n\
+         }\n"
+        window lru_steady lru_dip_rate lru_dip lru_rec g5_steady g5_dip_rate g5_dip g5_rec
+        baseline !peak !peak_w r.Agg_cluster.Cluster.rebalances r.Agg_cluster.Cluster.moved_files);
+  Printf.printf "wrote telemetry report to %s\n" telemetry_json_path
+
 (* --- scale: one fig3-shaped point at 10^5 clients ------------------------- *)
 
 (* The profile lives here, not in Profile.all: the calibrated
@@ -573,7 +708,7 @@ let sections =
 let usage () =
   Printf.eprintf
     "usage: main.exe [SECTION...] [--quick] [--jobs N] [--sweep] [--obs] [--faults] [--cluster] \
-     [--scenarios]\nsections: %s | all\n"
+     [--scenarios] [--telemetry]\nsections: %s | all\n"
     (String.concat " | " (List.map fst sections));
   exit 2
 
@@ -588,6 +723,7 @@ let () =
   let faults = List.mem "--faults" args in
   let cluster = List.mem "--cluster" args in
   let scenarios = List.mem "--scenarios" args in
+  let telemetry = List.mem "--telemetry" args in
   if obs then profiler := Some (Agg_obs.Span.recorder ());
   let rec parse_jobs = function
     | "--jobs" :: n :: _ -> (
@@ -600,7 +736,7 @@ let () =
     | "--jobs" :: _ :: rest -> strip rest
     | flag :: rest
       when flag = "--quick" || flag = "--sweep" || flag = "--obs" || flag = "--faults"
-           || flag = "--cluster" || flag = "--scenarios" -> strip rest
+           || flag = "--cluster" || flag = "--scenarios" || flag = "--telemetry" -> strip rest
     | arg :: rest -> arg :: strip rest
     | [] -> []
   in
@@ -648,6 +784,7 @@ let () =
   if faults then run_faults ~settings;
   if cluster then run_cluster ~settings;
   if scenarios then run_scenarios ~settings;
+  if telemetry then run_telemetry ~settings;
   write_bench_json ~jobs ~quick ~settings timings;
   match !profiler with
   | None -> ()

@@ -644,6 +644,17 @@ let profile_report_cmd =
 let open_out_result path =
   match open_out path with oc -> Ok oc | exception Sys_error msg -> Error msg
 
+(* Sampling rates live in (0, 1]: rate 0 would keep nothing and rates
+   above 1 are meaningless, so both are argument errors, not runtime
+   surprises. *)
+let sample_rate_conv what =
+  let parse s =
+    match float_of_string_opt s with
+    | Some r when r > 0.0 && r <= 1.0 -> Ok r
+    | _ -> Error (`Msg (Printf.sprintf "invalid %s %S (expected a number in (0, 1])" what s))
+  in
+  Arg.conv (parse, fun ppf r -> Format.fprintf ppf "%g" r)
+
 let trace_cmd =
   let out_arg =
     Arg.(
@@ -657,7 +668,16 @@ let trace_cmd =
   let group_arg =
     Arg.(value & opt int 5 & info [ "g"; "group-size" ] ~docv:"G" ~doc:"Retrieval group size.")
   in
-  let run input profile events seed out capacity group_size =
+  let sample_arg =
+    Arg.(
+      value
+      & opt (sample_rate_conv "sample rate") 1.0
+      & info [ "sample" ] ~docv:"RATE"
+          ~doc:
+            "Keep each event with probability $(docv) in (0, 1], decided deterministically from \
+             the run seed and the event's offered index (default 1: keep every event).")
+  in
+  let run input profile events seed out capacity group_size sample =
     let trace = load_trace input profile events seed in
     match open_out_result out with
     | Error msg ->
@@ -665,7 +685,10 @@ let trace_cmd =
         1
     | Ok oc ->
         let config = Agg_core.Config.with_group_size group_size Agg_core.Config.default in
-        let sink = Agg_obs.Sink.jsonl oc in
+        let sink =
+          if sample < 1.0 then Agg_obs.Sink.sampled ~seed ~rate:sample (Agg_obs.Sink.jsonl oc)
+          else Agg_obs.Sink.jsonl oc
+        in
         let cache = Agg_core.Client_cache.create ~config ~obs:sink ~capacity () in
         let m = Agg_core.Client_cache.run cache trace in
         let written = Agg_obs.Sink.emitted sink in
@@ -705,6 +728,13 @@ let trace_cmd =
             !parse_errors !lines written;
           1
         end
+        else if sample < 1.0 then begin
+          (* A sampled stream's digest is a subset of the run's counters
+             by construction, so exact reconciliation does not apply. *)
+          Printf.printf "sampled dump (rate %g): kept %d of %d offered events; reconciliation skipped\n"
+            sample written (Agg_obs.Sink.offered sink);
+          exit_ok
+        end
         else begin
           match Agg_core.Metrics.reconcile_client digest m with
           | Ok () ->
@@ -720,10 +750,12 @@ let trace_cmd =
   Cmd.v
     (Cmd.info "trace"
        ~doc:
-         "Replay one client-cache run with the JSONL event sink: dump every decision event, then \
-          re-parse the file and reconcile the event counts against the run's metrics (non-zero \
-          exit on any mismatch).")
-    Term.(const run $ input_arg $ profile_arg $ events_arg $ seed_arg $ out_arg $ capacity_arg $ group_arg)
+         "Replay one client-cache run with the JSONL event sink: dump every decision event (or a \
+          deterministic $(b,--sample) of them), then re-parse the file; full dumps also reconcile \
+          the event counts against the run's metrics (non-zero exit on any mismatch).")
+    Term.(
+      const run $ input_arg $ profile_arg $ events_arg $ seed_arg $ out_arg $ capacity_arg
+      $ group_arg $ sample_arg)
 
 (* --- profile (sweep timing + histograms) ------------------------------ *)
 
@@ -1003,6 +1035,215 @@ let scenario_cmd =
           topology, faults, policy matrix, invariants).")
     [ run_cmd; fuzz_cmd; validate_cmd ]
 
+(* --- telemetry ------------------------------------------------------- *)
+
+let telemetry_cmd =
+  let nodes_arg =
+    Arg.(
+      value
+      & opt (positive_int "--nodes") 5
+      & info [ "nodes" ] ~docv:"N" ~doc:"Server nodes on the ring (default 5).")
+  in
+  let replicas_arg =
+    Arg.(
+      value
+      & opt (positive_int "--replicas") 3
+      & info [ "k"; "replicas" ] ~docv:"K" ~doc:"Replication-group size (default 3).")
+  in
+  let node_loss_arg =
+    Arg.(
+      value
+      & opt float 0.0
+      & info [ "node-loss" ] ~docv:"P"
+          ~doc:"Per-node outage probability per 1000-access epoch (default 0: healthy).")
+  in
+  let window_arg =
+    Arg.(
+      value
+      & opt (positive_int "--window") 1000
+      & info [ "window" ] ~docv:"W" ~doc:"Accesses per telemetry window (default 1000).")
+  in
+  let sample_arg =
+    Arg.(
+      value
+      & opt (sample_rate_conv "sample rate") 0.01
+      & info [ "sample" ] ~docv:"RATE"
+          ~doc:
+            "Request-trace head-sampling rate in (0, 1]: whether request i is traced is a pure \
+             function of (seed, i) (default 0.01).")
+  in
+  let format_arg =
+    Arg.(
+      value
+      & opt (Arg.enum [ ("prom", `Prom); ("json", `Json) ]) `Prom
+      & info [ "format" ] ~docv:"FMT"
+          ~doc:"Series output format: $(b,prom) (Prometheus text exposition) or $(b,json).")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Write the series there instead of stdout.")
+  in
+  let trace_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:
+            "Also write the sampled request span trees as Chrome trace_event JSON to $(docv) \
+             (open in chrome://tracing or Perfetto).")
+  in
+  let run settings profile nodes replicas node_loss window sample format out trace_out =
+    let faults = Agg_sim.Cluster.node_kill_plan node_loss in
+    match Agg_faults.Plan.validate faults with
+    | exception Invalid_argument msg ->
+        Printf.eprintf "aggsim: %s\n" msg;
+        Cmd.Exit.cli_error
+    | () -> (
+        let trace =
+          Agg_workload.Generator.generate ~seed:settings.Agg_sim.Experiment.seed
+            ~events:settings.Agg_sim.Experiment.events profile
+        in
+        (* Pass 1: the cluster, with the windowed series and the request
+           tracer threaded through the config. *)
+        let series = Agg_obs.Series.create ~window in
+        let ctx = Agg_obs.Trace_ctx.create ~sample ~seed:settings.Agg_sim.Experiment.seed () in
+        let config =
+          {
+            Agg_cluster.Cluster.default_config with
+            Agg_cluster.Cluster.nodes;
+            replicas;
+            client_scheme = Agg_system.Scheme.aggregating ();
+            node_scheme = Agg_system.Scheme.aggregating ();
+            faults;
+            series = Some series;
+            trace_ctx = Some ctx;
+          }
+        in
+        let r = Agg_cluster.Cluster.run config trace in
+        (* Pass 2: a single-client run with the memory sink, replayed into
+           a second series — the speculative-eviction churn channel, and a
+           digest to reconcile it against. *)
+        let sink = Agg_obs.Sink.memory () in
+        let cache = Agg_core.Client_cache.create ~obs:sink ~capacity:300 () in
+        ignore (Agg_core.Client_cache.run cache trace);
+        let events = Agg_obs.Sink.events sink in
+        let churn = Agg_obs.Series.of_events ~window events in
+        let digest = Agg_obs.Digest.of_events events in
+        (* Self-checks: every window sum must reconcile exactly with the
+           run's own aggregate counters — the telemetry layer must never
+           invent or lose a count. *)
+        let failures = ref [] in
+        let check name got want =
+          if got <> want then
+            failures := Printf.sprintf "%s: series %d <> run %d" name got want :: !failures
+        in
+        check "cluster accesses" (Agg_obs.Series.total_accesses series)
+          r.Agg_cluster.Cluster.accesses;
+        check "cluster client hits" (Agg_obs.Series.total_hits series)
+          r.Agg_cluster.Cluster.client_hits;
+        check "cluster degraded fetches" (Agg_obs.Series.total_degraded series)
+          (r.Agg_cluster.Cluster.accesses - r.Agg_cluster.Cluster.client_hits
+         - r.Agg_cluster.Cluster.routed_fetches);
+        check "cluster latency samples"
+          (Agg_obs.Histogram.count (Agg_obs.Series.total_latency series))
+          r.Agg_cluster.Cluster.accesses;
+        let loads = Hashtbl.create 16 in
+        for w = 0 to Agg_obs.Series.windows series - 1 do
+          List.iter
+            (fun (n, c) ->
+              Hashtbl.replace loads n (c + Option.value ~default:0 (Hashtbl.find_opt loads n)))
+            (Agg_obs.Series.node_loads series w)
+        done;
+        List.iter
+          (fun (n, c) ->
+            check (Printf.sprintf "node %d load" n)
+              (Option.value ~default:0 (Hashtbl.find_opt loads n))
+              c;
+            Hashtbl.remove loads n)
+          r.Agg_cluster.Cluster.per_node_requests;
+        Hashtbl.iter (fun n c -> check (Printf.sprintf "node %d load" n) c 0) loads;
+        check "client accesses" (Agg_obs.Series.total_accesses churn)
+          (Agg_obs.Digest.accesses digest);
+        check "client hits" (Agg_obs.Series.total_hits churn) (Agg_obs.Digest.demand_hits digest);
+        check "speculative evictions"
+          (Agg_obs.Series.total_speculative_evictions churn)
+          (Agg_obs.Digest.evicted_speculative digest);
+        (* The series document: the cluster channel plus the client churn
+           channel, both deterministic bytes. *)
+        let body =
+          match format with
+          | `Prom ->
+              Agg_obs.Series.to_prometheus ~prefix:"agg_cluster" series
+              ^ Agg_obs.Series.to_prometheus ~prefix:"agg_client" churn
+          | `Json ->
+              Printf.sprintf "{\"cluster\": %s, \"client\": %s}\n"
+                (Agg_obs.Series.to_json series)
+                (Agg_obs.Series.to_json churn)
+        in
+        let write_ok =
+          match out with
+          | None ->
+              print_string body;
+              true
+          | Some path -> (
+              match open_out_result path with
+              | Error msg ->
+                  Printf.eprintf "aggsim: cannot write %s: %s\n" path msg;
+                  false
+              | Ok oc ->
+                  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc body);
+                  Printf.printf "wrote %d windows to %s\n" (Agg_obs.Series.windows series) path;
+                  true)
+        in
+        let trace_ok =
+          match trace_out with
+          | None -> true
+          | Some path -> (
+              match open_out_result path with
+              | Error msg ->
+                  Printf.eprintf "aggsim: cannot write %s: %s\n" path msg;
+                  false
+              | Ok oc ->
+                  Fun.protect
+                    ~finally:(fun () -> close_out oc)
+                    (fun () -> output_string oc (Agg_obs.Trace_ctx.chrome_json ctx));
+                  Printf.printf "wrote %d spans (%d sampled requests) to %s\n"
+                    (List.length (Agg_obs.Trace_ctx.spans ctx))
+                    (Agg_obs.Trace_ctx.sampled_requests ctx)
+                    path;
+                  true)
+        in
+        Printf.printf "telemetry: %d nodes, k=%d, node-loss %g, window %d, sample %g\n" nodes
+          replicas node_loss window sample;
+        Printf.printf "traced %d of %d requests; critical-path attribution (sampled, ms):\n"
+          (Agg_obs.Trace_ctx.sampled_requests ctx)
+          r.Agg_cluster.Cluster.accesses;
+        List.iter
+          (fun (cat, ms) -> Printf.printf "  %-10s %10.2f\n" cat ms)
+          (Agg_obs.Trace_ctx.attribution ctx);
+        match (!failures, write_ok && trace_ok) with
+        | [], true ->
+            Printf.printf "telemetry self-checks OK: window sums reconcile with run counters\n";
+            exit_ok
+        | fails, _ ->
+            List.iter (fun f -> Printf.eprintf "aggsim: telemetry reconciliation FAILED: %s\n" f)
+              (List.rev fails);
+            1)
+  in
+  Cmd.v
+    (Cmd.info "telemetry"
+       ~doc:
+         "Run the cluster with windowed time-series telemetry and request-lifecycle tracing: \
+          export per-window hit rate, latency quantiles, degraded-fetch rate, per-node load and \
+          speculative-eviction churn as Prometheus text or JSON, optionally dump sampled request \
+          span trees as a Chrome trace, and reconcile every window sum against the run's own \
+          counters (non-zero exit on any mismatch).")
+    Term.(
+      const run $ settings_term $ profile_arg $ nodes_arg $ replicas_arg $ node_loss_arg
+      $ window_arg $ sample_arg $ format_arg $ out_arg $ trace_out_arg)
+
 (* --- main ------------------------------------------------------------ *)
 
 let () =
@@ -1035,4 +1276,5 @@ let () =
             profile_report_cmd;
             trace_cmd;
             profile_cmd;
+            telemetry_cmd;
           ]))

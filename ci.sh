@@ -61,6 +61,23 @@ if grep -rnE 'Unix\.gettimeofday|Unix\.time\b|Sys\.time\b|Monotonic_clock\.' \
   exit 1
 fi
 
+# Within lib/obs itself, the only wall-clock reader is Span: Series,
+# Trace_ctx and the sinks run on the simulated clock (access indices and
+# summed latencies) and must stay byte-deterministic run-to-run.
+if grep -rlnE 'Unix\.gettimeofday|Unix\.time\b|Sys\.time\b|Monotonic_clock\.' \
+    lib/obs 2>/dev/null | grep -v '^lib/obs/span\.ml$'; then
+  echo "ci.sh: wall-clock use found in lib/obs outside span.ml (see matches above)" >&2
+  exit 1
+fi
+
+# The telemetry layer's only entropy (trace head-sampling, the sampled
+# sink) must come from Agg_util.Prng.derive so sampling decisions are
+# pure functions of (seed, index) for any --jobs value.
+if ! grep -rq 'Agg_util\.Prng' lib/obs; then
+  echo "ci.sh: lib/obs no longer draws its randomness from Agg_util.Prng" >&2
+  exit 1
+fi
+
 # Arena discipline: the per-access recency paths in lib/cache and
 # lib/successor are flat-array structures (Agg_util.Dlist_arena /
 # Agg_util.Int_table); a Hashtbl creeping back in would reintroduce
@@ -107,9 +124,14 @@ dune build @faults
 dune build @cluster
 
 # Scenario gate: validate the declarative corpus, run it fast-sized with
-# every invariant checked (the known-bad entry must fail), and smoke the
+# every invariant checked (the known-bad entries must fail), and smoke the
 # fuzz/shrink path.
 dune build @scenario
+
+# Telemetry gate: windowed-series exports reconciled against run
+# counters, the Chrome span dump, and the deterministic sampled
+# event-dump path.
+dune build @telemetry
 
 # Micro gate: Bechamel micro-benchmarks and the per-policy throughput
 # pass at reduced quota; exercises every online policy facade.

@@ -41,6 +41,8 @@ type config = {
   resilience : Resilience.t;
   churn : (int * churn_op) list;
   obs : Sink.t;
+  series : Agg_obs.Series.t option;
+  trace_ctx : Agg_obs.Trace_ctx.t option;
 }
 
 let default_config =
@@ -61,6 +63,8 @@ let default_config =
     resilience = Resilience.default;
     churn = [];
     obs = Sink.noop;
+    series = None;
+    trace_ctx = None;
   }
 
 type result = {
@@ -332,7 +336,31 @@ let rec attempt_route st ~group_nodes ~time ~attempt ~waited ~file =
     else `Degraded waited
   end
 
-let serve st ~client ~time file =
+(* Reconstruct the routing phases of a finished [attempt_route] loop for
+   the trace context: per failed attempt, its timeout budget, the backoff
+   before the retry, and a zero-width ["route"] marker when the retry
+   fails over to another replica. *)
+let push_route_phases ctx st ~group_nodes ~failures =
+  let r = st.config.resilience in
+  let len = List.length group_nodes in
+  for a = 0 to failures - 1 do
+    let target = List.nth group_nodes (a mod len) in
+    Agg_obs.Trace_ctx.push ctx ~cat:"timeout"
+      (Printf.sprintf "attempt%d n%d" a target)
+      ~dur_ms:r.Resilience.timeout_ms;
+    if a < r.Resilience.max_retries then begin
+      Agg_obs.Trace_ctx.push ctx ~cat:"backoff"
+        (Printf.sprintf "backoff%d" (a + 1))
+        ~dur_ms:(Resilience.backoff_ms r ~attempt:(a + 1));
+      let next = List.nth group_nodes ((a + 1) mod len) in
+      if next <> target then
+        Agg_obs.Trace_ctx.push ctx ~cat:"route"
+          (Printf.sprintf "failover n%d->n%d" target next)
+          ~dur_ms:0.0
+    end
+  done
+
+let serve st ~client ~time ~tracing file =
   st.server_requests <- st.server_requests + 1;
   let k = live_replicas st in
   let group_nodes = Ring.group st.ring ~replicas:k file in
@@ -348,6 +376,15 @@ let serve st ~client ~time file =
     if not (Plan.enabled st.base_plan) then `Served (primary, 0, 0.0)
     else attempt_route st ~group_nodes ~time ~attempt:0 ~waited:0.0 ~file
   in
+  (match tracing with
+  | Some ctx ->
+      let failures =
+        match outcome with
+        | `Served (_, a, _) -> a
+        | `Degraded _ -> st.config.resilience.Resilience.max_retries + 1
+      in
+      push_route_phases ctx st ~group_nodes ~failures
+  | None -> ());
   match outcome with
   | `Degraded waited ->
       (* Retry budget dry across the whole group: degraded single-file
@@ -357,16 +394,34 @@ let serve st ~client ~time file =
         Sink.emit st.config.obs (Agg_obs.Event.Fetch_degraded { file; dropped = 0 });
       let ns = node_state st primary in
       ns.requests <- ns.requests + 1;
+      (match st.config.series with
+      | Some s ->
+          Agg_obs.Series.observe_degraded s ~index:time;
+          (* the fallback is served by the primary: mirror [ns.requests] *)
+          Agg_obs.Series.observe_node s ~index:time ~node:primary
+      | None -> ());
       let served_from_memory = Cache.access ns.cache file in
       if served_from_memory then st.server_hits <- st.server_hits + 1
       else st.store_fetches <- st.store_fetches + 1;
-      waited +. Cost_model.demand_fetch_latency st.config.cost ~served_from_disk:(not served_from_memory)
+      let fallback =
+        Cost_model.demand_fetch_latency st.config.cost ~served_from_disk:(not served_from_memory)
+      in
+      (match tracing with
+      | Some ctx ->
+          Agg_obs.Trace_ctx.push ctx ~cat:"degraded"
+            (Printf.sprintf "degraded f%d@n%d" file primary)
+            ~dur_ms:fallback
+      | None -> ());
+      waited +. fallback
   | `Served (node, attempt, waited) ->
       let ns = node_state st node in
       st.routed_fetches <- st.routed_fetches + 1;
       ns.requests <- ns.requests + 1;
       if Sink.enabled st.config.obs then
         Sink.emit st.config.obs (Agg_obs.Event.Node_routed { file; node });
+      (match st.config.series with
+      | Some s -> Agg_obs.Series.observe_node s ~index:time ~node
+      | None -> ());
       (* The group proposal comes from whatever metadata the serving party
          holds. A failover target under [Owner_node] has never observed
          this file, so its proposal naturally collapses to the anchor. *)
@@ -420,14 +475,23 @@ let serve st ~client ~time file =
       let base =
         Cost_model.demand_fetch_latency st.config.cost ~served_from_disk:(not served_from_memory)
       in
-      if Plan.enabled st.base_plan then begin
-        let multiplier = Plan.latency_multiplier ns.plan ~time ~attempt in
-        (* kept out of [st.counters] so the fault block stays
-           Fleet-comparable at N = 1 under any plan *)
-        if multiplier > 1.0 then st.slowed_fetches <- st.slowed_fetches + 1;
-        waited +. (base *. multiplier)
-      end
-      else base
+      let served_ms =
+        if Plan.enabled st.base_plan then begin
+          let multiplier = Plan.latency_multiplier ns.plan ~time ~attempt in
+          (* kept out of [st.counters] so the fault block stays
+             Fleet-comparable at N = 1 under any plan *)
+          if multiplier > 1.0 then st.slowed_fetches <- st.slowed_fetches + 1;
+          base *. multiplier
+        end
+        else base
+      in
+      (match tracing with
+      | Some ctx ->
+          Agg_obs.Trace_ctx.push ctx ~cat:"fetch"
+            (Printf.sprintf "fetch f%d@n%d" file node)
+            ~dur_ms:served_ms
+      | None -> ());
+      waited +. served_ms
 
 let access st (e : Agg_trace.Event.t) =
   let time = st.now in
@@ -449,16 +513,36 @@ let access st (e : Agg_trace.Event.t) =
       Sink.emit st.config.obs (Agg_obs.Event.Client_crashed { client; wiped })
   end;
   cs.accesses <- cs.accesses + 1;
-  let latency =
-    if Cache.access cs.cache e.Agg_trace.Event.file then begin
-      cs.hits <- cs.hits + 1;
-      st.config.cost.Cost_model.client_memory
-    end
-    else serve st ~client ~time e.Agg_trace.Event.file
+  let file = e.Agg_trace.Event.file in
+  let tracing =
+    match st.config.trace_ctx with
+    | Some ctx when Agg_obs.Trace_ctx.sampled ctx ~request:time -> Some ctx
+    | _ -> None
   in
+  let hit = Cache.access cs.cache file in
+  let latency =
+    if hit then begin
+      cs.hits <- cs.hits + 1;
+      let served = st.config.cost.Cost_model.client_memory in
+      (match tracing with
+      | Some ctx -> Agg_obs.Trace_ctx.push ctx ~cat:"hit" "client hit" ~dur_ms:served
+      | None -> ());
+      served
+    end
+    else serve st ~client ~time ~tracing file
+  in
+  (match st.config.trace_ctx with
+  | Some ctx -> Agg_obs.Trace_ctx.commit ctx ~request:time ~file ~latency_ms:latency
+  | None -> ());
+  (match st.config.series with
+  | Some s ->
+      Agg_obs.Series.observe_access s ~index:time ~hit;
+      Agg_obs.Series.observe_latency s ~index:time
+        ~us:(int_of_float ((latency *. 1000.0) +. 0.5))
+  | None -> ());
   Agg_util.Vec.push st.latencies latency;
   if st.config.write_invalidation && Agg_trace.Event.is_write e then
-    invalidate_others st ~writer:client e.Agg_trace.Event.file
+    invalidate_others st ~writer:client file
 
 let percentile sorted p =
   let n = Array.length sorted in

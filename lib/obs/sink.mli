@@ -1,6 +1,6 @@
 (** Pluggable event sinks.
 
-    Instrumented code holds a sink and reports {!Event.t}s to it. Three
+    Instrumented code holds a sink and reports {!Event.t}s to it. Four
     implementations:
 
     - {!noop} — drops everything. This is the default everywhere, and the
@@ -10,7 +10,16 @@
     - {!memory} — appends to an in-memory vector, for tests and for
       deriving {!Digest} histograms after a run.
     - {!jsonl} — writes one {!Event.to_json} line per event to a channel,
-      stamping consecutive [seq] numbers from 0.
+      stamping consecutive [seq] numbers from 0. Writes are buffered
+      (~64 KiB batches) to amortise the per-event syscall; the bytes that
+      reach the channel after {!flush} are identical to unbuffered
+      line-at-a-time output.
+    - {!sampled} — a deterministic head-sampling filter in front of
+      another sink: whether offered event number [i] passes through is a
+      pure function of [(seed, i)] via [Agg_util.Prng.derive], so a
+      sampled dump of a run is reproducible and independent of sink
+      internals. Kept events reach the inner sink in order (a [jsonl]
+      inner sink still stamps consecutive [seq] numbers).
 
     Sinks are single-domain: a sweep gives each cell its own sink rather
     than sharing one across [Agg_util.Pool] workers (which also keeps
@@ -22,20 +31,36 @@ val noop : t
 val memory : unit -> t
 val jsonl : out_channel -> t
 
+val sampled : seed:int -> rate:float -> t -> t
+(** [sampled ~seed ~rate inner] passes each offered event through to
+    [inner] with independent probability [rate], decided purely by
+    [(seed, offered-event-index)].
+    @raise Invalid_argument when [rate] is outside [(0, 1]]. *)
+
 val enabled : t -> bool
-(** [false] only for {!noop}. Emitters must check this before building an
-    event value, so the no-op path costs one branch and zero allocation:
+(** [false] only for {!noop} (and a {!sampled} wrapper around it).
+    Emitters must check this before building an event value, so the
+    no-op path costs one branch and zero allocation:
     [if Sink.enabled obs then Sink.emit obs (Demand_miss { file })]. *)
 
 val emit : t -> Event.t -> unit
-(** Records [event]; a no-op on {!noop}. *)
+(** Records [event]; a no-op on {!noop}; on {!sampled}, forwards to the
+    inner sink only when the event's index is drawn. *)
 
 val events : t -> Event.t list
 (** Everything a {!memory} sink recorded, in emission order; [[]] for the
-    other sinks. *)
+    other sinks ({!sampled} reports its inner sink). *)
 
 val emitted : t -> int
-(** Events recorded ({!memory}) or written ({!jsonl}); 0 for {!noop}. *)
+(** Events recorded ({!memory}) or written ({!jsonl}); 0 for {!noop}.
+    A {!sampled} sink reports its inner sink — the kept count. *)
+
+val offered : t -> int
+(** Events offered to a {!sampled} sink before filtering; 0 for the
+    other sinks. *)
 
 val flush : t -> unit
-(** Flushes the underlying channel of a {!jsonl} sink; no-op otherwise. *)
+(** Writes out the buffer and flushes the underlying channel of a
+    {!jsonl} sink (directly or behind {!sampled}); no-op otherwise.
+    Required before closing the channel — unflushed buffered lines are
+    otherwise lost. *)

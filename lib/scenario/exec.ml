@@ -11,7 +11,11 @@ module Counters = Agg_faults.Counters
 module Resilience = Agg_faults.Resilience
 module Pool = Agg_util.Pool
 
-type cell = { policy : Scenario.policy; metrics : (string * float) list }
+type cell = {
+  policy : Scenario.policy;
+  metrics : (string * float) list;
+  series : Agg_obs.Series.t option;
+}
 
 let metric cell name = List.assoc_opt name cell.metrics
 
@@ -78,6 +82,13 @@ let i = float_of_int
 
 let run_cell (t : Scenario.t) trace policy =
   let scheme = scheme_of_policy policy in
+  (* a per-cell series only when slo rules ask for one: without slos the
+     run is byte-identical to a telemetry-free build *)
+  let series =
+    match t.Scenario.slos with
+    | [] -> None
+    | s :: _ -> Some (Agg_obs.Series.create ~window:s.Scenario.slo_window)
+  in
   let metrics =
     match t.Scenario.topology with
     | Scenario.Path { client_capacity; server_capacity } ->
@@ -89,6 +100,7 @@ let run_cell (t : Scenario.t) trace policy =
             client = scheme;
             server = Scheme.plain_lru;
             faults = t.Scenario.faults;
+            series;
           }
         in
         let r = Path.run config trace in
@@ -115,6 +127,7 @@ let run_cell (t : Scenario.t) trace policy =
             server_capacity;
             server_scheme = scheme;
             faults = t.Scenario.faults;
+            series;
           }
         in
         let r = Fleet.run config trace in
@@ -145,6 +158,7 @@ let run_cell (t : Scenario.t) trace policy =
             node_scheme = scheme;
             faults = t.Scenario.faults;
             churn;
+            series;
           }
         in
         let r = Cluster.run config trace in
@@ -167,7 +181,7 @@ let run_cell (t : Scenario.t) trace policy =
         ]
         @ fault_metrics r.Cluster.faults
   in
-  { policy; metrics }
+  { policy; metrics; series }
 
 (* --- rendering ------------------------------------------------------------- *)
 
@@ -343,6 +357,68 @@ let check_expectation cells e =
       { check_name = name; pass;
         detail = Printf.sprintf "hit_rate=%s" (value_str rate) }
 
+(* An slo rule holds iff the windowed metric satisfies its bound in every
+   checked window: non-empty windows starting at or after [slo_after].
+   The detail pins the first violating window's access range. *)
+let check_slo cells (s : Scenario.slo) =
+  let name = "slo " ^ Scenario.slo_name s in
+  match
+    List.find_opt
+      (fun c -> Scenario.policy_name c.policy = Scenario.policy_name s.Scenario.slo_policy)
+      cells
+  with
+  | None ->
+      { check_name = name; pass = false;
+        detail =
+          Printf.sprintf "policy %s not in the matrix"
+            (Scenario.policy_name s.Scenario.slo_policy) }
+  | Some cell -> (
+      match cell.series with
+      | None -> { check_name = name; pass = false; detail = "no telemetry series for this cell" }
+      | Some series ->
+          let w = Agg_obs.Series.window_size series in
+          let n = Agg_obs.Series.windows series in
+          let checked = ref 0 in
+          let violation = ref None in
+          for wi = 0 to n - 1 do
+            if
+              !violation = None
+              && wi * w >= s.Scenario.slo_after
+              && Agg_obs.Series.accesses series wi > 0
+            then begin
+              let value =
+                match s.Scenario.slo_metric with
+                | Scenario.Slo_hit_rate -> Some (Agg_obs.Series.hit_rate series wi)
+                | Scenario.Slo_degraded_rate -> Some (Agg_obs.Series.degraded_rate series wi)
+                | Scenario.Slo_p99_latency ->
+                    (* a window of pure waits with no completed fetch has no
+                       latency sample: nothing to check *)
+                    Option.map
+                      (fun us -> float_of_int us /. 1000.0)
+                      (Agg_obs.Series.latency_quantile series wi 0.99)
+              in
+              match value with
+              | None -> ()
+              | Some v ->
+                  incr checked;
+                  let holds =
+                    match s.Scenario.slo_bound with `Min b -> v >= b | `Max b -> v <= b
+                  in
+                  if not holds then violation := Some (wi, v)
+            end
+          done;
+          (match !violation with
+          | Some (wi, v) ->
+              { check_name = name; pass = false;
+                detail =
+                  Printf.sprintf "window %d (accesses %d..%d): %s=%s" wi (wi * w)
+                    (((wi + 1) * w) - 1)
+                    (Scenario.slo_metric_name s.Scenario.slo_metric)
+                    (value_str v) }
+          | None ->
+              { check_name = name; pass = true;
+                detail = Printf.sprintf "%d windows checked" !checked }))
+
 (* --- the executor ---------------------------------------------------------- *)
 
 let run ?(jobs = 1) ?events_cap ?profiler (t : Scenario.t) =
@@ -372,6 +448,7 @@ let run ?(jobs = 1) ?events_cap ?profiler (t : Scenario.t) =
           let checks =
             List.map invariant_check t.Scenario.invariants
             @ List.map (check_expectation cells) t.Scenario.expectations
+            @ List.map (check_slo cells) t.Scenario.slos
           in
           let pass = List.for_all (fun (c : check) -> c.pass) checks in
           let ok = if t.Scenario.expect_violation then not pass else pass in

@@ -1,6 +1,6 @@
 (** The scenario executor: loads the workload, runs every policy cell of
     the matrix through the shared {!Agg_util.Pool}, and checks every
-    declared invariant and expectation.
+    declared invariant, expectation and slo rule.
 
     Cells and checks render to a canonical text form ({!render_outcome})
     whose bytes are a pure function of the scenario — independent of
@@ -12,6 +12,11 @@ type cell = {
   metrics : (string * float) list;
       (** canonical metric names in a fixed per-topology order; integer
           counters are stored as exact floats *)
+  series : Agg_obs.Series.t option;
+      (** the cell's windowed telemetry, recorded only when the scenario
+          declares slo rules (the window is the rules' shared window);
+          excluded from {!render_cell} so renders stay byte-identical to
+          an slo-free scenario's *)
 }
 
 val metric : cell -> string -> float option
@@ -27,7 +32,7 @@ type outcome = {
   scenario : Scenario.t;
   events : int;  (** events actually replayed (after any cap) *)
   cells : cell list;  (** one per matrix policy, in matrix order *)
-  checks : check list;  (** invariants first, then expectations *)
+  checks : check list;  (** invariants first, then expectations, then slos *)
   pass : bool;  (** every check passed *)
   ok : bool;
       (** the corpus verdict: [pass] normally, [not pass] for a

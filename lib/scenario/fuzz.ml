@@ -22,15 +22,16 @@ let policy_palette =
 let clamp_rate r = Float.max 0.0 (Float.min 1.0 r)
 
 let perturb rng (t : Scenario.t) =
+  let absent policies policy =
+    not (List.exists (fun p -> Scenario.policy_name p = Scenario.policy_name policy) policies)
+  in
   let orphaned policies =
     List.exists
       (fun e ->
         let (Scenario.Hit_rate_min { policy; _ } | Scenario.Hit_rate_max { policy; _ }) = e in
-        not
-          (List.exists
-             (fun p -> Scenario.policy_name p = Scenario.policy_name policy)
-             policies))
+        absent policies policy)
       t.Scenario.expectations
+    || List.exists (fun s -> absent policies s.Scenario.slo_policy) t.Scenario.slos
   in
   let candidate =
     match Prng.int rng 8 with
@@ -178,8 +179,9 @@ let reductions (t : Scenario.t) =
   let expectation_steps =
     drop_each t.Scenario.expectations (fun expectations -> { t with Scenario.expectations })
   in
+  let slo_steps = drop_each t.Scenario.slos (fun slos -> { t with Scenario.slos }) in
   faults_steps @ topology_steps @ events_steps @ policy_steps @ invariant_steps
-  @ expectation_steps
+  @ expectation_steps @ slo_steps
 
 let shrink ?jobs ?events_cap t =
   if not (violates ?jobs ?events_cap t) then t

@@ -12,8 +12,8 @@
     + halve clients (floor 1), then nodes and replicas (cluster)
     + halve the event count (floor 100, profile workloads)
     + drop matrix policies one at a time (keeping at least one, and
-      never orphaning an expectation)
-    + drop invariants, then expectations, one at a time
+      never orphaning an expectation or slo rule)
+    + drop invariants, then expectations, then slo rules, one at a time
 
     Everything is a pure function of the seed: a fixed [seed] replays
     the same perturbations, violation and shrunk scenario. *)
@@ -25,9 +25,9 @@ val perturb : Agg_util.Prng.t -> Scenario.t -> Scenario.t
     or tightening them would manufacture trivial violations). *)
 
 val violates : ?jobs:int -> ?events_cap:int -> Scenario.t -> bool
-(** [true] when the scenario runs and at least one invariant or
-    expectation check fails. A scenario that cannot run at all (bad
-    file, unknown profile) does not count as a violation. *)
+(** [true] when the scenario runs and at least one invariant,
+    expectation or slo check fails. A scenario that cannot run at all
+    (bad file, unknown profile) does not count as a violation. *)
 
 val shrink : ?jobs:int -> ?events_cap:int -> Scenario.t -> Scenario.t
 (** Greedy reduction of a violating scenario; returns the smallest

@@ -62,6 +62,26 @@ type expectation =
   | Hit_rate_min of { policy : policy; percent : float }
   | Hit_rate_max of { policy : policy; percent : float }
 
+type slo_metric = Slo_hit_rate | Slo_p99_latency | Slo_degraded_rate
+
+let slo_metric_name = function
+  | Slo_hit_rate -> "hit_rate"
+  | Slo_p99_latency -> "p99_latency"
+  | Slo_degraded_rate -> "degraded_rate"
+
+let all_slo_metrics = [ Slo_hit_rate; Slo_p99_latency; Slo_degraded_rate ]
+
+let slo_metric_of_string s =
+  List.find_opt (fun m -> slo_metric_name m = s) all_slo_metrics
+
+type slo = {
+  slo_metric : slo_metric;
+  slo_policy : policy;
+  slo_bound : [ `Min of float | `Max of float ];
+  slo_window : int;
+  slo_after : int;
+}
+
 type t = {
   name : string;
   workload : workload;
@@ -70,6 +90,7 @@ type t = {
   policies : policy list;
   invariants : invariant list;
   expectations : expectation list;
+  slos : slo list;
   expect_violation : bool;
 }
 
@@ -130,6 +151,14 @@ let expectation_name = function
 
 let expectation_line e = "expect " ^ expectation_name e
 
+let slo_name s =
+  let bound = match s.slo_bound with `Min v -> "min=" ^ float_str v | `Max v -> "max=" ^ float_str v in
+  Printf.sprintf "%s policy=%s %s window=%d%s" (slo_metric_name s.slo_metric)
+    (policy_name s.slo_policy) bound s.slo_window
+    (if s.slo_after > 0 then Printf.sprintf " after=%d" s.slo_after else "")
+
+let slo_line s = "slo " ^ slo_name s
+
 let to_string t =
   let lines =
     [ header; Printf.sprintf "name %s" t.name; workload_line t.workload ]
@@ -138,6 +167,7 @@ let to_string t =
     @ List.map (fun p -> Printf.sprintf "policy %s" (policy_name p)) t.policies
     @ List.map (fun i -> Printf.sprintf "invariant %s" (invariant_name i)) t.invariants
     @ List.map expectation_line t.expectations
+    @ List.map slo_line t.slos
     @ (if t.expect_violation then [ "expect violation" ] else [])
   in
   String.concat "\n" lines ^ "\n"
@@ -192,8 +222,26 @@ type partial = {
   mutable p_policies : policy list;  (* reversed *)
   mutable p_invariants : invariant list;  (* reversed *)
   mutable p_expectations : expectation list;  (* reversed *)
+  mutable p_slos : slo list;  (* reversed *)
   mutable p_expect_violation : bool;
 }
+
+(* key=value fold where only [keys] are admissible but none is required —
+   lines with optional fields (expect hit_rate, slo) check presence
+   themselves. *)
+let parse_optional_kvs ~line keys tokens =
+  List.fold_left
+    (fun acc token ->
+      let* acc = acc in
+      match String.index_opt token '=' with
+      | None -> errf line "malformed field %S (expected key=value)" token
+      | Some i ->
+          let key = String.sub token 0 i in
+          let value = String.sub token (i + 1) (String.length token - i - 1) in
+          if not (List.mem key keys) then errf line "unknown field %S" key
+          else if List.mem_assoc key acc then errf line "duplicate field %S" key
+          else Ok ((key, value) :: acc))
+    (Ok []) tokens
 
 let parse_line p ~line tokens =
   let once what slot store =
@@ -316,21 +364,7 @@ let parse_line p ~line tokens =
       if p.p_expect_violation then errf line "duplicate expect violation line"
       else Ok (p.p_expect_violation <- true)
   | "expect" :: "hit_rate" :: rest ->
-      let* kvs =
-        List.fold_left
-          (fun acc token ->
-            let* acc = acc in
-            match String.index_opt token '=' with
-            | None -> errf line "malformed field %S (expected key=value)" token
-            | Some i ->
-                let key = String.sub token 0 i in
-                let value = String.sub token (i + 1) (String.length token - i - 1) in
-                if not (List.mem key [ "policy"; "min"; "max" ]) then
-                  errf line "unknown field %S" key
-                else if List.mem_assoc key acc then errf line "duplicate field %S" key
-                else Ok ((key, value) :: acc))
-          (Ok []) rest
-      in
+      let* kvs = parse_optional_kvs ~line [ "policy"; "min"; "max" ] rest in
       let* policy =
         match List.assoc_opt "policy" kvs with
         | None -> errf line "missing field \"policy\""
@@ -355,6 +389,56 @@ let parse_line p ~line tokens =
       Ok (p.p_expectations <- e :: p.p_expectations)
   | "expect" :: kind :: _ -> errf line "unknown expectation %S" kind
   | [ "expect" ] -> errf line "expect needs a kind (hit_rate or violation)"
+  | "slo" :: metric :: rest ->
+      let* slo_metric =
+        match slo_metric_of_string metric with
+        | Some m -> Ok m
+        | None ->
+            errf line "unknown slo metric %S (expected one of: %s)" metric
+              (String.concat ", " (List.map slo_metric_name all_slo_metrics))
+      in
+      let* kvs = parse_optional_kvs ~line [ "policy"; "min"; "max"; "window"; "after" ] rest in
+      let* slo_policy =
+        match List.assoc_opt "policy" kvs with
+        | None -> errf line "missing field \"policy\""
+        | Some spec -> (
+            match policy_of_string spec with
+            | Some p -> Ok p
+            | None -> errf line "unknown policy %S (a cache kind or g<N>)" spec)
+      in
+      let* slo_bound =
+        match (List.assoc_opt "min" kvs, List.assoc_opt "max" kvs) with
+        | Some v, None -> (
+            match float_of_string_opt v with
+            | Some f -> Ok (`Min f)
+            | None -> errf line "field \"min\" is not a number: %S" v)
+        | None, Some v -> (
+            match float_of_string_opt v with
+            | Some f -> Ok (`Max f)
+            | None -> errf line "field \"max\" is not a number: %S" v)
+        | Some _, Some _ -> errf line "slo takes min or max, not both"
+        | None, None -> errf line "slo needs min= or max="
+      in
+      let* slo_window =
+        match List.assoc_opt "window" kvs with
+        | None -> errf line "missing field \"window\""
+        | Some v -> (
+            match int_of_string_opt v with
+            | Some i -> Ok i
+            | None -> errf line "field \"window\" is not an integer: %S" v)
+      in
+      let* slo_after =
+        match List.assoc_opt "after" kvs with
+        | None -> Ok 0
+        | Some v -> (
+            match int_of_string_opt v with
+            | Some i -> Ok i
+            | None -> errf line "field \"after\" is not an integer: %S" v)
+      in
+      Ok
+        (p.p_slos <-
+           { slo_metric; slo_policy; slo_bound; slo_window; slo_after } :: p.p_slos)
+  | [ "slo" ] -> errf line "slo needs a metric (hit_rate, p99_latency or degraded_rate)"
   | keyword :: _ -> errf line "unknown line keyword %S" keyword
   | [] -> Ok () (* unreachable: blank lines are filtered by the caller *)
 
@@ -372,6 +456,7 @@ let of_string text =
           p_policies = [];
           p_invariants = [];
           p_expectations = [];
+          p_slos = [];
           p_expect_violation = false;
         }
       in
@@ -411,6 +496,7 @@ let of_string text =
             policies = List.rev p.p_policies;
             invariants = List.rev p.p_invariants;
             expectations = List.rev p.p_expectations;
+            slos = List.rev p.p_slos;
             expect_violation = p.p_expect_violation;
           }
   | first :: _ -> Error (Printf.sprintf "line 1: expected %S header, got %S" header (String.trim first))
@@ -483,7 +569,40 @@ let validate t =
       if not (List.exists (fun p -> policy_name p = policy_name policy) t.policies) then
         invalid "Scenario.validate: expectation on policy %s absent from the matrix"
           (policy_name policy))
-    t.expectations
+    t.expectations;
+  (match dup slo_name t.slos with
+  | Some s -> invalid "Scenario.validate: duplicate slo %s" s
+  | None -> ());
+  (match t.slos with
+  | [] -> ()
+  | first :: rest ->
+      (* one window size per scenario: every policy cell folds its run into
+         a single series, and mixed windows would need one series each *)
+      List.iter
+        (fun s ->
+          if s.slo_window <> first.slo_window then
+            invalid "Scenario.validate: slo windows differ (%d and %d)" first.slo_window
+              s.slo_window)
+        rest);
+  List.iter
+    (fun s ->
+      positive "slo window" s.slo_window;
+      if s.slo_after < 0 then invalid "Scenario.validate: negative slo after %d" s.slo_after;
+      (match (s.slo_metric, s.slo_bound) with
+      | (Slo_hit_rate | Slo_degraded_rate), (`Min v | `Max v) ->
+          if not (v >= 0.0 && v <= 100.0) then
+            invalid "Scenario.validate: slo rate bound %s outside [0, 100]" (float_str v)
+      | Slo_p99_latency, (`Min v | `Max v) ->
+          if not (v >= 0.0) then
+            invalid "Scenario.validate: negative slo latency bound %s" (float_str v));
+      (match (s.slo_metric, t.topology) with
+      | Slo_p99_latency, Fleet _ ->
+          invalid "Scenario.validate: p99_latency slo on a fleet topology (no latency model)"
+      | _ -> ());
+      if not (List.exists (fun p -> policy_name p = policy_name s.slo_policy) t.policies) then
+        invalid "Scenario.validate: slo on policy %s absent from the matrix"
+          (policy_name s.slo_policy))
+    t.slos
 
 let events_hint t =
   match t.workload with

@@ -75,6 +75,35 @@ val expectation_name : expectation -> string
 (** A check label, e.g. ["hit_rate policy=lru min=99.5"] — the codec
     line without its [expect ] keyword. *)
 
+type slo_metric =
+  | Slo_hit_rate  (** windowed client hit rate, percent *)
+  | Slo_p99_latency  (** windowed p99 demand latency, ms *)
+  | Slo_degraded_rate  (** windowed degraded-fetch rate, percent *)
+
+val slo_metric_name : slo_metric -> string
+(** ["hit_rate"], ["p99_latency"], ["degraded_rate"]. *)
+
+val slo_metric_of_string : string -> slo_metric option
+val all_slo_metrics : slo_metric list
+
+type slo = {
+  slo_metric : slo_metric;
+  slo_policy : policy;  (** which cell of the matrix the rule applies to *)
+  slo_bound : [ `Min of float | `Max of float ];
+  slo_window : int;  (** accesses per {!Agg_obs.Series} window *)
+  slo_after : int;
+      (** skip windows starting before this access index — excludes the
+          cold-start ramp from steady-state rules; 0 = check everything *)
+}
+(** A service-level rule evaluated over every complete-or-partial
+    {!Agg_obs.Series} window with at least one access: the windowed
+    metric must satisfy the bound in each checked window. *)
+
+val slo_name : slo -> string
+(** A check label, e.g. ["hit_rate policy=g5 min=60 window=2000"] — the
+    codec line without its [slo ] keyword ([after=] printed only when
+    positive). *)
+
 type t = {
   name : string;
   workload : workload;
@@ -83,9 +112,10 @@ type t = {
   policies : policy list;  (** the policy/group-size matrix; one cell each *)
   invariants : invariant list;
   expectations : expectation list;
+  slos : slo list;  (** windowed service-level rules; all share one window *)
   expect_violation : bool;
       (** marks a known-bad scenario: the corpus treats it as healthy
-          {e iff} some invariant or expectation fails *)
+          {e iff} some invariant, expectation or slo fails *)
 }
 
 val to_string : t -> string
@@ -105,8 +135,12 @@ val validate : t -> unit
 (** @raise Invalid_argument on a non-positive count/capacity/event total,
     an empty or duplicated policy matrix, a duplicated invariant, an
     expectation outside [0, 100] or naming a policy absent from the
-    matrix, an invalid fault plan ({!Agg_faults.Plan.validate}), or a
-    negative churn time. *)
+    matrix, an invalid fault plan ({!Agg_faults.Plan.validate}), a
+    negative churn time, or an invalid slo: duplicated, mixed window
+    sizes, a non-positive window, a negative [after], a rate bound
+    outside [0, 100], a negative latency bound, a policy absent from the
+    matrix, or [p99_latency] on a fleet topology (which has no latency
+    model). *)
 
 val events_hint : t -> int option
 (** The declared event count for profile workloads ([None] for traces) —

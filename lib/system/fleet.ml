@@ -14,6 +14,8 @@ type config = {
   write_invalidation : bool;
   faults : Plan.config;
   resilience : Resilience.t;
+  series : Agg_obs.Series.t option;
+  trace_ctx : Agg_obs.Trace_ctx.t option;
 }
 
 let default_config =
@@ -27,6 +29,8 @@ let default_config =
     write_invalidation = true;
     faults = Plan.none;
     resilience = Resilience.default;
+    series = None;
+    trace_ctx = None;
   }
 
 type result = {
@@ -122,34 +126,46 @@ let invalidate_others st ~writer file =
     st.client_states
 
 (* The resilience loop (see Path.attempt_fetch): timed-out attempts are
-   retried up to the policy's budget, then the fetch degrades. *)
-let rec fetch_survives st ~time ~attempt =
+   retried up to the policy's budget, then the fetch degrades. Returns
+   the surviving attempt number, or [None] when the budget ran dry. *)
+let rec surviving_attempt st ~time ~attempt =
   let down = Plan.server_down st.plan ~time in
-  if not (down || Plan.message_lost st.plan ~time ~attempt) then true
+  if not (down || Plan.message_lost st.plan ~time ~attempt) then Some attempt
   else begin
     if down then st.counters.Counters.outage_denials <- st.counters.Counters.outage_denials + 1
     else st.counters.Counters.lost_messages <- st.counters.Counters.lost_messages + 1;
     st.counters.Counters.timeouts <- st.counters.Counters.timeouts + 1;
     if attempt < st.config.resilience.Resilience.max_retries then begin
       st.counters.Counters.retries <- st.counters.Counters.retries + 1;
-      fetch_survives st ~time ~attempt:(attempt + 1)
+      surviving_attempt st ~time ~attempt:(attempt + 1)
     end
-    else false
+    else None
   end
 
-let serve st ~client ~time file =
-  st.server_requests <- st.server_requests + 1;
-  Tracker.observe st.tracker ~client file;
-  let survives = (not (Plan.enabled st.plan)) || fetch_survives st ~time ~attempt:0 in
-  if not survives then begin
-    (* Degraded single-file fallback: the demanded file is still served
-       (counted against the server cache as usual), but no group is built,
-       no members travel, and the server stages nothing speculative. *)
-    st.counters.Counters.degraded_fetches <- st.counters.Counters.degraded_fetches + 1;
-    if Cache.access st.server file then st.server_hits <- st.server_hits + 1
-    else st.store_fetches <- st.store_fetches + 1
-  end
-  else begin
+(* Trace phases for a finished resilience loop, mirroring
+   Path.push_wait_phases: attempt [a]'s cost is its timeout budget plus
+   the backoff before the next attempt. *)
+let push_wait_phases ctx r ~failures =
+  for a = 0 to failures - 1 do
+    Agg_obs.Trace_ctx.push ctx ~cat:"timeout" (Printf.sprintf "attempt%d" a)
+      ~dur_ms:r.Resilience.timeout_ms;
+    if a < r.Resilience.max_retries then
+      Agg_obs.Trace_ctx.push ctx ~cat:"backoff"
+        (Printf.sprintf "backoff%d" (a + 1))
+        ~dur_ms:(Resilience.backoff_ms r ~attempt:(a + 1))
+  done
+
+let waited_before r ~failures =
+  let w = ref 0.0 in
+  for a = 0 to failures - 1 do
+    w := !w +. Resilience.failure_cost_ms r ~attempt:a
+  done;
+  !w
+
+(* The survived-fetch path: build the client's group, serve it through
+   the server cache, stage the server's own readahead. *)
+let serve_group st ~client file =
+  begin
     let group =
       match Scheme.group_config st.config.client_scheme with
       | Some c ->
@@ -186,6 +202,36 @@ let serve st ~client ~time file =
     ignore (Cache.insert_cold_group client_cache members)
   end
 
+(* Returns the simulated milliseconds the request waited in the
+   resilience loop — the fleet has no latency model beyond that, so this
+   is also what the trace context's root span covers. *)
+let serve st ~client ~time ~tracing file =
+  st.server_requests <- st.server_requests + 1;
+  Tracker.observe st.tracker ~client file;
+  let outcome =
+    if Plan.enabled st.plan then surviving_attempt st ~time ~attempt:0 else Some 0
+  in
+  let r = st.config.resilience in
+  let failures =
+    match outcome with Some a -> a | None -> r.Resilience.max_retries + 1
+  in
+  (match tracing with
+  | Some ctx -> push_wait_phases ctx r ~failures
+  | None -> ());
+  (match outcome with
+  | None ->
+      (* Degraded single-file fallback: the demanded file is still served
+         (counted against the server cache as usual), but no group is built,
+         no members travel, and the server stages nothing speculative. *)
+      st.counters.Counters.degraded_fetches <- st.counters.Counters.degraded_fetches + 1;
+      (match st.config.series with
+      | Some s -> Agg_obs.Series.observe_degraded s ~index:time
+      | None -> ());
+      if Cache.access st.server file then st.server_hits <- st.server_hits + 1
+      else st.store_fetches <- st.store_fetches + 1
+  | Some _ -> serve_group st ~client file);
+  waited_before r ~failures
+
 let access st (e : Agg_trace.Event.t) =
   let time = st.now in
   st.now <- time + 1;
@@ -198,10 +244,30 @@ let access st (e : Agg_trace.Event.t) =
     st.counters.Counters.crashes <- st.counters.Counters.crashes + 1
   end;
   cs.accesses <- cs.accesses + 1;
-  if Cache.access cs.cache e.Agg_trace.Event.file then cs.hits <- cs.hits + 1
-  else serve st ~client ~time e.Agg_trace.Event.file;
+  let file = e.Agg_trace.Event.file in
+  let tracing =
+    match st.config.trace_ctx with
+    | Some ctx when Agg_obs.Trace_ctx.sampled ctx ~request:time -> Some ctx
+    | _ -> None
+  in
+  let hit = Cache.access cs.cache file in
+  let waited =
+    if hit then begin
+      cs.hits <- cs.hits + 1;
+      0.0
+    end
+    else serve st ~client ~time ~tracing file
+  in
+  (match st.config.trace_ctx with
+  | Some ctx -> Agg_obs.Trace_ctx.commit ctx ~request:time ~file ~latency_ms:waited
+  | None -> ());
+  (match st.config.series with
+  | Some s ->
+      Agg_obs.Series.observe_access s ~index:time ~hit;
+      Agg_obs.Series.observe_node s ~index:time ~node:client
+  | None -> ());
   if st.config.write_invalidation && Agg_trace.Event.is_write e then
-    invalidate_others st ~writer:client e.Agg_trace.Event.file
+    invalidate_others st ~writer:client file
 
 let run config trace =
   let st = make_state config in

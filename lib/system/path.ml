@@ -20,6 +20,8 @@ type config = {
   faults : Plan.config;
   resilience : Resilience.t;
   obs : Agg_obs.Sink.t;
+  series : Agg_obs.Series.t option;
+  trace_ctx : Agg_obs.Trace_ctx.t option;
 }
 
 let default_config =
@@ -32,6 +34,8 @@ let default_config =
     faults = Plan.none;
     resilience = Resilience.default;
     obs = Agg_obs.Sink.noop;
+    series = None;
+    trace_ctx = None;
   }
 
 let with_deployment ?(group_size = 5) deployment config =
@@ -157,7 +161,21 @@ let rec attempt_fetch st ~time ~attempt ~waited =
     else `Degraded waited
   end
 
-let remote_fetch st ~time file =
+(* Reconstruct the wait phases of a finished resilience loop for the
+   trace context: attempt [a]'s cost is its timeout budget plus the
+   backoff before the next attempt — exactly [Resilience.failure_cost_ms],
+   split into its two spans. *)
+let push_wait_phases ctx r ~failures =
+  for a = 0 to failures - 1 do
+    Agg_obs.Trace_ctx.push ctx ~cat:"timeout" (Printf.sprintf "attempt%d" a)
+      ~dur_ms:r.Resilience.timeout_ms;
+    if a < r.Resilience.max_retries then
+      Agg_obs.Trace_ctx.push ctx ~cat:"backoff"
+        (Printf.sprintf "backoff%d" (a + 1))
+        ~dur_ms:(Resilience.backoff_ms r ~attempt:(a + 1))
+  done
+
+let remote_fetch st ~time ~tracing file =
   let obs = st.config.obs in
   let group =
     match Scheme.group_config st.config.client with
@@ -180,6 +198,15 @@ let remote_fetch st ~time file =
     end
     else `Served (0, 0.0)
   in
+  (match tracing with
+  | Some ctx ->
+      let failures =
+        match outcome with
+        | `Served (a, _) -> a
+        | `Degraded _ -> st.config.resilience.Resilience.max_retries + 1
+      in
+      push_wait_phases ctx st.config.resilience ~failures
+  | None -> ());
   match outcome with
   | `Served (attempt, waited) ->
       let base = complete_fetch st file members in
@@ -197,13 +224,22 @@ let remote_fetch st ~time file =
           in
           stage_members st (drop (List.length group) extended)
       | None -> ());
-      if Plan.enabled st.plan then begin
-        let multiplier = Plan.latency_multiplier st.plan ~time ~attempt in
-        if multiplier > 1.0 then
-          st.counters.Counters.slowed_fetches <- st.counters.Counters.slowed_fetches + 1;
-        waited +. (base *. multiplier)
-      end
-      else base
+      let served_ms =
+        if Plan.enabled st.plan then begin
+          let multiplier = Plan.latency_multiplier st.plan ~time ~attempt in
+          if multiplier > 1.0 then
+            st.counters.Counters.slowed_fetches <- st.counters.Counters.slowed_fetches + 1;
+          base *. multiplier
+        end
+        else base
+      in
+      (match tracing with
+      | Some ctx ->
+          Agg_obs.Trace_ctx.push ctx ~cat:"fetch"
+            (Printf.sprintf "fetch f%d" file)
+            ~dur_ms:served_ms
+      | None -> ());
+      waited +. served_ms
   | `Degraded waited ->
       (* Retries exhausted: fall back to a single-file demand fetch over
          the hardened minimal path — speculative members are dropped, the
@@ -212,7 +248,17 @@ let remote_fetch st ~time file =
       if Agg_obs.Sink.enabled obs then
         Agg_obs.Sink.emit obs
           (Agg_obs.Event.Fetch_degraded { file; dropped = List.length members });
-      waited +. complete_fetch st file []
+      (match st.config.series with
+      | Some s -> Agg_obs.Series.observe_degraded s ~index:time
+      | None -> ());
+      let fallback = complete_fetch st file [] in
+      (match tracing with
+      | Some ctx ->
+          Agg_obs.Trace_ctx.push ctx ~cat:"degraded"
+            (Printf.sprintf "degraded f%d" file)
+            ~dur_ms:fallback
+      | None -> ());
+      waited +. fallback
 
 let access st file =
   let time = st.now in
@@ -226,13 +272,32 @@ let access st file =
   end;
   (* §3: access statistics are piggy-backed to the server's metadata *)
   Tracker.observe st.tracker file;
-  let latency =
-    if Cache.access st.client file then begin
-      st.client_hits <- st.client_hits + 1;
-      st.config.cost.Cost_model.client_memory
-    end
-    else remote_fetch st ~time file
+  let tracing =
+    match st.config.trace_ctx with
+    | Some ctx when Agg_obs.Trace_ctx.sampled ctx ~request:time -> Some ctx
+    | _ -> None
   in
+  let hit = Cache.access st.client file in
+  let latency =
+    if hit then begin
+      st.client_hits <- st.client_hits + 1;
+      let served = st.config.cost.Cost_model.client_memory in
+      (match tracing with
+      | Some ctx -> Agg_obs.Trace_ctx.push ctx ~cat:"hit" "client hit" ~dur_ms:served
+      | None -> ());
+      served
+    end
+    else remote_fetch st ~time ~tracing file
+  in
+  (match st.config.trace_ctx with
+  | Some ctx -> Agg_obs.Trace_ctx.commit ctx ~request:time ~file ~latency_ms:latency
+  | None -> ());
+  (match st.config.series with
+  | Some s ->
+      Agg_obs.Series.observe_access s ~index:time ~hit;
+      Agg_obs.Series.observe_latency s ~index:time
+        ~us:(int_of_float ((latency *. 1000.0) +. 0.5))
+  | None -> ());
   Agg_util.Vec.push st.latencies latency
 
 let percentile sorted p =

@@ -35,11 +35,19 @@ type config = {
   obs : Agg_obs.Sink.t;
       (** receives {!Agg_obs.Event.Fetch_timeout}, [Fetch_degraded] and
           [Client_crashed] events; default {!Agg_obs.Sink.noop} *)
+  series : Agg_obs.Series.t option;
+      (** when [Some s], every access is folded into the windowed
+          time-series: hit/miss, demand latency (µs) and degraded
+          fetches, keyed by access index; default [None] (zero-cost) *)
+  trace_ctx : Agg_obs.Trace_ctx.t option;
+      (** when [Some c], sampled requests record span trees (client hit,
+          per-attempt timeout/backoff, fetch or degraded fallback) on the
+          simulated clock; default [None] (zero-cost) *)
 }
 
 val default_config : config
 (** LAN costs, 300-file client, 1000-file server, plain LRU at both
-    levels, no faults, default resilience, no-op sink. *)
+    levels, no faults, no-op sink, no series or trace context. *)
 
 val with_deployment : ?group_size:int -> deployment -> config -> config
 (** [with_deployment d config] sets [config]'s schemes to the named

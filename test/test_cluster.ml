@@ -282,6 +282,72 @@ let test_sweep_fleet_equivalent () =
   check_bool "degenerate cluster matches Fleet end to end" true
     (Agg_sim.Cluster.fleet_equivalent (Agg_sim.Experiment.Runner.create ~settings:tiny ()))
 
+(* --- telemetry ----------------------------------------------------------- *)
+
+let telemetry_config () =
+  {
+    Cluster.default_config with
+    Cluster.nodes = 5;
+    replicas = 3;
+    metadata = Cluster.Replicated_with_group;
+    faults = node_kills 0.3;
+  }
+
+let test_series_node_loads_reconcile () =
+  let trace = Lazy.force users_trace in
+  let series = Agg_obs.Series.create ~window:500 in
+  let ctx = Agg_obs.Trace_ctx.create ~seed:7 () in
+  let r =
+    Cluster.run
+      { (telemetry_config ()) with Cluster.series = Some series; trace_ctx = Some ctx }
+      trace
+  in
+  check_int "series accesses = run accesses" r.Cluster.accesses
+    (Agg_obs.Series.total_accesses series);
+  check_int "series hits = client hits" r.Cluster.client_hits
+    (Agg_obs.Series.total_hits series);
+  check_int "series degraded = fault counter" r.Cluster.faults.Counters.degraded_fetches
+    (Agg_obs.Series.total_degraded series);
+  check_int "every access carries one latency sample" r.Cluster.accesses
+    (Agg_obs.Histogram.count (Agg_obs.Series.total_latency series));
+  (* the windowed per-node loads sum to per_node_requests, node by node
+     (degraded fallbacks count against the primary on both sides) *)
+  let loads = Hashtbl.create 8 in
+  for w = 0 to Agg_obs.Series.windows series - 1 do
+    List.iter
+      (fun (n, c) ->
+        Hashtbl.replace loads n (c + Option.value ~default:0 (Hashtbl.find_opt loads n)))
+      (Agg_obs.Series.node_loads series w)
+  done;
+  List.iter
+    (fun (n, c) ->
+      check_int (Printf.sprintf "node %d load" n) c
+        (Option.value ~default:0 (Hashtbl.find_opt loads n));
+      Hashtbl.remove loads n)
+    r.Cluster.per_node_requests;
+  check_int "no load outside per_node_requests" 0 (Hashtbl.length loads);
+  (* sample 1.0 traces every request; failovers appear as route markers *)
+  check_int "every request traced" r.Cluster.accesses (Agg_obs.Trace_ctx.sampled_requests ctx);
+  let routes =
+    List.length
+      (List.filter
+         (fun s -> s.Agg_obs.Trace_ctx.span_cat = "route")
+         (Agg_obs.Trace_ctx.spans ctx))
+  in
+  check_int "one route marker per failover" r.Cluster.failovers routes
+
+let test_cluster_telemetry_off_identity () =
+  let trace = Lazy.force users_trace in
+  let plain = Cluster.run (telemetry_config ()) trace in
+  let instrumented =
+    Cluster.run
+      { (telemetry_config ()) with
+        Cluster.series = Some (Agg_obs.Series.create ~window:500);
+        trace_ctx = Some (Agg_obs.Trace_ctx.create ~sample:0.25 ~seed:3 ()) }
+      trace
+  in
+  check_bool "instrumented run byte-identical to plain run" true (plain = instrumented)
+
 let () =
   Alcotest.run "cluster"
     [
@@ -309,6 +375,12 @@ let () =
           Alcotest.test_case "validation" `Quick test_churn_validation;
         ] );
       ("events", [ Alcotest.test_case "reconcile" `Quick test_reconcile_event_stream ]);
+      ( "telemetry",
+        [
+          Alcotest.test_case "node loads reconcile" `Quick test_series_node_loads_reconcile;
+          Alcotest.test_case "telemetry off is byte-identical" `Quick
+            test_cluster_telemetry_off_identity;
+        ] );
       ( "sweep",
         [
           Alcotest.test_case "jobs identity" `Quick test_sweep_jobs_identity;

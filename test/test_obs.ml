@@ -330,6 +330,265 @@ let test_span_chrome_json () =
   check_bool "has complete-event ph" true (contains ~needle:"\"X\"" json);
   check_bool "escapes quotes" true (contains ~needle:"sec\\\"tion" json)
 
+(* --- histogram quantile edge cases ----------------------------------------- *)
+
+let check_opt_int = Alcotest.(check (option int))
+
+let test_histogram_quantile_edges () =
+  let empty = Histogram.create () in
+  List.iter (fun q -> check_opt_int "empty histogram" None (Histogram.quantile empty q))
+    [ 0.0; 0.5; 1.0 ];
+  let zero = hist_of [ 0 ] in
+  List.iter (fun q -> check_opt_int "only the value 0" (Some 0) (Histogram.quantile zero q))
+    [ 0.0; 0.5; 1.0 ];
+  (* one observation: every quantile is that observation, not its
+     bucket's upper bound (5 lands in [4..7], clamped to max 5) *)
+  let single = hist_of [ 5 ] in
+  List.iter (fun q -> check_opt_int "single observation" (Some 5) (Histogram.quantile single q))
+    [ 0.0; 0.5; 0.99; 1.0 ];
+  (* all mass in one bucket [4..7]: every quantile reports the bucket's
+     upper bound clamped to the observed maximum — 7 here, even at q=0 *)
+  let one_bucket = hist_of [ 5; 6; 7 ] in
+  List.iter (fun q -> check_opt_int "one-bucket mass" (Some 7) (Histogram.quantile one_bucket q))
+    [ 0.0; 0.5; 1.0 ];
+  check_bool "q > 1 raises" true
+    (match Histogram.quantile single 1.5 with exception Invalid_argument _ -> true | _ -> false);
+  check_bool "q < 0 raises" true
+    (match Histogram.quantile single (-0.1) with
+     | exception Invalid_argument _ -> true
+     | _ -> false)
+
+(* --- buffered jsonl bytes --------------------------------------------------- *)
+
+let test_sink_jsonl_bytes () =
+  (* enough events to overflow the 64 KiB write buffer several times, so
+     this also pins that buffering does not reorder, drop or reframe
+     lines: the file must be byte-identical to line-at-a-time output *)
+  let events =
+    List.init 4_000 (fun i ->
+        if i mod 2 = 0 then Event.Demand_hit { file = i; depth = i mod 7 }
+        else Event.Demand_miss { file = i })
+  in
+  let path = Filename.temp_file "aggsim_obs" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      let s = Sink.jsonl oc in
+      List.iter (Sink.emit s) events;
+      Sink.flush s;
+      close_out oc;
+      let actual = In_channel.with_open_bin path In_channel.input_all in
+      let expected =
+        String.concat "" (List.mapi (fun i e -> Event.to_json ~seq:i e ^ "\n") events)
+      in
+      check_bool "buffered output byte-identical to unbuffered lines" true (actual = expected);
+      check_int "emitted" (List.length events) (Sink.emitted s))
+
+(* --- sampled sink ------------------------------------------------------------ *)
+
+let test_sink_sampled () =
+  let events = List.init 2_000 (fun i -> Event.Demand_miss { file = i }) in
+  let keep seed rate =
+    let s = Sink.sampled ~seed ~rate (Sink.memory ()) in
+    List.iter (Sink.emit s) events;
+    (Sink.events s, Sink.offered s, Sink.emitted s)
+  in
+  let e1, off1, n1 = keep 7 0.25 in
+  let e2, _, _ = keep 7 0.25 in
+  check_bool "deterministic for a fixed seed" true (e1 = e2);
+  check_int "offered counts every event" 2_000 off1;
+  check_int "emitted is the kept count" (List.length e1) n1;
+  check_bool "rate 0.25 keeps a strict subset" true (n1 > 0 && n1 < 2_000);
+  let e3, _, _ = keep 8 0.25 in
+  check_bool "the seed changes the sample" true (e1 <> e3);
+  let full, _, nfull = keep 7 1.0 in
+  check_int "rate 1 keeps everything" 2_000 nfull;
+  check_bool "rate 1 preserves order" true (full = events);
+  check_bool "sampled around noop stays disabled" false
+    (Sink.enabled (Sink.sampled ~seed:7 ~rate:0.5 Sink.noop));
+  check_bool "rate 0 rejected" true
+    (match Sink.sampled ~seed:7 ~rate:0.0 Sink.noop with
+     | exception Invalid_argument _ -> true
+     | _ -> false);
+  check_bool "rate > 1 rejected" true
+    (match Sink.sampled ~seed:7 ~rate:1.5 Sink.noop with
+     | exception Invalid_argument _ -> true
+     | _ -> false)
+
+(* --- request-lifecycle tracing ----------------------------------------------- *)
+
+let test_trace_ctx_crafted () =
+  let ctx = Trace_ctx.create ~seed:42 () in
+  check_bool "sample 1 traces every request" true (Trace_ctx.sampled ctx ~request:0);
+  Trace_ctx.push ctx ~cat:"hit" "client hit" ~dur_ms:0.05;
+  Trace_ctx.commit ctx ~request:0 ~file:9 ~latency_ms:0.05;
+  Trace_ctx.push ctx ~cat:"timeout" "attempt0" ~dur_ms:5.0;
+  Trace_ctx.push ctx ~cat:"backoff" "backoff1" ~dur_ms:1.0;
+  Trace_ctx.push ctx ~cat:"fetch" "fetch f3" ~dur_ms:4.0;
+  Trace_ctx.commit ctx ~request:1 ~file:3 ~latency_ms:10.0;
+  check_int "sampled requests" 2 (Trace_ctx.sampled_requests ctx);
+  let spans = Trace_ctx.spans ctx in
+  check_int "two roots plus four phases" 6 (List.length spans);
+  let root1 =
+    List.find (fun s -> s.Trace_ctx.depth = 0 && s.Trace_ctx.request = 1) spans
+  in
+  check_int "root sits at the prior request's latency" 50 root1.Trace_ctx.start_us;
+  check_int "root spans the whole request" 10_000 root1.Trace_ctx.dur_us;
+  check_bool "root category" true (root1.Trace_ctx.span_cat = "request");
+  (match List.filter (fun s -> s.Trace_ctx.request = 1 && s.Trace_ctx.depth = 1) spans with
+  | [ a; b; c ] ->
+      check_int "phase 1 starts at the root" 50 a.Trace_ctx.start_us;
+      check_int "phase 2 follows phase 1" 5_050 b.Trace_ctx.start_us;
+      check_int "phase 3 follows phase 2" 6_050 c.Trace_ctx.start_us;
+      check_int "phase 3 duration" 4_000 c.Trace_ctx.dur_us;
+      check_bool "phases share the root's trace id" true
+        (a.Trace_ctx.span_trace_id = root1.Trace_ctx.span_trace_id
+        && c.Trace_ctx.span_trace_id = root1.Trace_ctx.span_trace_id)
+  | _ -> Alcotest.fail "expected exactly 3 phases for request 1");
+  Alcotest.(check (list (pair string (float 1e-9))))
+    "attribution is per-category ms, descending, roots excluded"
+    [ ("timeout", 5.0); ("fetch", 4.0); ("backoff", 1.0); ("hit", 0.05) ]
+    (Trace_ctx.attribution ctx);
+  let json = Trace_ctx.chrome_json ctx in
+  check_bool "chrome json has traceEvents" true (contains ~needle:"\"traceEvents\"" json);
+  check_bool "chrome json carries the file id" true (contains ~needle:"\"file\": 3" json)
+
+let test_trace_ctx_sampling_determinism () =
+  let picks ctx = List.init 500 (fun i -> Trace_ctx.sampled ctx ~request:i) in
+  let a = Trace_ctx.create ~sample:0.2 ~seed:9 () in
+  let b = Trace_ctx.create ~sample:0.2 ~seed:9 () in
+  check_bool "sampling is pure in (seed, request)" true (picks a = picks b);
+  let kept = List.length (List.filter Fun.id (picks a)) in
+  check_bool "sampling rate is respected" true (kept > 50 && kept < 150);
+  check_bool "trace ids are pure in (seed, request)" true
+    (List.init 100 (fun i -> Trace_ctx.trace_id a ~request:i)
+    = List.init 100 (fun i -> Trace_ctx.trace_id b ~request:i));
+  let c = Trace_ctx.create ~sample:0.2 ~seed:10 () in
+  check_bool "the seed changes the sample" true (picks a <> picks c);
+  (* unsampled requests discard their pushes but still advance the clock *)
+  let d = Trace_ctx.create ~sample:1.0 ~seed:3 () in
+  Trace_ctx.commit d ~request:0 ~file:1 ~latency_ms:2.0;
+  Trace_ctx.push d ~cat:"fetch" "fetch" ~dur_ms:1.0;
+  Trace_ctx.commit d ~request:1 ~file:2 ~latency_ms:1.0;
+  let r1 = List.find (fun s -> s.Trace_ctx.request = 1 && s.Trace_ctx.depth = 0) (Trace_ctx.spans d) in
+  check_int "clock advanced by every committed latency" 2_000 r1.Trace_ctx.start_us;
+  check_bool "sample 0 rejected" true
+    (match Trace_ctx.create ~sample:0.0 ~seed:1 () with
+     | exception Invalid_argument _ -> true
+     | _ -> false);
+  check_bool "negative request rejected" true
+    (match Trace_ctx.sampled a ~request:(-1) with
+     | exception Invalid_argument _ -> true
+     | _ -> false)
+
+(* --- windowed series --------------------------------------------------------- *)
+
+let series_eq a b =
+  Series.to_json a = Series.to_json b && Series.to_prometheus a = Series.to_prometheus b
+
+(* One deterministic observation per (index, k) pair; shared by the
+   crafted shard test and the merge-algebra properties. *)
+let series_apply s (i, k) =
+  match k mod 5 with
+  | 0 -> Series.observe_access s ~index:i ~hit:(k mod 2 = 0)
+  | 1 -> Series.observe_latency s ~index:i ~us:(k * 37 mod 5_000)
+  | 2 -> Series.observe_degraded s ~index:i
+  | 3 -> Series.observe_eviction s ~index:i ~speculative:(k mod 3 = 0)
+  | _ -> Series.observe_node s ~index:i ~node:(k mod 7)
+
+let test_series_crafted () =
+  let s = Series.create ~window:4 in
+  check_int "no windows before any observation" 0 (Series.windows s);
+  Series.observe_access s ~index:0 ~hit:true;
+  Series.observe_access s ~index:1 ~hit:false;
+  Series.observe_latency s ~index:1 ~us:900;
+  Series.observe_degraded s ~index:1;
+  Series.observe_node s ~index:1 ~node:2;
+  Series.observe_access s ~index:9 ~hit:false;
+  Series.observe_eviction s ~index:9 ~speculative:true;
+  Series.observe_eviction s ~index:9 ~speculative:false;
+  check_int "windows reach the highest observed index" 3 (Series.windows s);
+  check_int "w0 accesses" 2 (Series.accesses s 0);
+  check_int "w0 hits" 1 (Series.hits s 0);
+  check_int "w0 degraded" 1 (Series.degraded s 0);
+  Alcotest.(check (float 1e-9)) "w0 hit rate (percent)" 50.0 (Series.hit_rate s 0);
+  Alcotest.(check (float 1e-9)) "w0 degraded rate (percent)" 50.0 (Series.degraded_rate s 0);
+  check_opt_int "w0 latency quantile clamps to the observed max" (Some 900)
+    (Series.latency_quantile s 0 0.99);
+  check_int "skipped window exists and is empty" 0 (Series.accesses s 1);
+  Alcotest.(check (float 1e-9)) "empty window rates are 0" 0.0 (Series.hit_rate s 1);
+  check_opt_int "empty window has no latency" None (Series.latency_quantile s 1 0.5);
+  check_int "only speculative evictions count" 1 (Series.speculative_evictions s 2);
+  Alcotest.(check (list (pair int int))) "w0 node loads" [ (2, 1) ] (Series.node_loads s 0);
+  Alcotest.(check (float 1e-9))
+    "imbalance over nodes 0..2: loads [0;0;1], max/mean = 3" 3.0
+    (Series.load_imbalance ~nodes:3 s 0);
+  Alcotest.(check (float 1e-9)) "no load means imbalance 0" 0.0 (Series.load_imbalance s 2);
+  check_int "total accesses" 3 (Series.total_accesses s);
+  check_int "total hits" 1 (Series.total_hits s);
+  check_int "total degraded" 1 (Series.total_degraded s);
+  check_int "total speculative evictions" 1 (Series.total_speculative_evictions s);
+  check_int "total latency gathers every sample" 1 (Histogram.count (Series.total_latency s));
+  check_bool "accessor out of range raises" true
+    (match Series.accesses s 3 with exception Invalid_argument _ -> true | _ -> false);
+  check_bool "negative index raises" true
+    (match Series.observe_access s ~index:(-1) ~hit:true with
+     | exception Invalid_argument _ -> true
+     | _ -> false);
+  check_bool "non-positive window raises" true
+    (match Series.create ~window:0 with exception Invalid_argument _ -> true | _ -> false)
+
+let test_series_shard_merge_bytes () =
+  (* the Pool-shard discipline: four workers each see a quarter of the
+     observations (keyed by global access index); their merge must be
+     byte-identical to the single-series run, whatever the merge shape *)
+  let obs = List.init 3_000 (fun k -> (k * 13 mod 2_500, k)) in
+  let whole = Series.create ~window:250 in
+  List.iter (series_apply whole) obs;
+  let shard p =
+    let s = Series.create ~window:250 in
+    List.iteri (fun j o -> if j mod 4 = p then series_apply s o) obs;
+    s
+  in
+  let merged =
+    Series.merge (Series.merge (shard 0) (shard 1)) (Series.merge (shard 2) (shard 3))
+  in
+  check_bool "4-shard merge byte-identical to the whole run" true (series_eq whole merged);
+  let merged_rev =
+    Series.merge (Series.merge (shard 3) (shard 2)) (Series.merge (shard 1) (shard 0))
+  in
+  check_bool "merge shape does not change the bytes" true (series_eq merged merged_rev);
+  check_bool "mismatched windows refuse to merge" true
+    (match Series.merge whole (Series.create ~window:100) with
+     | exception Invalid_argument _ -> true
+     | _ -> false)
+
+let test_series_reconciles_digest () =
+  let sink = Sink.memory () in
+  let m = client_run ~obs:sink in
+  let events = Sink.events sink in
+  let digest = Digest.of_events events in
+  let series = Series.of_events ~window:500 events in
+  check_int "accesses" (Digest.accesses digest) (Series.total_accesses series);
+  check_int "run accesses" m.Agg_core.Metrics.accesses (Series.total_accesses series);
+  check_int "hits" (Digest.demand_hits digest) (Series.total_hits series);
+  check_int "degraded" (Digest.degraded_fetches digest) (Series.total_degraded series);
+  check_int "speculative evictions" (Digest.evicted_speculative digest)
+    (Series.total_speculative_evictions series);
+  let sum f =
+    let t = ref 0 in
+    for w = 0 to Series.windows series - 1 do
+      t := !t + f w
+    done;
+    !t
+  in
+  check_int "window accesses sum to the total" (Series.total_accesses series)
+    (sum (Series.accesses series));
+  check_int "window hits sum to the total" (Series.total_hits series) (sum (Series.hits series));
+  check_int "window churn sums to the total" (Series.total_speculative_evictions series)
+    (sum (Series.speculative_evictions series))
+
 (* --- qcheck properties ---------------------------------------------------- *)
 
 let qcheck_tests =
@@ -415,6 +674,37 @@ let qcheck_tests =
         match Event.of_json (Event.to_json ~seq ev) with
         | Ok (seq', ev') -> seq = seq' && event_equal ev ev'
         | Error _ -> false);
+    (let obs_list =
+       list_of_size (Gen.int_range 0 150) (pair (int_range 0 999) (int_range 0 10_000))
+     in
+     let series_of obs =
+       let s = Series.create ~window:100 in
+       List.iter (series_apply s) obs;
+       s
+     in
+     Test.make ~name:"series merge is associative and commutative with create identity" ~count:100
+       (triple obs_list obs_list obs_list)
+       (fun (xs, ys, zs) ->
+         let a = series_of xs and b = series_of ys and c = series_of zs in
+         series_eq (Series.merge a b) (Series.merge b a)
+         && series_eq (Series.merge (Series.merge a b) c) (Series.merge a (Series.merge b c))
+         && series_eq (Series.merge a (Series.create ~window:100)) a));
+    Test.make ~name:"series window sums equal the totals" ~count:100
+      (list_of_size (Gen.int_range 0 200) (pair (int_range 0 2_000) (int_range 0 10_000)))
+      (fun obs ->
+        let s = Series.create ~window:128 in
+        List.iter (series_apply s) obs;
+        let sum f =
+          let t = ref 0 in
+          for w = 0 to Series.windows s - 1 do
+            t := !t + f w
+          done;
+          !t
+        in
+        sum (Series.accesses s) = Series.total_accesses s
+        && sum (Series.hits s) = Series.total_hits s
+        && sum (Series.degraded s) = Series.total_degraded s
+        && sum (Series.speculative_evictions s) = Series.total_speculative_evictions s);
   ]
 
 let () =
@@ -429,6 +719,7 @@ let () =
         [
           Alcotest.test_case "crafted buckets" `Quick test_histogram_crafted;
           Alcotest.test_case "quantiles" `Quick test_histogram_quantiles;
+          Alcotest.test_case "quantile edge cases" `Quick test_histogram_quantile_edges;
           Alcotest.test_case "pool merge" `Quick test_histogram_merge_pool;
         ] );
       ( "event-json",
@@ -441,6 +732,8 @@ let () =
           Alcotest.test_case "noop" `Quick test_sink_noop;
           Alcotest.test_case "memory" `Quick test_sink_memory;
           Alcotest.test_case "jsonl" `Quick test_sink_jsonl;
+          Alcotest.test_case "jsonl buffered bytes" `Quick test_sink_jsonl_bytes;
+          Alcotest.test_case "sampled" `Quick test_sink_sampled;
         ] );
       ( "digest",
         [
@@ -458,6 +751,17 @@ let () =
         [
           Alcotest.test_case "record" `Quick test_span_record;
           Alcotest.test_case "chrome json" `Quick test_span_chrome_json;
+        ] );
+      ( "trace-ctx",
+        [
+          Alcotest.test_case "crafted span trees" `Quick test_trace_ctx_crafted;
+          Alcotest.test_case "sampling determinism" `Quick test_trace_ctx_sampling_determinism;
+        ] );
+      ( "series",
+        [
+          Alcotest.test_case "crafted windows" `Quick test_series_crafted;
+          Alcotest.test_case "shard merge bytes" `Quick test_series_shard_merge_bytes;
+          Alcotest.test_case "reconciles digest totals" `Quick test_series_reconciles_digest;
         ] );
       ("properties", List.map QCheck_alcotest.to_alcotest qcheck_tests);
     ]

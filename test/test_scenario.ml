@@ -30,6 +30,7 @@ let base =
     policies = [ Scenario.Plain Cache.Lru; Scenario.Group 5 ];
     invariants = Scenario.all_invariants;
     expectations = [];
+    slos = [];
     expect_violation = false;
   }
 
@@ -63,6 +64,14 @@ let test_roundtrip_crafted () =
         [
           Scenario.Hit_rate_min { policy = Scenario.Group 10; percent = 12.5 };
           Scenario.Hit_rate_max { policy = Scenario.Plain Cache.Arc; percent = 99.0 };
+        ];
+      slos =
+        [
+          { Scenario.slo_metric = Scenario.Slo_hit_rate; slo_policy = Scenario.Group 10;
+            slo_bound = `Min 12.5; slo_window = 1000; slo_after = 2000 };
+          { Scenario.slo_metric = Scenario.Slo_degraded_rate;
+            slo_policy = Scenario.Plain Cache.Arc; slo_bound = `Max 40.0; slo_window = 1000;
+            slo_after = 0 };
         ];
       expect_violation = true;
     }
@@ -101,6 +110,11 @@ let test_codec_rejections () =
       (hdr ^ "policy turbo\n", "unknown policy \"turbo\"");
       (hdr ^ "invariant sorted\n", "unknown invariant \"sorted\"");
       (hdr ^ "expect hit_rate policy=lru min=1 max=2\n", "min or max, not both");
+      (hdr ^ "slo\n", "slo needs a metric");
+      (hdr ^ "slo tail policy=lru min=1 window=100\n", "unknown slo metric \"tail\"");
+      (hdr ^ "slo hit_rate policy=lru min=1 max=2 window=100\n", "min or max, not both");
+      (hdr ^ "slo hit_rate policy=lru window=100\n", "slo needs min= or max=");
+      (hdr ^ "slo hit_rate policy=lru min=1\n", "missing field \"window\"");
       ( hdr ^ "name a\nname b\n", "line 3: duplicate name line" );
       ("", "line 1: expected");
     ]
@@ -154,7 +168,27 @@ let test_validate () =
   raises "zero clients"
     { base with
       Scenario.topology = Scenario.Fleet { clients = 0; client_capacity = 1; server_capacity = 1 } };
-  raises "bad name" { base with Scenario.name = "has space" }
+  raises "bad name" { base with Scenario.name = "has space" };
+  let slo ?(metric = Scenario.Slo_hit_rate) ?(policy = Scenario.Group 5)
+      ?(bound = `Min 10.0) ?(window = 500) ?(after = 0) () =
+    { Scenario.slo_metric = metric; slo_policy = policy; slo_bound = bound;
+      slo_window = window; slo_after = after }
+  in
+  Scenario.validate { base with Scenario.slos = [ slo () ] };
+  raises "duplicate slo" { base with Scenario.slos = [ slo (); slo () ] };
+  raises "mixed slo windows"
+    { base with Scenario.slos = [ slo (); slo ~metric:Scenario.Slo_degraded_rate ~window:1000 () ] };
+  raises "non-positive slo window" { base with Scenario.slos = [ slo ~window:0 () ] };
+  raises "negative slo after" { base with Scenario.slos = [ slo ~after:(-1) () ] };
+  raises "slo rate bound out of range"
+    { base with Scenario.slos = [ slo ~bound:(`Min 150.0) () ] };
+  raises "orphan slo policy" { base with Scenario.slos = [ slo ~policy:(Scenario.Group 9) () ] };
+  raises "p99 latency slo on a fleet"
+    { base with Scenario.slos = [ slo ~metric:Scenario.Slo_p99_latency ~bound:(`Max 50.0) () ] };
+  Scenario.validate
+    { base with
+      Scenario.topology = Scenario.Path { client_capacity = 100; server_capacity = 200 };
+      slos = [ slo ~metric:Scenario.Slo_p99_latency ~bound:(`Max 50.0) () ] }
 
 (* --- qcheck: codec round-trip over generated scenarios -------------------- *)
 
@@ -255,7 +289,30 @@ let gen_scenario =
           else Scenario.Hit_rate_max { policy; percent }))
   in
   let* expect_violation = bool in
-  return { Scenario.name; workload; topology; faults; policies; invariants; expectations; expect_violation }
+  let* slos =
+    let* window = oneofl [ 250; 1000; 4000 ] in
+    list_size (int_range 0 2)
+      (let* slo_policy = oneofl (Array.of_list policies |> Array.to_list) in
+       let* slo_metric = oneofl Scenario.all_slo_metrics in
+       let* v = map (fun n -> float_of_int n /. 10.0) (int_range 0 1000) in
+       let* kind = bool in
+       let* slo_after = oneofl [ 0; 500; 2000 ] in
+       return
+         {
+           Scenario.slo_metric;
+           slo_policy;
+           slo_bound = (if kind then `Min v else `Max v);
+           slo_window = window;
+           slo_after;
+         })
+  in
+  (* the round-trip law needs distinct lines, like the policy matrix *)
+  let slos =
+    List.sort_uniq (fun a b -> String.compare (Scenario.slo_name a) (Scenario.slo_name b)) slos
+  in
+  return
+    { Scenario.name; workload; topology; faults; policies; invariants; expectations; slos;
+      expect_violation }
 
 let qcheck_tests =
   let arb = QCheck.make ~print:Scenario.to_string gen_scenario in
@@ -332,6 +389,73 @@ let test_exec_unknown_profile () =
   | Ok _ -> Alcotest.fail "expected an unknown-profile error"
   | Error msg -> check_bool "names the profile" true (contains ~needle:"nope" msg)
 
+(* SLO rules evaluate the per-cell series windows; a trivially satisfiable
+   bound passes (reporting how many windows were checked) and an impossible
+   one fails pinning the first violating window's access range. *)
+let test_exec_slo_pass_and_fail () =
+  let slo bound =
+    { Scenario.slo_metric = Scenario.Slo_hit_rate; slo_policy = Scenario.Group 5;
+      slo_bound = bound; slo_window = 500; slo_after = 0 }
+  in
+  let find_check (o : Exec.outcome) needle =
+    match
+      List.find_opt (fun (c : Exec.check) -> contains ~needle c.Exec.check_name) o.Exec.checks
+    with
+    | Some c -> c
+    | None -> Alcotest.failf "no check named like %S" needle
+  in
+  (* cells carry a series only when slo rules ask for one *)
+  let plain = run_ok base in
+  List.iter
+    (fun (c : Exec.cell) -> check_bool "no series without slos" true (c.Exec.series = None))
+    plain.Exec.cells;
+  let good = run_ok { base with Scenario.slos = [ slo (`Min 0.0) ] } in
+  List.iter
+    (fun (c : Exec.cell) -> check_bool "series present with slos" true (c.Exec.series <> None))
+    good.Exec.cells;
+  let c = find_check good "slo hit_rate" in
+  check_bool "satisfiable slo passes" true c.Exec.pass;
+  check_bool "detail counts the windows" true (contains ~needle:"windows checked" c.Exec.detail);
+  check_bool "outcome ok" true good.Exec.ok;
+  let bad = run_ok { base with Scenario.slos = [ slo (`Min 99.9) ] } in
+  let c = find_check bad "slo hit_rate" in
+  check_bool "impossible slo fails" false c.Exec.pass;
+  check_bool "detail pins window 0" true
+    (contains ~needle:"window 0 (accesses 0..499)" c.Exec.detail);
+  check_bool "detail names the metric" true (contains ~needle:"hit_rate=" c.Exec.detail);
+  check_bool "outcome fails" false bad.Exec.pass;
+  let expected =
+    run_ok { base with Scenario.slos = [ slo (`Min 99.9) ]; expect_violation = true }
+  in
+  check_bool "ok when the violation is expected" true expected.Exec.ok
+
+(* after= skips the cold-start windows: a bound that fails from a cold
+   cache can still hold once only warm windows are checked *)
+let test_exec_slo_after_skips_warmup () =
+  let slo after =
+    { Scenario.slo_metric = Scenario.Slo_degraded_rate; slo_policy = Scenario.Plain Cache.Lru;
+      slo_bound = `Max 100.0; slo_window = 500; slo_after = after }
+  in
+  let checked (o : Exec.outcome) =
+    match
+      List.find_opt
+        (fun (c : Exec.check) -> contains ~needle:"slo degraded_rate" c.Exec.check_name)
+        o.Exec.checks
+    with
+    | Some c -> c
+    | None -> Alcotest.fail "slo check missing"
+  in
+  let all = checked (run_ok { base with Scenario.slos = [ slo 0 ] }) in
+  let late = checked (run_ok { base with Scenario.slos = [ slo 1500 ] }) in
+  check_bool "both pass (max=100 is vacuous)" true (all.Exec.pass && late.Exec.pass);
+  let count (c : Exec.check) =
+    match String.split_on_char ' ' c.Exec.detail with
+    | n :: _ -> int_of_string n
+    | [] -> Alcotest.fail "empty detail"
+  in
+  check_int "after=0 checks every window" 4 (count all);
+  check_int "after=1500 drops the first three windows" 1 (count late)
+
 (* --- corpus --------------------------------------------------------------- *)
 
 let corpus () = Agg_sim.Scenarios.corpus_files corpus_dir
@@ -401,6 +525,20 @@ let pinned_minimal =
       "";
     ]
 
+let pinned_minimal_slo =
+  String.concat "\n"
+    [
+      "#scenario v1";
+      "name known-bad-slo";
+      "workload profile name=server events=100 seed=7";
+      "topology path client_capacity=300 server_capacity=1000";
+      "faults seed=11 loss=0 outage_period=0 outage_rate=0 outage_length=0 slow=0 slow_mult=1 crash=0";
+      "policy g5";
+      "slo hit_rate policy=g5 min=99 window=500";
+      "expect violation";
+      "";
+    ]
+
 let load_known_bad () =
   match Scenario.load_file (Filename.concat corpus_dir "known-bad.scn") with
   | Ok s -> s
@@ -417,6 +555,22 @@ let test_shrinker_pinned () =
     (String.length (Scenario.to_string shrunk) < String.length (Scenario.to_string bad));
   (* greedy shrinking is deterministic: a second pass finds nothing more *)
   check_string "idempotent" pinned_minimal (Scenario.to_string (Fuzz.shrink shrunk))
+
+(* the slo-driven known-bad entry shrinks too: the fault plan zeroes out,
+   the extra policy and the invariants drop, but the slo (and the policy it
+   names) must survive — a cold 500-access window can never hold 99%. *)
+let test_shrinker_pinned_slo () =
+  let bad =
+    match Scenario.load_file (Filename.concat corpus_dir "known-bad-slo.scn") with
+    | Ok s -> s
+    | Error msg -> Alcotest.failf "known-bad-slo.scn: %s" msg
+  in
+  check_bool "known-bad-slo violates" true (Fuzz.violates bad);
+  let shrunk = Fuzz.shrink bad in
+  check_string "shrinks to the pinned minimal scenario" pinned_minimal_slo
+    (Scenario.to_string shrunk);
+  check_int "slo survives the shrink" 1 (List.length shrunk.Scenario.slos);
+  check_string "idempotent" pinned_minimal_slo (Scenario.to_string (Fuzz.shrink shrunk))
 
 let test_fuzz_reports_known_bad () =
   let bad = load_known_bad () in
@@ -487,6 +641,8 @@ let () =
           Alcotest.test_case "expectation failure" `Quick test_exec_expectation_failure;
           Alcotest.test_case "trace file errors" `Quick test_exec_trace_file_errors;
           Alcotest.test_case "unknown profile" `Quick test_exec_unknown_profile;
+          Alcotest.test_case "slo pass and fail" `Quick test_exec_slo_pass_and_fail;
+          Alcotest.test_case "slo after skips warmup" `Quick test_exec_slo_after_skips_warmup;
         ] );
       ( "corpus",
         [
@@ -497,6 +653,7 @@ let () =
       ( "fuzz",
         [
           Alcotest.test_case "shrinker pinned" `Quick test_shrinker_pinned;
+          Alcotest.test_case "slo shrinker pinned" `Quick test_shrinker_pinned_slo;
           Alcotest.test_case "fuzz reports known-bad" `Quick test_fuzz_reports_known_bad;
           Alcotest.test_case "healthy untouched" `Quick test_shrink_keeps_healthy_scenario;
           Alcotest.test_case "perturb preserves validity" `Quick test_perturb_valid;

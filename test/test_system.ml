@@ -168,6 +168,102 @@ let test_fleet_remap_clients () =
     (Invalid_argument "Fleet.remap_clients: clients must be positive (got 0)") (fun () ->
       ignore (Fleet.remap_clients ~clients:0 trace))
 
+(* --- telemetry: series + trace context -------------------------------- *)
+
+let hostile_faults =
+  {
+    Agg_faults.Plan.none with
+    Agg_faults.Plan.loss_rate = 0.1;
+    outage_period = 2_000;
+    outage_rate = 0.1;
+    outage_length = 200;
+    seed = 11;
+  }
+
+let test_path_series_reconciles () =
+  let trace =
+    Agg_workload.Generator.generate ~seed:7 ~events:8_000 Agg_workload.Profile.server
+  in
+  let series = Agg_obs.Series.create ~window:1_000 in
+  let ctx = Agg_obs.Trace_ctx.create ~seed:7 () in
+  let config =
+    Path.with_deployment `Aggregating_both
+      { Path.default_config with Path.faults = hostile_faults; series = Some series;
+        trace_ctx = Some ctx }
+  in
+  let r = Path.run config trace in
+  check_int "series accesses = run accesses" r.Path.accesses
+    (Agg_obs.Series.total_accesses series);
+  check_int "series hits = client hits" r.Path.client_hits (Agg_obs.Series.total_hits series);
+  check_int "series degraded = fault counter"
+    r.Path.faults.Agg_faults.Counters.degraded_fetches
+    (Agg_obs.Series.total_degraded series);
+  check_int "every access carries one latency sample" r.Path.accesses
+    (Agg_obs.Histogram.count (Agg_obs.Series.total_latency series));
+  (* the series' latency mass equals the run's mean within the per-access
+     microsecond rounding *)
+  let series_ms =
+    float_of_int (Agg_obs.Histogram.sum (Agg_obs.Series.total_latency series)) /. 1000.0
+  in
+  let run_ms = r.Path.mean_latency *. float_of_int r.Path.accesses in
+  check_bool "latency mass matches within rounding" true
+    (Float.abs (series_ms -. run_ms) <= 0.0005 *. float_of_int r.Path.accesses);
+  (* sample 1.0: every request committed, roots = accesses, and the
+     attribution profile covers the phases the path actually took *)
+  check_int "every request traced" r.Path.accesses (Agg_obs.Trace_ctx.sampled_requests ctx);
+  let roots =
+    List.length
+      (List.filter (fun s -> s.Agg_obs.Trace_ctx.depth = 0) (Agg_obs.Trace_ctx.spans ctx))
+  in
+  check_int "one root span per request" r.Path.accesses roots;
+  let cats = List.map fst (Agg_obs.Trace_ctx.attribution ctx) in
+  check_bool "attribution names the fetch and timeout phases" true
+    (List.mem "fetch" cats && List.mem "timeout" cats)
+
+let test_path_telemetry_off_identity () =
+  let trace =
+    Agg_workload.Generator.generate ~seed:7 ~events:6_000 Agg_workload.Profile.server
+  in
+  let run ~telemetry =
+    let base =
+      Path.with_deployment `Aggregating_both
+        { Path.default_config with Path.faults = hostile_faults }
+    in
+    let config =
+      if telemetry then
+        { base with
+          Path.series = Some (Agg_obs.Series.create ~window:500);
+          trace_ctx = Some (Agg_obs.Trace_ctx.create ~sample:0.5 ~seed:3 ()) }
+      else base
+    in
+    Path.run config trace
+  in
+  check_bool "instrumented run byte-identical to plain run" true
+    (run ~telemetry:false = run ~telemetry:true)
+
+let test_fleet_series_reconciles () =
+  let trace = Agg_workload.Generator.generate ~seed:5 ~events:6_000 Agg_workload.Profile.users in
+  let series = Agg_obs.Series.create ~window:1_000 in
+  let config =
+    { (fleet_config ~clients:3 ()) with Fleet.faults = hostile_faults;
+      series = Some series; trace_ctx = Some (Agg_obs.Trace_ctx.create ~seed:5 ()) }
+  in
+  let r = Fleet.run config trace in
+  check_int "series accesses = run accesses" r.Fleet.accesses
+    (Agg_obs.Series.total_accesses series);
+  check_int "series hits = client hits" r.Fleet.client_hits (Agg_obs.Series.total_hits series);
+  (* the fleet has no latency model: no samples may appear *)
+  check_int "no latency samples on a fleet" 0
+    (Agg_obs.Histogram.count (Agg_obs.Series.total_latency series));
+  (* per-"node" loads are per-client access counts: they sum to the run *)
+  let load_sum = ref 0 in
+  for w = 0 to Agg_obs.Series.windows series - 1 do
+    List.iter (fun (_, c) -> load_sum := !load_sum + c) (Agg_obs.Series.node_loads series w)
+  done;
+  check_int "per-client loads sum to the accesses" r.Fleet.accesses !load_sum;
+  let plain = Fleet.run { (fleet_config ~clients:3 ()) with Fleet.faults = hostile_faults } trace in
+  check_bool "instrumented fleet run identical to plain" true (plain = r)
+
 let qcheck_tests =
   let open QCheck in
   let files_gen = list_of_size (Gen.int_range 10 300) (int_range 0 30) in
@@ -208,6 +304,13 @@ let () =
             test_fleet_aggregation_reduces_requests;
           Alcotest.test_case "invalid clients" `Quick test_fleet_invalid_clients;
           Alcotest.test_case "remap clients" `Quick test_fleet_remap_clients;
+        ] );
+      ( "telemetry",
+        [
+          Alcotest.test_case "path series reconciles" `Quick test_path_series_reconciles;
+          Alcotest.test_case "telemetry off is byte-identical" `Quick
+            test_path_telemetry_off_identity;
+          Alcotest.test_case "fleet series reconciles" `Quick test_fleet_series_reconciles;
         ] );
       ("properties", List.map QCheck_alcotest.to_alcotest qcheck_tests);
     ]
