@@ -11,6 +11,8 @@
      dune exec bench/main.exe -- --jobs 4     # evaluate sweeps on 4 domains
      dune exec bench/main.exe -- --sweep      # time --jobs 1 vs --jobs N
      dune exec bench/main.exe -- --obs        # also write BENCH_obs.json
+     dune exec bench/main.exe -- --weighted   # weighted-caching sweep
+                                              # and write BENCH_weighted.json
      dune exec bench/main.exe -- --faults     # also run the resilience sweep
                                               # and write BENCH_faults.json
      dune exec bench/main.exe -- --cluster    # also run the sharded-cluster
@@ -61,6 +63,12 @@ let json_escape s =
    becomes a span, all exported to BENCH_obs.json. *)
 let profiler : Agg_obs.Span.recorder option ref = ref None
 
+(* the runner every figure section shares: one scope holding the --obs
+   profiler (if any), [None] otherwise *)
+let runner ~settings =
+  let scope = Option.map (fun profiler -> Agg_obs.Scope.create ~profiler ()) !profiler in
+  Agg_sim.Experiment.Runner.create ?scope ~settings ()
+
 (* --- figure sections -------------------------------------------------- *)
 
 let run_workloads ~settings =
@@ -98,23 +106,23 @@ let run_workloads ~settings =
 
 let run_fig3 ~settings =
   section "Fig. 3 — client demand fetches vs cache capacity (per group size)";
-  Agg_sim.Experiment.print_figure (Agg_sim.Fig3.figure ?profiler:!profiler ~settings ())
+  Agg_sim.Experiment.print_figure (Agg_sim.Fig3.run (runner ~settings))
 
 let run_fig4 ~settings =
   section "Fig. 4 — server hit rate behind an intervening client cache";
-  Agg_sim.Experiment.print_figure (Agg_sim.Fig4.figure ?profiler:!profiler ~settings ())
+  Agg_sim.Experiment.print_figure (Agg_sim.Fig4.run (runner ~settings))
 
 let run_fig5 ~settings =
   section "Fig. 5 — successor-list replacement quality (oracle / LRU / LFU)";
-  Agg_sim.Experiment.print_figure (Agg_sim.Fig5.figure ?profiler:!profiler ~settings ())
+  Agg_sim.Experiment.print_figure (Agg_sim.Fig5.run (runner ~settings))
 
 let run_fig7 ~settings =
   section "Fig. 7 — successor entropy vs successor sequence length";
-  Agg_sim.Experiment.print_figure (Agg_sim.Fig7.figure ~settings ())
+  Agg_sim.Experiment.print_figure (Agg_sim.Fig7.run (runner ~settings))
 
 let run_fig8 ~settings =
   section "Fig. 8 — successor entropy of LRU-filtered miss streams";
-  Agg_sim.Experiment.print_figure (Agg_sim.Fig8.figure ~settings ())
+  Agg_sim.Experiment.print_figure (Agg_sim.Fig8.run (runner ~settings))
 
 let run_summary ~settings =
   section "Headline summary (abstract / conclusions numbers)";
@@ -278,6 +286,51 @@ let run_scenarios ~settings =
     (fun () -> output_string oc (Agg_sim.Scenarios.json_of_entries entries));
   Printf.printf "wrote %d scenario results to %s\n" (List.length entries) scenarios_json_path
 
+let weighted_json_path = "BENCH_weighted.json"
+
+let run_weighted ~settings =
+  section "Weighted caching — size/cost-aware policies on the sized profiles";
+  let runner = Agg_sim.Experiment.Runner.create ~settings () in
+  let cells = Agg_sim.Weighted.sweep runner in
+  Agg_sim.Experiment.print_figure (Agg_sim.Weighted.run runner);
+  let verdicts = Agg_sim.Weighted.verdicts runner in
+  List.iter
+    (fun (v : Agg_sim.Weighted.verdict) ->
+      Printf.printf "%s: g5 total retrieval cost %d vs landlord %d — g5 %s\n"
+        v.Agg_sim.Weighted.v_profile v.Agg_sim.Weighted.g5_cost v.Agg_sim.Weighted.landlord_cost
+        (if v.Agg_sim.Weighted.g5_wins then "wins" else "loses"))
+    verdicts;
+  let oc = open_out weighted_json_path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Printf.fprintf oc "{\n  \"cells\": [\n";
+      List.iteri
+        (fun i (c : Agg_sim.Weighted.cell) ->
+          Printf.fprintf oc
+            "    {\"profile\": \"%s\", \"policy\": \"%s\", \"capacity\": %d, \
+             \"byte_hit_rate\": %.6f, \"cost_saved_rate\": %.6f, \"total_retrieval_cost\": \
+             %d}%s\n"
+            (json_escape c.Agg_sim.Weighted.profile)
+            (json_escape c.Agg_sim.Weighted.policy)
+            c.Agg_sim.Weighted.capacity c.Agg_sim.Weighted.byte_hit_rate
+            c.Agg_sim.Weighted.cost_saved_rate c.Agg_sim.Weighted.total_cost
+            (if i = List.length cells - 1 then "" else ","))
+        cells;
+      Printf.fprintf oc "  ],\n  \"verdict\": [\n";
+      List.iteri
+        (fun i (v : Agg_sim.Weighted.verdict) ->
+          Printf.fprintf oc
+            "    {\"profile\": \"%s\", \"capacity\": %d, \"g5_total_cost\": %d, \
+             \"landlord_total_cost\": %d, \"g5_beats_landlord\": %b}%s\n"
+            (json_escape v.Agg_sim.Weighted.v_profile)
+            v.Agg_sim.Weighted.v_capacity v.Agg_sim.Weighted.g5_cost
+            v.Agg_sim.Weighted.landlord_cost v.Agg_sim.Weighted.g5_wins
+            (if i = List.length verdicts - 1 then "" else ","))
+        verdicts;
+      Printf.fprintf oc "  ]\n}\n");
+  Printf.printf "wrote %d sweep cells to %s\n" (List.length cells) weighted_json_path
+
 let telemetry_json_path = "BENCH_telemetry.json"
 
 (* Two windowed-series measurements the end-of-run aggregates cannot
@@ -311,7 +364,7 @@ let run_telemetry ~settings =
         Agg_system.Path.client = scheme;
         server = scheme;
         faults;
-        series = Some series;
+        scope = Some (Agg_obs.Scope.create ~series ());
       }
     in
     ignore (Agg_system.Path.run config trace);
@@ -367,7 +420,7 @@ let run_telemetry ~settings =
       client_scheme = Agg_system.Scheme.aggregating ();
       node_scheme = Agg_system.Scheme.aggregating ();
       churn;
-      series = Some series;
+      scope = Some (Agg_obs.Scope.create ~series ());
     }
   in
   let r = Agg_cluster.Cluster.run config trace in
@@ -708,7 +761,7 @@ let sections =
 let usage () =
   Printf.eprintf
     "usage: main.exe [SECTION...] [--quick] [--jobs N] [--sweep] [--obs] [--faults] [--cluster] \
-     [--scenarios] [--telemetry]\nsections: %s | all\n"
+     [--scenarios] [--telemetry] [--weighted]\nsections: %s | all\n"
     (String.concat " | " (List.map fst sections));
   exit 2
 
@@ -724,6 +777,7 @@ let () =
   let cluster = List.mem "--cluster" args in
   let scenarios = List.mem "--scenarios" args in
   let telemetry = List.mem "--telemetry" args in
+  let weighted = List.mem "--weighted" args in
   if obs then profiler := Some (Agg_obs.Span.recorder ());
   let rec parse_jobs = function
     | "--jobs" :: n :: _ -> (
@@ -736,7 +790,8 @@ let () =
     | "--jobs" :: _ :: rest -> strip rest
     | flag :: rest
       when flag = "--quick" || flag = "--sweep" || flag = "--obs" || flag = "--faults"
-           || flag = "--cluster" || flag = "--scenarios" || flag = "--telemetry" -> strip rest
+           || flag = "--cluster" || flag = "--scenarios" || flag = "--telemetry"
+           || flag = "--weighted" -> strip rest
     | arg :: rest -> arg :: strip rest
     | [] -> []
   in
@@ -785,6 +840,7 @@ let () =
   if cluster then run_cluster ~settings;
   if scenarios then run_scenarios ~settings;
   if telemetry then run_telemetry ~settings;
+  if weighted then run_weighted ~settings;
   write_bench_json ~jobs ~quick ~settings timings;
   match !profiler with
   | None -> ()

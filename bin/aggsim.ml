@@ -99,7 +99,11 @@ let input_arg =
 
 let load_trace input profile events seed =
   match input with
-  | Some path -> Agg_trace.Codec.read_file path
+  | Some path -> (
+      try Agg_trace.Codec.read_file path
+      with Agg_trace.Codec.Parse_error { line; message } ->
+        Printf.eprintf "aggsim: %s: line %d: %s\n" path line message;
+        exit Cmd.Exit.cli_error)
   | None -> Agg_workload.Generator.generate ~seed ~events profile
 
 let stats_cmd =
@@ -141,23 +145,86 @@ let figure_cmd name doc make =
 
 let fig3_cmd =
   figure_cmd "fig3" "Client demand fetches vs cache capacity (paper Fig. 3)." (fun settings ->
-      Agg_sim.Fig3.figure ~settings ())
+      Agg_sim.Fig3.run (Agg_sim.Experiment.Runner.create ~settings ()))
 
 let fig4_cmd =
   figure_cmd "fig4" "Server hit rate under intervening caches (paper Fig. 4)." (fun settings ->
-      Agg_sim.Fig4.figure ~settings ())
+      Agg_sim.Fig4.run (Agg_sim.Experiment.Runner.create ~settings ()))
 
 let fig5_cmd =
   figure_cmd "fig5" "Successor-list replacement quality (paper Fig. 5)." (fun settings ->
-      Agg_sim.Fig5.figure ~settings ())
+      Agg_sim.Fig5.run (Agg_sim.Experiment.Runner.create ~settings ()))
 
 let fig7_cmd =
   figure_cmd "fig7" "Successor entropy vs sequence length (paper Fig. 7)." (fun settings ->
-      Agg_sim.Fig7.figure ~settings ())
+      Agg_sim.Fig7.run (Agg_sim.Experiment.Runner.create ~settings ()))
 
 let fig8_cmd =
   figure_cmd "fig8" "Successor entropy of filtered streams (paper Fig. 8)." (fun settings ->
-      Agg_sim.Fig8.figure ~settings ())
+      Agg_sim.Fig8.run (Agg_sim.Experiment.Runner.create ~settings ()))
+
+(* --- weighted ------------------------------------------------------- *)
+
+let weighted_cmd =
+  let sweep_arg =
+    Arg.(
+      value & flag
+      & info [ "sweep" ]
+          ~doc:
+            "Run the full capacity sweep (the weighted figure) instead of the single-capacity \
+             verdict table.")
+  in
+  let run settings csv plot sweep =
+    let runner = Agg_sim.Experiment.Runner.create ~settings () in
+    if sweep then begin
+      let fig = Agg_sim.Weighted.run runner in
+      Agg_sim.Experiment.print_figure fig;
+      if plot then List.iter Agg_sim.Plot.print fig.Agg_sim.Experiment.panels;
+      match csv with
+      | Some dir ->
+          let written = Agg_sim.Export.write_figure ~dir fig in
+          List.iter (Printf.printf "wrote %s\n") written;
+          exit_ok
+      | None -> exit_ok
+    end
+    else begin
+      let capacity = Agg_sim.Weighted.default_verdict_capacity in
+      let cells = Agg_sim.Weighted.sweep ~capacities:[ capacity ] runner in
+      List.iter
+        (fun profile ->
+          let name = profile.Agg_workload.Profile.name in
+          let table =
+            Agg_util.Table.create
+              ~title:(Printf.sprintf "%s at capacity %d (size units)" name capacity)
+              ~columns:[ "policy"; "byte hit rate"; "cost saved"; "total retrieval cost" ]
+          in
+          List.iter
+            (fun (c : Agg_sim.Weighted.cell) ->
+              if c.Agg_sim.Weighted.profile = name then
+                Agg_util.Table.add_row table
+                  [
+                    c.Agg_sim.Weighted.policy;
+                    Printf.sprintf "%.4f" c.Agg_sim.Weighted.byte_hit_rate;
+                    Printf.sprintf "%.4f" c.Agg_sim.Weighted.cost_saved_rate;
+                    string_of_int c.Agg_sim.Weighted.total_cost;
+                  ])
+            cells;
+          Agg_util.Table.print table)
+        Agg_workload.Profile.sized;
+      List.iter
+        (fun (v : Agg_sim.Weighted.verdict) ->
+          Printf.printf "%s: g5 total cost %d vs landlord %d — g5 %s\n"
+            v.Agg_sim.Weighted.v_profile v.Agg_sim.Weighted.g5_cost
+            v.Agg_sim.Weighted.landlord_cost
+            (if v.Agg_sim.Weighted.g5_wins then "wins" else "loses"))
+        (Agg_sim.Weighted.verdicts ~capacity runner);
+      exit_ok
+    end
+  in
+  Cmd.v
+    (Cmd.info "weighted"
+       ~doc:"Size/cost-aware policies (Landlord, bundle, weighted LRU, g5) on the sized profiles.")
+    Term.(const run $ settings_term $ csv_arg $ plot_arg $ sweep_arg)
 
 (* --- summary / checks / ablations ----------------------------------- *)
 
@@ -195,6 +262,7 @@ let differential_cmd =
     let checks =
       Agg_oracle.Diff_engine.fuzz_all ~seed ~ops
       @ [ Agg_oracle.Diff_engine.mutant_check ~seed ~ops ]
+      @ Agg_oracle.Diff_engine.lru_equivalence_checks ~seed ~events
       @ Agg_oracle.Diff_engine.successor_checks ~seed ~events
       @ Agg_oracle.Diff_engine.trace_checks ~seed ~events
     in
@@ -783,9 +851,14 @@ let profile_cmd =
   in
   let run settings profile trace_out top =
     let recorder = Agg_obs.Span.recorder () in
-    ignore (Agg_sim.Fig3.figure ~profiler:recorder ~settings ());
-    ignore (Agg_sim.Fig4.figure ~profiler:recorder ~settings ());
-    ignore (Agg_sim.Fig5.figure ~profiler:recorder ~settings ());
+    let runner =
+      Agg_sim.Experiment.Runner.create
+        ~scope:(Agg_obs.Scope.create ~profiler:recorder ())
+        ~settings ()
+    in
+    ignore (Agg_sim.Fig3.run runner);
+    ignore (Agg_sim.Fig4.run runner);
+    ignore (Agg_sim.Fig5.run runner);
     let spans = Agg_obs.Span.spans recorder in
     let figure_of (s : Agg_obs.Span.span) =
       match String.index_opt s.Agg_obs.Span.name '/' with
@@ -1117,8 +1190,7 @@ let telemetry_cmd =
             client_scheme = Agg_system.Scheme.aggregating ();
             node_scheme = Agg_system.Scheme.aggregating ();
             faults;
-            series = Some series;
-            trace_ctx = Some ctx;
+            scope = Some (Agg_obs.Scope.create ~series ~trace_ctx:ctx ());
           }
         in
         let r = Agg_cluster.Cluster.run config trace in
@@ -1261,6 +1333,7 @@ let () =
             fig5_cmd;
             fig7_cmd;
             fig8_cmd;
+            weighted_cmd;
             summary_cmd;
             checks_cmd;
             differential_cmd;

@@ -52,6 +52,17 @@ if ! grep -rq 'Agg_util\.Prng' lib/scenario; then
   exit 1
 fi
 
+# The weighted baselines (Landlord, GreedyDual-Size, Bundle) are
+# deterministic by contract — their lockstep differential against the
+# lib/oracle models and the unit-weight LRU-equivalence checks assume
+# replay is a pure function of the op sequence. Any entropy source,
+# Agg_util.Prng included, would break that.
+if grep -rnE '(^|[^.A-Za-z_])(Stdlib\.)?Random\.|Prng\.' \
+    lib/baselines/landlord.ml lib/baselines/greedy_dual.ml lib/baselines/bundle.ml 2>/dev/null; then
+  echo "ci.sh: the weighted baselines must stay deterministic (see matches above)" >&2
+  exit 1
+fi
+
 # All clock access must flow through Agg_obs.Span (lib/obs): hot-path
 # modules reading wall-clock time directly could make simulation results
 # time-dependent and break run-to-run reproducibility.
@@ -132,6 +143,11 @@ dune build @scenario
 # counters, the Chrome span dump, and the deterministic sampled
 # event-dump path.
 dune build @telemetry
+
+# Weighted gate: smoke-run `aggsim weighted` (size/cost-skewed profiles,
+# rent-based baselines vs the aggregating cache) in table and sweep
+# forms.
+dune build @weighted
 
 # Micro gate: Bechamel micro-benchmarks and the per-policy throughput
 # pass at reduced quota; exercises every online policy facade.

@@ -1,0 +1,15 @@
+(** GreedyDual-Size — Cao & Irani's generalization of GreedyDual to
+    files with sizes and retrieval costs.
+
+    Each resident carries a priority [H = L + cost/size], assigned when
+    it is inserted and refreshed via {!val-charge} on a demand hit; the
+    eviction victim is the minimal-[H] resident and the inflation floor
+    [L] rises to its priority, aging everything else implicitly. Ties are
+    resolved towards the least recently used, which makes the policy
+    access-for-access identical to LRU at unit size/cost.
+
+    Implements {!Agg_cache.Policy.S}; wrap with
+    [Agg_cache.Cache.of_policy] for statistics. Deterministic: draws no
+    randomness at all. *)
+
+include Agg_cache.Policy.S

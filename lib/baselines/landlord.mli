@@ -1,0 +1,15 @@
+(** Landlord — Young's rent-based algorithm for file caching with sizes
+    and retrieval costs ({e On-Line File Caching}, SODA 1998).
+
+    Every resident holds {e credit}, set to its retrieval cost when it is
+    inserted and reset via {!val-charge} on a demand hit. When room is
+    needed, every resident pays rent proportional to its size at the
+    minimal credit/size ratio; the resident whose credit reaches zero is
+    evicted (ties resolved towards the least recently used — which makes
+    the policy access-for-access identical to LRU at unit size/cost).
+
+    Implements {!Agg_cache.Policy.S}; wrap with
+    [Agg_cache.Cache.of_policy] for statistics. Deterministic: draws no
+    randomness at all. *)
+
+include Agg_cache.Policy.S

@@ -1,173 +1,180 @@
 open Agg_util
 
-type list_id = T1 | T2 | B1 | B2
+module Core = struct
+  type list_id = T1 | T2 | B1 | B2
 
-type entry = { mutable where : list_id; mutable node : int Dlist.node }
+  type entry = { mutable where : list_id; mutable node : int Dlist.node }
 
-type t = {
-  capacity : int;
-  t1 : int Dlist.t;
-  t2 : int Dlist.t;
-  b1 : int Dlist.t;
-  b2 : int Dlist.t;
-  index : (int, entry) Hashtbl.t; (* resident and ghost keys *)
-  mutable p : int; (* adaptation target for |T1| *)
-}
-
-let policy_name = "arc"
-
-let create ~capacity =
-  if capacity <= 0 then invalid_arg "Arc.create: capacity must be positive";
-  {
-    capacity;
-    t1 = Dlist.create ();
-    t2 = Dlist.create ();
-    b1 = Dlist.create ();
-    b2 = Dlist.create ();
-    index = Hashtbl.create (4 * capacity);
-    p = 0;
+  type t = {
+    capacity : int;
+    t1 : int Dlist.t;
+    t2 : int Dlist.t;
+    b1 : int Dlist.t;
+    b2 : int Dlist.t;
+    index : (int, entry) Hashtbl.t; (* resident and ghost keys *)
+    mutable p : int; (* adaptation target for |T1| *)
   }
 
-let capacity t = t.capacity
-let size t = Dlist.length t.t1 + Dlist.length t.t2
+  let policy_name = "arc"
 
-let is_resident where = match where with T1 | T2 -> true | B1 | B2 -> false
+  let create ~capacity =
+    if capacity <= 0 then invalid_arg "Arc.create: capacity must be positive";
+    {
+      capacity;
+      t1 = Dlist.create ();
+      t2 = Dlist.create ();
+      b1 = Dlist.create ();
+      b2 = Dlist.create ();
+      index = Hashtbl.create (4 * capacity);
+      p = 0;
+    }
 
-let mem t key =
-  match Hashtbl.find_opt t.index key with
-  | Some entry -> is_resident entry.where
-  | None -> false
+  let capacity t = t.capacity
+  let size t = Dlist.length t.t1 + Dlist.length t.t2
 
-let dlist_of t = function T1 -> t.t1 | T2 -> t.t2 | B1 -> t.b1 | B2 -> t.b2
+  let is_resident where = match where with T1 | T2 -> true | B1 | B2 -> false
 
-let detach t entry = Dlist.remove (dlist_of t entry.where) entry.node
+  let mem t key =
+    match Hashtbl.find_opt t.index key with
+    | Some entry -> is_resident entry.where
+    | None -> false
 
-let attach_front t entry where key =
-  entry.where <- where;
-  entry.node <- Dlist.push_front (dlist_of t where) key
+  let dlist_of t = function T1 -> t.t1 | T2 -> t.t2 | B1 -> t.b1 | B2 -> t.b2
 
-let attach_back t entry where key =
-  entry.where <- where;
-  entry.node <- Dlist.push_back (dlist_of t where) key
+  let detach t entry = Dlist.remove (dlist_of t entry.where) entry.node
 
-let drop_ghost_lru t ghost =
-  match Dlist.pop_back (dlist_of t ghost) with
-  | Some key -> Hashtbl.remove t.index key
-  | None -> ()
+  let attach_front t entry where key =
+    entry.where <- where;
+    entry.node <- Dlist.push_front (dlist_of t where) key
 
-(* ARC's REPLACE: evict from T1 into ghost B1 when T1 exceeds the target,
-   otherwise from T2 into B2. Returns the evicted (resident) key. *)
-let replace t ~hit_in_b2 =
-  let t1_len = Dlist.length t.t1 in
-  let from_t1 = t1_len >= 1 && (t1_len > t.p || (hit_in_b2 && t1_len = t.p)) in
-  let source, ghost = if from_t1 then (t.t1, B1) else (t.t2, B2) in
-  match Dlist.pop_back source with
-  | Some victim ->
-      (match Hashtbl.find_opt t.index victim with
-      | Some entry -> attach_front t entry ghost victim
-      | None -> ());
-      Some victim
-  | None -> (
-      (* the chosen list was empty; take the other one *)
-      let source, ghost = if from_t1 then (t.t2, B2) else (t.t1, B1) in
-      match Dlist.pop_back source with
-      | Some victim ->
-          (match Hashtbl.find_opt t.index victim with
-          | Some entry -> attach_front t entry ghost victim
-          | None -> ());
-          Some victim
-      | None -> None)
+  let attach_back t entry where key =
+    entry.where <- where;
+    entry.node <- Dlist.push_back (dlist_of t where) key
 
-let promote t key =
-  match Hashtbl.find_opt t.index key with
-  | Some entry when is_resident entry.where ->
-      detach t entry;
-      attach_front t entry T2 key
-  | Some _ | None -> ()
+  let drop_ghost_lru t ghost =
+    match Dlist.pop_back (dlist_of t ghost) with
+    | Some key -> Hashtbl.remove t.index key
+    | None -> ()
 
-let insert t ~pos key =
-  match Hashtbl.find_opt t.index key with
-  | Some entry when is_resident entry.where ->
-      (match pos with
-      | Policy.Hot -> promote t key
-      | Policy.Cold ->
-          detach t entry;
-          attach_back t entry T1 key);
-      None
-  | Some entry -> (
-      (* ghost hit *)
-      match pos with
-      | Policy.Hot ->
-          let b1_len = max 1 (Dlist.length t.b1) in
-          let b2_len = max 1 (Dlist.length t.b2) in
-          let hit_in_b2 = entry.where = B2 in
-          if hit_in_b2 then t.p <- max 0 (t.p - max 1 (b1_len / b2_len))
-          else t.p <- min t.capacity (t.p + max 1 (b2_len / b1_len));
-          let victim = if size t >= t.capacity then replace t ~hit_in_b2 else None in
-          detach t entry;
-          attach_front t entry T2 key;
-          victim
-      | Policy.Cold ->
-          let victim = if size t >= t.capacity then replace t ~hit_in_b2:false else None in
-          detach t entry;
-          attach_back t entry T1 key;
-          victim)
-  | None ->
-      (* ARC case IV: a completely new key. *)
-      let l1 = Dlist.length t.t1 + Dlist.length t.b1 in
-      let total =
-        Dlist.length t.t1 + Dlist.length t.t2 + Dlist.length t.b1 + Dlist.length t.b2
-      in
-      let victim =
-        if l1 >= t.capacity then
-          if Dlist.length t.t1 < t.capacity then begin
-            (* the ghost half of L1 is over budget: recycle its LRU slot *)
-            drop_ghost_lru t B1;
-            replace t ~hit_in_b2:false
-          end
-          else begin
-            (* T1 alone fills the cache: discard its LRU outright *)
-            match Dlist.pop_back t.t1 with
-            | Some v ->
-                Hashtbl.remove t.index v;
-                Some v
-            | None -> None
-          end
-        else if total >= t.capacity then begin
-          if total >= 2 * t.capacity then drop_ghost_lru t B2;
-          if size t >= t.capacity then replace t ~hit_in_b2:false else None
-        end
-        else None
-      in
-      let node =
+  (* ARC's REPLACE: evict from T1 into ghost B1 when T1 exceeds the target,
+     otherwise from T2 into B2. Returns the evicted (resident) key. *)
+  let replace t ~hit_in_b2 =
+    let t1_len = Dlist.length t.t1 in
+    let from_t1 = t1_len >= 1 && (t1_len > t.p || (hit_in_b2 && t1_len = t.p)) in
+    let source, ghost = if from_t1 then (t.t1, B1) else (t.t2, B2) in
+    match Dlist.pop_back source with
+    | Some victim ->
+        (match Hashtbl.find_opt t.index victim with
+        | Some entry -> attach_front t entry ghost victim
+        | None -> ());
+        Some victim
+    | None -> (
+        (* the chosen list was empty; take the other one *)
+        let source, ghost = if from_t1 then (t.t2, B2) else (t.t1, B1) in
+        match Dlist.pop_back source with
+        | Some victim ->
+            (match Hashtbl.find_opt t.index victim with
+            | Some entry -> attach_front t entry ghost victim
+            | None -> ());
+            Some victim
+        | None -> None)
+
+  let promote t key =
+    match Hashtbl.find_opt t.index key with
+    | Some entry when is_resident entry.where ->
+        detach t entry;
+        attach_front t entry T2 key
+    | Some _ | None -> ()
+
+  let insert t ~pos key =
+    match Hashtbl.find_opt t.index key with
+    | Some entry when is_resident entry.where ->
+        (match pos with
+        | Policy.Hot -> promote t key
+        | Policy.Cold ->
+            detach t entry;
+            attach_back t entry T1 key);
+        None
+    | Some entry -> (
+        (* ghost hit *)
         match pos with
-        | Policy.Hot -> Dlist.push_front t.t1 key
-        | Policy.Cold -> Dlist.push_back t.t1 key
-      in
-      Hashtbl.replace t.index key { where = T1; node };
-      victim
+        | Policy.Hot ->
+            let b1_len = max 1 (Dlist.length t.b1) in
+            let b2_len = max 1 (Dlist.length t.b2) in
+            let hit_in_b2 = entry.where = B2 in
+            if hit_in_b2 then t.p <- max 0 (t.p - max 1 (b1_len / b2_len))
+            else t.p <- min t.capacity (t.p + max 1 (b2_len / b1_len));
+            let victim = if size t >= t.capacity then replace t ~hit_in_b2 else None in
+            detach t entry;
+            attach_front t entry T2 key;
+            victim
+        | Policy.Cold ->
+            let victim = if size t >= t.capacity then replace t ~hit_in_b2:false else None in
+            detach t entry;
+            attach_back t entry T1 key;
+            victim)
+    | None ->
+        (* ARC case IV: a completely new key. *)
+        let l1 = Dlist.length t.t1 + Dlist.length t.b1 in
+        let total =
+          Dlist.length t.t1 + Dlist.length t.t2 + Dlist.length t.b1 + Dlist.length t.b2
+        in
+        let victim =
+          if l1 >= t.capacity then
+            if Dlist.length t.t1 < t.capacity then begin
+              (* the ghost half of L1 is over budget: recycle its LRU slot *)
+              drop_ghost_lru t B1;
+              replace t ~hit_in_b2:false
+            end
+            else begin
+              (* T1 alone fills the cache: discard its LRU outright *)
+              match Dlist.pop_back t.t1 with
+              | Some v ->
+                  Hashtbl.remove t.index v;
+                  Some v
+              | None -> None
+            end
+          else if total >= t.capacity then begin
+            if total >= 2 * t.capacity then drop_ghost_lru t B2;
+            if size t >= t.capacity then replace t ~hit_in_b2:false else None
+          end
+          else None
+        in
+        let node =
+          match pos with
+          | Policy.Hot -> Dlist.push_front t.t1 key
+          | Policy.Cold -> Dlist.push_back t.t1 key
+        in
+        Hashtbl.replace t.index key { where = T1; node };
+        victim
 
-let evict t = replace t ~hit_in_b2:false
+  let evict t = replace t ~hit_in_b2:false
 
-let remove t key =
-  match Hashtbl.find_opt t.index key with
-  | Some entry ->
-      detach t entry;
-      Hashtbl.remove t.index key
-  | None -> ()
+  let remove t key =
+    match Hashtbl.find_opt t.index key with
+    | Some entry ->
+        detach t entry;
+        Hashtbl.remove t.index key
+    | None -> ()
 
-let contents t = Dlist.to_list t.t2 @ Dlist.to_list t.t1
+  let contents t = Dlist.to_list t.t2 @ Dlist.to_list t.t1
 
-let clear t =
-  List.iter
-    (fun dlist ->
-      let rec drain () = match Dlist.pop_front dlist with Some _ -> drain () | None -> () in
-      drain ())
-    [ t.t1; t.t2; t.b1; t.b2 ];
-  Hashtbl.reset t.index;
-  t.p <- 0
+  let clear t =
+    List.iter
+      (fun dlist ->
+        let rec drain () = match Dlist.pop_front dlist with Some _ -> drain () | None -> () in
+        drain ())
+      [ t.t1; t.t2; t.b1; t.b2 ];
+    Hashtbl.reset t.index;
+    t.p <- 0
 
-let target t = t.p
+  let target t = t.p
 
-let in_t2 t key =
-  match Hashtbl.find_opt t.index key with Some entry -> entry.where = T2 | None -> false
+  let in_t2 t key =
+    match Hashtbl.find_opt t.index key with Some entry -> entry.where = T2 | None -> false
+end
+
+include Policy.Weighted_of_unit (Core)
+
+let target t = Core.target (core t)
+let in_t2 t key = Core.in_t2 (core t) key

@@ -40,19 +40,36 @@ let pp_stats ppf s =
   Format.fprintf ppf "accesses=%d hits=%d misses=%d insertions=%d speculative=%d evictions=%d"
     s.accesses s.hits s.misses s.insertions s.speculative_insertions s.evictions
 
+type weighted_stats = {
+  bytes_accessed : int;
+  bytes_hit : int;
+  cost_fetched : int;
+  cost_prefetched : int;
+}
+
+let pp_weighted_stats ppf s =
+  Format.fprintf ppf "bytes_accessed=%d bytes_hit=%d cost_fetched=%d cost_prefetched=%d"
+    s.bytes_accessed s.bytes_hit s.cost_fetched s.cost_prefetched
+
 type packed = Packed : (module Policy.S with type t = 'a) * 'a -> packed
 
 (* Counters live as mutable fields — the exposed [stats] record is only
    materialized on demand, so the access path allocates nothing. *)
 type t = {
-  kind : kind;
+  kind : kind option;
+  name : string;
   packed : packed;
+  weight_of : (int -> Policy.weight) option;
   mutable accesses : int;
   mutable hits : int;
   mutable misses : int;
   mutable insertions : int;
   mutable speculative_insertions : int;
   mutable evictions : int;
+  mutable bytes_accessed : int;
+  mutable bytes_hit : int;
+  mutable cost_fetched : int;
+  mutable cost_prefetched : int;
   mutable on_evict : (int -> unit) option;
 }
 
@@ -69,28 +86,47 @@ let make_packed kind ~capacity =
   | Twoq -> Packed ((module Twoq), Twoq.create ~capacity)
   | Arc -> Packed ((module Arc), Arc.create ~capacity)
 
-let create kind ~capacity =
+let make ~kind ~name ~packed ~weight_of =
   {
     kind;
-    packed = make_packed kind ~capacity;
+    name;
+    packed;
+    weight_of;
     accesses = 0;
     hits = 0;
     misses = 0;
     insertions = 0;
     speculative_insertions = 0;
     evictions = 0;
+    bytes_accessed = 0;
+    bytes_hit = 0;
+    cost_fetched = 0;
+    cost_prefetched = 0;
     on_evict = None;
   }
+
+let create ?weight_of kind ~capacity =
+  make ~kind:(Some kind) ~name:(kind_name kind) ~packed:(make_packed kind ~capacity) ~weight_of
+
+let of_policy (type a) ?weight_of (module P : Policy.S with type t = a) state =
+  make ~kind:None ~name:P.policy_name ~packed:(Packed ((module P), state)) ~weight_of
 
 let set_on_evict t f = t.on_evict <- Some f
 let clear_on_evict t = t.on_evict <- None
 
-let notify_evict t victim =
+let notify_evicted t victims =
+  match t.on_evict with Some f -> List.iter f victims | None -> ()
+
+let notify_evict1 t victim =
   match (t.on_evict, victim) with
   | Some f, Some key -> f key
   | None, _ | _, None -> ()
 
 let kind t = t.kind
+let name t = t.name
+
+let weight_for t key =
+  match t.weight_of with None -> Policy.unit_weight | Some f -> f key
 
 let capacity t =
   let (Packed ((module P), state)) = t.packed in
@@ -100,46 +136,61 @@ let size t =
   let (Packed ((module P), state)) = t.packed in
   P.size state
 
+let used t =
+  let (Packed ((module P), state)) = t.packed in
+  P.used state
+
 let mem t key =
   let (Packed ((module P), state)) = t.packed in
   P.mem state key
 
-let raw_insert t ~pos key =
+let raw_insert t ~pos ~weight key =
   let (Packed ((module P), state)) = t.packed in
-  let victim = P.insert state ~pos key in
-  notify_evict t victim;
-  victim
+  let victims = P.insert state ~pos ~weight key in
+  notify_evicted t victims;
+  victims
 
 let access t key =
   let (Packed ((module P), state)) = t.packed in
   t.accesses <- t.accesses + 1;
+  let w = weight_for t key in
+  t.bytes_accessed <- t.bytes_accessed + w.Policy.size;
   if P.mem state key then begin
     P.promote state key;
+    P.charge state key ~cost:w.Policy.cost;
     t.hits <- t.hits + 1;
+    t.bytes_hit <- t.bytes_hit + w.Policy.size;
     true
   end
   else begin
-    let evicted = raw_insert t ~pos:Policy.Hot key in
+    let evicted = raw_insert t ~pos:Policy.Hot ~weight:w key in
     t.misses <- t.misses + 1;
-    t.insertions <- t.insertions + 1;
-    (match evicted with Some _ -> t.evictions <- t.evictions + 1 | None -> ());
+    t.cost_fetched <- t.cost_fetched + w.Policy.cost;
+    if P.mem state key then t.insertions <- t.insertions + 1;
+    t.evictions <- t.evictions + List.length evicted;
     false
   end
 
 let insert_cold t key =
   if not (mem t key) then begin
-    let evicted = raw_insert t ~pos:Policy.Cold key in
-    t.insertions <- t.insertions + 1;
-    t.speculative_insertions <- t.speculative_insertions + 1;
-    match evicted with Some _ -> t.evictions <- t.evictions + 1 | None -> ()
+    let w = weight_for t key in
+    let evicted = raw_insert t ~pos:Policy.Cold ~weight:w key in
+    if mem t key then begin
+      t.insertions <- t.insertions + 1;
+      t.speculative_insertions <- t.speculative_insertions + 1;
+      t.cost_prefetched <- t.cost_prefetched + w.Policy.cost
+    end;
+    t.evictions <- t.evictions + List.length evicted
   end
 
 let insert_cold_group t keys =
   let (Packed ((module P), state)) = t.packed in
-  (* Distinct, non-resident members only, capped so the block cannot fill
-     the whole cache and displace the demanded file at the hot end.
-     Groups are a handful of keys (g ≤ 10 in every experiment), so a
-     linear membership scan beats allocating a scratch table per call. *)
+  (* Distinct, non-resident members only, admitted while their cumulative
+     size fits in [capacity - 1], so the block cannot fill the whole cache
+     and displace the demanded file at the hot end. At unit weights this
+     is the historical "at most capacity - 1 members" cap. Groups are a
+     handful of keys (g ≤ 10 in every experiment), so a linear membership
+     scan beats allocating a scratch table per call. *)
   let fresh =
     List.filter
       (fun k -> not (P.mem state k))
@@ -149,19 +200,38 @@ let insert_cold_group t keys =
       |> List.rev)
   in
   let admitted =
-    let cap = P.capacity state - 1 in
-    List.filteri (fun i _ -> i < cap) fresh
+    let budget = ref (P.capacity state - 1) in
+    List.filter
+      (fun k ->
+        let s = (weight_for t k).Policy.size in
+        if s <= !budget then begin
+          budget := !budget - s;
+          true
+        end
+        else false)
+      fresh
   in
-  let need = P.size state + List.length admitted - P.capacity state in
+  let total =
+    List.fold_left (fun acc k -> acc + (weight_for t k).Policy.size) 0 admitted
+  in
+  (* Room for the whole block is made first, so members never evict one
+     another — the semantics of a group arriving in one retrieval. *)
   let evicted = ref 0 in
-  for _ = 1 to need do
-    match P.evict state with
-    | Some _ as victim ->
-        incr evicted;
-        notify_evict t victim
-    | None -> ()
-  done;
-  List.iter (fun k -> notify_evict t (P.insert state ~pos:Policy.Cold k)) admitted;
+  (try
+     while P.used state + total > P.capacity state do
+       match P.evict state with
+       | Some _ as victim ->
+           incr evicted;
+           notify_evict1 t victim
+       | None -> raise Exit
+     done
+   with Exit -> ());
+  List.iter
+    (fun k ->
+      let w = weight_for t k in
+      t.cost_prefetched <- t.cost_prefetched + w.Policy.cost;
+      notify_evicted t (P.insert state ~pos:Policy.Cold ~weight:w k))
+    admitted;
   let n = List.length admitted in
   t.insertions <- t.insertions + n;
   t.speculative_insertions <- t.speculative_insertions + n;
@@ -170,10 +240,10 @@ let insert_cold_group t keys =
 
 let insert_hot t key =
   let resident = mem t key in
-  let evicted = raw_insert t ~pos:Policy.Hot key in
-  if not resident then begin
+  let evicted = raw_insert t ~pos:Policy.Hot ~weight:(weight_for t key) key in
+  if not resident && mem t key then begin
     t.insertions <- t.insertions + 1;
-    match evicted with Some _ -> t.evictions <- t.evictions + 1 | None -> ()
+    t.evictions <- t.evictions + List.length evicted
   end
 
 let remove t key =
@@ -205,7 +275,19 @@ let stats t =
     evictions = t.evictions;
   }
 
+let weighted_stats t =
+  {
+    bytes_accessed = t.bytes_accessed;
+    bytes_hit = t.bytes_hit;
+    cost_fetched = t.cost_fetched;
+    cost_prefetched = t.cost_prefetched;
+  }
+
 let hit_rate t = if t.accesses = 0 then 0.0 else float_of_int t.hits /. float_of_int t.accesses
+
+let byte_hit_rate t =
+  if t.bytes_accessed = 0 then 0.0
+  else float_of_int t.bytes_hit /. float_of_int t.bytes_accessed
 
 let reset_stats t =
   t.accesses <- 0;
@@ -213,7 +295,11 @@ let reset_stats t =
   t.misses <- 0;
   t.insertions <- 0;
   t.speculative_insertions <- 0;
-  t.evictions <- 0
+  t.evictions <- 0;
+  t.bytes_accessed <- 0;
+  t.bytes_hit <- 0;
+  t.cost_fetched <- 0;
+  t.cost_prefetched <- 0
 
 let clear t =
   let (Packed ((module P), state)) = t.packed in

@@ -1,5 +1,10 @@
 (** Statistics-keeping cache over any replacement policy, selectable at
-    runtime. This is what the simulators and the experiment harness use. *)
+    runtime. This is what the simulators and the experiment harness use.
+
+    Weights: a cache optionally carries a [weight_of] function assigning
+    each key a {!Policy.weight} (size and retrieval cost). Without it
+    every key is {!Policy.unit_weight} and behaviour is byte-identical to
+    the historical unweighted facade. *)
 
 type kind = Lru | Lfu | Fifo | Mru | Clock | Random | Mq | Slru | Twoq | Arc
 
@@ -18,19 +23,54 @@ type stats = {
 
 val pp_stats : Format.formatter -> stats -> unit
 
+type weighted_stats = {
+  bytes_accessed : int;  (** Σ size over demand accesses *)
+  bytes_hit : int;  (** Σ size over demand hits *)
+  cost_fetched : int;  (** Σ cost over demand misses (each implies a fetch) *)
+  cost_prefetched : int;  (** Σ cost over admitted speculative insertions *)
+}
+(** With no [weight_of], these are the unit-weight counters:
+    [bytes_accessed = accesses], [cost_fetched = misses], … *)
+
+val pp_weighted_stats : Format.formatter -> weighted_stats -> unit
+
 type t
 
-val create : kind -> capacity:int -> t
-val kind : t -> kind
+val create : ?weight_of:(int -> Policy.weight) -> kind -> capacity:int -> t
+(** [create kind ~capacity] builds one of the ten built-in policies.
+    [weight_of] must be pure and stable per key for the cache's lifetime.
+    @raise Invalid_argument when [capacity <= 0]. *)
+
+val of_policy :
+  ?weight_of:(int -> Policy.weight) -> (module Policy.S with type t = 'a) -> 'a -> t
+(** [of_policy (module P) state] wraps an externally built policy (e.g.
+    [Agg_baselines.Landlord]) in the statistics-keeping facade. {!kind}
+    is [None] for such caches; {!name} is [P.policy_name]. *)
+
+val kind : t -> kind option
+(** The built-in policy this cache was created with; [None] for
+    {!of_policy}-wrapped caches. *)
+
+val name : t -> string
+(** The underlying policy's [policy_name]. *)
+
 val capacity : t -> int
 val size : t -> int
+
+val used : t -> int
+(** Total resident size ({!Policy.S.used}); equals {!size} at unit
+    weights. *)
+
 val mem : t -> int -> bool
 (** Residency probe; does not touch statistics or recency state. *)
 
 val access : t -> int -> bool
-(** [access t key] simulates a demand access: on a hit the key is promoted
-    and [true] is returned; on a miss the key is inserted hot and [false]
-    is returned. Statistics are updated. *)
+(** [access t key] simulates a demand access: on a hit the key is
+    promoted, re-credited with its cost ({!Policy.S.charge}) and [true]
+    is returned; on a miss the key is inserted hot with its weight and
+    [false] is returned. Statistics are updated. A key whose size exceeds
+    the whole capacity is fetched ([cost_fetched] grows) but not
+    admitted. *)
 
 val insert_cold : t -> int -> unit
 (** [insert_cold t key] inserts [key] at the cold (next-to-evict) end
@@ -43,9 +83,10 @@ val insert_cold_group : t -> int list -> int list
     as a block at the cold end, preserving their order (the first key is
     the last of the block to be evicted). Room for the whole block is made
     *first*, so members never evict one another — the semantics of a group
-    arriving in one retrieval (paper §3). At most [capacity - 1] members
-    are admitted, so a just-demanded file is never displaced by its own
-    group. Returns the members actually inserted. *)
+    arriving in one retrieval (paper §3). Members are admitted while their
+    cumulative size fits in [capacity - 1] (at unit weights: at most
+    [capacity - 1] members), so a just-demanded file is never displaced by
+    its own group. Returns the members actually inserted. *)
 
 val insert_hot : t -> int -> unit
 (** Inserts or promotes [key] at the hot end without counting an access. *)
@@ -67,12 +108,21 @@ val set_on_evict : t -> (int -> unit) -> unit
 
 val clear_on_evict : t -> unit
 val stats : t -> stats
+
+val weighted_stats : t -> weighted_stats
+(** Always maintained; at unit weights the byte counters mirror the
+    unweighted ones. *)
+
 val hit_rate : t -> float
 (** Hits over accesses; [0.] before any access. *)
 
+val byte_hit_rate : t -> float
+(** Bytes hit over bytes accessed; [0.] before any access. Equal to
+    {!hit_rate} at unit weights. *)
+
 val reset_stats : t -> unit
-(** Zeroes the counters, keeping the resident set — used to exclude cache
-    warm-up from measurements. *)
+(** Zeroes the counters (weighted included), keeping the resident set —
+    used to exclude cache warm-up from measurements. *)
 
 val clear : t -> unit
 (** Empties the cache and zeroes the counters. *)

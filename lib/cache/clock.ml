@@ -1,128 +1,132 @@
 open Agg_util
 
-(* The circular buffer is already flat; this version splits the slot
-   records into parallel arrays and swaps the hash index for a
-   direct-index table, so the whole policy is unboxed int/bool arrays. *)
+module Core = struct
+  (* The circular buffer is already flat; this version splits the slot
+     records into parallel arrays and swaps the hash index for a
+     direct-index table, so the whole policy is unboxed int/bool arrays. *)
 
-type t = {
-  capacity : int;
-  keys : int array;
-  referenced : bool array;
-  occupied : bool array;
-  index : Int_table.t; (* key -> slot number *)
-  mutable hand : int;
-  mutable size : int;
-}
-
-let policy_name = "clock"
-
-let create ~capacity =
-  if capacity <= 0 then invalid_arg "Clock.create: capacity must be positive";
-  {
-    capacity;
-    keys = Array.make capacity 0;
-    referenced = Array.make capacity false;
-    occupied = Array.make capacity false;
-    index = Int_table.create ~capacity:(2 * capacity) ();
-    hand = 0;
-    size = 0;
+  type t = {
+    capacity : int;
+    keys : int array;
+    referenced : bool array;
+    occupied : bool array;
+    index : Int_table.t; (* key -> slot number *)
+    mutable hand : int;
+    mutable size : int;
   }
 
-let capacity t = t.capacity
-let size t = t.size
-let mem t key = Int_table.mem t.index key
+  let policy_name = "clock"
 
-let promote t key =
-  let i = Int_table.get t.index key in
-  if i >= 0 then t.referenced.(i) <- true
+  let create ~capacity =
+    if capacity <= 0 then invalid_arg "Clock.create: capacity must be positive";
+    {
+      capacity;
+      keys = Array.make capacity 0;
+      referenced = Array.make capacity false;
+      occupied = Array.make capacity false;
+      index = Int_table.create ~capacity:(2 * capacity) ();
+      hand = 0;
+      size = 0;
+    }
 
-let advance t = t.hand <- (t.hand + 1) mod t.capacity
+  let capacity t = t.capacity
+  let size t = t.size
+  let mem t key = Int_table.mem t.index key
 
-(* Sweep the hand, giving second chances, until an unreferenced occupied
-   slot is found. Terminates within two revolutions. *)
-let rec find_victim t =
-  if not t.occupied.(t.hand) then begin
-    advance t;
-    find_victim t
-  end
-  else if t.referenced.(t.hand) then begin
-    t.referenced.(t.hand) <- false;
-    advance t;
-    find_victim t
-  end
-  else begin
-    let at = t.hand in
-    advance t;
-    at
-  end
+  let promote t key =
+    let i = Int_table.get t.index key in
+    if i >= 0 then t.referenced.(i) <- true
 
-let free_slot t =
-  let rec scan i remaining =
-    if remaining = 0 then -1
-    else if not t.occupied.(i) then i
-    else scan ((i + 1) mod t.capacity) (remaining - 1)
-  in
-  scan t.hand t.capacity
+  let advance t = t.hand <- (t.hand + 1) mod t.capacity
 
-let evict t =
-  if t.size = 0 then None
-  else begin
-    let i = find_victim t in
-    let victim = t.keys.(i) in
-    t.occupied.(i) <- false;
-    Int_table.remove t.index victim;
-    t.size <- t.size - 1;
-    Some victim
-  end
+  (* Sweep the hand, giving second chances, until an unreferenced occupied
+     slot is found. Terminates within two revolutions. *)
+  let rec find_victim t =
+    if not t.occupied.(t.hand) then begin
+      advance t;
+      find_victim t
+    end
+    else if t.referenced.(t.hand) then begin
+      t.referenced.(t.hand) <- false;
+      advance t;
+      find_victim t
+    end
+    else begin
+      let at = t.hand in
+      advance t;
+      at
+    end
 
-let insert t ~pos key =
-  let existing = Int_table.get t.index key in
-  if existing >= 0 then begin
-    t.referenced.(existing) <- (match pos with Policy.Hot -> true | Policy.Cold -> false);
-    None
-  end
-  else begin
-    let slot_idx, victim =
-      if t.size < t.capacity then begin
-        let i = free_slot t in
-        assert (i >= 0) (* size < capacity implies a free slot *);
-        (i, None)
-      end
-      else begin
-        let i = find_victim t in
-        let old = t.keys.(i) in
-        Int_table.remove t.index old;
-        t.size <- t.size - 1;
-        (i, Some old)
-      end
+  let free_slot t =
+    let rec scan i remaining =
+      if remaining = 0 then -1
+      else if not t.occupied.(i) then i
+      else scan ((i + 1) mod t.capacity) (remaining - 1)
     in
-    t.keys.(slot_idx) <- key;
-    t.occupied.(slot_idx) <- true;
-    t.referenced.(slot_idx) <- (match pos with Policy.Hot -> true | Policy.Cold -> false);
-    Int_table.set t.index key slot_idx;
-    t.size <- t.size + 1;
-    victim
-  end
+    scan t.hand t.capacity
 
-let remove t key =
-  let i = Int_table.get t.index key in
-  if i >= 0 then begin
-    t.occupied.(i) <- false;
-    t.referenced.(i) <- false;
-    Int_table.remove t.index key;
-    t.size <- t.size - 1
-  end
+  let evict t =
+    if t.size = 0 then None
+    else begin
+      let i = find_victim t in
+      let victim = t.keys.(i) in
+      t.occupied.(i) <- false;
+      Int_table.remove t.index victim;
+      t.size <- t.size - 1;
+      Some victim
+    end
 
-let contents t =
-  let out = ref [] in
-  for i = t.capacity - 1 downto 0 do
-    if t.occupied.(i) then out := t.keys.(i) :: !out
-  done;
-  !out
+  let insert t ~pos key =
+    let existing = Int_table.get t.index key in
+    if existing >= 0 then begin
+      t.referenced.(existing) <- (match pos with Policy.Hot -> true | Policy.Cold -> false);
+      None
+    end
+    else begin
+      let slot_idx, victim =
+        if t.size < t.capacity then begin
+          let i = free_slot t in
+          assert (i >= 0) (* size < capacity implies a free slot *);
+          (i, None)
+        end
+        else begin
+          let i = find_victim t in
+          let old = t.keys.(i) in
+          Int_table.remove t.index old;
+          t.size <- t.size - 1;
+          (i, Some old)
+        end
+      in
+      t.keys.(slot_idx) <- key;
+      t.occupied.(slot_idx) <- true;
+      t.referenced.(slot_idx) <- (match pos with Policy.Hot -> true | Policy.Cold -> false);
+      Int_table.set t.index key slot_idx;
+      t.size <- t.size + 1;
+      victim
+    end
 
-let clear t =
-  Array.fill t.occupied 0 t.capacity false;
-  Array.fill t.referenced 0 t.capacity false;
-  Int_table.clear t.index;
-  t.hand <- 0;
-  t.size <- 0
+  let remove t key =
+    let i = Int_table.get t.index key in
+    if i >= 0 then begin
+      t.occupied.(i) <- false;
+      t.referenced.(i) <- false;
+      Int_table.remove t.index key;
+      t.size <- t.size - 1
+    end
+
+  let contents t =
+    let out = ref [] in
+    for i = t.capacity - 1 downto 0 do
+      if t.occupied.(i) then out := t.keys.(i) :: !out
+    done;
+    !out
+
+  let clear t =
+    Array.fill t.occupied 0 t.capacity false;
+    Array.fill t.referenced 0 t.capacity false;
+    Int_table.clear t.index;
+    t.hand <- 0;
+    t.size <- 0
+end
+
+include Policy.Weighted_of_unit (Core)

@@ -1,87 +1,93 @@
 open Agg_util
 
-type entry = { mutable count : int; mutable tick : int }
+module Core = struct
+  type entry = { mutable count : int; mutable tick : int }
 
-type t = {
-  capacity : int;
-  index : (int, entry) Hashtbl.t;
-  (* Min-heap of (count, tick, key) snapshots with lazy invalidation: an
-     entry is live only if its snapshot matches the table. *)
-  heap : (int * int * int, int) Heap.t;
-  mutable clock : int;
-}
-
-let policy_name = "lfu"
-
-let compare_prio (c1, t1, _) (c2, t2, _) =
-  match compare c1 c2 with 0 -> compare t1 t2 | c -> c
-
-let create ~capacity =
-  if capacity <= 0 then invalid_arg "Lfu.create: capacity must be positive";
-  {
-    capacity;
-    index = Hashtbl.create (2 * capacity);
-    heap = Heap.create ~compare:compare_prio ();
-    clock = 0;
+  type t = {
+    capacity : int;
+    index : (int, entry) Hashtbl.t;
+    (* Min-heap of (count, tick, key) snapshots with lazy invalidation: an
+       entry is live only if its snapshot matches the table. *)
+    heap : (int * int * int, int) Heap.t;
+    mutable clock : int;
   }
 
-let capacity t = t.capacity
-let size t = Hashtbl.length t.index
-let mem t key = Hashtbl.mem t.index key
+  let policy_name = "lfu"
 
-let tick t =
-  t.clock <- t.clock + 1;
-  t.clock
+  let compare_prio (c1, t1, _) (c2, t2, _) =
+    match compare c1 c2 with 0 -> compare t1 t2 | c -> c
 
-let push_snapshot t key entry = Heap.push t.heap (entry.count, entry.tick, key) key
+  let create ~capacity =
+    if capacity <= 0 then invalid_arg "Lfu.create: capacity must be positive";
+    {
+      capacity;
+      index = Hashtbl.create (2 * capacity);
+      heap = Heap.create ~compare:compare_prio ();
+      clock = 0;
+    }
 
-let promote t key =
-  match Hashtbl.find_opt t.index key with
-  | Some entry ->
-      entry.count <- entry.count + 1;
-      entry.tick <- tick t;
-      push_snapshot t key entry
-  | None -> ()
+  let capacity t = t.capacity
+  let size t = Hashtbl.length t.index
+  let mem t key = Hashtbl.mem t.index key
 
-let rec evict t =
-  match Heap.pop t.heap with
-  | None -> None
-  | Some ((count, tk, _), key) -> (
-      match Hashtbl.find_opt t.index key with
-      | Some entry when entry.count = count && entry.tick = tk ->
-          Hashtbl.remove t.index key;
-          Some key
-      | Some _ | None -> evict t (* stale snapshot *))
+  let tick t =
+    t.clock <- t.clock + 1;
+    t.clock
 
-let insert t ~pos key =
-  match Hashtbl.find_opt t.index key with
-  | Some entry ->
-      (* Repositioning a resident key: [Cold] demotes it to frequency
-         zero, [Hot] counts as an access. *)
-      (match pos with
-      | Policy.Hot -> entry.count <- entry.count + 1
-      | Policy.Cold -> entry.count <- 0);
-      entry.tick <- tick t;
-      push_snapshot t key entry;
-      None
-  | None ->
-      let victim = if size t >= t.capacity then evict t else None in
-      let count = match pos with Policy.Hot -> 1 | Policy.Cold -> 0 in
-      let entry = { count; tick = tick t } in
-      Hashtbl.replace t.index key entry;
-      push_snapshot t key entry;
-      victim
+  let push_snapshot t key entry = Heap.push t.heap (entry.count, entry.tick, key) key
 
-let remove t key = Hashtbl.remove t.index key
+  let promote t key =
+    match Hashtbl.find_opt t.index key with
+    | Some entry ->
+        entry.count <- entry.count + 1;
+        entry.tick <- tick t;
+        push_snapshot t key entry
+    | None -> ()
 
-let contents t =
-  let entries = Hashtbl.fold (fun key entry acc -> (entry.count, entry.tick, key) :: acc) t.index [] in
-  let sorted = List.sort (fun a b -> compare_prio b a) entries in
-  List.map (fun (_, _, key) -> key) sorted
+  let rec evict t =
+    match Heap.pop t.heap with
+    | None -> None
+    | Some ((count, tk, _), key) -> (
+        match Hashtbl.find_opt t.index key with
+        | Some entry when entry.count = count && entry.tick = tk ->
+            Hashtbl.remove t.index key;
+            Some key
+        | Some _ | None -> evict t (* stale snapshot *))
 
-let clear t =
-  Hashtbl.reset t.index;
-  Heap.clear t.heap;
-  t.clock <- 0
+  let insert t ~pos key =
+    match Hashtbl.find_opt t.index key with
+    | Some entry ->
+        (* Repositioning a resident key: [Cold] demotes it to frequency
+           zero, [Hot] counts as an access. *)
+        (match pos with
+        | Policy.Hot -> entry.count <- entry.count + 1
+        | Policy.Cold -> entry.count <- 0);
+        entry.tick <- tick t;
+        push_snapshot t key entry;
+        None
+    | None ->
+        let victim = if size t >= t.capacity then evict t else None in
+        let count = match pos with Policy.Hot -> 1 | Policy.Cold -> 0 in
+        let entry = { count; tick = tick t } in
+        Hashtbl.replace t.index key entry;
+        push_snapshot t key entry;
+        victim
 
-let frequency t key = Option.map (fun e -> e.count) (Hashtbl.find_opt t.index key)
+  let remove t key = Hashtbl.remove t.index key
+
+  let contents t =
+    let entries = Hashtbl.fold (fun key entry acc -> (entry.count, entry.tick, key) :: acc) t.index [] in
+    let sorted = List.sort (fun a b -> compare_prio b a) entries in
+    List.map (fun (_, _, key) -> key) sorted
+
+  let clear t =
+    Hashtbl.reset t.index;
+    Heap.clear t.heap;
+    t.clock <- 0
+
+  let frequency t key = Option.map (fun e -> e.count) (Hashtbl.find_opt t.index key)
+end
+
+include Policy.Weighted_of_unit (Core)
+
+let frequency t key = Core.frequency (core t) key

@@ -40,9 +40,7 @@ type config = {
   faults : Plan.config;
   resilience : Resilience.t;
   churn : (int * churn_op) list;
-  obs : Sink.t;
-  series : Agg_obs.Series.t option;
-  trace_ctx : Agg_obs.Trace_ctx.t option;
+  scope : Agg_obs.Scope.t option;
 }
 
 let default_config =
@@ -62,9 +60,7 @@ let default_config =
     faults = Plan.none;
     resilience = Resilience.default;
     churn = [];
-    obs = Sink.noop;
-    series = None;
-    trace_ctx = None;
+    scope = None;
   }
 
 type result = {
@@ -255,8 +251,8 @@ let apply_op st op =
       st.node_states <- insert_node_sorted st.node_states fresh;
       st.rebalances <- st.rebalances + 1;
       st.moved_files <- st.moved_files + !moved;
-      if Sink.enabled st.config.obs then
-        Sink.emit st.config.obs (Agg_obs.Event.Ring_rebalance { node; joined = true; moved = !moved })
+      if Sink.enabled (Agg_obs.Scope.sink st.config.scope) then
+        Sink.emit (Agg_obs.Scope.sink st.config.scope) (Agg_obs.Event.Ring_rebalance { node; joined = true; moved = !moved })
   | Leave node ->
       let ring = Ring.remove st.ring node in
       let k = min st.config.replicas (Ring.node_count ring) in
@@ -281,8 +277,8 @@ let apply_op st op =
       st.retired <- (node, departing.requests) :: st.retired;
       st.rebalances <- st.rebalances + 1;
       st.moved_files <- st.moved_files + !moved;
-      if Sink.enabled st.config.obs then
-        Sink.emit st.config.obs
+      if Sink.enabled (Agg_obs.Scope.sink st.config.scope) then
+        Sink.emit (Agg_obs.Scope.sink st.config.scope)
           (Agg_obs.Event.Ring_rebalance { node; joined = false; moved = !moved })
 
 let rec apply_churn st ~time =
@@ -319,16 +315,16 @@ let rec attempt_route st ~group_nodes ~time ~attempt ~waited ~file =
     if down then st.counters.Counters.outage_denials <- st.counters.Counters.outage_denials + 1
     else st.counters.Counters.lost_messages <- st.counters.Counters.lost_messages + 1;
     st.counters.Counters.timeouts <- st.counters.Counters.timeouts + 1;
-    if Sink.enabled st.config.obs then
-      Sink.emit st.config.obs (Agg_obs.Event.Fetch_timeout { file; attempt });
+    if Sink.enabled (Agg_obs.Scope.sink st.config.scope) then
+      Sink.emit (Agg_obs.Scope.sink st.config.scope) (Agg_obs.Event.Fetch_timeout { file; attempt });
     let waited = waited +. Resilience.failure_cost_ms r ~attempt in
     if attempt < r.Resilience.max_retries then begin
       st.counters.Counters.retries <- st.counters.Counters.retries + 1;
       let next = List.nth group_nodes ((attempt + 1) mod len) in
       if next <> target then begin
         st.failovers <- st.failovers + 1;
-        if Sink.enabled st.config.obs then
-          Sink.emit st.config.obs
+        if Sink.enabled (Agg_obs.Scope.sink st.config.scope) then
+          Sink.emit (Agg_obs.Scope.sink st.config.scope)
             (Agg_obs.Event.Replica_failover { file; failed = target; target = next })
       end;
       attempt_route st ~group_nodes ~time ~attempt:(attempt + 1) ~waited ~file
@@ -390,11 +386,11 @@ let serve st ~client ~time ~tracing file =
       (* Retry budget dry across the whole group: degraded single-file
          fallback through the primary, exactly Fleet's degraded path. *)
       st.counters.Counters.degraded_fetches <- st.counters.Counters.degraded_fetches + 1;
-      if Sink.enabled st.config.obs then
-        Sink.emit st.config.obs (Agg_obs.Event.Fetch_degraded { file; dropped = 0 });
+      if Sink.enabled (Agg_obs.Scope.sink st.config.scope) then
+        Sink.emit (Agg_obs.Scope.sink st.config.scope) (Agg_obs.Event.Fetch_degraded { file; dropped = 0 });
       let ns = node_state st primary in
       ns.requests <- ns.requests + 1;
-      (match st.config.series with
+      (match Agg_obs.Scope.series st.config.scope with
       | Some s ->
           Agg_obs.Series.observe_degraded s ~index:time;
           (* the fallback is served by the primary: mirror [ns.requests] *)
@@ -417,9 +413,9 @@ let serve st ~client ~time ~tracing file =
       let ns = node_state st node in
       st.routed_fetches <- st.routed_fetches + 1;
       ns.requests <- ns.requests + 1;
-      if Sink.enabled st.config.obs then
-        Sink.emit st.config.obs (Agg_obs.Event.Node_routed { file; node });
-      (match st.config.series with
+      if Sink.enabled (Agg_obs.Scope.sink st.config.scope) then
+        Sink.emit (Agg_obs.Scope.sink st.config.scope) (Agg_obs.Event.Node_routed { file; node });
+      (match Agg_obs.Scope.series st.config.scope with
       | Some s -> Agg_obs.Series.observe_node s ~index:time ~node
       | None -> ());
       (* The group proposal comes from whatever metadata the serving party
@@ -509,13 +505,13 @@ let access st (e : Agg_trace.Event.t) =
         cs.tracker <- make_client_tracker st.metadata_config
     | Owner_node | Replicated_with_group -> ());
     st.counters.Counters.crashes <- st.counters.Counters.crashes + 1;
-    if Sink.enabled st.config.obs then
-      Sink.emit st.config.obs (Agg_obs.Event.Client_crashed { client; wiped })
+    if Sink.enabled (Agg_obs.Scope.sink st.config.scope) then
+      Sink.emit (Agg_obs.Scope.sink st.config.scope) (Agg_obs.Event.Client_crashed { client; wiped })
   end;
   cs.accesses <- cs.accesses + 1;
   let file = e.Agg_trace.Event.file in
   let tracing =
-    match st.config.trace_ctx with
+    match Agg_obs.Scope.trace_ctx st.config.scope with
     | Some ctx when Agg_obs.Trace_ctx.sampled ctx ~request:time -> Some ctx
     | _ -> None
   in
@@ -531,10 +527,10 @@ let access st (e : Agg_trace.Event.t) =
     end
     else serve st ~client ~time ~tracing file
   in
-  (match st.config.trace_ctx with
+  (match Agg_obs.Scope.trace_ctx st.config.scope with
   | Some ctx -> Agg_obs.Trace_ctx.commit ctx ~request:time ~file ~latency_ms:latency
   | None -> ());
-  (match st.config.series with
+  (match Agg_obs.Scope.series st.config.scope with
   | Some s ->
       Agg_obs.Series.observe_access s ~index:time ~hit;
       Agg_obs.Series.observe_latency s ~index:time

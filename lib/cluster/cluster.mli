@@ -70,25 +70,24 @@ type config = {
   churn : (int * churn_op) list;
       (** (time, op) pairs; an op fires just before the first access at
           [now >= time]. Ops beyond the trace never fire. *)
-  obs : Agg_obs.Sink.t;
-  series : Agg_obs.Series.t option;
-      (** when [Some s], every access is folded into the windowed
-          time-series: hit/miss, demand latency (µs), degraded fetches
-          and the per-node request load (degraded fallbacks count against
-          the primary, mirroring [per_node_requests]); default [None]
-          (zero-cost) *)
-  trace_ctx : Agg_obs.Trace_ctx.t option;
-      (** when [Some c], sampled requests record span trees — client hit,
-          per-attempt timeout/backoff with replica-failover markers, group
-          fetch at the serving node or degraded fallback at the primary —
-          on the simulated clock; default [None] (zero-cost) *)
+  scope : Agg_obs.Scope.t option;
+      (** observability (default [None] = off, zero cost): the scope's
+          [sink] receives ring/failover/timeout events; its [series]
+          folds every access into the windowed time-series — hit/miss,
+          demand latency (µs), degraded fetches and the per-node request
+          load (degraded fallbacks count against the primary, mirroring
+          [per_node_requests]); its [trace_ctx] records span trees for
+          sampled requests — client hit, per-attempt timeout/backoff
+          with replica-failover markers, group fetch at the serving node
+          or degraded fallback at the primary — on the simulated
+          clock *)
 }
 
 val default_config : config
 (** Fleet's defaults (4 clients x 150 aggregating, 300-file aggregating
     server, per-client metadata, write invalidation, LAN costs, no
     faults) on a single-node, single-replica, [Owner_node] ring, with no
-    series or trace context. *)
+    scope (telemetry off). *)
 
 type result = {
   accesses : int;

@@ -31,14 +31,14 @@ let on_evict t victim =
   Int_table.remove t.inserted_at victim;
   Sink.emit t.obs (Event.Evicted { file = victim; speculative; age_accesses })
 
-let create ?(config = Config.default) ?(obs = Sink.noop) ~capacity () =
+let create ?(config = Config.default) ?(obs = Sink.noop) ?weight_of ~capacity () =
   Config.validate config;
   let t =
     {
       config;
       obs;
       group_size = config.group_size;
-      cache = Cache.create config.cache_kind ~capacity;
+      cache = Cache.create ?weight_of config.cache_kind ~capacity;
       tracker =
         Tracker.create ~capacity:config.successor_capacity ~policy:config.metadata_policy ();
       speculative = Int_table.create ~capacity:64 ();
@@ -150,6 +150,7 @@ let run_files t files =
   Array.iter (fun file -> ignore (access t file)) files;
   metrics t
 
+let weighted_metrics t = Cache.weighted_stats t.cache
 let tracker t = t.tracker
 let resident t file = Cache.mem t.cache file
 let obs t = t.obs

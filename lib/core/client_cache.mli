@@ -12,7 +12,13 @@
 
 type t
 
-val create : ?config:Config.t -> ?obs:Agg_obs.Sink.t -> capacity:int -> unit -> t
+val create :
+  ?config:Config.t ->
+  ?obs:Agg_obs.Sink.t ->
+  ?weight_of:(Agg_trace.File_id.t -> Agg_cache.Policy.weight) ->
+  capacity:int ->
+  unit ->
+  t
 (** @raise Invalid_argument on invalid capacity or configuration.
 
     When [obs] is an enabled sink the client reports every decision to it:
@@ -49,6 +55,11 @@ val run_files : t -> Agg_trace.File_id.t array -> Metrics.client
     array (see [Trace_store.files]) can skip materialising a trace. *)
 
 val metrics : t -> Metrics.client
+
+val weighted_metrics : t -> Metrics.weighted
+(** The cache's size/cost counters (see {!Metrics.weighted}); unit-weight
+    mirrors of the plain counters when no [weight_of] was given. *)
+
 val tracker : t -> Agg_successor.Tracker.t
 val resident : t -> Agg_trace.File_id.t -> bool
 

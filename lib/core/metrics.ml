@@ -34,6 +34,22 @@ let pp_server ppf s =
     (100.0 *. server_hit_rate s)
     s.store_fetches pp_prefetch s.prefetch
 
+type weighted = Agg_cache.Cache.weighted_stats = {
+  bytes_accessed : int;
+  bytes_hit : int;
+  cost_fetched : int;
+  cost_prefetched : int;
+}
+
+let byte_weighted_hit_rate w = Agg_util.Stats.ratio w.bytes_hit w.bytes_accessed
+let total_retrieval_cost w = w.cost_fetched + w.cost_prefetched
+
+let pp_weighted ppf w =
+  Format.fprintf ppf "bytes=%d/%d (%.1f%%) cost: fetched=%d prefetched=%d total=%d" w.bytes_hit
+    w.bytes_accessed
+    (100.0 *. byte_weighted_hit_rate w)
+    w.cost_fetched w.cost_prefetched (total_retrieval_cost w)
+
 (* --- event-stream reconciliation ----------------------------------------- *)
 
 let check_all pairs =

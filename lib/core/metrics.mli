@@ -33,6 +33,27 @@ val server_hit_rate : server -> float
 
 val pp_server : Format.formatter -> server -> unit
 
+type weighted = Agg_cache.Cache.weighted_stats = {
+  bytes_accessed : int;  (** Σ size over demand accesses *)
+  bytes_hit : int;  (** Σ size over demand hits *)
+  cost_fetched : int;  (** Σ cost over demand fetches *)
+  cost_prefetched : int;  (** Σ cost over admitted speculative fetches *)
+}
+(** The weighted counters of one cache, re-exported so sweep code can
+    speak in metrics vocabulary. Kept outside {!client}/{!server} (which
+    the oracle compares structurally): at unit weights these mirror the
+    unweighted counters and add no information. *)
+
+val byte_weighted_hit_rate : weighted -> float
+(** Bytes hit over bytes accessed — the size-aware hit rate; [0.] before
+    any access. Equals the plain hit rate at unit weights. *)
+
+val total_retrieval_cost : weighted -> int
+(** Everything paid to the next level: demand plus speculative fetch
+    cost — the figure of merit for Landlord-style policies. *)
+
+val pp_weighted : Format.formatter -> weighted -> unit
+
 val reconcile_client : Agg_obs.Digest.t -> client -> (unit, string) result
 (** [reconcile_client digest c] checks that the per-event counts of a
     run's digest agree exactly with its aggregate metrics — hits, misses

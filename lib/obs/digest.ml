@@ -18,14 +18,24 @@ type t = {
   lifetime : Histogram.t;
   hit_depth : Histogram.t;
   group_size : Histogram.t;
+  weight_of : (int -> int * int) option;
+  bytes_accessed : Counter.t;
+  bytes_hit : Counter.t;
+  cost_fetched : Counter.t;
+  cost_prefetched : Counter.t;
   (* Mirror of the simulator's speculative-resident table, rebuilt from
      the stream: a file is marked from Prefetch_issued until it is
      promoted or its eviction is discovered by the next demand miss. *)
   marked : (int, unit) Hashtbl.t;
 }
 
-let create () =
+let create ?weight_of () =
   {
+    weight_of;
+    bytes_accessed = Counter.create ();
+    bytes_hit = Counter.create ();
+    cost_fetched = Counter.create ();
+    cost_prefetched = Counter.create ();
     demand_hits = Counter.create ();
     demand_misses = Counter.create ();
     prefetch_issued = Counter.create ();
@@ -48,13 +58,21 @@ let create () =
     marked = Hashtbl.create 64;
   }
 
+let weight t file = match t.weight_of with None -> (1, 1) | Some f -> f file
+
 let observe t (event : Event.t) =
   match event with
-  | Demand_hit { depth; _ } ->
+  | Demand_hit { file; depth } ->
       Counter.incr t.demand_hits;
+      let size, _ = weight t file in
+      Counter.add t.bytes_accessed size;
+      Counter.add t.bytes_hit size;
       Histogram.add t.hit_depth depth
   | Demand_miss { file } ->
       Counter.incr t.demand_misses;
+      let size, cost = weight t file in
+      Counter.add t.bytes_accessed size;
+      Counter.add t.cost_fetched cost;
       (* The simulator discovers a wasted prefetch lazily: the next demand
          miss on a still-marked file means it was evicted before use. *)
       if Hashtbl.mem t.marked file then begin
@@ -63,6 +81,8 @@ let observe t (event : Event.t) =
       end
   | Prefetch_issued { file } ->
       Counter.incr t.prefetch_issued;
+      let _, cost = weight t file in
+      Counter.add t.cost_prefetched cost;
       Hashtbl.replace t.marked file ()
   | Prefetch_promoted { file; lifetime } ->
       Counter.incr t.prefetch_promoted;
@@ -89,13 +109,18 @@ let observe t (event : Event.t) =
   | Replica_failover _ -> Counter.incr t.replica_failovers
   | Ring_rebalance _ -> Counter.incr t.ring_rebalances
 
-let of_events events =
-  let t = create () in
+let of_events ?weight_of events =
+  let t = create ?weight_of () in
   List.iter (observe t) events;
   t
 
 let merge a b =
   {
+    weight_of = (match a.weight_of with Some _ as w -> w | None -> b.weight_of);
+    bytes_accessed = Counter.merge a.bytes_accessed b.bytes_accessed;
+    bytes_hit = Counter.merge a.bytes_hit b.bytes_hit;
+    cost_fetched = Counter.merge a.cost_fetched b.cost_fetched;
+    cost_prefetched = Counter.merge a.cost_prefetched b.cost_prefetched;
     demand_hits = Counter.merge a.demand_hits b.demand_hits;
     demand_misses = Counter.merge a.demand_misses b.demand_misses;
     prefetch_issued = Counter.merge a.prefetch_issued b.prefetch_issued;
@@ -135,6 +160,12 @@ let client_crashes t = Counter.value t.client_crashes
 let node_routes t = Counter.value t.node_routes
 let replica_failovers t = Counter.value t.replica_failovers
 let ring_rebalances t = Counter.value t.ring_rebalances
+let bytes_accessed t = Counter.value t.bytes_accessed
+let bytes_hit t = Counter.value t.bytes_hit
+let cost_fetched t = Counter.value t.cost_fetched
+let cost_prefetched t = Counter.value t.cost_prefetched
+let byte_weighted_hit_rate t = Agg_util.Stats.ratio (bytes_hit t) (bytes_accessed t)
+let total_retrieval_cost t = cost_fetched t + cost_prefetched t
 let lifetime t = t.lifetime
 let hit_depth t = t.hit_depth
 let group_size t = t.group_size

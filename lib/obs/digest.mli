@@ -10,12 +10,17 @@
 
 type t
 
-val create : unit -> t
+val create : ?weight_of:(int -> int * int) -> unit -> t
+(** [weight_of file] is the file's [(size, cost)] pair for the weighted
+    counters below; every file is [(1, 1)] when omitted, making them
+    mirrors of the unweighted counts. Kept as a bare pair so the util
+    tier stays below [Agg_cache]. *)
+
 val observe : t -> Event.t -> unit
 (** Folds one event, in stream order — the replayed [evicted_unused]
     counter is order-sensitive. *)
 
-val of_events : Event.t list -> t
+val of_events : ?weight_of:(int -> int * int) -> Event.t list -> t
 
 val merge : t -> t -> t
 (** Combines counters and histograms of two *completed* runs (e.g. sweep
@@ -39,6 +44,25 @@ val evicted_demand : t -> int
 val evicted_unused : t -> int
 (** Wasted prefetches as the simulator counts them: detected at the next
     demand miss on the evicted file. Always [<= evicted_speculative]. *)
+
+val bytes_accessed : t -> int
+(** Σ size over demand accesses ([weight_of] sizes; access count when
+    unweighted). *)
+
+val bytes_hit : t -> int
+(** Σ size over demand hits. *)
+
+val cost_fetched : t -> int
+(** Σ cost over demand misses. *)
+
+val cost_prefetched : t -> int
+(** Σ cost over issued prefetches. *)
+
+val byte_weighted_hit_rate : t -> float
+(** [bytes_hit / bytes_accessed]; [0.] before any access. *)
+
+val total_retrieval_cost : t -> int
+(** [cost_fetched + cost_prefetched]. *)
 
 val groups_built : t -> int
 val successor_updates : t -> int

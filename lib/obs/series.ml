@@ -12,9 +12,15 @@ type win = {
   w_latency : Histogram.t;
   mutable w_node_loads : int array;
   mutable w_nodes : int;  (* highest observed node + 1 *)
+  mutable w_bytes_accessed : int;
+  mutable w_bytes_hit : int;
+  mutable w_cost_fetched : int;
 }
 
-type t = { window : int; mutable wins : win array; mutable used : int }
+(* [weighted] records whether any weighted observation was ever made; the
+   exporters gate the weighted fields on it, so a series that never saw
+   one produces byte-identical output to the pre-weights format. *)
+type t = { window : int; mutable wins : win array; mutable used : int; mutable weighted : bool }
 
 let fresh_win () =
   {
@@ -25,12 +31,15 @@ let fresh_win () =
     w_latency = Histogram.create ();
     w_node_loads = [||];
     w_nodes = 0;
+    w_bytes_accessed = 0;
+    w_bytes_hit = 0;
+    w_cost_fetched = 0;
   }
 
 let create ~window =
   if window <= 0 then
     invalid_arg (Printf.sprintf "Series.create: window must be positive (got %d)" window);
-  { window; wins = [||]; used = 0 }
+  { window; wins = [||]; used = 0; weighted = false }
 
 let window_size t = t.window
 let windows t = t.used
@@ -67,6 +76,17 @@ let observe_eviction t ~index ~speculative =
     win.w_spec_evictions <- win.w_spec_evictions + 1
   end
   else ignore (win_at t ~index)
+
+let observe_weighted t ~index ~size ~cost ~hit =
+  if size <= 0 then
+    invalid_arg (Printf.sprintf "Series.observe_weighted: size must be positive (got %d)" size);
+  if cost <= 0 then
+    invalid_arg (Printf.sprintf "Series.observe_weighted: cost must be positive (got %d)" cost);
+  let win = win_at t ~index in
+  t.weighted <- true;
+  win.w_bytes_accessed <- win.w_bytes_accessed + size;
+  if hit then win.w_bytes_hit <- win.w_bytes_hit + size
+  else win.w_cost_fetched <- win.w_cost_fetched + cost
 
 let observe_node t ~index ~node =
   if node < 0 then invalid_arg (Printf.sprintf "Series.observe_node: negative node %d" node);
@@ -122,6 +142,9 @@ let merge a b =
           w_latency = Histogram.merge x.w_latency (Histogram.create ());
           w_node_loads = Array.sub x.w_node_loads 0 x.w_nodes;
           w_nodes = x.w_nodes;
+          w_bytes_accessed = x.w_bytes_accessed;
+          w_bytes_hit = x.w_bytes_hit;
+          w_cost_fetched = x.w_cost_fetched;
         }
     | Some x, Some y ->
         let nodes = max x.w_nodes y.w_nodes in
@@ -138,10 +161,13 @@ let merge a b =
           w_latency = Histogram.merge x.w_latency y.w_latency;
           w_node_loads = loads;
           w_nodes = nodes;
+          w_bytes_accessed = x.w_bytes_accessed + y.w_bytes_accessed;
+          w_bytes_hit = x.w_bytes_hit + y.w_bytes_hit;
+          w_cost_fetched = x.w_cost_fetched + y.w_cost_fetched;
         }
     | None, None -> fresh_win ()
   in
-  { window = a.window; wins = Array.init used merged_win; used }
+  { window = a.window; wins = Array.init used merged_win; used; weighted = a.weighted || b.weighted }
 
 (* --- accessors ---------------------------------------------------------- *)
 
@@ -151,6 +177,9 @@ let get t w =
   t.wins.(w)
 
 let accesses t w = (get t w).w_accesses
+let bytes_accessed t w = (get t w).w_bytes_accessed
+let bytes_hit t w = (get t w).w_bytes_hit
+let cost_fetched t w = (get t w).w_cost_fetched
 let hits t w = (get t w).w_hits
 let degraded t w = (get t w).w_degraded
 let speculative_evictions t w = (get t w).w_spec_evictions
@@ -159,6 +188,10 @@ let pct num den = if den = 0 then 0.0 else 100.0 *. float_of_int num /. float_of
 let hit_rate t w =
   let win = get t w in
   pct win.w_hits win.w_accesses
+
+let byte_hit_rate t w =
+  let win = get t w in
+  pct win.w_bytes_hit win.w_bytes_accessed
 
 let degraded_rate t w =
   let win = get t w in
@@ -207,6 +240,10 @@ let total_accesses t = fold_wins t (fun acc w -> acc + w.w_accesses) 0
 let total_hits t = fold_wins t (fun acc w -> acc + w.w_hits) 0
 let total_degraded t = fold_wins t (fun acc w -> acc + w.w_degraded) 0
 let total_speculative_evictions t = fold_wins t (fun acc w -> acc + w.w_spec_evictions) 0
+let total_bytes_accessed t = fold_wins t (fun acc w -> acc + w.w_bytes_accessed) 0
+let total_bytes_hit t = fold_wins t (fun acc w -> acc + w.w_bytes_hit) 0
+let total_cost_fetched t = fold_wins t (fun acc w -> acc + w.w_cost_fetched) 0
+
 let total_latency t = fold_wins t (fun acc w -> Histogram.merge acc w.w_latency) (Histogram.create ())
 
 (* --- export -------------------------------------------------------------- *)
@@ -227,13 +264,17 @@ let to_json t =
       (Printf.sprintf
          "    {\"index\": %d, \"accesses\": %d, \"hits\": %d, \"degraded\": %d, \
           \"speculative_evictions\": %d, \"latency_us\": {\"p50\": %s, \"p95\": %s, \"p99\": %s}, \
-          \"node_loads\": [%s]}%s\n"
+          \"node_loads\": [%s]%s}%s\n"
          w win.w_accesses win.w_hits win.w_degraded win.w_spec_evictions
          (quantile_field win.w_latency 0.5)
          (quantile_field win.w_latency 0.95)
          (quantile_field win.w_latency 0.99)
          (String.concat ", "
             (List.map (fun (n, c) -> Printf.sprintf "[%d, %d]" n c) (node_loads t w)))
+         (if t.weighted then
+            Printf.sprintf ", \"bytes_accessed\": %d, \"bytes_hit\": %d, \"cost_fetched\": %d"
+              win.w_bytes_accessed win.w_bytes_hit win.w_cost_fetched
+          else "")
          (if w = t.used - 1 then "" else ","))
   done;
   Buffer.add_string buf "  ]\n}\n";
@@ -259,6 +300,10 @@ let to_prometheus ?(prefix = "agg") t =
       match latency_quantile t w 0.99 with
       | Some us -> sample "p99_latency_us" w (string_of_int us)
       | None -> ());
+  if t.weighted then begin
+    gauge "byte_hit_rate" (fun w -> sample "byte_hit_rate" w (float_str (byte_hit_rate t w)));
+    gauge "cost_fetched" (fun w -> sample "cost_fetched" w (string_of_int (cost_fetched t w)))
+  end;
   gauge "node_load" (fun w ->
       List.iter
         (fun (n, c) ->

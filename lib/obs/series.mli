@@ -58,6 +58,15 @@ val observe_node : t -> index:int -> node:int -> unit
 (** A fetch was served by cluster [node] (degraded fallbacks count
     against the primary, mirroring per-node request accounting). *)
 
+val observe_weighted : t -> index:int -> size:int -> cost:int -> hit:bool -> unit
+(** One demand access under per-file weights: [size] bytes were asked
+    for, served locally when [hit], else fetched at [cost]. Purely
+    additive beside {!observe_access} (callers record both). The first
+    weighted observation switches the exporters into the weighted
+    format; a series that never sees one exports byte-identical output
+    to the unweighted world.
+    @raise Invalid_argument when [size] or [cost] is not positive. *)
+
 val observe_event : t -> index:int -> Event.t -> unit
 (** Folds one {!Event.t} into the series at [index]: demand hits/misses
     update the access counts, [Fetch_degraded] the degraded count,
@@ -91,6 +100,14 @@ val hit_rate : t -> int -> float
 (** Percent of the window's accesses served locally; [0.] on an empty
     window. *)
 
+val bytes_accessed : t -> int -> int
+val bytes_hit : t -> int -> int
+val cost_fetched : t -> int -> int
+
+val byte_hit_rate : t -> int -> float
+(** Percent of the window's bytes served locally; [0.] on an empty (or
+    never-weighted) window. *)
+
 val degraded_rate : t -> int -> float
 (** Percent of the window's accesses that degraded; [0.] on an empty
     window. *)
@@ -117,6 +134,10 @@ val total_hits : t -> int
 val total_degraded : t -> int
 val total_speculative_evictions : t -> int
 
+val total_bytes_accessed : t -> int
+val total_bytes_hit : t -> int
+val total_cost_fetched : t -> int
+
 val total_latency : t -> Histogram.t
 (** All windows' latency observations merged into one histogram. *)
 
@@ -125,7 +146,8 @@ val total_latency : t -> Histogram.t
 val to_json : t -> string
 (** The series as one JSON object: window size and an array of per-window
     objects (accesses, hits, degraded, speculative evictions, latency
-    quantiles in microseconds, node loads). Deterministic bytes. *)
+    quantiles in microseconds, node loads — plus bytes/cost fields once
+    any weighted observation was recorded). Deterministic bytes. *)
 
 val to_prometheus : ?prefix:string -> t -> string
 (** Prometheus text exposition: one gauge sample per window per metric,

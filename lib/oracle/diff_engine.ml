@@ -9,16 +9,21 @@ module Profile = Agg_workload.Profile
 module Generator = Agg_workload.Generator
 
 type op =
-  | Insert of Policy.insert_position * int
+  | Insert of Policy.insert_position * Policy.weight * int
   | Promote of int
+  | Charge of int * int
   | Evict
   | Mem of int
   | Clear
 
+let pos_name = function Policy.Hot -> "hot" | Policy.Cold -> "cold"
+
 let op_to_string = function
-  | Insert (Policy.Hot, k) -> Printf.sprintf "insert hot %d" k
-  | Insert (Policy.Cold, k) -> Printf.sprintf "insert cold %d" k
+  | Insert (pos, w, k) when Policy.is_unit w -> Printf.sprintf "insert %s %d" (pos_name pos) k
+  | Insert (pos, w, k) ->
+      Printf.sprintf "insert %s %d s%dc%d" (pos_name pos) k w.Policy.size w.Policy.cost
   | Promote k -> Printf.sprintf "promote %d" k
+  | Charge (k, cost) -> Printf.sprintf "charge %d c%d" k cost
   | Evict -> "evict"
   | Mem k -> Printf.sprintf "mem %d" k
   | Clear -> "clear"
@@ -30,10 +35,28 @@ let gen_ops prng ~universe ~count =
   List.init count (fun _ ->
       let key () = Prng.int prng universe in
       match Prng.int prng 16 with
-      | 0 | 1 | 2 | 3 | 4 -> Insert (Policy.Hot, key ())
-      | 5 | 6 | 7 -> Insert (Policy.Cold, key ())
+      | 0 | 1 | 2 | 3 | 4 -> Insert (Policy.Hot, Policy.unit_weight, key ())
+      | 5 | 6 | 7 -> Insert (Policy.Cold, Policy.unit_weight, key ())
       | 8 | 9 | 10 -> Promote (key ())
       | 11 | 12 -> Evict
+      | 13 | 14 -> Mem (key ())
+      | _ -> Clear)
+
+let gen_weighted_ops prng ~universe ~max_size ~max_cost ~count =
+  if universe <= 0 then invalid_arg "Diff_engine.gen_weighted_ops: universe must be positive";
+  if max_size <= 0 || max_cost <= 0 then
+    invalid_arg "Diff_engine.gen_weighted_ops: max_size and max_cost must be positive";
+  List.init count (fun _ ->
+      let key () = Prng.int prng universe in
+      let weight () =
+        { Policy.size = 1 + Prng.int prng max_size; cost = 1 + Prng.int prng max_cost }
+      in
+      match Prng.int prng 16 with
+      | 0 | 1 | 2 | 3 | 4 -> Insert (Policy.Hot, weight (), key ())
+      | 5 | 6 -> Insert (Policy.Cold, weight (), key ())
+      | 7 | 8 | 9 -> Promote (key ())
+      | 10 | 11 -> Charge (key (), 1 + Prng.int prng max_cost)
+      | 12 -> Evict
       | 13 | 14 -> Mem (key ())
       | _ -> Clear)
 
@@ -46,11 +69,13 @@ type divergence = { step : int; detail : string }
    against the model. *)
 
 type driver = {
-  d_insert : Policy.insert_position -> int -> int option;
+  d_insert : Policy.insert_position -> Policy.weight -> int -> int list;
   d_promote : int -> unit;
+  d_charge : int -> int -> unit;
   d_evict : unit -> int option;
   d_mem : int -> bool;
   d_size : unit -> int;
+  d_used : unit -> int;
   d_contents : unit -> int list;
   d_clear : unit -> unit;
 }
@@ -67,29 +92,55 @@ let module_of_kind : Cache.kind -> (module Policy.S) = function
   | Cache.Twoq -> (module Agg_cache.Twoq)
   | Cache.Arc -> (module Agg_cache.Arc)
 
-let policy_driver kind ~capacity =
-  let (module P : Policy.S) = module_of_kind kind in
-  let state = P.create ~capacity in
+(* Any Policy.S implementation reified as a driver — optimized policies,
+   weighted baselines and the list-based reference modules all qualify. *)
+let driver_of (type a) (module P : Policy.S with type t = a) (state : a) =
   {
-    d_insert = (fun pos k -> P.insert state ~pos k);
+    d_insert = (fun pos w k -> P.insert state ~pos ~weight:w k);
     d_promote = (fun k -> P.promote state k);
+    d_charge = (fun k cost -> P.charge state k ~cost);
     d_evict = (fun () -> P.evict state);
     d_mem = (fun k -> P.mem state k);
     d_size = (fun () -> P.size state);
+    d_used = (fun () -> P.used state);
     d_contents = (fun () -> P.contents state);
     d_clear = (fun () -> P.clear state);
   }
 
+let policy_driver kind ~capacity =
+  let (module P : Policy.S) = module_of_kind kind in
+  driver_of (module P) (P.create ~capacity)
+
 let model_driver model =
   {
-    d_insert = (fun pos k -> Model_cache.insert model ~pos k);
+    d_insert = (fun pos w k -> Model_cache.insert model ~pos ~weight:w k);
     d_promote = (fun k -> Model_cache.promote model k);
+    d_charge = (fun k cost -> Model_cache.charge model k ~cost);
     d_evict = (fun () -> Model_cache.evict model);
     d_mem = (fun k -> Model_cache.mem model k);
     d_size = (fun () -> Model_cache.size model);
+    d_used = (fun () -> Model_cache.used model);
     d_contents = (fun () -> Model_cache.contents model);
     d_clear = (fun () -> Model_cache.clear model);
   }
+
+type weighted_policy = Landlord | Gds | Bundle
+
+let weighted_policy_name = function Landlord -> "landlord" | Gds -> "gds" | Bundle -> "bundle"
+let all_weighted_policies = [ Landlord; Gds; Bundle ]
+
+let weighted_driver wp ~capacity =
+  match wp with
+  | Landlord ->
+      driver_of (module Agg_baselines.Landlord) (Agg_baselines.Landlord.create ~capacity)
+  | Gds -> driver_of (module Agg_baselines.Greedy_dual) (Agg_baselines.Greedy_dual.create ~capacity)
+  | Bundle -> driver_of (module Agg_baselines.Bundle) (Agg_baselines.Bundle.create ~capacity)
+
+let weighted_model_driver wp ~capacity =
+  match wp with
+  | Landlord -> driver_of (module Model_cache.Landlord) (Model_cache.Landlord.create ~capacity)
+  | Gds -> driver_of (module Model_cache.Gds) (Model_cache.Gds.create ~capacity)
+  | Bundle -> driver_of (module Model_cache.Bundle) (Model_cache.Bundle.create ~capacity)
 
 (* The seeded mutant: LRU whose promote sends a resident key to the *cold*
    end (insert of a resident key repositions without evicting, so this is
@@ -97,17 +148,33 @@ let model_driver model =
    eviction order, which is exactly what the lockstep victims expose). *)
 let mutant_lru_driver ~capacity =
   let base = policy_driver Cache.Lru ~capacity in
-  { base with d_promote = (fun k -> if base.d_mem k then ignore (base.d_insert Policy.Cold k)) }
+  {
+    base with
+    d_promote = (fun k -> if base.d_mem k then ignore (base.d_insert Policy.Cold Policy.unit_weight k));
+  }
 
 let str_opt = function None -> "None" | Some k -> Printf.sprintf "Some %d" k
+let str_list l = Printf.sprintf "[%s]" (String.concat " " (List.map string_of_int l))
 
-let run_pair subject reference ops =
+let run_pair ~capacity subject reference ops =
   let sorted l = List.sort compare l in
   let check_state step op =
     let ss = subject.d_size () and ms = reference.d_size () in
+    let su = subject.d_used () and mu = reference.d_used () in
     if ss <> ms then
       Some
         { step; detail = Printf.sprintf "after %s: size %d vs model %d" (op_to_string op) ss ms }
+    else if su <> mu then
+      Some
+        { step; detail = Printf.sprintf "after %s: used %d vs model %d" (op_to_string op) su mu }
+    else if su > capacity then
+      (* the conservation invariant: total resident size never exceeds
+         capacity, no matter what mix of weights was inserted *)
+      Some
+        {
+          step;
+          detail = Printf.sprintf "after %s: used %d exceeds capacity %d" (op_to_string op) su capacity;
+        }
     else
       let sc = sorted (subject.d_contents ()) and mc = sorted (reference.d_contents ()) in
       if sc <> mc then
@@ -115,9 +182,8 @@ let run_pair subject reference ops =
           {
             step;
             detail =
-              Printf.sprintf "after %s: contents [%s] vs model [%s]" (op_to_string op)
-                (String.concat " " (List.map string_of_int sc))
-                (String.concat " " (List.map string_of_int mc));
+              Printf.sprintf "after %s: contents %s vs model %s" (op_to_string op) (str_list sc)
+                (str_list mc);
           }
       else None
   in
@@ -126,12 +192,16 @@ let run_pair subject reference ops =
       Some { step; detail = Printf.sprintf "%s: %s: %s vs model %s" (op_to_string op) what a b }
     in
     match op with
-    | Insert (pos, k) ->
-        let vs = subject.d_insert pos k and vm = reference.d_insert pos k in
-        if vs <> vm then mismatch "victim" (str_opt vs) (str_opt vm) else check_state step op
+    | Insert (pos, w, k) ->
+        let vs = subject.d_insert pos w k and vm = reference.d_insert pos w k in
+        if vs <> vm then mismatch "victims" (str_list vs) (str_list vm) else check_state step op
     | Promote k ->
         subject.d_promote k;
         reference.d_promote k;
+        check_state step op
+    | Charge (k, cost) ->
+        subject.d_charge k cost;
+        reference.d_charge k cost;
         check_state step op
     | Evict ->
         let vs = subject.d_evict () and vm = reference.d_evict () in
@@ -153,11 +223,19 @@ let run_pair subject reference ops =
 
 let diff_ops kind ~capacity ops =
   if capacity <= 0 then invalid_arg "Diff_engine.diff_ops: capacity must be positive";
-  run_pair (policy_driver kind ~capacity) (model_driver (Model_cache.create kind ~capacity)) ops
+  run_pair ~capacity (policy_driver kind ~capacity)
+    (model_driver (Model_cache.create kind ~capacity))
+    ops
+
+let diff_weighted_ops wp ~capacity ops =
+  if capacity <= 0 then invalid_arg "Diff_engine.diff_weighted_ops: capacity must be positive";
+  run_pair ~capacity (weighted_driver wp ~capacity) (weighted_model_driver wp ~capacity) ops
 
 let diff_ops_mutant ~capacity ops =
   if capacity <= 0 then invalid_arg "Diff_engine.diff_ops_mutant: capacity must be positive";
-  run_pair (mutant_lru_driver ~capacity) (model_driver (Model_cache.create Cache.Lru ~capacity)) ops
+  run_pair ~capacity (mutant_lru_driver ~capacity)
+    (model_driver (Model_cache.create Cache.Lru ~capacity))
+    ops
 
 (* --- shrinking: greedy window removal (ddmin-lite) ----------------------- *)
 
@@ -198,24 +276,29 @@ let shrunk_report ~capacity fails ops (d : divergence) =
   Printf.sprintf "capacity=%d step=%d %s; shrunk repro (%d ops): %s" capacity d.step d.detail
     (List.length minimal) (ops_to_string minimal)
 
-let fuzz_round ~run kind prng =
+(* Unit rounds draw classic unit-weight ops; weighted rounds mix sizes up
+   to one past the capacity (so the oversize bypass is exercised) with
+   costs in [1, 9] and charge ops. *)
+let round_gen ~weighted prng ~universe ~capacity ~count =
+  if weighted then gen_weighted_ops prng ~universe ~max_size:(capacity + 1) ~max_cost:9 ~count
+  else gen_ops prng ~universe ~count
+
+let fuzz_round ~label ~weighted ~run prng =
   let capacity = 1 + Prng.int prng 24 in
   let universe = (capacity * 3) + 4 in
   let count = 500 in
-  let ops = gen_ops prng ~universe ~count in
+  let ops = round_gen ~weighted prng ~universe ~capacity ~count in
   let fails candidate = Option.is_some (run ~capacity candidate) in
   match run ~capacity ops with
   | None -> Ok count
-  | Some d ->
-      Error
-        (Printf.sprintf "%s: %s" (Cache.kind_name kind) (shrunk_report ~capacity fails ops d))
+  | Some d -> Error (Printf.sprintf "%s: %s" label (shrunk_report ~capacity fails ops d))
 
-let fuzz_driver ~name ~run ~seed ~ops kind =
+let fuzz_driver ~name ~label ~weighted ~run ~seed ~ops =
   let prng = Prng.create ~seed () in
   let generated = ref 0 in
   let failure = ref None in
   while !failure = None && !generated < ops do
-    match fuzz_round ~run kind prng with
+    match fuzz_round ~label ~weighted ~run prng with
     | Ok n -> generated := !generated + n
     | Error detail -> failure := Some detail
   done;
@@ -224,24 +307,98 @@ let fuzz_driver ~name ~run ~seed ~ops kind =
   | Some detail -> fail name !generated (Printf.sprintf "seed=%d %s" seed detail)
 
 let fuzz_policy ~seed ~ops kind =
-  fuzz_driver
-    ~name:("ops." ^ Cache.kind_name kind)
+  let label = Cache.kind_name kind in
+  fuzz_driver ~name:("ops." ^ label) ~label ~weighted:false
     ~run:(fun ~capacity candidate -> diff_ops kind ~capacity candidate)
-    ~seed ~ops kind
+    ~seed ~ops
 
-let fuzz_all ~seed ~ops = List.map (fuzz_policy ~seed ~ops) Cache.all_kinds
+(* The same ten policies under mixed weights: the Weighted_of_unit layer
+   vs the model's restatement of it. *)
+let fuzz_policy_weighted ~seed ~ops kind =
+  let label = Cache.kind_name kind in
+  fuzz_driver ~name:("wops." ^ label) ~label ~weighted:true
+    ~run:(fun ~capacity candidate -> diff_ops kind ~capacity candidate)
+    ~seed ~ops
+
+let fuzz_weighted_policy ~seed ~ops wp =
+  let label = weighted_policy_name wp in
+  fuzz_driver ~name:("wops." ^ label) ~label ~weighted:true
+    ~run:(fun ~capacity candidate -> diff_weighted_ops wp ~capacity candidate)
+    ~seed ~ops
+
+let fuzz_all ~seed ~ops =
+  List.map (fuzz_policy ~seed ~ops) Cache.all_kinds
+  @ List.map (fuzz_policy_weighted ~seed ~ops) Cache.all_kinds
+  @ List.map (fuzz_weighted_policy ~seed ~ops) all_weighted_policies
 
 let mutant_check ~seed ~ops =
   let name = "mutant.lru-cold-promote" in
   let c =
-    fuzz_driver ~name
+    fuzz_driver ~name ~label:"mutant" ~weighted:false
       ~run:(fun ~capacity candidate -> diff_ops_mutant ~capacity candidate)
-      ~seed ~ops Cache.Lru
+      ~seed ~ops
   in
   (* The mutant must be *caught*: a clean run means the engine is blind. *)
   if c.pass then
     fail name c.cases "seeded LRU mutant (promote-to-cold-end) survived the fuzz undetected"
   else { c with pass = true; detail = "caught: " ^ c.detail }
+
+(* --- unit-weight LRU equivalence ------------------------------------------
+
+   Landlord, GreedyDual-Size and the bundle policy all reduce to LRU at
+   unit size/cost (credits stay in {0,1}, priorities rise with L, ties
+   break towards the least recently used). Checked access-for-access —
+   hit answers, victims and the exact recency order — over every
+   calibrated profile trace. *)
+let lru_equivalence ~capacity files wp =
+  let subject = weighted_driver wp ~capacity in
+  let lru = policy_driver Cache.Lru ~capacity in
+  let divergence = ref None in
+  Array.iteri
+    (fun i file ->
+      if !divergence = None then begin
+        let hs = subject.d_mem file and hl = lru.d_mem file in
+        if hs <> hl then
+          divergence :=
+            Some (Printf.sprintf "event %d (file %d): resident %b vs lru %b" i file hs hl)
+        else if hs then begin
+          subject.d_promote file;
+          subject.d_charge file 1;
+          lru.d_promote file;
+          lru.d_charge file 1
+        end
+        else begin
+          let vs = subject.d_insert Policy.Hot Policy.unit_weight file in
+          let vl = lru.d_insert Policy.Hot Policy.unit_weight file in
+          if vs <> vl then
+            divergence :=
+              Some
+                (Printf.sprintf "event %d (file %d): victims %s vs lru %s" i file (str_list vs)
+                   (str_list vl))
+        end;
+        if
+          !divergence = None
+          && (i mod 7 = 0 || i = Array.length files - 1)
+          && subject.d_contents () <> lru.d_contents ()
+        then divergence := Some (Printf.sprintf "event %d: recency order differs from LRU" i)
+      end)
+    files;
+  (Array.length files, !divergence)
+
+let lru_equivalence_checks ~seed ~events =
+  List.concat_map
+    (fun (profile : Profile.t) ->
+      let files = Generator.generate_files ~seed ~events profile in
+      List.map
+        (fun wp ->
+          let name =
+            Printf.sprintf "unit-lru.%s.%s" (weighted_policy_name wp) profile.Profile.name
+          in
+          match lru_equivalence ~capacity:128 files wp with
+          | cases, None -> ok name cases
+          | cases, Some detail -> fail name cases (Printf.sprintf "seed=%d %s" seed detail))
+        all_weighted_policies)
+    Profile.all
 
 (* --- successor-scheme differentials -------------------------------------- *)
 
@@ -388,9 +545,8 @@ let replay_policy kind ~capacity files =
         end
         else begin
           incr misses;
-          match Model_cache.insert model ~pos:Policy.Hot file with
-          | Some _ -> incr evictions
-          | None -> ()
+          let victims = Model_cache.insert model ~pos:Policy.Hot ~weight:Policy.unit_weight file in
+          evictions := !evictions + List.length victims
         end;
         if real_hit <> model_hit then
           divergence :=

@@ -87,7 +87,17 @@ type state =
   | Arc of arc_model
   | Random of random_model
 
-type t = { kind : Cache.kind; capacity : int; state : state }
+(* The weighted fields restate [Policy.Weighted_of_unit]'s side-car
+   bookkeeping as an assoc list: only non-unit sizes are recorded, so at
+   unit weights the list stays empty and [wused] mirrors the count. *)
+type t = {
+  kind : Cache.kind;
+  capacity : int;
+  state : state;
+  mutable wsizes : (int * int) list; (* key -> size, non-unit entries only *)
+  mutable wnonunit : int; (* residents whose size is not 1 *)
+  mutable wused : int; (* total resident size *)
+}
 
 (* The seed baked into [Random_policy.create], so model and optimized
    caches draw identical victim streams. *)
@@ -133,7 +143,7 @@ let create ?(seed = default_random_seed) kind ~capacity =
     | Cache.Arc -> Arc { t1 = []; t2 = []; b1 = []; b2 = []; p = 0 }
     | Cache.Random -> Random { keys = []; prng = Prng.create ~seed () }
   in
-  { kind; capacity; state }
+  { kind; capacity; state; wsizes = []; wnonunit = 0; wused = 0 }
 
 let kind t = t.kind
 let capacity t = t.capacity
@@ -470,7 +480,7 @@ let promote t key =
       | Some (AB1 | AB2) | None -> ())
   | Random _ -> ()
 
-let evict t =
+let unit_evict t =
   match t.state with
   | Lru m | Fifo m -> (
       match pop_back m.order with
@@ -492,7 +502,7 @@ let evict t =
   | Arc m -> arc_replace t.capacity m ~hit_in_b2:false
   | Random m -> random_evict m
 
-let insert t ~pos key =
+let unit_insert t ~pos key =
   let full () = size t >= t.capacity in
   match t.state with
   | Lru m | Mru m ->
@@ -503,7 +513,7 @@ let insert t ~pos key =
         None
       end
       else begin
-        let victim = if full () then evict t else None in
+        let victim = if full () then unit_evict t else None in
         (match pos with
         | Policy.Hot -> m.order <- push_front key m.order
         | Policy.Cold -> m.order <- push_back key m.order);
@@ -515,7 +525,7 @@ let insert t ~pos key =
         None
       end
       else begin
-        let victim = if full () then evict t else None in
+        let victim = if full () then unit_evict t else None in
         (match pos with
         | Policy.Hot -> m.order <- push_front key m.order
         | Policy.Cold -> m.order <- push_back key m.order);
@@ -701,7 +711,7 @@ let insert t ~pos key =
         victim
       end
 
-let remove t key =
+let unit_remove t key =
   match t.state with
   | Lru m | Mru m | Fifo m -> m.order <- remove_one key m.order
   | Lfu m -> m.entries <- List.remove_assoc key m.entries
@@ -735,7 +745,7 @@ let remove t key =
       in
       match index_of 0 m.keys with Some i -> ignore (random_remove_at m i) | None -> ())
 
-let clear t =
+let unit_clear t =
   match t.state with
   | Lru m | Mru m | Fifo m -> m.order <- []
   | Lfu m ->
@@ -770,3 +780,297 @@ let clear t =
       m.b2 <- [];
       m.p <- 0
   | Random m -> m.keys <- [] (* the PRNG stream continues, like the optimized cache *)
+
+(* --- the weighted surface ------------------------------------------------
+   Restates [Policy.Weighted_of_unit] over the unit models above: the
+   all-unit fast path delegates to the model's native insert, the general
+   path pre-evicts via [unit_evict], oversize keys bypass the cache. *)
+
+let size_of t key = Option.value ~default:1 (List.assoc_opt key t.wsizes)
+
+let note_drop t key =
+  let s = size_of t key in
+  t.wused <- t.wused - s;
+  if s <> 1 then begin
+    t.wsizes <- List.remove_assoc key t.wsizes;
+    t.wnonunit <- t.wnonunit - 1
+  end
+
+let used t = t.wused
+let charge _ _ ~cost:_ = ()
+
+let evict t =
+  match unit_evict t with
+  | Some victim as r ->
+      note_drop t victim;
+      r
+  | None -> None
+
+let insert t ~pos ~weight:w key =
+  Policy.check_weight ~who:("model." ^ Cache.kind_name t.kind) w;
+  if mem t key then begin
+    ignore (unit_insert t ~pos key);
+    []
+  end
+  else if w.Policy.size > t.capacity then []
+  else if t.wnonunit = 0 && w.Policy.size = 1 then begin
+    match unit_insert t ~pos key with
+    | Some victim -> [ victim ]
+    | None ->
+        t.wused <- t.wused + 1;
+        []
+  end
+  else begin
+    let victims = ref [] in
+    while t.wused + w.Policy.size > t.capacity do
+      match unit_evict t with
+      | Some v ->
+          note_drop t v;
+          victims := v :: !victims
+      | None -> assert false
+    done;
+    (* ghost-bearing kinds (ARC) may shed a resident under directory
+       pressure even with room by count; mirror the wrapper and account
+       any victim the unit insert produces on its own *)
+    (match unit_insert t ~pos key with
+    | Some v ->
+        note_drop t v;
+        victims := v :: !victims
+    | None -> ());
+    t.wused <- t.wused + w.Policy.size;
+    if w.Policy.size <> 1 then begin
+      t.wsizes <- (key, w.Policy.size) :: t.wsizes;
+      t.wnonunit <- t.wnonunit + 1
+    end;
+    List.rev !victims
+  end
+
+let remove t key =
+  if mem t key then note_drop t key;
+  unit_remove t key
+
+let clear t =
+  unit_clear t;
+  t.wsizes <- [];
+  t.wnonunit <- 0;
+  t.wused <- 0
+
+(* --- weighted reference policies -----------------------------------------
+
+   List-based restatements of the Landlord / GreedyDual-Size / bundle
+   baselines in lib/baselines, implementing the same [Policy.S] so the
+   diff engine can pair each optimized policy with its model through the
+   generic driver. Victim selection is canonical: scan the recency order
+   hot end first and keep the entry with the smallest priority, ties
+   resolved towards the cold end ([<=] while scanning). Both sides
+   perform float arithmetic in the same per-key order, so credits and
+   priorities compare exactly. *)
+
+module Landlord = struct
+  type entry = { lsize : int; mutable lcredit : float }
+
+  type t = {
+    lcap : int;
+    mutable lents : (int * entry) list; (* recency order, hot end first *)
+    mutable lused : int;
+  }
+
+  let policy_name = "landlord"
+
+  let create ~capacity =
+    if capacity <= 0 then invalid_arg "Model_cache.Landlord.create: capacity must be positive";
+    { lcap = capacity; lents = []; lused = 0 }
+
+  let capacity t = t.lcap
+  let size t = List.length t.lents
+  let used t = t.lused
+  let mem t key = List.mem_assoc key t.lents
+  let contents t = List.map fst t.lents
+
+  let reposition t ~pos key =
+    match List.assoc_opt key t.lents with
+    | None -> ()
+    | Some e -> (
+        let rest = List.remove_assoc key t.lents in
+        match pos with
+        | Policy.Hot -> t.lents <- (key, e) :: rest
+        | Policy.Cold -> t.lents <- rest @ [ (key, e) ])
+
+  let promote t key = if mem t key then reposition t ~pos:Policy.Hot key
+
+  let charge t key ~cost =
+    if cost <= 0 then invalid_arg "Model_cache.Landlord.charge: cost must be positive";
+    match List.assoc_opt key t.lents with
+    | Some e -> e.lcredit <- float_of_int cost
+    | None -> ()
+
+  (* The victim is the resident with the smallest credit/size rent ratio,
+     ties towards the cold end; every other resident then pays rent
+     [ratio * size] (Landlord's delta step) and the victim leaves with
+     exactly zero credit. *)
+  let evict t =
+    match t.lents with
+    | [] -> None
+    | (k0, e0) :: rest ->
+        let ratio e = e.lcredit /. float_of_int e.lsize in
+        let victim, _ =
+          List.fold_left
+            (fun (bk, br) (k, e) ->
+              let r = ratio e in
+              if r <= br then (k, r) else (bk, br))
+            (k0, ratio e0) rest
+        in
+        let delta = ratio (List.assoc victim t.lents) in
+        List.iter
+          (fun (k, e) ->
+            if k <> victim then e.lcredit <- e.lcredit -. (delta *. float_of_int e.lsize))
+          t.lents;
+        let e = List.assoc victim t.lents in
+        t.lents <- List.remove_assoc victim t.lents;
+        t.lused <- t.lused - e.lsize;
+        Some victim
+
+  let insert t ~pos ~weight:w key =
+    Policy.check_weight ~who:"model.landlord" w;
+    if mem t key then begin
+      reposition t ~pos key;
+      []
+    end
+    else if w.Policy.size > t.lcap then []
+    else begin
+      let victims = ref [] in
+      while t.lused + w.Policy.size > t.lcap do
+        match evict t with Some v -> victims := v :: !victims | None -> assert false
+      done;
+      let e = { lsize = w.Policy.size; lcredit = float_of_int w.Policy.cost } in
+      (match pos with
+      | Policy.Hot -> t.lents <- (key, e) :: t.lents
+      | Policy.Cold -> t.lents <- t.lents @ [ (key, e) ]);
+      t.lused <- t.lused + w.Policy.size;
+      List.rev !victims
+    end
+
+  let remove t key =
+    match List.assoc_opt key t.lents with
+    | Some e ->
+        t.lents <- List.remove_assoc key t.lents;
+        t.lused <- t.lused - e.lsize
+    | None -> ()
+
+  let clear t =
+    t.lents <- [];
+    t.lused <- 0
+
+  let request_bundle t ~weight_of keys =
+    let members = List.fold_left (fun acc k -> if List.mem k acc then acc else k :: acc) [] keys in
+    List.concat_map
+      (fun k ->
+        if mem t k then begin
+          promote t k;
+          charge t k ~cost:(weight_of k).Policy.cost;
+          []
+        end
+        else insert t ~pos:Policy.Hot ~weight:(weight_of k) k)
+      (List.rev members)
+end
+
+module Gds = struct
+  type entry = { gsize : int; mutable h : float }
+
+  type t = {
+    gcap : int;
+    mutable inflation : float; (* L, the non-decreasing eviction floor *)
+    mutable gents : (int * entry) list; (* recency order, hot end first *)
+    mutable gused : int;
+  }
+
+  let policy_name = "gds"
+
+  let create ~capacity =
+    if capacity <= 0 then invalid_arg "Model_cache.Gds.create: capacity must be positive";
+    { gcap = capacity; inflation = 0.0; gents = []; gused = 0 }
+
+  let capacity t = t.gcap
+  let size t = List.length t.gents
+  let used t = t.gused
+  let mem t key = List.mem_assoc key t.gents
+  let contents t = List.map fst t.gents
+
+  let reposition t ~pos key =
+    match List.assoc_opt key t.gents with
+    | None -> ()
+    | Some e -> (
+        let rest = List.remove_assoc key t.gents in
+        match pos with
+        | Policy.Hot -> t.gents <- (key, e) :: rest
+        | Policy.Cold -> t.gents <- rest @ [ (key, e) ])
+
+  let promote t key = if mem t key then reposition t ~pos:Policy.Hot key
+
+  let priority t ~size ~cost = t.inflation +. (float_of_int cost /. float_of_int size)
+
+  let charge t key ~cost =
+    if cost <= 0 then invalid_arg "Model_cache.Gds.charge: cost must be positive";
+    match List.assoc_opt key t.gents with
+    | Some e -> e.h <- priority t ~size:e.gsize ~cost
+    | None -> ()
+
+  (* Victim: smallest H, ties towards the cold end; L rises to the
+     victim's H (GreedyDual-Size aging). *)
+  let evict t =
+    match t.gents with
+    | [] -> None
+    | (k0, e0) :: rest ->
+        let victim, victim_h =
+          List.fold_left
+            (fun (bk, bh) (k, e) -> if e.h <= bh then (k, e.h) else (bk, bh))
+            (k0, e0.h) rest
+        in
+        let e = List.assoc victim t.gents in
+        t.gents <- List.remove_assoc victim t.gents;
+        t.gused <- t.gused - e.gsize;
+        t.inflation <- victim_h;
+        Some victim
+
+  let insert t ~pos ~weight:w key =
+    Policy.check_weight ~who:"model.gds" w;
+    if mem t key then begin
+      reposition t ~pos key;
+      []
+    end
+    else if w.Policy.size > t.gcap then []
+    else begin
+      let victims = ref [] in
+      while t.gused + w.Policy.size > t.gcap do
+        match evict t with Some v -> victims := v :: !victims | None -> assert false
+      done;
+      let e = { gsize = w.Policy.size; h = priority t ~size:w.Policy.size ~cost:w.Policy.cost } in
+      (match pos with
+      | Policy.Hot -> t.gents <- (key, e) :: t.gents
+      | Policy.Cold -> t.gents <- t.gents @ [ (key, e) ]);
+      t.gused <- t.gused + w.Policy.size;
+      List.rev !victims
+    end
+
+  let remove t key =
+    match List.assoc_opt key t.gents with
+    | Some e ->
+        t.gents <- List.remove_assoc key t.gents;
+        t.gused <- t.gused - e.gsize
+    | None -> ()
+
+  let clear t =
+    t.gents <- [];
+    t.gused <- 0;
+    t.inflation <- 0.0
+end
+
+module Bundle = struct
+  include Landlord
+
+  let policy_name = "bundle"
+
+  let insert t ~pos ~weight:w key =
+    Policy.check_weight ~who:"model.bundle" w;
+    insert t ~pos ~weight:w key
+end

@@ -7,7 +7,15 @@
     them by {!Diff_engine}. The models are {e behaviourally identical} to
     the optimized caches: same eviction victims, same resident sets, same
     return values, for any operation sequence (the [Random] policy shares
-    the optimized cache's PRNG seed so even its victims coincide). *)
+    the optimized cache's PRNG seed so even its victims coincide).
+
+    The weighted surface restates {!Agg_cache.Policy.Weighted_of_unit}
+    over the unit models: while every resident is unit-size, [insert]
+    delegates to the model's native insert path; once non-unit sizes are
+    resident, room is made by repeated evictions; oversize keys bypass
+    the cache. The {!Landlord}, {!Gds} and {!Bundle} submodules are
+    list-based restatements of the weighted baselines in
+    [Agg_baselines]. *)
 
 type t
 
@@ -19,16 +27,25 @@ val create : ?seed:int -> Agg_cache.Cache.kind -> capacity:int -> t
 val kind : t -> Agg_cache.Cache.kind
 val capacity : t -> int
 val size : t -> int
+
+val used : t -> int
+(** Total resident size; equals {!size} at unit weights. *)
+
 val mem : t -> int -> bool
 
 val promote : t -> int -> unit
 (** Records an access to a resident key; no-op when absent — mirrors
     [Policy.S.promote]. *)
 
-val insert : t -> pos:Agg_cache.Policy.insert_position -> int -> int option
-(** Mirrors [Policy.S.insert]: makes the key resident, evicting if full,
-    and returns the victim; a resident key is only repositioned (returns
-    [None], never evicts). *)
+val insert :
+  t -> pos:Agg_cache.Policy.insert_position -> weight:Agg_cache.Policy.weight -> int -> int list
+(** Mirrors [Policy.S.insert]: makes the key resident, evicting as many
+    victims as its size requires, and returns them in eviction order; a
+    resident key is only repositioned (returns [[]], never evicts); an
+    oversize key bypasses the cache. *)
+
+val charge : t -> int -> cost:int -> unit
+(** Mirrors [Policy.S.charge] — a no-op for all ten unit-weight kinds. *)
 
 val evict : t -> int option
 (** Forces out the model's current victim; [None] when empty. *)
@@ -40,3 +57,36 @@ val contents : t -> int list
 val clear : t -> unit
 (** Mirrors [Policy.S.clear], including what it does {e not} reset (the
     [Random] PRNG stream continues, exactly like the optimized cache). *)
+
+(** Reference Landlord (Young's rent-based file caching): each resident
+    holds credit, initially its retrieval cost; eviction charges every
+    resident rent proportional to its size at the minimal credit/size
+    ratio and removes the resident whose credit reaches zero (ties
+    towards the cold end of the recency order). A demand hit re-credits
+    the key via [charge]. *)
+module Landlord : sig
+  include Agg_cache.Policy.S
+
+  val request_bundle : t -> weight_of:(int -> Agg_cache.Policy.weight) -> int list -> int list
+  (** [request_bundle t ~weight_of keys] serves one bundle request:
+      resident members are promoted and re-credited, missing members are
+      inserted hot with their weights. Returns all victims in eviction
+      order. Duplicate members are served once. *)
+end
+
+(** Reference GreedyDual-Size: priority [H = L + cost/size] assigned on
+    insertion and on [charge]; the victim is the minimal-[H] resident
+    (ties towards the cold end) and the inflation floor [L] rises to the
+    victim's priority. *)
+module Gds : Agg_cache.Policy.S
+
+(** Reference bundle-caching policy — Landlord mechanics with the
+    bundle entry point as the primary interface (Qin & Etesami's
+    file-bundle setting, where an aggregated group fetch arrives as one
+    request). Singleton requests make it coincide with {!Landlord}. *)
+module Bundle : sig
+  include Agg_cache.Policy.S
+
+  val request_bundle : t -> weight_of:(int -> Agg_cache.Policy.weight) -> int list -> int list
+  (** See {!Landlord.request_bundle}. *)
+end

@@ -111,7 +111,7 @@ let insert_cold_group cache members =
   for _ = 1 to need do
     ignore (Model_cache.evict cache)
   done;
-  List.iter (fun k -> ignore (Model_cache.insert cache ~pos:Agg_cache.Policy.Cold k)) admitted;
+  List.iter (fun k -> ignore (Model_cache.insert cache ~pos:Agg_cache.Policy.Cold ~weight:Agg_cache.Policy.unit_weight k)) admitted;
   admitted
 
 (* --- the aggregating client --------------------------------------------- *)
@@ -161,7 +161,7 @@ module Client = struct
         List.iter
           (fun file ->
             if not (Model_cache.mem t.cache file) then begin
-              ignore (Model_cache.insert t.cache ~pos:Agg_cache.Policy.Hot file);
+              ignore (Model_cache.insert t.cache ~pos:Agg_cache.Policy.Hot ~weight:Agg_cache.Policy.unit_weight file);
               mark_speculative t file
             end)
           members
@@ -179,7 +179,7 @@ module Client = struct
       true
     end
     else begin
-      ignore (Model_cache.insert t.cache ~pos:Agg_cache.Policy.Hot file);
+      ignore (Model_cache.insert t.cache ~pos:Agg_cache.Policy.Hot ~weight:Agg_cache.Policy.unit_weight file);
       if List.mem file t.speculative then begin
         t.prefetch_evicted_unused <- t.prefetch_evicted_unused + 1;
         forget_speculative t file
@@ -274,7 +274,7 @@ module Server = struct
         List.iter
           (fun file ->
             if not (Model_cache.mem t.server file) then begin
-              ignore (Model_cache.insert t.server ~pos:Agg_cache.Policy.Hot file);
+              ignore (Model_cache.insert t.server ~pos:Agg_cache.Policy.Hot ~weight:Agg_cache.Policy.unit_weight file);
               mark_speculative t file
             end)
           members
@@ -294,7 +294,7 @@ module Server = struct
       Server_cache.Server_hit
     end
     else begin
-      ignore (Model_cache.insert t.server ~pos:Agg_cache.Policy.Hot file);
+      ignore (Model_cache.insert t.server ~pos:Agg_cache.Policy.Hot ~weight:Agg_cache.Policy.unit_weight file);
       if List.mem file t.speculative then begin
         t.prefetch_evicted_unused <- t.prefetch_evicted_unused + 1;
         forget_speculative t file
@@ -320,7 +320,7 @@ module Server = struct
       Server_cache.Client_hit
     end
     else begin
-      ignore (Model_cache.insert t.client ~pos:Agg_cache.Policy.Hot file);
+      ignore (Model_cache.insert t.client ~pos:Agg_cache.Policy.Hot ~weight:Agg_cache.Policy.unit_weight file);
       serve t file
     end
 

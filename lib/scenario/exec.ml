@@ -89,6 +89,11 @@ let run_cell (t : Scenario.t) trace policy =
     | [] -> None
     | s :: _ -> Some (Agg_obs.Series.create ~window:s.Scenario.slo_window)
   in
+  let scope =
+    match series with
+    | None -> None
+    | Some series -> Some (Agg_obs.Scope.create ~series ())
+  in
   let metrics =
     match t.Scenario.topology with
     | Scenario.Path { client_capacity; server_capacity } ->
@@ -100,7 +105,7 @@ let run_cell (t : Scenario.t) trace policy =
             client = scheme;
             server = Scheme.plain_lru;
             faults = t.Scenario.faults;
-            series;
+            scope;
           }
         in
         let r = Path.run config trace in
@@ -127,7 +132,7 @@ let run_cell (t : Scenario.t) trace policy =
             server_capacity;
             server_scheme = scheme;
             faults = t.Scenario.faults;
-            series;
+            scope;
           }
         in
         let r = Fleet.run config trace in
@@ -158,7 +163,7 @@ let run_cell (t : Scenario.t) trace policy =
             node_scheme = scheme;
             faults = t.Scenario.faults;
             churn;
-            series;
+            scope;
           }
         in
         let r = Cluster.run config trace in
@@ -421,7 +426,7 @@ let check_slo cells (s : Scenario.slo) =
 
 (* --- the executor ---------------------------------------------------------- *)
 
-let run ?(jobs = 1) ?events_cap ?profiler (t : Scenario.t) =
+let run ?(jobs = 1) ?events_cap ?scope (t : Scenario.t) =
   match Scenario.validate t with
   | exception Invalid_argument msg -> Error msg
   | () -> (
@@ -429,7 +434,7 @@ let run ?(jobs = 1) ?events_cap ?profiler (t : Scenario.t) =
       | Error _ as e -> e
       | Ok trace ->
           let run_one policy =
-            match profiler with
+            match Agg_obs.Scope.profiler scope with
             | None -> run_cell t trace policy
             | Some r ->
                 Agg_obs.Span.record r ~cat:"scenario"

@@ -42,12 +42,13 @@ type outcome = {
 val run :
   ?jobs:int ->
   ?events_cap:int ->
-  ?profiler:Agg_obs.Span.recorder ->
+  ?scope:Agg_obs.Scope.t ->
   Scenario.t ->
   (outcome, string) result
 (** Executes the scenario. [jobs] sizes the domain pool (default 1);
-    [events_cap] truncates the workload for fast CI runs; [profiler]
-    receives one span per cell (category ["scenario"]).
+    [events_cap] truncates the workload for fast CI runs; the [scope]'s
+    profiler, when set, receives one span per cell (category
+    ["scenario"]).
 
     [Error] covers everything a scenario file can get wrong at run time,
     each as a one-line message naming the offending input: an invalid

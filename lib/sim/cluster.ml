@@ -70,7 +70,7 @@ let sweep ?(node_counts = default_node_counts) ?(node_loss_rates = default_node_
       (Cluster_sim.placement_name placement)
       (Scheme.name scheme) node_loss
   in
-  Experiment.grid ?profiler:runner.Experiment.Runner.profiler ~span_label ~settings ~rows
+  Experiment.grid ?profiler:(Experiment.Runner.profiler runner) ~span_label ~settings ~rows
     ~cols:node_loss_rates (fun (nodes, scheme, replicas, placement) node_loss ->
       let config = cell_config ~nodes ~replicas ~placement ~scheme ~node_loss in
       let r = Cluster_sim.run config trace in

@@ -12,18 +12,15 @@ let default_settings =
 let quick_settings = { default_settings with events = 6_000 }
 
 module Runner = struct
-  type nonrec t = {
-    settings : settings;
-    profiler : Agg_obs.Span.recorder option;
-    sink_for : (label:string -> Agg_obs.Sink.t) option;
-  }
+  type nonrec t = { settings : settings; scope : Agg_obs.Scope.t option }
 
-  let create ?jobs ?profiler ?sink_for ?(settings = default_settings) () =
+  let create ?jobs ?scope ?(settings = default_settings) () =
     let settings = match jobs with None -> settings | Some jobs -> { settings with jobs } in
-    { settings; profiler; sink_for }
+    { settings; scope }
 
   let default = create ()
-  let sink t label = match t.sink_for with None -> Agg_obs.Sink.noop | Some f -> f ~label
+  let profiler t = Agg_obs.Scope.profiler t.scope
+  let sink t label = Agg_obs.Scope.sink_for t.scope label
 end
 
 let grid ?profiler ?span_label ~settings ~rows ~cols f =

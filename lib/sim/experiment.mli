@@ -28,39 +28,35 @@ val quick_settings : settings
 (** A small configuration for tests: 6k events. *)
 
 (** One value describing {e how} a sweep is evaluated — settings,
-    parallelism, profiling and event sinks — so every figure exposes the
-    same [run : Runner.t -> figure] entry point instead of its own
-    combination of optional arguments. The per-figure [figure]/[panel]
-    signatures remain as thin wrappers for one release; new code should
-    construct a runner. *)
+    parallelism and one {!Agg_obs.Scope} holding every instrument — so
+    every figure exposes the same [run : Runner.t -> figure] (and
+    [panel : runner:Runner.t -> ...]) entry point instead of its own
+    combination of optional arguments. *)
 module Runner : sig
   type nonrec t = {
     settings : settings;
-    profiler : Agg_obs.Span.recorder option;
-        (** when set, each sweep cell is timed as one {!Agg_obs.Span} *)
-    sink_for : (label:string -> Agg_obs.Sink.t) option;
-        (** per-cell event sinks, keyed by the cell's span label (e.g.
-            ["fig3/server/g5/c300"]); [None] = no-op sinks everywhere.
-            Because each cell owns its sink, event sequences are identical
-            for any [settings.jobs] — supply a distinct sink per label
-            when running with several domains. *)
+    scope : Agg_obs.Scope.t option;
+        (** the sweep's observability — profiler and per-cell sinks
+            (the scope's [sink_for] is keyed by the cell's span label,
+            e.g. ["fig3/server/g5/c300"]; because each cell owns its
+            sink, event sequences are identical for any [settings.jobs]
+            — supply a distinct sink per label when running with several
+            domains). [None] (the default) is telemetry off. *)
   }
 
-  val create :
-    ?jobs:int ->
-    ?profiler:Agg_obs.Span.recorder ->
-    ?sink_for:(label:string -> Agg_obs.Sink.t) ->
-    ?settings:settings ->
-    unit ->
-    t
-  (** [create ()] is {!default_settings} with no profiling and no sinks;
-      [jobs], when given, overrides [settings.jobs]. *)
+  val create : ?jobs:int -> ?scope:Agg_obs.Scope.t -> ?settings:settings -> unit -> t
+  (** [create ()] is {!default_settings} with no scope; [jobs], when
+      given, overrides [settings.jobs]. *)
 
   val default : t
 
+  val profiler : t -> Agg_obs.Span.recorder option
+  (** The scope's span recorder, if any — each sweep cell is timed as
+      one {!Agg_obs.Span} when set. *)
+
   val sink : t -> string -> Agg_obs.Sink.t
   (** [sink t label] is the sink for the cell labelled [label]
-      ({!Agg_obs.Sink.noop} when [sink_for] is unset). *)
+      ({!Agg_obs.Sink.noop} when the scope sets no sinks). *)
 end
 
 val grid :

@@ -3,21 +3,18 @@ let default_group_sizes = [ 1; 2; 3; 5; 7; 10 ]
 
 let label_of_group g = if g = 1 then "lru" else Printf.sprintf "g%d" g
 
-let panel ?profiler ?sink_for ?(settings = Experiment.default_settings)
-    ?(capacities = default_capacities) ?(group_sizes = default_group_sizes) profile =
+let panel ?(capacities = default_capacities) ?(group_sizes = default_group_sizes)
+    ~(runner : Experiment.Runner.t) profile =
+  let settings = runner.Experiment.Runner.settings in
   (* the client only consumes file ids: fold over the memoised id array *)
   let files = Trace_store.files ~settings profile in
   let span_label g capacity =
     Printf.sprintf "fig3/%s/g%d/c%d" profile.Agg_workload.Profile.name g capacity
   in
-  let sink g capacity =
-    match sink_for with
-    | Some f -> f ~group:g ~capacity
-    | None -> Agg_obs.Sink.noop
-  in
+  let sink g capacity = Experiment.Runner.sink runner (span_label g capacity) in
   let series =
-    Experiment.grid ?profiler ~span_label ~settings ~rows:group_sizes ~cols:capacities
-      (fun g capacity ->
+    Experiment.grid ?profiler:(Experiment.Runner.profiler runner) ~span_label ~settings
+      ~rows:group_sizes ~cols:capacities (fun g capacity ->
         let config = Agg_core.Config.with_group_size g Agg_core.Config.default in
         let cache = Agg_core.Client_cache.create ~config ~obs:(sink g capacity) ~capacity () in
         let m = Agg_core.Client_cache.run_files cache files in
@@ -36,23 +33,9 @@ let panel ?profiler ?sink_for ?(settings = Experiment.default_settings)
   }
 
 let run (runner : Experiment.Runner.t) =
-  let panel_for profile =
-    let sink_for =
-      Option.map
-        (fun f ~group ~capacity ->
-          f
-            ~label:
-              (Printf.sprintf "fig3/%s/g%d/c%d" profile.Agg_workload.Profile.name group capacity))
-        runner.Experiment.Runner.sink_for
-    in
-    panel ?profiler:runner.Experiment.Runner.profiler ?sink_for
-      ~settings:runner.Experiment.Runner.settings profile
-  in
+  let panel_for profile = panel ~runner profile in
   {
     Experiment.id = "fig3";
     title = "Client demand fetches vs cache capacity, by group size";
     panels = [ panel_for Agg_workload.Profile.server; panel_for Agg_workload.Profile.write ];
   }
-
-let figure ?profiler ?(settings = Experiment.default_settings) () =
-  run (Experiment.Runner.create ?profiler ~settings ())

@@ -8,29 +8,17 @@ val default_group_sizes : int list
 (** 1, 2, 3, 5, 7, 10. *)
 
 val panel :
-  ?profiler:Agg_obs.Span.recorder ->
-  ?sink_for:(group:int -> capacity:int -> Agg_obs.Sink.t) ->
-  ?settings:Experiment.settings ->
   ?capacities:int list ->
   ?group_sizes:int list ->
+  runner:Experiment.Runner.t ->
   Agg_workload.Profile.t ->
   Experiment.panel
 (** Demand-fetch counts for one workload. The same generated trace is
-    replayed through every (capacity, group size) configuration.
-
-    [profiler] times each sweep cell as a span named
-    ["fig3/<workload>/g<G>/c<C>"]. [sink_for] supplies a per-cell event
-    sink (default: no-op); because each cell owns its sink, event
-    sequences are identical for any [settings.jobs] — give each cell a
-    distinct sink when running with several domains. *)
+    replayed through every (capacity, group size) configuration. Each
+    sweep cell is profiled and sinked through the runner's scope under
+    its span label ["fig3/<workload>/g<G>/c<C>"]. *)
 
 val run : Experiment.Runner.t -> Experiment.figure
 (** Both paper panels — [server] (3a) and [write] (3b) — under the
-    runner's settings, profiler and sinks. The runner's [sink_for] is
-    keyed by span label (["fig3/<workload>/g<G>/c<C>"]). This is the
-    preferred entry point; {!figure} is a thin wrapper kept for one
-    release. *)
-
-val figure :
-  ?profiler:Agg_obs.Span.recorder -> ?settings:Experiment.settings -> unit -> Experiment.figure
-(** Deprecated spelling of {!run} (no sinks). *)
+    runner's settings and scope (cells keyed by span label
+    ["fig3/<workload>/g<G>/c<C>"]). *)

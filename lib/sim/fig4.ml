@@ -9,9 +9,10 @@ let schemes ~group_size =
     ("lfu", Agg_core.Server_cache.Plain Agg_cache.Cache.Lfu);
   ]
 
-let panel ?profiler ?sink_for ?(settings = Experiment.default_settings)
-    ?(filter_capacities = default_filter_capacities) ?(server_capacity = default_server_capacity)
-    ?(group_size = 5) ?(cooperative = false) profile =
+let panel ?(filter_capacities = default_filter_capacities)
+    ?(server_capacity = default_server_capacity) ?(group_size = 5) ?(cooperative = false)
+    ~(runner : Experiment.Runner.t) profile =
+  let settings = runner.Experiment.Runner.settings in
   (* the simulation only consumes file ids: use the memoised id array *)
   let files = Trace_store.files ~settings profile in
   let span_label (scheme_label, _) filter_capacity =
@@ -19,13 +20,12 @@ let panel ?profiler ?sink_for ?(settings = Experiment.default_settings)
       filter_capacity
   in
   let sink scheme_label filter_capacity =
-    match sink_for with
-    | Some f -> f ~scheme:scheme_label ~filter_capacity
-    | None -> Agg_obs.Sink.noop
+    Experiment.Runner.sink runner (span_label (scheme_label, ()) filter_capacity)
   in
   let series =
-    Experiment.grid ?profiler ~span_label ~settings ~rows:(schemes ~group_size)
-      ~cols:filter_capacities (fun (scheme_label, scheme) filter_capacity ->
+    Experiment.grid ?profiler:(Experiment.Runner.profiler runner) ~span_label ~settings
+      ~rows:(schemes ~group_size) ~cols:filter_capacities
+      (fun (scheme_label, scheme) filter_capacity ->
         let sim =
           Agg_core.Server_cache.create ~cooperative ~obs:(sink scheme_label filter_capacity)
             ~filter_kind:Agg_cache.Cache.Lru ~filter_capacity ~server_capacity ~scheme ()
@@ -46,19 +46,7 @@ let panel ?profiler ?sink_for ?(settings = Experiment.default_settings)
   }
 
 let run (runner : Experiment.Runner.t) =
-  let panel_for profile =
-    let sink_for =
-      Option.map
-        (fun f ~scheme ~filter_capacity ->
-          f
-            ~label:
-              (Printf.sprintf "fig4/%s/%s/f%d" profile.Agg_workload.Profile.name scheme
-                 filter_capacity))
-        runner.Experiment.Runner.sink_for
-    in
-    panel ?profiler:runner.Experiment.Runner.profiler ?sink_for
-      ~settings:runner.Experiment.Runner.settings profile
-  in
+  let panel_for profile = panel ~runner profile in
   {
     Experiment.id = "fig4";
     title =
@@ -72,5 +60,3 @@ let run (runner : Experiment.Runner.t) =
       ];
   }
 
-let figure ?profiler ?(settings = Experiment.default_settings) () =
-  run (Experiment.Runner.create ?profiler ~settings ())

@@ -9,29 +9,18 @@ val default_server_capacity : int
 (** 300 files. *)
 
 val panel :
-  ?profiler:Agg_obs.Span.recorder ->
-  ?sink_for:(scheme:string -> filter_capacity:int -> Agg_obs.Sink.t) ->
-  ?settings:Experiment.settings ->
   ?filter_capacities:int list ->
   ?server_capacity:int ->
   ?group_size:int ->
   ?cooperative:bool ->
+  runner:Experiment.Runner.t ->
   Agg_workload.Profile.t ->
   Experiment.panel
-(** Server hit rate (%) for one workload.
-
-    [profiler] times each sweep cell as a span named
-    ["fig4/<workload>/<scheme>/f<C>"]. [sink_for] supplies a per-cell
-    event sink keyed by scheme label ("g5"/"lru"/"lfu") and filter
-    capacity (default: no-op); per-cell sinks keep event sequences
-    independent of [settings.jobs]. *)
+(** Server hit rate (%) for one workload. Each sweep cell is profiled
+    and sinked through the runner's scope under its span label
+    ["fig4/<workload>/<scheme>/f<C>"] (scheme is "g5"/"lru"/"lfu"). *)
 
 val run : Experiment.Runner.t -> Experiment.figure
 (** The paper's three panels — [workstation] (4a), [users] (4b),
-    [server] (4c) — under the runner's settings, profiler and sinks
-    (keyed by span label ["fig4/<workload>/<scheme>/f<C>"]). Preferred
-    entry point; {!figure} is a thin wrapper kept for one release. *)
-
-val figure :
-  ?profiler:Agg_obs.Span.recorder -> ?settings:Experiment.settings -> unit -> Experiment.figure
-(** Deprecated spelling of {!run} (no sinks). *)
+    [server] (4c) — under the runner's settings and scope (cells keyed
+    by span label ["fig4/<workload>/<scheme>/f<C>"]). *)

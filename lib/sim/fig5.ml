@@ -49,20 +49,18 @@ let oracle_miss_probability files =
     files;
   Agg_util.Stats.ratio !missed !tested
 
-let panel ?profiler ?sink_for ?(settings = Experiment.default_settings)
-    ?(capacities = default_capacities) profile =
+let panel ?(capacities = default_capacities) ~(runner : Experiment.Runner.t) profile =
+  let settings = runner.Experiment.Runner.settings in
   let files = Trace_store.files ~settings profile in
   let fixed_oracle = oracle_miss_probability files in
   let span_label (policy_label, _) capacity =
     Printf.sprintf "fig5/%s/%s/k%d" profile.Agg_workload.Profile.name policy_label capacity
   in
   let sink policy_label capacity =
-    match sink_for with
-    | Some f -> f ~policy:policy_label ~capacity
-    | None -> Agg_obs.Sink.noop
+    Experiment.Runner.sink runner (span_label (policy_label, ()) capacity)
   in
   let online =
-    Experiment.grid ?profiler ~span_label ~settings
+    Experiment.grid ?profiler:(Experiment.Runner.profiler runner) ~span_label ~settings
       ~rows:[ ("lru", Successor_list.Recency); ("lfu", Successor_list.Frequency) ]
       ~cols:capacities
       (fun (policy_label, policy) capacity ->
@@ -88,23 +86,10 @@ let panel ?profiler ?sink_for ?(settings = Experiment.default_settings)
   }
 
 let run (runner : Experiment.Runner.t) =
-  let panel_for profile =
-    let sink_for =
-      Option.map
-        (fun f ~policy ~capacity ->
-          f
-            ~label:
-              (Printf.sprintf "fig5/%s/%s/k%d" profile.Agg_workload.Profile.name policy capacity))
-        runner.Experiment.Runner.sink_for
-    in
-    panel ?profiler:runner.Experiment.Runner.profiler ?sink_for
-      ~settings:runner.Experiment.Runner.settings profile
-  in
+  let panel_for profile = panel ~runner profile in
   {
     Experiment.id = "fig5";
     title = "Probability of successor-list replacement evicting a future successor";
     panels = [ panel_for Agg_workload.Profile.workstation; panel_for Agg_workload.Profile.server ];
   }
 
-let figure ?profiler ?(settings = Experiment.default_settings) () =
-  run (Experiment.Runner.create ?profiler ~settings ())

@@ -9,26 +9,18 @@ val default_capacities : int list
 (** 1–10. *)
 
 val panel :
-  ?profiler:Agg_obs.Span.recorder ->
-  ?sink_for:(policy:string -> capacity:int -> Agg_obs.Sink.t) ->
-  ?settings:Experiment.settings ->
   ?capacities:int list ->
+  runner:Experiment.Runner.t ->
   Agg_workload.Profile.t ->
   Experiment.panel
-(** [profiler] times each sweep cell as a span named
-    ["fig5/<workload>/<policy>/k<C>"]. [sink_for] supplies a per-cell
-    event sink keyed by policy label ("lru"/"lfu") and list capacity
-    (default: no-op). *)
+(** Miss probabilities for one workload. Each sweep cell is profiled
+    and sinked through the runner's scope under its span label
+    ["fig5/<workload>/<policy>/k<C>"] (policy is "lru"/"lfu"). *)
 
 val run : Experiment.Runner.t -> Experiment.figure
 (** The paper's panels — [workstation] (5a) and [server] (5b) — under
-    the runner's settings, profiler and sinks (keyed by span label
-    ["fig5/<workload>/<policy>/k<C>"]). Preferred entry point; {!figure}
-    is a thin wrapper kept for one release. *)
-
-val figure :
-  ?profiler:Agg_obs.Span.recorder -> ?settings:Experiment.settings -> unit -> Experiment.figure
-(** Deprecated spelling of {!run} (no sinks). *)
+    the runner's settings and scope (cells keyed by span label
+    ["fig5/<workload>/<policy>/k<C>"]). *)
 
 val miss_probability :
   ?obs:Agg_obs.Sink.t ->

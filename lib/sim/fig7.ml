@@ -14,7 +14,7 @@ let run ?(lengths = default_lengths) (runner : Experiment.Runner.t) =
     Printf.sprintf "fig7/%s/l%d" profile.Agg_workload.Profile.name length
   in
   let series =
-    Experiment.grid ?profiler:runner.Experiment.Runner.profiler ~span_label ~settings
+    Experiment.grid ?profiler:(Experiment.Runner.profiler runner) ~span_label ~settings
       ~rows:profiles ~cols:lengths (fun profile length ->
         Agg_entropy.Entropy.of_files ~length (Trace_store.files ~settings profile))
     |> List.map (fun (profile, points) ->
@@ -37,5 +37,3 @@ let run ?(lengths = default_lengths) (runner : Experiment.Runner.t) =
       ];
   }
 
-let figure ?(settings = Experiment.default_settings) ?lengths () =
-  run ?lengths (Experiment.Runner.create ~settings ())

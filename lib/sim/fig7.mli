@@ -8,9 +8,5 @@ val default_lengths : int list
 
 val run : ?lengths:int list -> Experiment.Runner.t -> Experiment.figure
 (** A single panel with all four workload series, under the runner's
-    settings and profiler (spans named ["fig7/<workload>/l<L>"]; this
-    figure emits no events, so the runner's sinks are unused). Preferred
-    entry point; {!figure} is a thin wrapper kept for one release. *)
-
-val figure : ?settings:Experiment.settings -> ?lengths:int list -> unit -> Experiment.figure
-(** Deprecated spelling of {!run}. *)
+    settings and scope (spans named ["fig7/<workload>/l<L>"]; this
+    figure emits no events, so the scope's sinks are unused). *)

@@ -1,7 +1,8 @@
 let default_filter_capacities = [ 1; 10; 50; 100; 500; 1000 ]
 
-let panel ?profiler ?(settings = Experiment.default_settings)
-    ?(filter_capacities = default_filter_capacities) ?(lengths = Fig7.default_lengths) profile =
+let panel ?(filter_capacities = default_filter_capacities) ?(lengths = Fig7.default_lengths)
+    ~(runner : Experiment.Runner.t) profile =
+  let settings = runner.Experiment.Runner.settings in
   let trace = Trace_store.get ~settings profile in
   (* two parallel stages: filter each capacity's miss stream, then sweep
      every (capacity, length) entropy cell over the shared streams *)
@@ -15,7 +16,8 @@ let panel ?profiler ?(settings = Experiment.default_settings)
     Printf.sprintf "fig8/%s/f%d/l%d" profile.Agg_workload.Profile.name capacity length
   in
   let series =
-    Experiment.grid ?profiler ~span_label ~settings ~rows:missed ~cols:lengths
+    Experiment.grid ?profiler:(Experiment.Runner.profiler runner) ~span_label ~settings
+      ~rows:missed ~cols:lengths
       (fun (_, files) length -> Agg_entropy.Entropy.of_files ~length files)
     |> List.map (fun ((capacity, _), points) ->
            {
@@ -31,15 +33,10 @@ let panel ?profiler ?(settings = Experiment.default_settings)
   }
 
 let run (runner : Experiment.Runner.t) =
-  let panel_for profile =
-    panel ?profiler:runner.Experiment.Runner.profiler
-      ~settings:runner.Experiment.Runner.settings profile
-  in
+  let panel_for profile = panel ~runner profile in
   {
     Experiment.id = "fig8";
     title = "Successor entropy of LRU-filtered miss streams, by filter capacity";
     panels = [ panel_for Agg_workload.Profile.write; panel_for Agg_workload.Profile.users ];
   }
 
-let figure ?(settings = Experiment.default_settings) () =
-  run (Experiment.Runner.create ~settings ())

@@ -8,20 +8,15 @@ val default_filter_capacities : int list
 (** 1, 10, 50, 100, 500, 1000 — the paper's filter sizes. *)
 
 val panel :
-  ?profiler:Agg_obs.Span.recorder ->
-  ?settings:Experiment.settings ->
   ?filter_capacities:int list ->
   ?lengths:int list ->
+  runner:Experiment.Runner.t ->
   Agg_workload.Profile.t ->
   Experiment.panel
-(** [profiler] times each entropy cell as a span named
-    ["fig8/<workload>/f<C>/l<L>"]. *)
+(** The runner's scope profiles each entropy cell as a span named
+    ["fig8/<workload>/f<C>/l<L>"] (no events are emitted). *)
 
 val run : Experiment.Runner.t -> Experiment.figure
 (** The paper's panels — [write] (8a) and [users] (8b) — under the
-    runner's settings and profiler (this figure emits no events, so the
-    runner's sinks are unused). Preferred entry point; {!figure} is a
-    thin wrapper kept for one release. *)
-
-val figure : ?settings:Experiment.settings -> unit -> Experiment.figure
-(** Deprecated spelling of {!run}. *)
+    runner's settings and scope (this figure emits no events, so the
+    scope's sinks are unused). *)

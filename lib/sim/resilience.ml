@@ -24,7 +24,7 @@ let sweep ?(loss_rates = default_loss_rates) ?(schemes = default_schemes)
     Printf.sprintf "resilience/%s/%s/p%g" profile.Agg_workload.Profile.name (Scheme.name scheme)
       loss_rate
   in
-  Experiment.grid ?profiler:runner.Experiment.Runner.profiler ~span_label ~settings
+  Experiment.grid ?profiler:(Experiment.Runner.profiler runner) ~span_label ~settings
     ~rows:schemes ~cols:loss_rates (fun scheme loss_rate ->
       let faults = { Plan.none with Plan.loss_rate } in
       let config = { Path.default_config with Path.client = scheme; faults } in

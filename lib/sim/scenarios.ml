@@ -17,7 +17,7 @@ let run_corpus ?events_cap ~(runner : Experiment.Runner.t) dir =
         | Error _ as e -> e
         | Ok s ->
             Exec.run ~jobs:runner.Experiment.Runner.settings.Experiment.jobs ?events_cap
-              ?profiler:runner.Experiment.Runner.profiler s
+              ?scope:runner.Experiment.Runner.scope s
       in
       { file; outcome })
     (corpus_files dir)

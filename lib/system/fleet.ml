@@ -14,8 +14,7 @@ type config = {
   write_invalidation : bool;
   faults : Plan.config;
   resilience : Resilience.t;
-  series : Agg_obs.Series.t option;
-  trace_ctx : Agg_obs.Trace_ctx.t option;
+  scope : Agg_obs.Scope.t option;
 }
 
 let default_config =
@@ -29,8 +28,7 @@ let default_config =
     write_invalidation = true;
     faults = Plan.none;
     resilience = Resilience.default;
-    series = None;
-    trace_ctx = None;
+    scope = None;
   }
 
 type result = {
@@ -224,7 +222,7 @@ let serve st ~client ~time ~tracing file =
          (counted against the server cache as usual), but no group is built,
          no members travel, and the server stages nothing speculative. *)
       st.counters.Counters.degraded_fetches <- st.counters.Counters.degraded_fetches + 1;
-      (match st.config.series with
+      (match Agg_obs.Scope.series st.config.scope with
       | Some s -> Agg_obs.Series.observe_degraded s ~index:time
       | None -> ());
       if Cache.access st.server file then st.server_hits <- st.server_hits + 1
@@ -246,7 +244,7 @@ let access st (e : Agg_trace.Event.t) =
   cs.accesses <- cs.accesses + 1;
   let file = e.Agg_trace.Event.file in
   let tracing =
-    match st.config.trace_ctx with
+    match Agg_obs.Scope.trace_ctx st.config.scope with
     | Some ctx when Agg_obs.Trace_ctx.sampled ctx ~request:time -> Some ctx
     | _ -> None
   in
@@ -258,10 +256,10 @@ let access st (e : Agg_trace.Event.t) =
     end
     else serve st ~client ~time ~tracing file
   in
-  (match st.config.trace_ctx with
+  (match Agg_obs.Scope.trace_ctx st.config.scope with
   | Some ctx -> Agg_obs.Trace_ctx.commit ctx ~request:time ~file ~latency_ms:waited
   | None -> ());
-  (match st.config.series with
+  (match Agg_obs.Scope.series st.config.scope with
   | Some s ->
       Agg_obs.Series.observe_access s ~index:time ~hit;
       Agg_obs.Series.observe_node s ~index:time ~node:client

@@ -34,22 +34,21 @@ type config = {
   faults : Agg_faults.Plan.config;
       (** fault plan; [Agg_faults.Plan.none] = healthy network *)
   resilience : Agg_faults.Resilience.t;  (** retry / degradation policy *)
-  series : Agg_obs.Series.t option;
-      (** when [Some s], every access is folded into the windowed
-          time-series: hit/miss, degraded fetches and the per-client load
-          (the client id doubles as the series' node id — the fleet has
-          no latency model, so no latency samples are recorded); default
-          [None] (zero-cost) *)
-  trace_ctx : Agg_obs.Trace_ctx.t option;
-      (** when [Some c], sampled requests record span trees over the
-          resilience waits (per-attempt timeout/backoff) — the only
-          simulated time the fleet models; default [None] (zero-cost) *)
+  scope : Agg_obs.Scope.t option;
+      (** observability (default [None] = off, zero cost): the scope's
+          [series] folds every access into the windowed time-series —
+          hit/miss, degraded fetches and the per-client load (the client
+          id doubles as the series' node id; the fleet has no latency
+          model, so no latency samples are recorded) — and its
+          [trace_ctx] records span trees over the resilience waits
+          (per-attempt timeout/backoff), the only simulated time the
+          fleet models *)
 }
 
 val default_config : config
 (** 4 clients of 150 files (aggregating, g = 5), a 300-file aggregating
     server, per-client metadata, write invalidation on, no faults, no
-    series or trace context. *)
+    scope (telemetry off). *)
 
 type result = {
   accesses : int;

@@ -19,9 +19,7 @@ type config = {
   server : Scheme.t;
   faults : Plan.config;
   resilience : Resilience.t;
-  obs : Agg_obs.Sink.t;
-  series : Agg_obs.Series.t option;
-  trace_ctx : Agg_obs.Trace_ctx.t option;
+  scope : Agg_obs.Scope.t option;
 }
 
 let default_config =
@@ -33,9 +31,7 @@ let default_config =
     server = Scheme.plain_lru;
     faults = Plan.none;
     resilience = Resilience.default;
-    obs = Agg_obs.Sink.noop;
-    series = None;
-    trace_ctx = None;
+    scope = None;
   }
 
 let with_deployment ?(group_size = 5) deployment config =
@@ -176,7 +172,7 @@ let push_wait_phases ctx r ~failures =
   done
 
 let remote_fetch st ~time ~tracing file =
-  let obs = st.config.obs in
+  let obs = Agg_obs.Scope.sink st.config.scope in
   let group =
     match Scheme.group_config st.config.client with
     | Some c ->
@@ -248,7 +244,7 @@ let remote_fetch st ~time ~tracing file =
       if Agg_obs.Sink.enabled obs then
         Agg_obs.Sink.emit obs
           (Agg_obs.Event.Fetch_degraded { file; dropped = List.length members });
-      (match st.config.series with
+      (match Agg_obs.Scope.series st.config.scope with
       | Some s -> Agg_obs.Series.observe_degraded s ~index:time
       | None -> ());
       let fallback = complete_fetch st file [] in
@@ -267,13 +263,13 @@ let access st file =
     let wiped = Cache.size st.client in
     Cache.clear st.client;
     st.counters.Counters.crashes <- st.counters.Counters.crashes + 1;
-    if Agg_obs.Sink.enabled st.config.obs then
-      Agg_obs.Sink.emit st.config.obs (Agg_obs.Event.Client_crashed { client = 0; wiped })
+    if Agg_obs.Sink.enabled (Agg_obs.Scope.sink st.config.scope) then
+      Agg_obs.Sink.emit (Agg_obs.Scope.sink st.config.scope) (Agg_obs.Event.Client_crashed { client = 0; wiped })
   end;
   (* §3: access statistics are piggy-backed to the server's metadata *)
   Tracker.observe st.tracker file;
   let tracing =
-    match st.config.trace_ctx with
+    match Agg_obs.Scope.trace_ctx st.config.scope with
     | Some ctx when Agg_obs.Trace_ctx.sampled ctx ~request:time -> Some ctx
     | _ -> None
   in
@@ -289,10 +285,10 @@ let access st file =
     end
     else remote_fetch st ~time ~tracing file
   in
-  (match st.config.trace_ctx with
+  (match Agg_obs.Scope.trace_ctx st.config.scope with
   | Some ctx -> Agg_obs.Trace_ctx.commit ctx ~request:time ~file ~latency_ms:latency
   | None -> ());
-  (match st.config.series with
+  (match Agg_obs.Scope.series st.config.scope with
   | Some s ->
       Agg_obs.Series.observe_access s ~index:time ~hit;
       Agg_obs.Series.observe_latency s ~index:time

@@ -32,22 +32,21 @@ type config = {
   server : Scheme.t;  (** the server cache's scheme; [Aggregating] = staged readahead *)
   faults : Agg_faults.Plan.config;  (** fault plan; [Agg_faults.Plan.none] = healthy network *)
   resilience : Agg_faults.Resilience.t;  (** timeout / retry / degradation policy *)
-  obs : Agg_obs.Sink.t;
-      (** receives {!Agg_obs.Event.Fetch_timeout}, [Fetch_degraded] and
-          [Client_crashed] events; default {!Agg_obs.Sink.noop} *)
-  series : Agg_obs.Series.t option;
-      (** when [Some s], every access is folded into the windowed
-          time-series: hit/miss, demand latency (µs) and degraded
-          fetches, keyed by access index; default [None] (zero-cost) *)
-  trace_ctx : Agg_obs.Trace_ctx.t option;
-      (** when [Some c], sampled requests record span trees (client hit,
-          per-attempt timeout/backoff, fetch or degraded fallback) on the
-          simulated clock; default [None] (zero-cost) *)
+  scope : Agg_obs.Scope.t option;
+      (** observability, all in one place (default [None] = off, zero
+          cost): the scope's [sink] receives
+          {!Agg_obs.Event.Fetch_timeout}, [Fetch_degraded] and
+          [Client_crashed] events; its [series] folds every access into
+          the windowed time-series (hit/miss, demand latency in µs,
+          degraded fetches, keyed by access index); its [trace_ctx]
+          records span trees for sampled requests (client hit,
+          per-attempt timeout/backoff, fetch or degraded fallback) on
+          the simulated clock *)
 }
 
 val default_config : config
 (** LAN costs, 300-file client, 1000-file server, plain LRU at both
-    levels, no faults, no-op sink, no series or trace context. *)
+    levels, no faults, no scope (telemetry off). *)
 
 val with_deployment : ?group_size:int -> deployment -> config -> config
 (** [with_deployment d config] sets [config]'s schemes to the named

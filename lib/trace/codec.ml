@@ -4,31 +4,51 @@ let header = "#aggtrace v1"
 
 let parse_error line message = raise (Parse_error { line; message })
 
-let write_channel oc trace =
+let write_weights oc weights =
+  List.iter
+    (fun (file, (w : Agg_cache.Policy.weight)) ->
+      Printf.fprintf oc "w %d %d %d\n" file w.size w.cost)
+    (Weights.to_alist weights)
+
+let write_channel ?weights oc trace =
   output_string oc header;
   output_char oc '\n';
+  Option.iter (write_weights oc) weights;
   Trace.iter
     (fun (e : Event.t) ->
       Printf.fprintf oc "%d %c %d %d\n" e.seq (Event.op_to_char e.op) e.client e.file)
     trace
 
-let parse_event ~lineno ~expect_header line =
+type line = Event of Event.t | Weight of File_id.t * Agg_cache.Policy.weight | Blank
+
+let parse_line ~lineno ~expect_header line =
   let line = String.trim line in
-  if line = "" then None
+  if line = "" then Blank
   else if String.length line > 0 && line.[0] = '#' then begin
     if expect_header && lineno = 1 && line <> header then
       parse_error lineno (Printf.sprintf "unknown header %S (expected %S)" line header);
-    None
+    Blank
   end
   else
+    let int_field name s =
+      match int_of_string_opt s with
+      | Some v when v >= 0 -> v
+      | Some _ -> parse_error lineno (name ^ " must be non-negative")
+      | None -> parse_error lineno (Printf.sprintf "bad %s %S" name s)
+    in
+    let positive_field name s =
+      match int_of_string_opt s with
+      | Some v when v > 0 -> v
+      | Some v -> parse_error lineno (Printf.sprintf "%s must be positive (got %d)" name v)
+      | None -> parse_error lineno (Printf.sprintf "bad %s %S" name s)
+    in
     match String.split_on_char ' ' line |> List.filter (fun s -> s <> "") with
+    | [ "w"; file_s; size_s; cost_s ] ->
+        let file = int_field "file" file_s in
+        let size = positive_field "size" size_s in
+        let cost = positive_field "cost" cost_s in
+        Weight (file, { Agg_cache.Policy.size; cost })
     | [ seq_s; op_s; client_s; file_s ] ->
-        let int_field name s =
-          match int_of_string_opt s with
-          | Some v when v >= 0 -> v
-          | Some _ -> parse_error lineno (name ^ " must be non-negative")
-          | None -> parse_error lineno (Printf.sprintf "bad %s %S" name s)
-        in
         let op =
           if String.length op_s <> 1 then parse_error lineno (Printf.sprintf "bad op %S" op_s)
           else
@@ -39,13 +59,15 @@ let parse_event ~lineno ~expect_header line =
         let seq = int_field "seq" seq_s in
         let client = int_field "client" client_s in
         let file = int_field "file" file_s in
-        Some { Event.seq; op; client; file }
-    | _ -> parse_error lineno (Printf.sprintf "expected 'seq op client file', got %S" line)
+        Event { Event.seq; op; client; file }
+    | _ ->
+        parse_error lineno
+          (Printf.sprintf "expected 'seq op client file' or 'w file size cost', got %S" line)
 
-let parse_line ~lineno ~expect_header line trace =
-  match parse_event ~lineno ~expect_header line with
-  | Some event -> Trace.append trace event
-  | None -> ()
+let parse_event ~lineno ~expect_header line =
+  match parse_line ~lineno ~expect_header line with
+  | Event event -> Some event
+  | Weight _ | Blank -> None
 
 let fold_channel ic ~init ~f =
   let lineno = ref 0 in
@@ -61,15 +83,35 @@ let fold_channel ic ~init ~f =
    with End_of_file -> ());
   !acc
 
-let read_channel ic =
+let read_channel_weighted ic =
   let trace = Trace.create () in
-  fold_channel ic ~init:() ~f:(fun () event -> Trace.append trace event);
-  trace
+  let weights = Weights.create () in
+  let lineno = ref 0 in
+  (try
+     while true do
+       let line = input_line ic in
+       incr lineno;
+       match parse_line ~lineno:!lineno ~expect_header:true line with
+       | Event event -> Trace.append trace event
+       | Weight (file, w) -> Weights.set weights file w
+       | Blank -> ()
+     done
+   with End_of_file -> ());
+  (trace, weights)
 
-let to_string trace =
+let read_channel ic = fst (read_channel_weighted ic)
+
+let to_string ?weights trace =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf header;
   Buffer.add_char buf '\n';
+  Option.iter
+    (fun ws ->
+      List.iter
+        (fun (file, (w : Agg_cache.Policy.weight)) ->
+          Buffer.add_string buf (Printf.sprintf "w %d %d %d\n" file w.size w.cost))
+        (Weights.to_alist ws))
+    weights;
   Trace.iter
     (fun (e : Event.t) ->
       Buffer.add_string buf
@@ -77,19 +119,32 @@ let to_string trace =
     trace;
   Buffer.contents buf
 
-let of_string s =
+let of_string_weighted s =
   let trace = Trace.create () in
+  let weights = Weights.create () in
   let lines = String.split_on_char '\n' s in
-  List.iteri (fun i line -> parse_line ~lineno:(i + 1) ~expect_header:true line trace) lines;
-  trace
+  List.iteri
+    (fun i line ->
+      match parse_line ~lineno:(i + 1) ~expect_header:true line with
+      | Event event -> Trace.append trace event
+      | Weight (file, w) -> Weights.set weights file w
+      | Blank -> ())
+    lines;
+  (trace, weights)
 
-let write_file path trace =
+let of_string s = fst (of_string_weighted s)
+
+let write_file ?weights path trace =
   let oc = open_out path in
-  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> write_channel oc trace)
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> write_channel ?weights oc trace)
 
 let read_file path =
   let ic = open_in path in
   Fun.protect ~finally:(fun () -> close_in ic) (fun () -> read_channel ic)
+
+let read_file_weighted path =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> read_channel_weighted ic)
 
 let fold_file path ~init ~f =
   let ic = open_in path in

@@ -1,3 +1,13 @@
+type weighting =
+  | Unit_weights
+  | Pareto_weights of {
+      wseed : int;
+      alpha : float;
+      max_size : int;
+      cost_base : int;
+      cost_per_size : int;
+    }
+
 type t = {
   name : string;
   clients : int;
@@ -19,6 +29,7 @@ type t = {
   p_task_mutate : float;
   p_loop : float;
   loop_mean_reps : float;
+  weighting : weighting;
 }
 
 (* mozart: a personal workstation. One user, medium-length interactive
@@ -45,6 +56,7 @@ let workstation =
     p_task_mutate = 0.40;
     p_loop = 0.06;
     loop_mean_reps = 6.0;
+    weighting = Unit_weights;
   }
 
 (* ives: the system with the most users. Many fine-grained interleaved
@@ -71,6 +83,7 @@ let users =
     p_task_mutate = 0.15;
     p_loop = 0.09;
     loop_mean_reps = 10.0;
+    weighting = Unit_weights;
   }
 
 (* dvorak: the largest proportion of write activity, with short runs and a
@@ -97,6 +110,7 @@ let write =
     p_task_mutate = 0.20;
     p_loop = 0.04;
     loop_mean_reps = 4.0;
+    weighting = Unit_weights;
   }
 
 (* barber: a server with application-driven access patterns — long,
@@ -123,6 +137,7 @@ let server =
     p_task_mutate = 0.20;
     p_loop = 0.015;
     loop_mean_reps = 5.0;
+    weighting = Unit_weights;
   }
 
 (* Beyond the paper: a scientific data-lifecycle cache in the XRootD
@@ -150,6 +165,7 @@ let scientific =
     p_task_mutate = 0.10;
     p_loop = 0.02;
     loop_mean_reps = 4.0;
+    weighting = Unit_weights;
   }
 
 (* Streaming/video delivery (Friedlander & Aggarwal): long, highly
@@ -177,12 +193,68 @@ let streaming =
     p_task_mutate = 0.02;
     p_loop = 0.01;
     loop_mean_reps = 3.0;
+    weighting = Unit_weights;
+  }
+
+(* Weighted variants: the same calibrated access streams with a heavy-
+   tailed (truncated Pareto) file-size distribution layered on top as a
+   pure function of the file id, so the event sequence is untouched.
+
+   [sized-workstation] is transfer-bound — retrieval cost proportional
+   to bytes moved, so one big file really does cost as much as many
+   small ones. *)
+let sized_workstation =
+  {
+    workstation with
+    name = "sized-workstation";
+    weighting =
+      Pareto_weights { wseed = 9001; alpha = 1.2; max_size = 64; cost_base = 0; cost_per_size = 1 };
+  }
+
+(* [sized-server] is latency-bound — every fetch pays a fixed seek/RPC
+   base beside a smaller per-byte term, so small-file misses are
+   comparatively expensive and size alone does not rank victims. *)
+let sized_server =
+  {
+    server with
+    name = "sized-server";
+    weighting =
+      Pareto_weights { wseed = 9002; alpha = 0.95; max_size = 128; cost_base = 8; cost_per_size = 1 };
   }
 
 let all = [ workstation; users; write; server ]
-let extras = [ scientific; streaming ]
+let extras = [ scientific; streaming; sized_workstation; sized_server ]
+let sized = [ sized_workstation; sized_server ]
 
 let by_name name = List.find_opt (fun p -> p.name = name) (all @ extras)
+
+let weight_of p file =
+  match p.weighting with
+  | Unit_weights -> Agg_cache.Policy.unit_weight
+  | Pareto_weights { wseed; alpha; max_size; cost_base; cost_per_size } ->
+      (* a pure function of (wseed, file): deriving a child stream per id
+         means the table does not depend on trace order or length *)
+      let g = Agg_util.Prng.derive (Agg_util.Prng.create ~seed:wseed ()) file in
+      let u = Agg_util.Prng.float g 1.0 in
+      let raw = (1.0 -. u) ** (-1.0 /. alpha) in
+      let size = max 1 (min max_size (int_of_float raw)) in
+      let cost = max 1 (cost_base + (cost_per_size * size)) in
+      { Agg_cache.Policy.size; cost }
+
+let weights_for p trace =
+  let weights = Agg_trace.Weights.create () in
+  (match p.weighting with
+  | Unit_weights -> ()
+  | Pareto_weights _ ->
+      let seen = Hashtbl.create 1024 in
+      Agg_trace.Trace.iter
+        (fun (e : Agg_trace.Event.t) ->
+          if not (Hashtbl.mem seen e.file) then begin
+            Hashtbl.add seen e.file ();
+            Agg_trace.Weights.set weights e.file (weight_of p e.file)
+          end)
+        trace);
+  weights
 
 let distinct_file_estimate p =
   let mean_len = (p.task_len_min + p.task_len_max) / 2 in
@@ -195,4 +267,9 @@ let pp ppf p =
   Format.fprintf ppf
     "%s: clients=%d tasks=%d len=[%d,%d] shared=%d/%.2f noise(skip=%.2f sub=%.2f ins=%.2f) bg=%d/%.2f write=%.2f burst=%.0f"
     p.name p.clients p.tasks p.task_len_min p.task_len_max p.shared_pool p.shared_fraction p.p_skip
-    p.p_substitute p.p_insert p.background_files p.p_background p.p_write p.burst_mean
+    p.p_substitute p.p_insert p.background_files p.p_background p.p_write p.burst_mean;
+  match p.weighting with
+  | Unit_weights -> ()
+  | Pareto_weights { wseed; alpha; max_size; cost_base; cost_per_size } ->
+      Format.fprintf ppf " sizes=pareto(seed=%d,a=%.2f,max=%d) cost=%d+%d*size" wseed alpha
+        max_size cost_base cost_per_size

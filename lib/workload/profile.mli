@@ -11,6 +11,20 @@
     - [write] (dvorak) — the heaviest write share and the most cold,
       unique files, giving grouping the most modest wins. *)
 
+(** The size/cost axis layered over a profile's access stream. Weights
+    are a {e pure function of the file id} (derived per-id PRNG streams),
+    so turning weighting on or off never perturbs the generated event
+    sequence — the 24 paper checks replay byte-identically. *)
+type weighting =
+  | Unit_weights  (** every file is size 1 / cost 1 — the paper's model *)
+  | Pareto_weights of {
+      wseed : int;  (** seed of the weight table, independent of the trace seed *)
+      alpha : float;  (** Pareto tail index; smaller means heavier tail *)
+      max_size : int;  (** truncation cap on file size *)
+      cost_base : int;  (** fixed per-fetch (seek/RPC) cost component *)
+      cost_per_size : int;  (** transfer cost per size unit *)
+    }
+
 type t = {
   name : string;
   clients : int;  (** independent request streams *)
@@ -46,6 +60,9 @@ type t = {
           removing the most predictable successions from the miss stream,
           the paper's Fig. 8 capacity-10 effect. *)
   loop_mean_reps : float;  (** mean iterations of such a loop *)
+  weighting : weighting;
+      (** per-file size/cost model; {!Unit_weights} for all paper
+          profiles, so weighted replay is opt-in per profile. *)
 }
 
 val workstation : t
@@ -64,6 +81,15 @@ val streaming : t
     playback runs over a strongly skewed catalogue with almost no
     writes; the most predictable succession structure. *)
 
+val sized_workstation : t
+(** [workstation] with heavy-tailed Pareto file sizes and transfer-bound
+    cost (cost = size): the "does one big file really cost five small
+    ones" regime. *)
+
+val sized_server : t
+(** [server] with a heavier tail and latency-bound cost
+    (cost = 8 + size): small-file misses are comparatively expensive. *)
+
 val all : t list
 (** The four paper workloads, in the paper's naming order. The
     paper-vs-measured checks sweep exactly this list, so it never grows;
@@ -74,8 +100,21 @@ val extras : t list
     reachable via {!by_name} and the scenario corpus, excluded from the
     paper's check tables. *)
 
+val sized : t list
+(** The two size/cost-skewed profiles, in sweep order. *)
+
 val by_name : string -> t option
 (** Finds a profile in {!all} or {!extras} by name. *)
+
+val weight_of : t -> Agg_trace.File_id.t -> Agg_cache.Policy.weight
+(** [weight_of p file] is [file]'s size/cost under [p.weighting] — a pure
+    function of the profile and the id (no generator state involved).
+    Unit for {!Unit_weights} profiles. *)
+
+val weights_for : t -> Agg_trace.Trace.t -> Agg_trace.Weights.t
+(** The weight table covering every distinct file of [trace], suitable
+    for {!Agg_trace.Codec.write_file}. Empty for {!Unit_weights}
+    profiles. *)
 
 val distinct_file_estimate : t -> int
 (** Rough size of the file universe the profile can touch. *)

@@ -146,11 +146,138 @@ let test_ppm_validation () =
     (fun () -> ignore (Ppm.create ~max_order:0 ()));
   check_int "max_order stored" 3 (Ppm.max_order (Ppm.create ~max_order:3 ()))
 
+(* --- weighted policies: Landlord, GreedyDual-Size, Bundle ----------------- *)
+
+open Agg_cache.Policy
+
+let w ~size ~cost = { Agg_cache.Policy.size; cost }
+let check_victims = Alcotest.(check (list int))
+
+let test_landlord_multi_victim () =
+  (* capacity 4: a(2,2) and b(2,4) resident; c(4,1) needs the whole
+     cache. a has the lower credit/size ratio (1 vs 2) and goes first;
+     the rent drained making room (delta 1 x size 2) leaves b at credit
+     2, which the second round evicts. Exact victim order pins the rent
+     accounting. *)
+  let t = Landlord.create ~capacity:4 in
+  check_victims "a fits" [] (Landlord.insert t ~pos:Hot ~weight:(w ~size:2 ~cost:2) 1);
+  check_victims "b fits" [] (Landlord.insert t ~pos:Hot ~weight:(w ~size:2 ~cost:4) 2);
+  check_victims "hot-first before" [ 2; 1 ] (Landlord.contents t);
+  check_victims "c evicts a then b" [ 1; 2 ]
+    (Landlord.insert t ~pos:Hot ~weight:(w ~size:4 ~cost:1) 3);
+  check_victims "only c resident" [ 3 ] (Landlord.contents t);
+  check_int "used" 4 (Landlord.used t)
+
+let test_landlord_charge_overrides_recency () =
+  (* b is hotter than a, but a was re-credited to 10 on a hit; the
+     rent-based victim is the cheap one, not the cold one. *)
+  let t = Landlord.create ~capacity:2 in
+  ignore (Landlord.insert t ~pos:Hot ~weight:(w ~size:1 ~cost:1) 1);
+  ignore (Landlord.insert t ~pos:Hot ~weight:(w ~size:1 ~cost:5) 2);
+  Landlord.charge t 1 ~cost:10;
+  check_victims "cheap b evicted, not cold a" [ 2 ]
+    (Landlord.insert t ~pos:Hot ~weight:(w ~size:1 ~cost:1) 3);
+  check_victims "contents" [ 3; 1 ] (Landlord.contents t)
+
+let test_landlord_oversize_bypass () =
+  let t = Landlord.create ~capacity:4 in
+  ignore (Landlord.insert t ~pos:Hot ~weight:(w ~size:2 ~cost:3) 1);
+  check_victims "oversize evicts nothing" [] (Landlord.insert t ~pos:Hot ~weight:(w ~size:5 ~cost:9) 2);
+  check_bool "oversize not admitted" false (Landlord.mem t 2);
+  check_bool "resident untouched" true (Landlord.mem t 1)
+
+let test_landlord_unit_is_lru () =
+  (* at unit weights Landlord must match LRU access for access,
+     including victim identity *)
+  let ll = Landlord.create ~capacity:3 in
+  let lru = Agg_cache.Lru.create ~capacity:3 in
+  let serve : type a. (module Agg_cache.Policy.S with type t = a) -> a -> int -> int list =
+   fun (module P) t k ->
+    if P.mem t k then begin
+      P.promote t k;
+      P.charge t k ~cost:1;
+      []
+    end
+    else P.insert t ~pos:Agg_cache.Policy.Hot ~weight:Agg_cache.Policy.unit_weight k
+  in
+  List.iter
+    (fun k ->
+      let v_ll = serve (module Landlord) ll k in
+      let v_lru = serve (module Agg_cache.Lru) lru k in
+      check_victims "same victims" v_lru v_ll;
+      check_victims "same contents" (Agg_cache.Lru.contents lru) (Landlord.contents ll))
+    [ 1; 2; 3; 4; 2; 5; 1; 1; 6; 3; 2 ]
+
+let test_gds_cost_over_recency_and_inflation () =
+  (* H = inflation + cost/size. b is the most recent insert but has the
+     lowest H and is evicted first; its H becomes the inflation floor,
+     which is what lets the later cheap d displace the once-expensive
+     a. *)
+  let t = Greedy_dual.create ~capacity:2 in
+  ignore (Greedy_dual.insert t ~pos:Hot ~weight:(w ~size:1 ~cost:4) 1);
+  ignore (Greedy_dual.insert t ~pos:Hot ~weight:(w ~size:1 ~cost:2) 2);
+  check_victims "cheapest H evicted despite recency" [ 2 ]
+    (Greedy_dual.insert t ~pos:Hot ~weight:(w ~size:1 ~cost:3) 3);
+  (* inflation is now 2: H(a)=4, H(c)=2+3=5, so d(cost 1, H=4+1=5
+     after the next round) evicts a *)
+  check_victims "inflation unlocks the expensive file" [ 1 ]
+    (Greedy_dual.insert t ~pos:Hot ~weight:(w ~size:1 ~cost:1) 4);
+  check_bool "c survives" true (Greedy_dual.mem t 3);
+  check_bool "d resident" true (Greedy_dual.mem t 4)
+
+let test_bundle_request_semantics () =
+  let unit_of _ = Agg_cache.Policy.unit_weight in
+  let b = Bundle.create ~capacity:4 in
+  (* duplicates served once, members inserted hot in first-occurrence
+     order *)
+  check_victims "first bundle fits" [] (Bundle.request_bundle b ~weight_of:unit_of [ 1; 2; 1; 3 ]);
+  check_victims "hot order after bundle" [ 3; 2; 1 ] (Bundle.contents b);
+  (* resident 2 is promoted (and re-credited), missing 4 inserted hot *)
+  check_victims "partial bundle fits" [] (Bundle.request_bundle b ~weight_of:unit_of [ 2; 4 ]);
+  check_victims "promotion order" [ 4; 2; 3; 1 ] (Bundle.contents b);
+  (* a size-2 newcomer at full capacity drains rent from everyone:
+     coldest residents go, in recency order *)
+  check_victims "two victims from cold end" [ 1; 3 ]
+    (Bundle.request_bundle b
+       ~weight_of:(fun _ -> w ~size:2 ~cost:1)
+       [ 5 ]);
+  check_victims "survivors" [ 5; 4; 2 ] (Bundle.contents b);
+  check_int "used at capacity" 4 (Bundle.used b)
+
+(* Drive one policy through a random weighted op sequence, checking
+   after every operation that the conservation invariant holds and that
+   [used] really is the sum of the resident sizes. *)
+let conserves (module P : Agg_cache.Policy.S) ~capacity ops =
+  let t = P.create ~capacity in
+  let recorded = Hashtbl.create 16 in
+  List.for_all
+    (fun (key, size, cost) ->
+      let weight = w ~size ~cost in
+      if P.mem t key then begin
+        P.promote t key;
+        P.charge t key ~cost
+      end
+      else if P.insert t ~pos:(if key mod 3 = 0 then Cold else Hot) ~weight key <> [] || P.mem t key
+      then Hashtbl.replace recorded key size;
+      let sum =
+        List.fold_left
+          (fun acc k -> acc + (try Hashtbl.find recorded k with Not_found -> 1))
+          0 (P.contents t)
+      in
+      P.used t <= P.capacity t && P.used t = sum)
+    ops
+
 (* --- qcheck properties --------------------------------------------------------- *)
 
 let qcheck_tests =
   let open QCheck in
   let files_gen = list_of_size (Gen.int_range 10 300) (int_range 0 25) in
+  let weighted_ops =
+    pair
+      (list_of_size (Gen.int_range 20 150)
+         (triple (int_range 0 20) (int_range 1 5) (int_range 1 9)))
+      (int_range 3 15)
+  in
   [
     Test.make ~name:"last-successor accuracy within [0,1]" ~count:100 files_gen (fun files ->
         let a = Last_successor.measure (Array.of_list files) in
@@ -160,6 +287,33 @@ let qcheck_tests =
         let a = Markov_predictor.measure (Array.of_list files) in
         let r = Last_successor.accuracy_rate a in
         r >= 0.0 && r <= 1.0);
+    Test.make ~name:"landlord conserves capacity" ~count:100 weighted_ops (fun (ops, capacity) ->
+        conserves (module Landlord) ~capacity ops);
+    Test.make ~name:"greedy-dual conserves capacity" ~count:100 weighted_ops
+      (fun (ops, capacity) -> conserves (module Greedy_dual) ~capacity ops);
+    Test.make ~name:"bundle conserves capacity" ~count:100 weighted_ops (fun (ops, capacity) ->
+        conserves (module Bundle) ~capacity ops);
+    (let keys = pair (list_of_size (Gen.int_range 10 120) (int_range 0 15)) (int_range 4 20) in
+     (* weights must be a stable function of the key: bundles re-credit
+        residents with [weight_of key] *)
+     let weight_of k = w ~size:(1 + (k mod 4)) ~cost:(1 + (k mod 7)) in
+     Test.make ~name:"bundle singletons coincide with landlord" ~count:100 keys
+       (fun (keys, capacity) ->
+         let b = Bundle.create ~capacity and l = Landlord.create ~capacity in
+         List.for_all
+           (fun k ->
+             let weight = weight_of k in
+             let vl =
+               if Landlord.mem l k then begin
+                 Landlord.promote l k;
+                 Landlord.charge l k ~cost:weight.Agg_cache.Policy.cost;
+                 []
+               end
+               else Landlord.insert l ~pos:Hot ~weight k
+             in
+             let vb = Bundle.request_bundle b ~weight_of [ k ] in
+             vb = vl && Bundle.contents b = Landlord.contents l && Bundle.used b = Landlord.used l)
+           keys));
     Test.make ~name:"prob_graph chance within [0,1]" ~count:60 files_gen (fun files ->
         let pg = Prob_graph.create ~capacity:8 () in
         List.iter (fun f -> ignore (Prob_graph.access pg f)) files;
@@ -207,6 +361,17 @@ let () =
           Alcotest.test_case "metric identities" `Quick test_prob_graph_metrics_identities;
           Alcotest.test_case "threshold gates" `Quick test_prob_graph_threshold_gates_prefetch;
           Alcotest.test_case "validation" `Quick test_prob_graph_validation;
+        ] );
+      ( "weighted",
+        [
+          Alcotest.test_case "landlord multi-victim order" `Quick test_landlord_multi_victim;
+          Alcotest.test_case "landlord charge beats recency" `Quick
+            test_landlord_charge_overrides_recency;
+          Alcotest.test_case "landlord oversize bypass" `Quick test_landlord_oversize_bypass;
+          Alcotest.test_case "landlord at unit weights is lru" `Quick test_landlord_unit_is_lru;
+          Alcotest.test_case "greedy-dual cost and inflation" `Quick
+            test_gds_cost_over_recency_and_inflation;
+          Alcotest.test_case "bundle request semantics" `Quick test_bundle_request_semantics;
         ] );
       ("properties", List.map QCheck_alcotest.to_alcotest qcheck_tests);
     ]

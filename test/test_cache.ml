@@ -108,11 +108,11 @@ let test_cold_reposition_never_evicts () =
   List.iter
     (fun (name, (module P : Policy.S)) ->
       let t = P.create ~capacity:3 in
-      ignore (P.insert t ~pos:Policy.Hot 1);
-      ignore (P.insert t ~pos:Policy.Hot 2);
-      ignore (P.insert t ~pos:Policy.Hot 3);
-      Alcotest.(check (option int)) (name ^ " reposition returns None") None
-        (P.insert t ~pos:Policy.Cold 2);
+      ignore (P.insert t ~pos:Policy.Hot ~weight:Policy.unit_weight 1);
+      ignore (P.insert t ~pos:Policy.Hot ~weight:Policy.unit_weight 2);
+      ignore (P.insert t ~pos:Policy.Hot ~weight:Policy.unit_weight 3);
+      Alcotest.(check (list int)) (name ^ " reposition returns no victims") []
+        (P.insert t ~pos:Policy.Cold ~weight:Policy.unit_weight 2);
       check_int (name ^ " size unchanged") 3 (P.size t);
       check_bool (name ^ " still resident") true (P.mem t 2))
     policy_modules
@@ -126,10 +126,10 @@ let test_cold_reposition_demotes () =
   List.iter
     (fun (name, (module P : Policy.S), expected) ->
       let t = P.create ~capacity:3 in
-      ignore (P.insert t ~pos:Policy.Hot 1);
-      ignore (P.insert t ~pos:Policy.Hot 2);
-      ignore (P.insert t ~pos:Policy.Hot 3);
-      ignore (P.insert t ~pos:Policy.Cold 2);
+      ignore (P.insert t ~pos:Policy.Hot ~weight:Policy.unit_weight 1);
+      ignore (P.insert t ~pos:Policy.Hot ~weight:Policy.unit_weight 2);
+      ignore (P.insert t ~pos:Policy.Hot ~weight:Policy.unit_weight 3);
+      ignore (P.insert t ~pos:Policy.Cold ~weight:Policy.unit_weight 2);
       Alcotest.(check (option int)) (name ^ " next victim") (Some expected) (P.evict t))
     [
       ("lru", (module Lru : Policy.S), 2);
@@ -190,7 +190,7 @@ let test_lfu_evicts_least_frequent () =
 
 let test_lfu_frequency_counter () =
   let lfu = Lfu.create ~capacity:4 in
-  ignore (Lfu.insert lfu ~pos:Policy.Hot 9);
+  ignore (Lfu.insert lfu ~pos:Policy.Hot ~weight:Policy.unit_weight 9);
   Lfu.promote lfu 9;
   Lfu.promote lfu 9;
   Alcotest.(check (option int)) "count" (Some 3) (Lfu.frequency lfu 9)
@@ -245,9 +245,9 @@ let test_random_deterministic_with_seed () =
     let p = Random_policy.create_seeded ~capacity:4 ~seed:11 in
     let evicted = ref [] in
     for i = 0 to 19 do
-      match Random_policy.insert p ~pos:Policy.Hot i with
-      | Some v -> evicted := v :: !evicted
-      | None -> ()
+      match Random_policy.insert p ~pos:Policy.Hot ~weight:Policy.unit_weight i with
+      | [ v ] -> evicted := v :: !evicted
+      | _ -> ()
     done;
     !evicted
   in
@@ -257,7 +257,7 @@ let test_random_deterministic_with_seed () =
 
 let test_mq_frequency_tiers () =
   let mq = Mq.create_tuned ~capacity:8 ~queues:4 ~lifetime:1000 ~ghost_factor:4 in
-  ignore (Mq.insert mq ~pos:Policy.Hot 1);
+  ignore (Mq.insert mq ~pos:Policy.Hot ~weight:Policy.unit_weight 1);
   Alcotest.(check (option int)) "1 hit -> queue 0" (Some 0) (Mq.queue_of mq 1);
   Mq.promote mq 1;
   Alcotest.(check (option int)) "2 hits -> queue 1" (Some 1) (Mq.queue_of mq 1);
@@ -280,30 +280,30 @@ let test_mq_protects_frequent_blocks () =
 let test_mq_ghost_restores_standing () =
   (* capacity 1: eviction is forced on every new insert *)
   let mq = Mq.create_tuned ~capacity:1 ~queues:4 ~lifetime:1000 ~ghost_factor:8 in
-  ignore (Mq.insert mq ~pos:Policy.Hot 1);
+  ignore (Mq.insert mq ~pos:Policy.Hot ~weight:Policy.unit_weight 1);
   Mq.promote mq 1;
   (* count 2 -> queue 1 *)
-  ignore (Mq.insert mq ~pos:Policy.Hot 2);
+  ignore (Mq.insert mq ~pos:Policy.Hot ~weight:Policy.unit_weight 2);
   check_bool "1 evicted" false (Mq.mem mq 1);
   (* when 1 returns, the ghost buffer restores its frequency standing:
      remembered count 2 + 1 = 3 -> queue 1, not queue 0 *)
-  ignore (Mq.insert mq ~pos:Policy.Hot 1);
+  ignore (Mq.insert mq ~pos:Policy.Hot ~weight:Policy.unit_weight 1);
   Alcotest.(check (option int)) "ghost count restored" (Some 1) (Mq.queue_of mq 1)
 
 let test_mq_lifetime_demotes () =
   let mq = Mq.create_tuned ~capacity:4 ~queues:4 ~lifetime:2 ~ghost_factor:4 in
-  ignore (Mq.insert mq ~pos:Policy.Hot 1);
+  ignore (Mq.insert mq ~pos:Policy.Hot ~weight:Policy.unit_weight 1);
   Mq.promote mq 1;
   Alcotest.(check (option int)) "starts in queue 1" (Some 1) (Mq.queue_of mq 1);
   (* four unrelated accesses age 1 past its 2-access lifetime *)
   for i = 10 to 13 do
-    ignore (Mq.insert mq ~pos:Policy.Hot i)
+    ignore (Mq.insert mq ~pos:Policy.Hot ~weight:Policy.unit_weight i)
   done;
   Alcotest.(check (option int)) "demoted to queue 0" (Some 0) (Mq.queue_of mq 1)
 
 let test_slru_promotion () =
   let slru = Slru.create ~capacity:6 in
-  ignore (Slru.insert slru ~pos:Policy.Hot 1);
+  ignore (Slru.insert slru ~pos:Policy.Hot ~weight:Policy.unit_weight 1);
   check_bool "new arrival is probationary" false (Slru.protected_resident slru 1);
   Slru.promote slru 1;
   check_bool "hit promotes to protected" true (Slru.protected_resident slru 1)
@@ -324,7 +324,7 @@ let test_slru_protected_overflow_demotes () =
   (* protected capacity = 2 *)
   List.iter
     (fun k ->
-      ignore (Slru.insert slru ~pos:Policy.Hot k);
+      ignore (Slru.insert slru ~pos:Policy.Hot ~weight:Policy.unit_weight k);
       Slru.promote slru k)
     [ 1; 2; 3 ];
   (* promoting 3 overflows the protected segment; its LRU (1) demotes *)
@@ -333,7 +333,7 @@ let test_slru_protected_overflow_demotes () =
 
 let test_twoq_admission () =
   let q = Twoq.create ~capacity:8 in
-  ignore (Twoq.insert q ~pos:Policy.Hot 1);
+  ignore (Twoq.insert q ~pos:Policy.Hot ~weight:Policy.unit_weight 1);
   check_bool "first touch goes to A1in" false (Twoq.in_main q 1);
   Twoq.promote q 1;
   check_bool "A1in hit does not promote" false (Twoq.in_main q 1)
@@ -341,10 +341,10 @@ let test_twoq_admission () =
 let test_twoq_ghost_promotes_on_return () =
   let q = Twoq.create ~capacity:4 in
   (* a1in quota = 1; reclaiming starts only when the cache is full *)
-  List.iter (fun k -> ignore (Twoq.insert q ~pos:Policy.Hot k)) [ 1; 2; 3; 4; 5 ];
+  List.iter (fun k -> ignore (Twoq.insert q ~pos:Policy.Hot ~weight:Policy.unit_weight k)) [ 1; 2; 3; 4; 5 ];
   (* the 5th insert reclaimed from the over-quota A1in: 1 went to A1out *)
   check_bool "1 evicted to ghost" false (Twoq.mem q 1);
-  ignore (Twoq.insert q ~pos:Policy.Hot 1);
+  ignore (Twoq.insert q ~pos:Policy.Hot ~weight:Policy.unit_weight 1);
   check_bool "returning key admitted to main" true (Twoq.in_main q 1)
 
 let test_twoq_scan_resistance () =
@@ -364,7 +364,7 @@ let test_twoq_scan_resistance () =
 
 let test_arc_two_touches_reach_t2 () =
   let arc = Arc.create ~capacity:4 in
-  ignore (Arc.insert arc ~pos:Policy.Hot 1);
+  ignore (Arc.insert arc ~pos:Policy.Hot ~weight:Policy.unit_weight 1);
   check_bool "first touch in T1" false (Arc.in_t2 arc 1);
   Arc.promote arc 1;
   check_bool "second touch in T2" true (Arc.in_t2 arc 1)
@@ -373,14 +373,14 @@ let test_arc_ghost_hit_adapts_target () =
   let arc = Arc.create ~capacity:2 in
   (* 1 becomes frequent (T2); 2 passes through T1 and is REPLACEd into
      the B1 ghost when 3 arrives *)
-  ignore (Arc.insert arc ~pos:Policy.Hot 1);
+  ignore (Arc.insert arc ~pos:Policy.Hot ~weight:Policy.unit_weight 1);
   Arc.promote arc 1;
-  ignore (Arc.insert arc ~pos:Policy.Hot 2);
-  ignore (Arc.insert arc ~pos:Policy.Hot 3);
+  ignore (Arc.insert arc ~pos:Policy.Hot ~weight:Policy.unit_weight 2);
+  ignore (Arc.insert arc ~pos:Policy.Hot ~weight:Policy.unit_weight 3);
   check_bool "2 no longer resident" false (Arc.mem arc 2);
   check_int "target starts at 0" 0 (Arc.target arc);
   (* a B1 ghost hit grows the recency target and revives 2 into T2 *)
-  ignore (Arc.insert arc ~pos:Policy.Hot 2);
+  ignore (Arc.insert arc ~pos:Policy.Hot ~weight:Policy.unit_weight 2);
   check_bool "revived" true (Arc.mem arc 2);
   check_bool "revived into T2" true (Arc.in_t2 arc 2);
   check_bool "target grew" true (Arc.target arc > 0)
@@ -390,10 +390,10 @@ let test_arc_discards_t1_lru_when_t1_full () =
      discarded outright, not remembered in B1 — so an immediate return is
      a plain cold miss *)
   let arc = Arc.create ~capacity:2 in
-  ignore (Arc.insert arc ~pos:Policy.Hot 1);
-  ignore (Arc.insert arc ~pos:Policy.Hot 2);
-  ignore (Arc.insert arc ~pos:Policy.Hot 3);
-  ignore (Arc.insert arc ~pos:Policy.Hot 1);
+  ignore (Arc.insert arc ~pos:Policy.Hot ~weight:Policy.unit_weight 1);
+  ignore (Arc.insert arc ~pos:Policy.Hot ~weight:Policy.unit_weight 2);
+  ignore (Arc.insert arc ~pos:Policy.Hot ~weight:Policy.unit_weight 3);
+  ignore (Arc.insert arc ~pos:Policy.Hot ~weight:Policy.unit_weight 1);
   check_bool "no ghost memory of 1" true (Arc.mem arc 1 && not (Arc.in_t2 arc 1));
   check_int "target unchanged" 0 (Arc.target arc)
 
@@ -607,8 +607,12 @@ let pointer_agreement name flavour (module P : Policy.S) =
                 P.promote real key;
                 Pointer.promote model key;
                 true
-            | 1 -> P.insert real ~pos:Policy.Hot key = Pointer.insert model ~pos:Policy.Hot key
-            | 2 -> P.insert real ~pos:Policy.Cold key = Pointer.insert model ~pos:Policy.Cold key
+            | 1 ->
+                P.insert real ~pos:Policy.Hot ~weight:Policy.unit_weight key
+                = Option.to_list (Pointer.insert model ~pos:Policy.Hot key)
+            | 2 ->
+                P.insert real ~pos:Policy.Cold ~weight:Policy.unit_weight key
+                = Option.to_list (Pointer.insert model ~pos:Policy.Cold key)
             | 3 -> P.evict real = Pointer.evict model
             | _ ->
                 P.remove real key;
@@ -620,6 +624,63 @@ let pointer_agreement name flavour (module P : Policy.S) =
           && P.mem real key = Pointer.mem model key
           && P.contents real = Pointer.contents model)
         ops)
+
+(* --- weighted facade ----------------------------------------------------- *)
+
+(* Sizes/costs for the crafted weighted tests: 1->(2,2), 2->(2,4),
+   3->(4,1), everything else unit. *)
+let crafted_weight k =
+  match k with
+  | 1 -> { Policy.size = 2; cost = 2 }
+  | 2 -> { Policy.size = 2; cost = 4 }
+  | 3 -> { Policy.size = 4; cost = 1 }
+  | _ -> Policy.unit_weight
+
+let test_weighted_multi_victim_contents () =
+  (* Weighted_of_unit makes room by repeated core evictions: the size-4
+     newcomer pushes out both residents in LRU order. *)
+  let cache = Cache.create ~weight_of:crafted_weight Cache.Lru ~capacity:4 in
+  check_bool "miss 1" false (Cache.access cache 1);
+  check_bool "miss 2" false (Cache.access cache 2);
+  check_bool "miss 3" false (Cache.access cache 3);
+  check_list "only the size-4 file survives" [ 3 ] (Cache.contents cache);
+  check_int "used" 4 (Cache.used cache);
+  let w = Cache.weighted_stats cache in
+  check_int "bytes accessed" 8 w.Cache.bytes_accessed;
+  check_int "bytes hit" 0 w.Cache.bytes_hit;
+  check_int "cost fetched" 7 w.Cache.cost_fetched;
+  check_int "nothing prefetched" 0 w.Cache.cost_prefetched
+
+let test_weighted_hit_accounting () =
+  let cache = Cache.create ~weight_of:crafted_weight Cache.Lru ~capacity:8 in
+  ignore (Cache.access cache 1);
+  ignore (Cache.access cache 2);
+  check_bool "hit" true (Cache.access cache 1);
+  let w = Cache.weighted_stats cache in
+  check_int "bytes accessed" 6 w.Cache.bytes_accessed;
+  check_int "bytes hit" 2 w.Cache.bytes_hit;
+  check_int "cost fetched only for misses" 6 w.Cache.cost_fetched
+
+let test_weighted_oversize_bypass () =
+  (* a file larger than the whole cache is fetched (cost counted) but
+     never admitted, and evicts nothing *)
+  let weight_of k = if k = 9 then { Policy.size = 5; cost = 3 } else Policy.unit_weight in
+  let cache = Cache.create ~weight_of Cache.Lru ~capacity:4 in
+  ignore (Cache.access cache 1);
+  check_bool "oversize misses" false (Cache.access cache 9);
+  check_bool "not admitted" false (Cache.mem cache 9);
+  check_bool "resident untouched" true (Cache.mem cache 1);
+  let w = Cache.weighted_stats cache in
+  check_int "its fetch is still paid" 4 w.Cache.cost_fetched
+
+let test_weighted_unit_stats_mirror () =
+  (* without weight_of the byte counters mirror the unweighted ones *)
+  let cache = Cache.create Cache.Lru ~capacity:3 in
+  List.iter (fun k -> ignore (Cache.access cache k)) [ 1; 2; 1; 3; 4; 1 ];
+  let s = Cache.stats cache and w = Cache.weighted_stats cache in
+  check_int "bytes = accesses" s.Cache.accesses w.Cache.bytes_accessed;
+  check_int "bytes hit = hits" s.Cache.hits w.Cache.bytes_hit;
+  check_int "cost = misses" s.Cache.misses w.Cache.cost_fetched
 
 (* --- qcheck properties -------------------------------------------------- *)
 
@@ -695,6 +756,20 @@ let qcheck_tests =
               trace;
             (* size stays within bounds and removed keys are gone *)
             Cache.size cache <= 5)
+          policy_kinds);
+    Test.make ~name:"every policy conserves capacity under weights" ~count:60
+      (pair trace_gen (int_range 4 12))
+      (fun (trace, capacity) ->
+        let weight_of k = { Policy.size = 1 + (k mod 3); cost = 1 + (k mod 5) } in
+        List.for_all
+          (fun kind ->
+            let cache = Cache.create ~weight_of kind ~capacity in
+            List.iter (fun k -> ignore (Cache.access cache k)) trace;
+            Cache.used cache <= capacity
+            && Cache.used cache
+               = List.fold_left
+                   (fun acc k -> acc + (weight_of k).Policy.size)
+                   0 (Cache.contents cache))
           policy_kinds);
     Test.make ~name:"contents agrees with mem for ordered policies" ~count:60
       (list_of_size (Gen.int_range 20 150) (int_range 0 25))
@@ -783,6 +858,13 @@ let () =
         [
           Alcotest.test_case "outcomes" `Quick test_multilevel_outcomes;
           Alcotest.test_case "hit rate" `Quick test_multilevel_hit_rate;
+        ] );
+      ( "weighted",
+        [
+          Alcotest.test_case "multi-victim eviction" `Quick test_weighted_multi_victim_contents;
+          Alcotest.test_case "hit accounting" `Quick test_weighted_hit_accounting;
+          Alcotest.test_case "oversize bypass" `Quick test_weighted_oversize_bypass;
+          Alcotest.test_case "unit mirrors unweighted" `Quick test_weighted_unit_stats_mirror;
         ] );
       ("properties", List.map QCheck_alcotest.to_alcotest qcheck_tests);
     ]

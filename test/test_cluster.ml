@@ -202,7 +202,7 @@ let test_churn_rebalances () =
       replicas = 2;
       metadata = Cluster.Replicated_with_group;
       churn = [ (1000, Cluster.Join 3); (2500, Cluster.Leave 1) ];
-      obs = sink;
+      scope = Some (Agg_obs.Scope.create ~sink ());
     }
   in
   let r = Cluster.run config trace in
@@ -213,7 +213,7 @@ let test_churn_rebalances () =
   check_bool "leaver's requests retained" true (List.mem_assoc 1 r.Cluster.per_node_requests);
   check_int "rebalance events emitted" 2 (Obs_digest.ring_rebalances (Obs_digest.of_events (Sink.events sink)));
   (* the sink must not influence the simulation *)
-  let r2 = Cluster.run { config with Cluster.obs = Sink.noop } trace in
+  let r2 = Cluster.run { config with Cluster.scope = None } trace in
   check_bool "noop-sink rerun identical" true (Cluster.fleet_view r2 = Cluster.fleet_view r)
 
 let test_churn_validation () =
@@ -241,7 +241,7 @@ let test_reconcile_event_stream () =
       metadata = Cluster.Replicated_with_group;
       faults = { (node_kills 0.4) with Plan.loss_rate = 0.05 };
       churn = [ (500, Cluster.Join 4) ];
-      obs = sink;
+      scope = Some (Agg_obs.Scope.create ~sink ());
     }
   in
   let r = Cluster.run config trace in
@@ -299,7 +299,8 @@ let test_series_node_loads_reconcile () =
   let ctx = Agg_obs.Trace_ctx.create ~seed:7 () in
   let r =
     Cluster.run
-      { (telemetry_config ()) with Cluster.series = Some series; trace_ctx = Some ctx }
+      { (telemetry_config ()) with
+        Cluster.scope = Some (Agg_obs.Scope.create ~series ~trace_ctx:ctx ()) }
       trace
   in
   check_int "series accesses = run accesses" r.Cluster.accesses
@@ -342,8 +343,12 @@ let test_cluster_telemetry_off_identity () =
   let instrumented =
     Cluster.run
       { (telemetry_config ()) with
-        Cluster.series = Some (Agg_obs.Series.create ~window:500);
-        trace_ctx = Some (Agg_obs.Trace_ctx.create ~sample:0.25 ~seed:3 ()) }
+        Cluster.scope =
+          Some
+            (Agg_obs.Scope.create
+               ~series:(Agg_obs.Series.create ~window:500)
+               ~trace_ctx:(Agg_obs.Trace_ctx.create ~sample:0.25 ~seed:3 ())
+               ()) }
       trace
   in
   check_bool "instrumented run byte-identical to plain run" true (plain = instrumented)

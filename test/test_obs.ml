@@ -220,6 +220,29 @@ let test_digest_replay () =
   check_int "lifetime samples" 2 (Histogram.count (Digest.lifetime d));
   check_int "group size samples" 2 (Histogram.count (Digest.group_size d))
 
+let test_digest_weighted () =
+  (* file f has size f, cost 2f; only demand/prefetch events move the
+     byte and cost counters *)
+  let d = Digest.create ~weight_of:(fun f -> (f, 2 * f)) () in
+  List.iter (Digest.observe d)
+    [
+      Event.Demand_miss { file = 3 };
+      Event.Prefetch_issued { file = 5 };
+      Event.Demand_hit { file = 5; depth = 1 };
+      Event.Demand_hit { file = 2; depth = 2 };
+      Event.Evicted { file = 3; speculative = false; age_accesses = 1 };
+    ];
+  check_int "bytes accessed = 3+5+2" 10 (Digest.bytes_accessed d);
+  check_int "bytes hit = 5+2" 7 (Digest.bytes_hit d);
+  check_int "cost fetched = 2*3" 6 (Digest.cost_fetched d);
+  check_int "cost prefetched = 2*5" 10 (Digest.cost_prefetched d);
+  check_int "total retrieval cost" 16 (Digest.total_retrieval_cost d);
+  Alcotest.(check (float 1e-9)) "byte-weighted hit rate" 0.7 (Digest.byte_weighted_hit_rate d);
+  (* unweighted digests mirror the counts *)
+  let u = Digest.of_events [ Event.Demand_miss { file = 3 }; Event.Demand_hit { file = 4; depth = 1 } ] in
+  check_int "unit bytes = accesses" (Digest.accesses u) (Digest.bytes_accessed u);
+  check_int "unit cost = misses" (Digest.demand_misses u) (Digest.cost_fetched u)
+
 let server_profile () =
   match Agg_workload.Profile.by_name "server" with
   | Some p -> p
@@ -271,21 +294,35 @@ let fig3_with_sinks ~jobs =
   let group_sizes = [ 1; 5 ] and capacities = [ 100; 300 ] in
   let sinks = Hashtbl.create 8 in
   List.iter
-    (fun g -> List.iter (fun c -> Hashtbl.replace sinks (g, c) (Sink.memory ())) capacities)
+    (fun g ->
+      List.iter
+        (fun c ->
+          Hashtbl.replace sinks (g, c)
+            (Printf.sprintf "fig3/server/g%d/c%d" g c, Sink.memory ()))
+        capacities)
     group_sizes;
-  let sink_for ~group ~capacity = Hashtbl.find sinks (group, capacity) in
-  let panel =
-    Agg_sim.Fig3.panel ~sink_for ~settings ~capacities ~group_sizes (server_profile ())
+  (* the scope's sink_for is keyed by the cell's span label *)
+  let sink_for ~label =
+    let found = ref Sink.noop in
+    Hashtbl.iter (fun _ (l, sink) -> if l = label then found := sink) sinks;
+    !found
   in
+  let runner =
+    Agg_sim.Experiment.Runner.create
+      ~scope:(Agg_obs.Scope.create ~sink_for ())
+      ~settings ()
+  in
+  let panel = Agg_sim.Fig3.panel ~capacities ~group_sizes ~runner (server_profile ()) in
+  let sinks = Hashtbl.fold (fun k (_, sink) acc -> (k, sink) :: acc) sinks [] in
   (panel, sinks)
 
 let test_fig3_jobs_determinism () =
   let panel1, sinks1 = fig3_with_sinks ~jobs:1 in
   let panel4, sinks4 = fig3_with_sinks ~jobs:4 in
   check_bool "panel numbers identical" true (panel1 = panel4);
-  Hashtbl.iter
-    (fun (g, c) sink ->
-      let e1 = Sink.events sink and e4 = Sink.events (Hashtbl.find sinks4 (g, c)) in
+  List.iter
+    (fun ((g, c), sink) ->
+      let e1 = Sink.events sink and e4 = Sink.events (List.assoc (g, c) sinks4) in
       check_bool
         (Printf.sprintf "g%d/c%d event count > 0" g c)
         true (e1 <> []);
@@ -298,7 +335,9 @@ let test_fig3_noop_vs_memory () =
   let settings = Agg_sim.Experiment.quick_settings in
   let capacities = [ 100; 300 ] and group_sizes = [ 1; 5 ] in
   let noop_panel =
-    Agg_sim.Fig3.panel ~settings ~capacities ~group_sizes (server_profile ())
+    Agg_sim.Fig3.panel ~capacities ~group_sizes
+      ~runner:(Agg_sim.Experiment.Runner.create ~settings ())
+      (server_profile ())
   in
   let memory_panel, _ = fig3_with_sinks ~jobs:2 in
   check_bool "Noop vs Memory leave figure numbers unchanged" true (noop_panel = memory_panel)
@@ -564,6 +603,40 @@ let test_series_shard_merge_bytes () =
      | exception Invalid_argument _ -> true
      | _ -> false)
 
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+let test_series_weighted () =
+  let s = Series.create ~window:4 in
+  Series.observe_access s ~index:0 ~hit:true;
+  (* exporters stay in the pre-weights format until the first weighted
+     observation *)
+  check_bool "json has no weighted fields" false
+    (contains ~needle:"bytes_accessed" (Series.to_json s));
+  check_bool "prometheus has no weighted gauges" false
+    (contains ~needle:"byte_hit_rate" (Series.to_prometheus s));
+  Series.observe_weighted s ~index:0 ~size:3 ~cost:5 ~hit:true;
+  Series.observe_weighted s ~index:5 ~size:2 ~cost:7 ~hit:false;
+  check_int "w0 bytes accessed" 3 (Series.bytes_accessed s 0);
+  check_int "w0 bytes hit" 3 (Series.bytes_hit s 0);
+  check_int "w0 cost fetched (hits fetch nothing)" 0 (Series.cost_fetched s 0);
+  check_int "w1 cost fetched" 7 (Series.cost_fetched s 1);
+  Alcotest.(check (float 1e-9)) "w0 byte hit rate (percent)" 100.0 (Series.byte_hit_rate s 0);
+  Alcotest.(check (float 1e-9)) "w1 byte hit rate (percent)" 0.0 (Series.byte_hit_rate s 1);
+  check_bool "json gains weighted fields" true
+    (contains ~needle:"\"bytes_accessed\": 3" (Series.to_json s));
+  check_bool "prometheus gains weighted gauges" true
+    (contains ~needle:"byte_hit_rate" (Series.to_prometheus s));
+  (* weightedness survives a merge with an unweighted shard *)
+  check_bool "merge keeps weighted fields" true
+    (contains ~needle:"bytes_accessed" (Series.to_json (Series.merge s (Series.create ~window:4))));
+  check_bool "non-positive size raises" true
+    (match Series.observe_weighted s ~index:0 ~size:0 ~cost:1 ~hit:true with
+     | exception Invalid_argument _ -> true
+     | _ -> false)
+
 let test_series_reconciles_digest () =
   let sink = Sink.memory () in
   let m = client_run ~obs:sink in
@@ -741,6 +814,7 @@ let () =
           Alcotest.test_case "reconciles client run" `Quick test_reconcile_client;
           Alcotest.test_case "reconciles server run" `Quick test_reconcile_server;
           Alcotest.test_case "noop leaves metrics identical" `Quick test_noop_identical_metrics;
+          Alcotest.test_case "weighted counters" `Quick test_digest_weighted;
         ] );
       ( "determinism",
         [
@@ -762,6 +836,7 @@ let () =
           Alcotest.test_case "crafted windows" `Quick test_series_crafted;
           Alcotest.test_case "shard merge bytes" `Quick test_series_shard_merge_bytes;
           Alcotest.test_case "reconciles digest totals" `Quick test_series_reconciles_digest;
+          Alcotest.test_case "weighted windows and export gating" `Quick test_series_weighted;
         ] );
       ("properties", List.map QCheck_alcotest.to_alcotest qcheck_tests);
     ]

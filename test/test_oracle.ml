@@ -19,18 +19,20 @@ let contains haystack needle =
 
 (* --- Model_cache on its own ------------------------------------------- *)
 
+let unit_insert m ~pos key = Model_cache.insert m ~pos ~weight:Policy.unit_weight key
+
 let test_model_lru_order () =
   let m = Model_cache.create Cache.Lru ~capacity:2 in
-  Alcotest.(check (option int)) "no victim" None (Model_cache.insert m ~pos:Policy.Hot 1);
-  Alcotest.(check (option int)) "no victim" None (Model_cache.insert m ~pos:Policy.Hot 2);
+  Alcotest.(check (list int)) "no victim" [] (unit_insert m ~pos:Policy.Hot 1);
+  Alcotest.(check (list int)) "no victim" [] (unit_insert m ~pos:Policy.Hot 2);
   Model_cache.promote m 1;
-  Alcotest.(check (option int)) "lru victim" (Some 2) (Model_cache.insert m ~pos:Policy.Hot 3);
+  Alcotest.(check (list int)) "lru victim" [ 2 ] (unit_insert m ~pos:Policy.Hot 3);
   check_bool "1 stays" true (Model_cache.mem m 1)
 
 let test_model_cold_insert () =
   let m = Model_cache.create Cache.Lru ~capacity:3 in
-  ignore (Model_cache.insert m ~pos:Policy.Hot 1);
-  ignore (Model_cache.insert m ~pos:Policy.Cold 2);
+  ignore (unit_insert m ~pos:Policy.Hot 1);
+  ignore (unit_insert m ~pos:Policy.Cold 2);
   (* the cold member is the first to go *)
   Alcotest.(check (option int)) "cold evicted first" (Some 2) (Model_cache.evict m);
   check_int "size" 1 (Model_cache.size m)
@@ -41,22 +43,22 @@ let test_model_random_matches_seeded () =
   let m = Model_cache.create Cache.Random ~capacity:4 in
   let r = Agg_cache.Random_policy.create ~capacity:4 in
   for k = 0 to 3 do
-    ignore (Model_cache.insert m ~pos:Policy.Hot k);
-    ignore (Agg_cache.Random_policy.insert r ~pos:Policy.Hot k)
+    ignore (unit_insert m ~pos:Policy.Hot k);
+    ignore (Agg_cache.Random_policy.insert r ~pos:Policy.Hot ~weight:Policy.unit_weight k)
   done;
   for k = 4 to 40 do
-    Alcotest.(check (option int))
+    Alcotest.(check (list int))
       "same victim"
-      (Agg_cache.Random_policy.insert r ~pos:Policy.Hot k)
-      (Model_cache.insert m ~pos:Policy.Hot k)
+      (Agg_cache.Random_policy.insert r ~pos:Policy.Hot ~weight:Policy.unit_weight k)
+      (unit_insert m ~pos:Policy.Hot k)
   done
 
 (* --- the differential engine ------------------------------------------ *)
 
 let minimal_mutant_repro =
   [
-    Diff_engine.Insert (Policy.Hot, 1);
-    Diff_engine.Insert (Policy.Cold, 2);
+    Diff_engine.Insert (Policy.Hot, Policy.unit_weight, 1);
+    Diff_engine.Insert (Policy.Cold, Policy.unit_weight, 2);
     Diff_engine.Promote 2;
     Diff_engine.Evict;
   ]
@@ -111,8 +113,8 @@ let op_gen =
   let key = int_bound 20 in
   frequency
     [
-      (5, map (fun k -> Diff_engine.Insert (Policy.Hot, k)) key);
-      (3, map (fun k -> Diff_engine.Insert (Policy.Cold, k)) key);
+      (5, map (fun k -> Diff_engine.Insert (Policy.Hot, Policy.unit_weight, k)) key);
+      (3, map (fun k -> Diff_engine.Insert (Policy.Cold, Policy.unit_weight, k)) key);
       (3, map (fun k -> Diff_engine.Promote k) key);
       (2, return Diff_engine.Evict);
       (2, map (fun k -> Diff_engine.Mem k) key);
@@ -212,6 +214,30 @@ let test_trace_checks_small () =
         c.Diff_engine.pass)
     checks
 
+(* --- weighted differentials ------------------------------------------- *)
+
+let check_all_pass checks =
+  check_bool "some checks ran" true (checks <> []);
+  List.iter
+    (fun (c : Diff_engine.check) ->
+      check_bool (Printf.sprintf "%s: %s" c.Diff_engine.name c.Diff_engine.detail) true
+        c.Diff_engine.pass)
+    checks
+
+let test_weighted_fuzz_kinds () =
+  (* every built-in kind lifted to weights agrees with its model under
+     mixed-weight op sequences (oversize bypass + multi-victim paths) *)
+  check_all_pass
+    (List.map (Diff_engine.fuzz_policy_weighted ~seed:23 ~ops:600) Agg_cache.Cache.all_kinds)
+
+let test_weighted_fuzz_baselines () =
+  check_all_pass
+    (List.map (Diff_engine.fuzz_weighted_policy ~seed:29 ~ops:800) Diff_engine.all_weighted_policies)
+
+let test_lru_equivalence () =
+  (* GDS/Landlord/Bundle at unit weights must be LRU access for access *)
+  check_all_pass (Diff_engine.lru_equivalence_checks ~seed:31 ~events:1_500)
+
 let qcheck_tests =
   agreement_properties
   @ [
@@ -238,6 +264,13 @@ let () =
           Alcotest.test_case "shrinker on a plain predicate" `Quick test_shrink_ops_plain_predicate;
           Alcotest.test_case "gen_ops deterministic" `Quick test_gen_ops_deterministic;
           Alcotest.test_case "calibrated traces (small)" `Slow test_trace_checks_small;
+        ] );
+      ( "weighted",
+        [
+          Alcotest.test_case "mixed-weight fuzz, built-in kinds" `Quick test_weighted_fuzz_kinds;
+          Alcotest.test_case "mixed-weight fuzz, weighted baselines" `Quick
+            test_weighted_fuzz_baselines;
+          Alcotest.test_case "unit weights are lru" `Quick test_lru_equivalence;
         ] );
       ("properties", List.map QCheck_alcotest.to_alcotest qcheck_tests);
     ]

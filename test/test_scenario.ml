@@ -608,7 +608,8 @@ let test_paper_profiles_unchanged () =
 
 let test_extra_profiles () =
   Alcotest.(check (list string))
-    "extras" [ "scientific"; "streaming" ]
+    "extras"
+    [ "scientific"; "streaming"; "sized-workstation"; "sized-server" ]
     (List.map (fun p -> p.Agg_workload.Profile.name) Agg_workload.Profile.extras);
   List.iter
     (fun name ->
@@ -621,7 +622,7 @@ let test_extra_profiles () =
             (name ^ " universe estimate positive")
             true
             (Agg_workload.Profile.distinct_file_estimate p > 0))
-    [ "scientific"; "streaming" ]
+    [ "scientific"; "streaming"; "sized-workstation"; "sized-server" ]
 
 let () =
   Alcotest.run "agg_scenario"

@@ -100,17 +100,21 @@ let test_jobs_determinism () =
      domain and on four must be byte-identical *)
   let settings = Experiment.quick_settings in
   let sequential =
-    Experiment.render_figure (Fig3.figure ~settings:{ settings with jobs = 1 } ())
+    Experiment.render_figure
+      (Fig3.run (Experiment.Runner.create ~settings:{ settings with jobs = 1 } ()))
   in
   let parallel =
-    Experiment.render_figure (Fig3.figure ~settings:{ settings with jobs = 4 } ())
+    Experiment.render_figure
+      (Fig3.run (Experiment.Runner.create ~settings:{ settings with jobs = 4 } ()))
   in
   Alcotest.(check string) "fig3 at jobs=1 equals jobs=4" sequential parallel
 
 (* --- Fig. 3 ---------------------------------------------------------------- *)
 
+let tiny_runner = Experiment.Runner.create ~settings:tiny ()
+
 let fig3_panel =
-  lazy (Fig3.panel ~settings:tiny ~capacities:[ 100; 300 ] Agg_workload.Profile.server)
+  lazy (Fig3.panel ~capacities:[ 100; 300 ] ~runner:tiny_runner Agg_workload.Profile.server)
 
 let test_fig3_shape () =
   let panel = Lazy.force fig3_panel in
@@ -149,7 +153,7 @@ let test_fig3_fetches_decrease_with_capacity () =
 
 let fig4_panel =
   lazy
-    (Fig4.panel ~settings:tiny ~filter_capacities:[ 50; 400 ] ~server_capacity:300
+    (Fig4.panel ~filter_capacities:[ 50; 400 ] ~server_capacity:300 ~runner:tiny_runner
        Agg_workload.Profile.server)
 
 let test_fig4_shape () =
@@ -171,7 +175,7 @@ let test_fig4_aggregating_resilient () =
 (* --- Fig. 5 ------------------------------------------------------------------ *)
 
 let fig5_panel =
-  lazy (Fig5.panel ~settings:tiny ~capacities:[ 1; 4; 8 ] Agg_workload.Profile.server)
+  lazy (Fig5.panel ~capacities:[ 1; 4; 8 ] ~runner:tiny_runner Agg_workload.Profile.server)
 
 let test_fig5_probabilities_valid () =
   let panel = Lazy.force fig5_panel in
@@ -212,7 +216,7 @@ let test_fig5_direct_miss_probability () =
 (* --- Fig. 7 / Fig. 8 ------------------------------------------------------------ *)
 
 let test_fig7_shape () =
-  let fig = Fig7.figure ~settings:tiny ~lengths:[ 1; 2; 4 ] () in
+  let fig = Fig7.run ~lengths:[ 1; 2; 4 ] tiny_runner in
   check_int "one panel" 1 (List.length fig.Experiment.panels);
   let panel = List.hd fig.Experiment.panels in
   check_int "four workloads" 4 (List.length panel.Experiment.series);
@@ -224,13 +228,36 @@ let test_fig7_shape () =
 
 let test_fig8_shape () =
   let panel =
-    Fig8.panel ~settings:tiny ~filter_capacities:[ 10; 200 ] ~lengths:[ 1; 2 ]
+    Fig8.panel ~filter_capacities:[ 10; 200 ] ~lengths:[ 1; 2 ] ~runner:tiny_runner
       Agg_workload.Profile.write
   in
   check_int "two filters" 2 (List.length panel.Experiment.series);
   List.iter
     (fun s -> check_bool "label is capacity" true (s.Experiment.label = "10" || s.Experiment.label = "200"))
     panel.Experiment.series
+
+(* --- Weighted sweep ----------------------------------------------------------- *)
+
+let test_weighted_sweep_shape () =
+  let cells = Weighted.sweep ~capacities:[ 400 ] tiny_runner in
+  check_int "4 policies x 2 sized profiles" 8 (List.length cells);
+  List.iter
+    (fun (c : Weighted.cell) ->
+      let ctx = Printf.sprintf "%s/%s" c.Weighted.profile c.Weighted.policy in
+      check_bool (ctx ^ " policy known") true (List.mem c.Weighted.policy Weighted.policies);
+      check_bool (ctx ^ " byte hit rate in [0,1]") true
+        (c.Weighted.byte_hit_rate >= 0.0 && c.Weighted.byte_hit_rate <= 1.0);
+      check_bool (ctx ^ " cost saved in [0,1]") true
+        (c.Weighted.cost_saved_rate >= 0.0 && c.Weighted.cost_saved_rate <= 1.0);
+      check_bool (ctx ^ " paid something") true (c.Weighted.total_cost > 0))
+    cells;
+  let vs = Weighted.verdicts ~capacity:400 tiny_runner in
+  check_int "one verdict per sized profile" 2 (List.length vs);
+  List.iter
+    (fun (v : Weighted.verdict) ->
+      check_bool "verdict is the cost comparison" true
+        (v.Weighted.g5_wins = (v.Weighted.g5_cost < v.Weighted.landlord_cost)))
+    vs
 
 (* --- Summary / Report -------------------------------------------------------------- *)
 
@@ -434,17 +461,20 @@ let test_ablation_adaptive_group () =
 
 (* --- Runner API & resilience sweep -------------------------------------- *)
 
-let test_runner_matches_figure () =
-  (* the deprecated per-figure entry points must stay byte-identical
-     wrappers around Runner-driven [run] *)
-  let runner = Experiment.Runner.create ~settings:tiny () in
-  let check_fig name via_run via_figure =
-    Alcotest.(check string) name
-      (Experiment.render_figure via_figure)
-      (Experiment.render_figure via_run)
+let test_runner_scope_inert () =
+  (* a runner carrying a full scope must render byte-identically to the
+     scopeless default, while its profiler observes every sweep cell *)
+  let plain = Experiment.render_figure (Fig3.run (Experiment.Runner.create ~settings:tiny ())) in
+  let recorder = Agg_obs.Span.recorder () in
+  let instrumented =
+    Experiment.render_figure
+      (Fig3.run
+         (Experiment.Runner.create
+            ~scope:(Agg_obs.Scope.create ~profiler:recorder ())
+            ~settings:tiny ()))
   in
-  check_fig "fig3 run = figure" (Fig3.run runner) (Fig3.figure ~settings:tiny ());
-  check_fig "fig7 run = figure" (Fig7.run runner) (Fig7.figure ~settings:tiny ())
+  Alcotest.(check string) "scope leaves the figure unchanged" plain instrumented;
+  check_bool "profiler timed the sweep cells" true (Agg_obs.Span.count recorder > 0)
 
 let test_resilience_sweep_jobs_determinism () =
   let sweep jobs =
@@ -505,11 +535,13 @@ let () =
         ] );
       ( "runner-resilience",
         [
-          Alcotest.test_case "run equals deprecated figure" `Quick test_runner_matches_figure;
+          Alcotest.test_case "scope-carrying runner inert" `Quick test_runner_scope_inert;
           Alcotest.test_case "sweep jobs=1 vs jobs=4" `Quick
             test_resilience_sweep_jobs_determinism;
           Alcotest.test_case "g5 beats lru under loss" `Quick test_resilience_g5_beats_lru;
         ] );
+      ( "weighted",
+        [ Alcotest.test_case "sweep cells and verdicts" `Quick test_weighted_sweep_shape ] );
       ( "summary-report",
         [
           Alcotest.test_case "client rows" `Quick test_summary_client_rows;

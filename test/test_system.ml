@@ -188,8 +188,8 @@ let test_path_series_reconciles () =
   let ctx = Agg_obs.Trace_ctx.create ~seed:7 () in
   let config =
     Path.with_deployment `Aggregating_both
-      { Path.default_config with Path.faults = hostile_faults; series = Some series;
-        trace_ctx = Some ctx }
+      { Path.default_config with Path.faults = hostile_faults;
+        scope = Some (Agg_obs.Scope.create ~series ~trace_ctx:ctx ()) }
   in
   let r = Path.run config trace in
   check_int "series accesses = run accesses" r.Path.accesses
@@ -232,8 +232,12 @@ let test_path_telemetry_off_identity () =
     let config =
       if telemetry then
         { base with
-          Path.series = Some (Agg_obs.Series.create ~window:500);
-          trace_ctx = Some (Agg_obs.Trace_ctx.create ~sample:0.5 ~seed:3 ()) }
+          Path.scope =
+            Some
+              (Agg_obs.Scope.create
+                 ~series:(Agg_obs.Series.create ~window:500)
+                 ~trace_ctx:(Agg_obs.Trace_ctx.create ~sample:0.5 ~seed:3 ())
+                 ()) }
       else base
     in
     Path.run config trace
@@ -246,7 +250,11 @@ let test_fleet_series_reconciles () =
   let series = Agg_obs.Series.create ~window:1_000 in
   let config =
     { (fleet_config ~clients:3 ()) with Fleet.faults = hostile_faults;
-      series = Some series; trace_ctx = Some (Agg_obs.Trace_ctx.create ~seed:5 ()) }
+      scope =
+        Some
+          (Agg_obs.Scope.create ~series
+             ~trace_ctx:(Agg_obs.Trace_ctx.create ~seed:5 ())
+             ()) }
   in
   let r = Fleet.run config trace in
   check_int "series accesses = run accesses" r.Fleet.accesses

@@ -102,6 +102,64 @@ let test_codec_error_position () =
   | exception Codec.Parse_error { line; _ } -> check_int "line number" 3 line
   | _ -> Alcotest.fail "expected Parse_error"
 
+(* --- weight lines ------------------------------------------------------- *)
+
+let some_weights () =
+  Weights.of_alist
+    [ (5, { Agg_cache.Policy.size = 3; cost = 7 }); (7, { Agg_cache.Policy.size = 2; cost = 2 }) ]
+
+let test_weights_store () =
+  let ws = some_weights () in
+  check_bool "declared" true (Weights.get ws 5 = { Agg_cache.Policy.size = 3; cost = 7 });
+  check_bool "undeclared is unit" true (Weights.get ws 6 = Agg_cache.Policy.unit_weight);
+  check_int "count" 2 (Weights.count ws);
+  check_bool "not unit" false (Weights.is_unit ws);
+  check_bool "fresh table is unit" true (Weights.is_unit (Weights.create ()));
+  Alcotest.check_raises "non-positive size rejected"
+    (Invalid_argument "Weights.set: weight size must be positive (got 0)") (fun () ->
+      Weights.set ws 1 { Agg_cache.Policy.size = 0; cost = 1 })
+
+let test_codec_weights_roundtrip_string () =
+  let t = Trace.of_files [ 5; 7; 5; 6 ] in
+  let ws = some_weights () in
+  let text = Codec.to_string ~weights:ws t in
+  let t', ws' = Codec.of_string_weighted text in
+  Alcotest.(check (array int)) "events" (Trace.files t) (Trace.files t');
+  check_bool "weights survive" true (Weights.to_alist ws' = Weights.to_alist ws);
+  (* the plain reader skips weight lines and keeps the events *)
+  Alcotest.(check (array int)) "plain reader skips w lines" (Trace.files t)
+    (Trace.files (Codec.of_string text))
+
+let test_codec_weights_roundtrip_file () =
+  let t = Trace.of_files [ 5; 7; 5 ] in
+  let path = Filename.temp_file "aggtrace" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Codec.write_file ~weights:(some_weights ()) path t;
+      let t', ws' = Codec.read_file_weighted path in
+      Alcotest.(check (array int)) "files" (Trace.files t) (Trace.files t');
+      check_bool "weights survive" true
+        (Weights.get ws' 5 = { Agg_cache.Policy.size = 3; cost = 7 }
+        && Weights.get ws' 7 = { Agg_cache.Policy.size = 2; cost = 2 });
+      (* streaming folds also skip weight lines *)
+      check_int "fold skips w lines" 3 (Codec.fold_file path ~init:0 ~f:(fun acc _ -> acc + 1)))
+
+let test_codec_weight_line_errors () =
+  expect_parse_error "#aggtrace v1\nw 1 0 2\n";
+  (* zero size *)
+  expect_parse_error "#aggtrace v1\nw 1 2 -3\n";
+  (* negative cost *)
+  expect_parse_error "#aggtrace v1\nw 1 2\n";
+  (* missing cost *)
+  expect_parse_error "#aggtrace v1\nw -1 2 3\n";
+  (* bad file id *)
+  match Codec.of_string "#aggtrace v1\n0 o 0 1\nw 1 0 2\n" with
+  | exception Codec.Parse_error { line; message } ->
+      check_int "line number" 3 line;
+      check_bool "message names the field" true (message = "size must be positive (got 0)")
+  | _ -> Alcotest.fail "expected Parse_error"
+
 let test_codec_streaming () =
   let t = Trace.create () in
   Trace.add_access t ~client:1 ~op:Event.Write 5;
@@ -317,6 +375,13 @@ let () =
           Alcotest.test_case "error position" `Quick test_codec_error_position;
           Alcotest.test_case "streaming fold/iter" `Quick test_codec_streaming;
           Alcotest.test_case "streaming matches read" `Quick test_codec_streaming_matches_read;
+        ] );
+      ( "weights",
+        [
+          Alcotest.test_case "store" `Quick test_weights_store;
+          Alcotest.test_case "roundtrip string" `Quick test_codec_weights_roundtrip_string;
+          Alcotest.test_case "roundtrip file" `Quick test_codec_weights_roundtrip_file;
+          Alcotest.test_case "weight line errors" `Quick test_codec_weight_line_errors;
         ] );
       ( "filter",
         [
